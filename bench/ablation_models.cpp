@@ -1,0 +1,84 @@
+// Ablation: the "wide range of learning algorithms" claim (Section III-A).
+//
+// Runs the same crowd protocol with three different hypothesis classes —
+// Table I's multiclass logistic regression, the Crammer-Singer linear SVM,
+// and logistic regression over random Fourier features — with and without
+// privacy. The device/server machinery and the sensitivity-scaled Laplace
+// mechanism are identical across all three; only the Model object changes.
+#include "bench/common.hpp"
+#include "data/fourier_features.hpp"
+#include "models/linear_svm.hpp"
+
+using namespace bench;
+
+namespace {
+
+double run_model(const models::Model& model, const data::Dataset& ds,
+                 double epsilon, double c, int trials) {
+  core::CrowdSimConfig cfg =
+      crowd_base(static_cast<long long>(3 * ds.train.size()), 1);
+  cfg.minibatch_size = 20;
+  cfg.learning_rate_c = c;
+  cfg.eval_points = 6;
+  if (!std::isinf(epsilon))
+    cfg.budget = privacy::PrivacyBudget::gradient_dominated(epsilon);
+  return run_crowd_trials(model, ds, cfg, trials, 99).final_value();
+}
+
+}  // namespace
+
+int main() {
+  const Options opt = options();
+  header("Ablation: hypothesis classes (Section III-A)",
+         "logistic vs SVM vs kernelized logistic, clean and eps=10", opt);
+
+  rng::Engine eng(42);
+  const data::Dataset ds = data::make_mnist_like(eng, opt.scale);
+
+  // Kernelized variant: same data through a 150-dim RBF feature map.
+  data::Dataset kernel_ds = ds;
+  data::RandomFourierFeatures rff;
+  rng::Engine rff_eng(7);
+  rff.fit(rff_eng, ds.feature_dim, 300, 5.0);
+  rff.transform(kernel_ds.train);
+  rff.transform(kernel_ds.test);
+  kernel_ds.feature_dim = 300;
+
+  models::MulticlassLogisticRegression logistic(10, ds.feature_dim, 0.0);
+  models::MulticlassSvm svm(10, ds.feature_dim, 0.0);
+  models::MulticlassLogisticRegression kernel_logistic(10, 300, 0.0);
+
+  std::printf("%22s %12s %12s %14s\n", "model", "clean", "eps=10", "S1 (per sample)");
+  const double log_clean = run_model(logistic, ds, privacy::kNoPrivacy,
+                                     kCrowdLearningRate, opt.trials);
+  const double log_priv =
+      run_model(logistic, ds, 10.0, kPrivateLearningRate, opt.trials);
+  std::printf("%22s %12.3f %12.3f %14.1f\n", "logistic (Table I)", log_clean,
+              log_priv, logistic.per_sample_l1_sensitivity());
+
+  const double svm_clean =
+      run_model(svm, ds, privacy::kNoPrivacy, kCrowdLearningRate, opt.trials);
+  const double svm_priv =
+      run_model(svm, ds, 10.0, kPrivateLearningRate, opt.trials);
+  std::printf("%22s %12.3f %12.3f %14.1f\n", "Crammer-Singer SVM", svm_clean,
+              svm_priv, svm.per_sample_l1_sensitivity());
+
+  // The RFF coordinates are ~6x smaller than the raw PCA features, so the
+  // SGD constant scales up accordingly (c is tuned per model, as the paper
+  // tunes c per experiment).
+  const double ker_clean = run_model(kernel_logistic, kernel_ds,
+                                     privacy::kNoPrivacy, 600.0, opt.trials);
+  const double ker_priv =
+      run_model(kernel_logistic, kernel_ds, 10.0, 200.0, opt.trials);
+  std::printf("%22s %12.3f %12.3f %14.1f\n", "RFF-300 + logistic", ker_clean,
+              ker_priv, kernel_logistic.per_sample_l1_sensitivity());
+
+  check(svm_clean < 0.25, "the SVM learns through the unchanged protocol");
+  check(ker_clean < 0.3, "the kernelized model learns through the protocol");
+  // The RFF model pays more privacy noise (Eq. 13 noise power grows with
+  // the parameter count C*D'), so its private error sits higher — the
+  // expected trade for the richer hypothesis class.
+  check(log_priv < 0.5 && svm_priv < 0.6 && ker_priv < 0.8,
+        "all hypothesis classes survive eps=10 sanitization at b=20");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared harness utilities for the figure-reproduction benches.
+//
+// Each bench regenerates one figure of the paper: it runs every curve the
+// figure plots (averaged over trials with randomized sharding, noise and
+// delays — Section V-C), prints the error-vs-iteration table, and ends
+// with a PASS/WARN line per qualitative "shape" the paper reports.
+//
+// Scale knobs (environment):
+//   CROWDML_SCALE  — dataset scale in (0,1]; default 0.25 (15000/2500
+//                    samples for MNIST-like). 1.0 = the paper's full size.
+//   CROWDML_TRIALS — trials to average; default 3 (paper: 10).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/central_batch.hpp"
+#include "core/crowd_simulation.hpp"
+#include "data/mixture.hpp"
+#include "metrics/curves.hpp"
+#include "models/logistic_regression.hpp"
+
+namespace bench {
+
+using namespace crowdml;
+
+struct Options {
+  double scale = 0.25;
+  int trials = 3;
+};
+
+inline Options options() {
+  Options o;
+  if (const char* s = std::getenv("CROWDML_SCALE")) o.scale = std::atof(s);
+  if (const char* t = std::getenv("CROWDML_TRIALS")) o.trials = std::atoi(t);
+  if (o.scale <= 0.0 || o.scale > 1.0) o.scale = 0.25;
+  if (o.trials < 1) o.trials = 1;
+  return o;
+}
+
+/// The experiments' shared hyperparameters (selected once on held-out
+/// trials, as the paper selects lambda and c).
+inline constexpr double kRadius = 500.0;
+inline constexpr double kCrowdLearningRate = 100.0;   // no-privacy runs
+inline constexpr double kPrivateLearningRate = 50.0;  // eps^-1 = 0.1 runs
+inline constexpr std::size_t kNumDevices = 1000;      // paper's M
+
+inline core::CrowdSimConfig crowd_base(long long max_samples,
+                                       std::uint64_t seed) {
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = kNumDevices;
+  cfg.max_total_samples = max_samples;
+  cfg.eval_points = 30;
+  cfg.learning_rate_c = kCrowdLearningRate;
+  cfg.projection_radius = kRadius;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Run the crowd sim `trials` times (re-sharding each trial) and return
+/// the mean test-error curve.
+inline metrics::LearningCurve run_crowd_trials(
+    const models::Model& model, const data::Dataset& ds,
+    const core::CrowdSimConfig& base, int trials, std::uint64_t seed0) {
+  metrics::CurveAggregator agg;
+  for (int t = 0; t < trials; ++t) {
+    core::CrowdSimConfig cfg = base;
+    cfg.seed = seed0 + static_cast<std::uint64_t>(t) * 7919;
+    rng::Engine shard_eng(cfg.seed ^ 0x5A5A);
+    auto shards =
+        data::shard_across_devices(ds.train, cfg.num_devices, shard_eng);
+    core::CrowdSimulation sim(model, cfg);
+    agg.add_trial(
+        sim.run(core::make_cycling_source(std::move(shards)), ds.test)
+            .test_error);
+  }
+  return agg.mean();
+}
+
+/// Constant reference line at the batch baseline's error, on `grid`'s x's.
+inline metrics::LearningCurve constant_curve(
+    double value, const metrics::LearningCurve& grid) {
+  metrics::LearningCurve out;
+  for (const auto& p : grid.points()) out.record(p.x, value);
+  return out;
+}
+
+/// Batch trainer tuned for the mixture problems.
+inline baselines::BatchTrainerConfig batch_config() {
+  baselines::BatchTrainerConfig cfg;
+  cfg.iterations = 400;
+  cfg.learning_rate = 200.0;
+  cfg.momentum = 0.95;
+  cfg.projection_radius = kRadius;
+  return cfg;
+}
+
+inline void header(const char* figure, const char* description,
+                   const Options& o) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("scale=%.2f trials=%d (CROWDML_SCALE / CROWDML_TRIALS to change;"
+              " paper: scale=1.0 trials=10)\n", o.scale, o.trials);
+  std::printf("================================================================\n");
+}
+
+inline void check(bool ok, const std::string& what) {
+  std::printf("%s  %s\n", ok ? "[PASS]" : "[WARN]", what.c_str());
+}
+
+inline void print_figure(const std::string& x_label,
+                         const std::vector<std::string>& names,
+                         const std::vector<metrics::LearningCurve>& curves,
+                         const std::string& csv_name = "") {
+  metrics::print_curve_table(std::cout, x_label, names, curves, 16);
+  // With CROWDML_CSV_DIR set, also emit the raw series for plotting.
+  if (const char* dir = std::getenv("CROWDML_CSV_DIR"); dir && !csv_name.empty()) {
+    std::string stem = csv_name;
+    for (char& c : stem)
+      if (c == ' ' || c == '/') c = '_';
+    const std::string path = std::string(dir) + "/" + stem + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      metrics::write_curves_csv(out, names, curves);
+      std::printf("(csv written: %s)\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,6 @@
+// Reproduces Fig. 4 of the paper (see bench/figures.hpp for the driver).
+#include "bench/figures.hpp"
+
+int main() {
+  return bench::approaches_figure(bench::DatasetKind::kMnistLike, "Figure 4");
+}

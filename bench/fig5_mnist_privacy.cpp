@@ -1,0 +1,6 @@
+// Reproduces Fig. 5 of the paper (see bench/figures.hpp for the driver).
+#include "bench/figures.hpp"
+
+int main() {
+  return bench::privacy_figure(bench::DatasetKind::kMnistLike, "Figure 5");
+}

@@ -1,0 +1,6 @@
+// Reproduces Fig. 6 of the paper (see bench/figures.hpp for the driver).
+#include "bench/figures.hpp"
+
+int main() {
+  return bench::delay_figure(bench::DatasetKind::kMnistLike, "Figure 6");
+}

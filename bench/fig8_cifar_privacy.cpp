@@ -1,0 +1,6 @@
+// Reproduces Fig. 8 of the paper (see bench/figures.hpp for the driver).
+#include "bench/figures.hpp"
+
+int main() {
+  return bench::privacy_figure(bench::DatasetKind::kCifarLike, "Figure 8");
+}

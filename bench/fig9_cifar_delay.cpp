@@ -1,0 +1,6 @@
+// Reproduces Fig. 9 of the paper (see bench/figures.hpp for the driver).
+#include "bench/figures.hpp"
+
+int main() {
+  return bench::delay_figure(bench::DatasetKind::kCifarLike, "Figure 9");
+}

@@ -1,0 +1,239 @@
+// Shared figure drivers: Figs. 4/7 (approaches), 5/8 (privacy), 6/9
+// (delays) differ only in the dataset, so each pair shares one driver.
+#pragma once
+
+#include "baselines/central_sgd.hpp"
+#include "baselines/decentralized.hpp"
+#include "bench/common.hpp"
+
+namespace bench {
+
+enum class DatasetKind { kMnistLike, kCifarLike };
+
+inline const char* dataset_name(DatasetKind k) {
+  return k == DatasetKind::kMnistLike ? "MNIST-like" : "CIFAR-like";
+}
+
+inline data::Dataset make_dataset(DatasetKind k, double scale) {
+  rng::Engine eng(42);
+  return k == DatasetKind::kMnistLike ? data::make_mnist_like(eng, scale)
+                                      : data::make_cifar_like(eng, scale);
+}
+
+/// Mean final test error of the batch baseline over `trials` (optionally
+/// on Appendix-C-perturbed data with per-sample budget `epsilon`).
+inline double batch_baseline_error(const models::Model& model,
+                                   const data::Dataset& ds, int trials,
+                                   double epsilon) {
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    rng::Engine eng(9000 + static_cast<std::uint64_t>(t));
+    models::SampleSet train = ds.train;
+    if (!std::isinf(epsilon)) {
+      train = baselines::perturb_dataset(ds.train, model.num_classes(),
+                                         epsilon / 2.0, epsilon / 2.0, eng);
+    }
+    acc += baselines::train_central_batch(model, train, ds.test, batch_config())
+               .final_test_error;
+  }
+  return acc / trials;
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 4 and 7: centralized batch vs Crowd-ML vs decentralized,
+// no privacy, no delay, one pass through the data.
+// ---------------------------------------------------------------------------
+inline int approaches_figure(DatasetKind kind, const char* figure) {
+  const Options opt = options();
+  header(figure,
+         (std::string(dataset_name(kind)) +
+          ": central batch vs Crowd-ML vs decentralized (eps^-1=0, b=1, tau=0)")
+             .c_str(),
+         opt);
+
+  const data::Dataset ds = make_dataset(kind, opt.scale);
+  models::MulticlassLogisticRegression model(ds.num_classes, ds.feature_dim, 0.0);
+  const auto max_samples = static_cast<long long>(ds.train.size());
+
+  const auto crowd = run_crowd_trials(
+      model, ds, crowd_base(max_samples, 1), opt.trials, 100);
+
+  metrics::CurveAggregator dec_agg;
+  for (int t = 0; t < opt.trials; ++t) {
+    baselines::DecentralizedConfig dcfg;
+    dcfg.num_devices = kNumDevices;
+    dcfg.learning_rate_c = kCrowdLearningRate;
+    dcfg.projection_radius = kRadius;
+    dcfg.max_total_samples = max_samples;
+    dcfg.eval_points = 30;
+    dcfg.seed = 300 + static_cast<std::uint64_t>(t);
+    dec_agg.add_trial(
+        baselines::train_decentralized(model, ds.train, ds.test, dcfg)
+            .test_error);
+  }
+  const auto decentral = dec_agg.mean();
+
+  const double batch_err =
+      batch_baseline_error(model, ds, 1, privacy::kNoPrivacy);
+  const auto batch = constant_curve(batch_err, crowd);
+
+  print_figure("samples", {"Decentral(SGD)", "Crowd-ML(SGD)", "Central(batch)"},
+               {decentral, crowd, batch}, figure);
+
+  std::printf("\nfinal: decentral=%.4f crowd=%.4f batch=%.4f\n",
+              decentral.final_value(), crowd.final_value(), batch_err);
+  // The residual SGD-vs-batch gap shrinks with more samples; at
+  // CROWDML_SCALE=1.0 (the paper's sizes) it is within a couple of points.
+  check(std::abs(crowd.final_value() - batch_err) < 0.08,
+        "Crowd-ML converges to (near) the centralized batch error");
+  check(decentral.final_value() > crowd.final_value() + 0.15,
+        "decentralized plateaus far above Crowd-ML (no data sharing)");
+  check(crowd.points().front().y > crowd.final_value() + 0.3,
+        "Crowd-ML error decreases substantially over the run");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 5 and 8: eps^-1 = 0.1, minibatch sizes b in {1, 10, 20},
+// Crowd-ML vs centralized SGD on perturbed data, five passes.
+// ---------------------------------------------------------------------------
+inline int privacy_figure(DatasetKind kind, const char* figure) {
+  const Options opt = options();
+  header(figure,
+         (std::string(dataset_name(kind)) +
+          ": privacy eps^-1=0.1, b in {1,10,20}, no delay")
+             .c_str(),
+         opt);
+
+  const data::Dataset ds = make_dataset(kind, opt.scale);
+  models::MulticlassLogisticRegression model(ds.num_classes, ds.feature_dim, 0.0);
+  const auto max_samples = static_cast<long long>(5 * ds.train.size());
+  const double epsilon = 10.0;  // eps^-1 = 0.1
+
+  const std::vector<std::size_t> batch_sizes{1, 10, 20};
+
+  std::vector<std::string> names;
+  std::vector<metrics::LearningCurve> curves;
+
+  // Central SGD on Appendix-C-perturbed uploads.
+  for (std::size_t b : batch_sizes) {
+    metrics::CurveAggregator agg;
+    for (int t = 0; t < opt.trials; ++t) {
+      baselines::CentralSgdConfig cfg;
+      cfg.minibatch_size = b;
+      cfg.epsilon = epsilon;
+      cfg.learning_rate_c = kPrivateLearningRate;
+      cfg.projection_radius = kRadius;
+      cfg.max_samples = max_samples;
+      cfg.eval_points = 30;
+      cfg.seed = 500 + static_cast<std::uint64_t>(t) * 31 + b;
+      agg.add_trial(
+          baselines::train_central_sgd(model, ds.train, ds.test, cfg)
+              .test_error);
+    }
+    names.push_back("Central(b=" + std::to_string(b) + ")");
+    curves.push_back(agg.mean());
+  }
+
+  // Crowd-ML with Eq. (10) gradient sanitization.
+  for (std::size_t b : batch_sizes) {
+    core::CrowdSimConfig cfg = crowd_base(max_samples, 1);
+    cfg.minibatch_size = b;
+    cfg.budget = privacy::PrivacyBudget::gradient_dominated(epsilon);
+    cfg.learning_rate_c = kPrivateLearningRate;
+    names.push_back("Crowd-ML(b=" + std::to_string(b) + ")");
+    curves.push_back(
+        run_crowd_trials(model, ds, cfg, opt.trials, 700 + b));
+  }
+
+  const double batch_err = batch_baseline_error(model, ds, opt.trials, epsilon);
+  names.push_back("Central(batch)");
+  curves.push_back(constant_curve(batch_err, curves.front()));
+
+  print_figure("samples", names, curves, figure);
+
+  const double c1 = curves[3].final_value();   // crowd b=1
+  const double c10 = curves[4].final_value();  // crowd b=10
+  const double c20 = curves[5].final_value();  // crowd b=20
+  std::printf("\nfinal: central(b=1)=%.3f central(b=20)=%.3f crowd(b=1)=%.3f "
+              "crowd(b=10)=%.3f crowd(b=20)=%.3f central(batch)=%.3f\n",
+              curves[0].final_value(), curves[2].final_value(), c1, c10, c20,
+              batch_err);
+  check(c20 < c10 && c10 < c1,
+        "larger minibatch improves private Crowd-ML (Eq. 13 noise ~ 1/b)");
+  check(c20 + 0.05 < batch_err,
+        "Crowd-ML b=20 beats the perturbed centralized batch");
+  check(curves[0].final_value() > 0.6 && curves[1].final_value() > 0.6 &&
+            curves[2].final_value() > 0.6,
+        "centralized SGD on perturbed data is poor regardless of minibatch");
+  check(c1 <= batch_err + 0.05,
+        "Crowd-ML b=1 is similar or better than the centralized batch");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 6 and 9: eps^-1 = 0.1, b in {1, 20}, delays in
+// {1, 10, 100, 1000} Delta, Delta = one crowd-sample time (tau = d/(M*Fs)).
+// ---------------------------------------------------------------------------
+inline int delay_figure(DatasetKind kind, const char* figure) {
+  const Options opt = options();
+  header(figure,
+         (std::string(dataset_name(kind)) +
+          ": privacy eps^-1=0.1, delays {1,10,100,1000}Delta, b in {1,20}")
+             .c_str(),
+         opt);
+
+  const data::Dataset ds = make_dataset(kind, opt.scale);
+  models::MulticlassLogisticRegression model(ds.num_classes, ds.feature_dim, 0.0);
+  const auto max_samples = static_cast<long long>(5 * ds.train.size());
+  const double epsilon = 10.0;
+
+  std::vector<std::string> names;
+  std::vector<metrics::LearningCurve> curves;
+  const std::vector<long long> deltas{1, 10, 100, 1000};
+
+  for (std::size_t b : {std::size_t{1}, std::size_t{20}}) {
+    for (long long d : deltas) {
+      core::CrowdSimConfig cfg = crowd_base(max_samples, 1);
+      cfg.minibatch_size = b;
+      cfg.budget = privacy::PrivacyBudget::gradient_dominated(epsilon);
+      cfg.learning_rate_c = kPrivateLearningRate;
+      // d Delta of delay per leg: tau seconds such that the crowd
+      // generates d samples during tau (tau = d / (M * Fs)).
+      const double tau = static_cast<double>(d) /
+                         (static_cast<double>(kNumDevices) * cfg.sampling_rate_hz);
+      cfg.delay = std::make_shared<sim::UniformDelay>(tau);
+      names.push_back("b=" + std::to_string(b) + "," + std::to_string(d) + "D");
+      curves.push_back(run_crowd_trials(model, ds, cfg, opt.trials,
+                                        900 + b * 17 + static_cast<std::uint64_t>(d)));
+    }
+  }
+
+  const double batch_err = batch_baseline_error(model, ds, opt.trials, epsilon);
+  names.push_back("Central(batch)");
+  curves.push_back(constant_curve(batch_err, curves.front()));
+
+  print_figure("samples", names, curves, figure);
+
+  const double b1_fast = curves[0].final_value();
+  const double b1_slow = curves[3].final_value();
+  const double b20_fast = curves[4].final_value();
+  const double b20_slow = curves[7].final_value();
+  std::printf("\nfinal: b=1 1D=%.3f 1000D=%.3f | b=20 1D=%.3f 1000D=%.3f | "
+              "batch=%.3f\n",
+              b1_fast, b1_slow, b20_fast, b20_slow, batch_err);
+  check(b20_slow < batch_err,
+        "b=20 stays below the centralized batch even at 1000 Delta");
+  check(std::abs(b20_slow - b20_fast) < 0.08,
+        "with b=20 delay has little effect on convergence");
+  // With b=1 the epsilon noise dominates, so delay can only be neutral or
+  // harmful — it must never help beyond trial noise, and b=1 must stay far
+  // above b=20 (the paper's "similar to or worse than Central (batch)").
+  check(b1_slow >= b1_fast - 0.05,
+        "with b=1 large delay never helps (slows or degrades convergence)");
+  check(b1_slow > b20_slow + 0.08,
+        "b=1 remains clearly above b=20 under delay");
+  return 0;
+}
+
+}  // namespace bench

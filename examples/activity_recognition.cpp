@@ -1,0 +1,65 @@
+// Activity recognition end to end — the paper's Section V-B deployment,
+// reproduced on the synthetic sensing substrate:
+//
+//   tri-axial accelerometer @ 20 Hz  ->  3.2 s windows  ->  64-bin FFT
+//   ->  label-change-triggered samples  ->  7-device Crowd-ML  ->
+//   a shared 3-class classifier, learned online with privacy.
+#include <cstdio>
+#include <memory>
+
+#include "core/crowd_simulation.hpp"
+#include "models/logistic_regression.hpp"
+#include "sensing/feature_pipeline.hpp"
+
+using namespace crowdml;
+
+int main() {
+  constexpr std::size_t kDevices = 7;  // as carried by the paper's students
+
+  // Per-device sensing pipelines. Each device wanders through
+  // Still / OnFoot / InVehicle with ~2-minute dwell times and emits a
+  // labeled FFT feature whenever its activity changes.
+  std::vector<std::shared_ptr<sensing::ActivityFeatureStream>> streams;
+  rng::Engine root(20150411);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    sensing::ActivityFeatureStream::Options opt;
+    opt.mean_dwell_seconds = 120.0;
+    streams.push_back(
+        std::make_shared<sensing::ActivityFeatureStream>(root.split(d), opt));
+  }
+  core::SampleSource source = [streams](std::size_t d) {
+    return std::optional<models::Sample>(streams[d]->next());
+  };
+
+  // 3-class logistic regression on the 64-bin spectrum (Table I).
+  models::MulticlassLogisticRegression model(3, 64, 0.0);
+
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = kDevices;
+  cfg.minibatch_size = 1;
+  cfg.max_total_samples = 300;  // the paper's "first 300 samples"
+  cfg.track_online_error = true;
+  cfg.learning_rate_c = 100.0;
+  cfg.projection_radius = 500.0;
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(50.0);
+  cfg.seed = 4;
+
+  core::CrowdSimulation sim(model, cfg);
+  const core::CrowdSimResult res = sim.run(source, {});
+
+  std::printf("activity recognition, %zu devices, %lld samples\n", kDevices,
+              res.samples_generated);
+  std::printf("(every emitted sample marks an activity change; windows with"
+              " unchanged labels are discarded, as in the paper)\n\n");
+  std::printf("%10s %22s\n", "samples", "time-averaged error");
+  const auto& pts = res.online_error.points();
+  for (std::size_t mark = 25; mark <= pts.size(); mark += 25)
+    std::printf("%10zu %22.4f\n", mark, pts[mark - 1].y);
+  std::printf("\nfinal time-averaged error: %.4f (chance ~0.67)\n",
+              res.online_error.final_value());
+  std::printf("effective sampling reduction: device 0 computed %lld windows, "
+              "emitted %lld samples\n",
+              streams[0]->windows_seen(), streams[0]->samples_emitted());
+  std::printf("per-sample privacy: eps = %.2f\n", res.per_sample_epsilon);
+  return 0;
+}

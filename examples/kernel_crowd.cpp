@@ -1,0 +1,80 @@
+// Non-linear Crowd-ML via random Fourier features.
+//
+// The paper's framework is linear in w, but "a wide range of learning
+// algorithms can be represented by h and l" (Section III-A): mapping the
+// features through a data-independent RBF kernel approximation turns the
+// same linear machinery — and the same privacy analysis — into a
+// non-linear classifier. This example learns a circle-inside-ring decision
+// boundary that no linear model can express, with differential privacy.
+#include <cmath>
+#include <cstdio>
+
+#include "core/crowd_simulation.hpp"
+#include "data/fourier_features.hpp"
+#include "models/logistic_regression.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+models::SampleSet make_rings(rng::Engine& eng, std::size_t n) {
+  models::SampleSet out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = rng::uniform(eng, 0.0, 6.2831853);
+    const bool ring = i % 2 == 0;
+    const double radius =
+        ring ? rng::uniform(eng, 1.6, 2.2) : rng::uniform(eng, 0.0, 0.9);
+    out.emplace_back(
+        linalg::Vector{radius * std::cos(angle), radius * std::sin(angle)},
+        ring ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+double crowd_error(const models::Model& model, const models::SampleSet& train,
+                   const models::SampleSet& test) {
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = 40;
+  cfg.minibatch_size = 5;
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(20.0);
+  cfg.max_total_samples = static_cast<long long>(6 * train.size());
+  cfg.eval_points = 6;
+  cfg.learning_rate_c = 100.0;
+  cfg.projection_radius = 500.0;
+  cfg.seed = 5;
+  rng::Engine shard_eng(6);
+  auto shards = data::shard_across_devices(train, cfg.num_devices, shard_eng);
+  core::CrowdSimulation sim(model, cfg);
+  return sim.run(core::make_cycling_source(std::move(shards)), test)
+      .final_test_error;
+}
+
+}  // namespace
+
+int main() {
+  rng::Engine eng(2024);
+  models::SampleSet train = make_rings(eng, 4000);
+  models::SampleSet test = make_rings(eng, 1000);
+
+  // Raw 2-d coordinates: linearly inseparable.
+  models::MulticlassLogisticRegression linear(2, 2, 0.0);
+  const double linear_err = crowd_error(linear, train, test);
+
+  // Kernelized: 200 random Fourier features of an RBF kernel.
+  data::RandomFourierFeatures rff;
+  rff.fit(eng, 2, 200, 1.0);
+  rff.transform(train);
+  rff.transform(test);
+  models::MulticlassLogisticRegression kernelized(2, 200, 0.0);
+  const double rff_err = crowd_error(kernelized, train, test);
+
+  std::printf("circle-vs-ring, 40 devices, eps ~ 20:\n");
+  std::printf("  linear model on raw (x, y):        test error %.3f\n",
+              linear_err);
+  std::printf("  same model on 200 Fourier features: test error %.3f\n",
+              rff_err);
+  std::printf("the privacy mechanism is untouched: the feature map is\n"
+              "data-independent and re-normalized to ||z||_1 <= 1.\n");
+  return rff_err < 0.15 && linear_err > 0.3 ? 0 : 1;
+}

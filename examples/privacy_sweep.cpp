@@ -1,0 +1,63 @@
+// Privacy-utility frontier: how the final model quality moves with the
+// per-sample budget eps and the minibatch size b (Section IV-A, Eq. 13).
+//
+// Prints a (eps x b) grid of final test errors plus the exact noise power
+// the mechanism injects — a downstream user's starting point for choosing
+// their own deployment's privacy level.
+#include <cmath>
+#include <cstdio>
+
+#include "core/crowd_simulation.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+#include "privacy/mechanisms.hpp"
+
+using namespace crowdml;
+
+int main() {
+  rng::Engine data_eng(42);
+  const data::Dataset ds = data::make_mnist_like(data_eng, 0.1);
+  models::MulticlassLogisticRegression model(ds.num_classes, ds.feature_dim, 0.0);
+
+  const std::vector<double> epsilons{2.0, 10.0, 50.0, privacy::kNoPrivacy};
+  const std::vector<std::size_t> batches{1, 10, 25};
+
+  std::printf("final test error after 3 passes (M=200 devices)\n\n");
+  std::printf("%12s", "eps \\ b");
+  for (auto b : batches) std::printf("%10zu", b);
+  std::printf("%22s\n", "noise var/coord (b=1)");
+
+  for (double eps : epsilons) {
+    if (std::isinf(eps))
+      std::printf("%12s", "inf");
+    else
+      std::printf("%12.0f", eps);
+    for (auto b : batches) {
+      core::CrowdSimConfig cfg;
+      cfg.num_devices = 200;
+      cfg.minibatch_size = b;
+      if (!std::isinf(eps))
+        cfg.budget = privacy::PrivacyBudget::gradient_dominated(eps);
+      cfg.max_total_samples = static_cast<long long>(3 * ds.train.size());
+      cfg.eval_points = 6;
+      cfg.learning_rate_c = 50.0;
+      cfg.projection_radius = 500.0;
+      cfg.seed = 17;
+      rng::Engine shard_eng(9);
+      auto shards =
+          data::shard_across_devices(ds.train, cfg.num_devices, shard_eng);
+      core::CrowdSimulation sim(model, cfg);
+      const auto res =
+          sim.run(core::make_cycling_source(std::move(shards)), ds.test);
+      std::printf("%10.3f", res.final_test_error);
+      std::fflush(stdout);
+    }
+    std::printf("%22.4f\n", privacy::laplace_noise_variance(
+                                model.per_sample_l1_sensitivity(), eps));
+  }
+
+  std::printf("\nreading: with a harsh budget (eps=2) only large minibatches"
+              " learn;\nby eps=50 the privacy tax is nearly free (Eq. 13: "
+              "noise ~ 32D/(b*eps)^2).\n");
+  return 0;
+}

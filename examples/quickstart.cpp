@@ -1,0 +1,59 @@
+// Quickstart: learn a 10-class classifier from a simulated crowd of 50
+// devices with differential privacy, in under a minute.
+//
+// Pipeline: synthetic dataset -> shard across devices -> discrete-event
+// Crowd-ML run -> test-error learning curve + privacy accounting.
+#include <cstdio>
+
+#include "core/crowd_simulation.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+
+using namespace crowdml;
+
+int main() {
+  // 1. A dataset: 10 classes, 50 PCA dimensions, L1-normalized features
+  //    (scale 0.05 => 3000 train / 500 test samples).
+  rng::Engine data_eng(42);
+  data::Dataset ds = data::make_mnist_like(data_eng, 0.05);
+  std::printf("dataset: %zu train / %zu test, %zu classes, %zu dims\n",
+              ds.train.size(), ds.test.size(), ds.num_classes, ds.feature_dim);
+
+  // 2. The model of Table I: multiclass logistic regression.
+  models::MulticlassLogisticRegression model(ds.num_classes, ds.feature_dim,
+                                             /*lambda=*/0.0);
+
+  // 3. Crowd configuration: 50 devices, minibatch b = 10, per-sample
+  //    privacy budget eps_g = 10 on the gradient (plus tiny counter
+  //    budgets), uniform network delays up to 2 s.
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = 50;
+  cfg.minibatch_size = 10;
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(20.0);
+  cfg.delay = std::make_shared<sim::UniformDelay>(2.0);
+  cfg.max_total_samples = 24000;  // eight passes
+  cfg.learning_rate_c = 50.0;
+  cfg.projection_radius = 500.0;
+  cfg.eval_points = 12;
+  cfg.seed = 7;
+
+  // 4. Shard the training pool and run.
+  rng::Engine shard_eng(99);
+  auto shards = data::shard_across_devices(ds.train, cfg.num_devices, shard_eng);
+  core::CrowdSimulation sim(model, cfg);
+  core::CrowdSimResult res =
+      sim.run(core::make_cycling_source(std::move(shards)), ds.test);
+
+  // 5. Results.
+  std::printf("\n%12s %12s\n", "samples", "test error");
+  for (const auto& p : res.test_error.points())
+    std::printf("%12.0f %12.4f\n", p.x, p.y);
+  std::printf("\nfinal test error:        %.4f\n", res.final_test_error);
+  std::printf("server updates:          %llu\n",
+              static_cast<unsigned long long>(res.server_updates));
+  std::printf("samples generated:       %lld\n", res.samples_generated);
+  std::printf("samples consumed:        %lld\n", res.samples_consumed);
+  std::printf("server est. error (Eq 14): %.4f\n", res.server_estimated_error);
+  std::printf("per-sample epsilon:      %.3f\n", res.per_sample_epsilon);
+  return 0;
+}

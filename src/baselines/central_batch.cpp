@@ -1,0 +1,54 @@
+#include "baselines/central_batch.hpp"
+
+#include <cassert>
+
+#include "privacy/mechanisms.hpp"
+
+namespace crowdml::baselines {
+
+BatchTrainResult train_central_batch(const models::Model& model,
+                                     const models::SampleSet& train,
+                                     const models::SampleSet& test,
+                                     const BatchTrainerConfig& config) {
+  assert(!train.empty());
+  const std::size_t dim = model.param_dim();
+  linalg::Vector w(dim, 0.0);
+  linalg::Vector velocity(dim, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(train.size());
+
+  for (long long it = 0; it < config.iterations; ++it) {
+    linalg::Vector g(dim, 0.0);
+    for (const models::Sample& s : train) model.add_loss_gradient(w, s, g);
+    linalg::scal(inv_n, g);
+    model.add_regularization_gradient(w, g);
+    for (std::size_t i = 0; i < dim; ++i) {
+      velocity[i] = config.momentum * velocity[i] - config.learning_rate * g[i];
+      w[i] += velocity[i];
+    }
+    linalg::project_l2_ball(w, config.projection_radius);
+  }
+
+  BatchTrainResult result;
+  result.final_train_risk = model.regularized_risk(w, train);
+  if (!test.empty() && model.is_classifier())
+    result.final_test_error = model.error_rate(w, test);
+  result.w = std::move(w);
+  return result;
+}
+
+models::SampleSet perturb_dataset(const models::SampleSet& samples,
+                                  std::size_t num_classes, double eps_x,
+                                  double eps_y, rng::Engine& eng) {
+  models::SampleSet out;
+  out.reserve(samples.size());
+  for (const models::Sample& s : samples) {
+    models::Sample p;
+    p.x = privacy::perturb_features(eng, s.x, eps_x);
+    p.y = static_cast<double>(
+        privacy::perturb_label(eng, s.label(), num_classes, eps_y));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace crowdml::baselines

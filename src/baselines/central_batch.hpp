@@ -1,0 +1,46 @@
+// Centralized batch learning — the "Central (batch)" reference line of
+// Figs. 4-9.
+//
+// All data sits at the server; the regularized empirical risk (Eq. 2) is
+// minimized by full-batch gradient descent with heavy-ball momentum. For
+// the private variant (Fig. 5/8) the caller first perturbs the training
+// set with perturb_dataset (Appendix C) — the optimizer itself is
+// noise-free, which is exactly the paper's point: the centralized approach
+// pays a constant per-sample noise cost that no optimizer can remove.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "models/model.hpp"
+#include "privacy/budget.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::baselines {
+
+struct BatchTrainerConfig {
+  long long iterations = 300;
+  double learning_rate = 2.0;
+  double momentum = 0.9;
+  double projection_radius = 100.0;
+};
+
+struct BatchTrainResult {
+  linalg::Vector w;
+  double final_train_risk = 0.0;
+  double final_test_error = 1.0;
+};
+
+/// Train to (near-)convergence on `train`; evaluate on `test` if non-empty.
+BatchTrainResult train_central_batch(const models::Model& model,
+                                     const models::SampleSet& train,
+                                     const models::SampleSet& test,
+                                     const BatchTrainerConfig& config);
+
+/// Appendix C sanitization of a centralized upload: every feature vector
+/// gets Laplace noise of scale 2/eps_x per coordinate (Eq. 15) and every
+/// label is resampled by the exponential mechanism (Eq. 16). The paper
+/// splits eps_x = eps_y = eps/2.
+models::SampleSet perturb_dataset(const models::SampleSet& samples,
+                                  std::size_t num_classes, double eps_x,
+                                  double eps_y, rng::Engine& eng);
+
+}  // namespace crowdml::baselines

@@ -1,0 +1,81 @@
+#include "baselines/central_sgd.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "baselines/central_batch.hpp"
+#include "opt/schedule.hpp"
+#include "rng/distributions.hpp"
+
+namespace crowdml::baselines {
+
+CentralSgdResult train_central_sgd(const models::Model& model,
+                                   const models::SampleSet& train,
+                                   const models::SampleSet& test,
+                                   const CentralSgdConfig& config) {
+  assert(!train.empty());
+  assert(config.minibatch_size >= 1);
+  rng::Engine eng(config.seed);
+  rng::Engine perturb_eng = eng.split(1);
+  rng::Engine order_eng = eng.split(2);
+
+  // Appendix C: each uploaded sample is perturbed once, at the device.
+  const double eps_each = std::isinf(config.epsilon)
+                              ? privacy::kNoPrivacy
+                              : config.epsilon / 2.0;
+  const models::SampleSet noisy =
+      perturb_dataset(train, model.num_classes(), eps_each, eps_each,
+                      perturb_eng);
+
+  opt::SgdUpdater updater(
+      std::make_unique<opt::SqrtDecaySchedule>(config.learning_rate_c),
+      config.projection_radius);
+
+  CentralSgdResult result;
+  linalg::Vector w(model.param_dim(), 0.0);
+  const long long eval_interval =
+      std::max<long long>(1, config.max_samples /
+                                 static_cast<long long>(config.eval_points));
+
+  auto evaluate = [&](long long x) {
+    if (test.empty()) return;
+    result.test_error.record(static_cast<double>(x),
+                             model.error_rate(w, test));
+  };
+  evaluate(0);
+  long long next_eval = eval_interval;
+
+  linalg::Vector g(model.param_dim(), 0.0);
+  std::size_t in_batch = 0;
+  long long streamed = 0;
+  std::vector<std::size_t> order = rng::shuffled_indices(order_eng, noisy.size());
+  std::size_t cursor = 0;
+  while (streamed < config.max_samples) {
+    if (cursor == order.size()) {  // next pass, fresh order
+      order = rng::shuffled_indices(order_eng, noisy.size());
+      cursor = 0;
+    }
+    const models::Sample& s = noisy[order[cursor++]];
+    model.add_loss_gradient(w, s, g);
+    ++in_batch;
+    ++streamed;
+    if (in_batch == config.minibatch_size) {
+      linalg::scal(1.0 / static_cast<double>(in_batch), g);
+      model.add_regularization_gradient(w, g);
+      updater.apply(w, g);
+      g.assign(g.size(), 0.0);
+      in_batch = 0;
+    }
+    while (streamed >= next_eval && next_eval <= config.max_samples) {
+      evaluate(next_eval);
+      next_eval += eval_interval;
+    }
+  }
+
+  result.final_test_error =
+      result.test_error.empty() ? 1.0 : result.test_error.final_value();
+  result.w = std::move(w);
+  return result;
+}
+
+}  // namespace crowdml::baselines

@@ -1,0 +1,43 @@
+// Centralized SGD on perturbed uploads — "Central (SGD, b=...)" in
+// Figs. 5 and 8.
+//
+// Devices upload Appendix-C-sanitized (feature, label) pairs; the server
+// runs plain minibatch SGD on the noisy stream. The same projection,
+// schedule and minibatch machinery as Crowd-ML — only the place where
+// privacy noise enters differs, which is the comparison the paper draws:
+// constant per-sample input noise (here) vs 1/b-attenuated gradient noise
+// (Crowd-ML).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "metrics/curves.hpp"
+#include "models/model.hpp"
+#include "opt/updater.hpp"
+#include "privacy/budget.hpp"
+
+namespace crowdml::baselines {
+
+struct CentralSgdConfig {
+  std::size_t minibatch_size = 1;  // b
+  /// Per-sample epsilon split across features and labels (paper uses
+  /// eps_x = eps_y = eps/2). Infinity => clean data.
+  double epsilon = privacy::kNoPrivacy;
+  double learning_rate_c = 1.0;  // eta(t) = c / sqrt(t)
+  double projection_radius = 100.0;
+  long long max_samples = 300000;  // total samples streamed (with re-passes)
+  std::size_t eval_points = 50;
+  std::uint64_t seed = 1;
+};
+
+struct CentralSgdResult {
+  metrics::LearningCurve test_error;  // x = samples streamed
+  linalg::Vector w;
+  double final_test_error = 1.0;
+};
+
+CentralSgdResult train_central_sgd(const models::Model& model,
+                                   const models::SampleSet& train,
+                                   const models::SampleSet& test,
+                                   const CentralSgdConfig& config);
+
+}  // namespace crowdml::baselines

@@ -1,0 +1,90 @@
+#include "baselines/decentralized.hpp"
+
+#include <cassert>
+
+#include "data/dataset.hpp"
+#include "opt/schedule.hpp"
+#include "opt/updater.hpp"
+#include "rng/distributions.hpp"
+
+namespace crowdml::baselines {
+
+DecentralizedResult train_decentralized(const models::Model& model,
+                                        const models::SampleSet& train,
+                                        const models::SampleSet& test,
+                                        const DecentralizedConfig& config) {
+  assert(!train.empty());
+  rng::Engine eng(config.seed);
+  rng::Engine shard_eng = eng.split(1);
+  rng::Engine eval_eng = eng.split(2);
+
+  const std::size_t M = config.num_devices;
+  const auto shards = data::shard_across_devices(train, M, shard_eng);
+
+  // Per-device SGD state. Each device applies Eq. (3) locally with its own
+  // iteration counter.
+  std::vector<linalg::Vector> w(M, linalg::Vector(model.param_dim(), 0.0));
+  std::vector<opt::SgdUpdater> updaters;
+  updaters.reserve(M);
+  for (std::size_t m = 0; m < M; ++m)
+    updaters.emplace_back(
+        std::make_unique<opt::SqrtDecaySchedule>(config.learning_rate_c),
+        config.projection_radius);
+  std::vector<std::size_t> cursor(M, 0);
+
+  DecentralizedResult result;
+  const long long eval_interval =
+      std::max<long long>(1, config.max_total_samples /
+                                 static_cast<long long>(config.eval_points));
+
+  auto evaluate = [&](long long x) {
+    if (test.empty()) return;
+    const std::size_t dev_n = std::min(config.eval_device_sample, M);
+    const std::size_t test_n = std::min(config.eval_test_sample, test.size());
+    double err_sum = 0.0;
+    for (std::size_t d = 0; d < dev_n; ++d) {
+      const std::size_t m =
+          static_cast<std::size_t>(rng::uniform_index(eval_eng, M));
+      std::size_t errors = 0;
+      for (std::size_t i = 0; i < test_n; ++i) {
+        const std::size_t t = static_cast<std::size_t>(
+            rng::uniform_index(eval_eng, test.size()));
+        if (model.predict_class(w[m], test[t].x) != test[t].label()) ++errors;
+      }
+      err_sum += static_cast<double>(errors) / static_cast<double>(test_n);
+    }
+    result.test_error.record(static_cast<double>(x),
+                             err_sum / static_cast<double>(dev_n));
+  };
+
+  evaluate(0);
+  long long next_eval = eval_interval;
+
+  linalg::Vector g(model.param_dim(), 0.0);
+  long long processed = 0;
+  // Devices progress in lockstep (one sample each per round), cycling
+  // through their shards — the crowd-wide sample count is the x-axis.
+  while (processed < config.max_total_samples) {
+    for (std::size_t m = 0; m < M && processed < config.max_total_samples; ++m) {
+      const models::SampleSet& shard = shards[m];
+      if (shard.empty()) continue;
+      const models::Sample& s = shard[cursor[m] % shard.size()];
+      ++cursor[m];
+      g.assign(g.size(), 0.0);
+      model.add_loss_gradient(w[m], s, g);
+      model.add_regularization_gradient(w[m], g);
+      updaters[m].apply(w[m], g);
+      ++processed;
+      while (processed >= next_eval && next_eval <= config.max_total_samples) {
+        evaluate(next_eval);
+        next_eval += eval_interval;
+      }
+    }
+  }
+
+  result.final_test_error =
+      result.test_error.empty() ? 1.0 : result.test_error.final_value();
+  return result;
+}
+
+}  // namespace crowdml::baselines

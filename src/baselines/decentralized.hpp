@@ -1,0 +1,42 @@
+// Decentralized learning — "Decentral (SGD)" in Figs. 4 and 7.
+//
+// Every device runs its own SGD on its own 1/M-th of the data and never
+// communicates. Privacy is trivially perfect; accuracy suffers from the
+// M-times-smaller sample (Section IV-A's VC-theory argument), which is the
+// high plateau the figures show.
+//
+// Reported error is the average test error over the device models. With
+// M = 1000 devices and a 10000-sample test set a full evaluation at every
+// grid point is O(10^14) flops, so the evaluator samples
+// `eval_device_sample` devices and `eval_test_sample` test points — an
+// unbiased estimate of the same mean (documented in EXPERIMENTS.md).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "metrics/curves.hpp"
+#include "models/model.hpp"
+
+namespace crowdml::baselines {
+
+struct DecentralizedConfig {
+  std::size_t num_devices = 1000;  // M
+  double learning_rate_c = 1.0;
+  double projection_radius = 100.0;
+  long long max_total_samples = 300000;  // across all devices
+  std::size_t eval_points = 50;
+  std::size_t eval_device_sample = 25;   // devices per evaluation
+  std::size_t eval_test_sample = 2000;   // test points per evaluation
+  std::uint64_t seed = 1;
+};
+
+struct DecentralizedResult {
+  metrics::LearningCurve test_error;  // x = total samples across devices
+  double final_test_error = 1.0;
+};
+
+DecentralizedResult train_decentralized(const models::Model& model,
+                                        const models::SampleSet& train,
+                                        const models::SampleSet& test,
+                                        const DecentralizedConfig& config);
+
+}  // namespace crowdml::baselines

@@ -1,0 +1,107 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace crowdml::core {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x43524D43;  // "CRMC"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+net::Bytes ServerCheckpoint::serialize() const {
+  net::Writer w;
+  w.put_u32(kCheckpointMagic);
+  w.put_u32(kCheckpointVersion);
+  w.put_vector(this->w);
+  w.put_u64(version);
+  w.put_u32(num_classes);
+  w.put_u32(static_cast<std::uint32_t>(device_stats.size()));
+  for (const auto& [id, st] : device_stats) {
+    w.put_u64(id);
+    w.put_i64(st.samples);
+    w.put_i64(st.errors_hat);
+    w.put_i64(st.checkins);
+    std::vector<std::int64_t> counts(st.label_counts_hat.begin(),
+                                     st.label_counts_hat.end());
+    w.put_i64_vector(counts);
+  }
+  net::Bytes body = w.take();
+  // Trailing CRC over the whole body.
+  const std::uint32_t crc = net::crc32(body.data(), body.size());
+  net::Writer tail;
+  tail.put_u32(crc);
+  const net::Bytes crc_bytes = tail.take();
+  body.insert(body.end(), crc_bytes.begin(), crc_bytes.end());
+  return body;
+}
+
+ServerCheckpoint ServerCheckpoint::deserialize(const net::Bytes& bytes) {
+  if (bytes.size() < 4) throw net::CodecError("checkpoint too short");
+  const net::Bytes body(bytes.begin(), bytes.end() - 4);
+  // Validate trailing CRC first.
+  std::uint32_t stated = 0;
+  for (int i = 0; i < 4; ++i)
+    stated |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 +
+                                               static_cast<std::size_t>(i)])
+              << (8 * i);
+  if (stated != net::crc32(body.data(), body.size()))
+    throw net::CodecError("checkpoint crc mismatch");
+
+  net::Reader r(body);
+  if (r.get_u32() != kCheckpointMagic) throw net::CodecError("bad checkpoint magic");
+  if (r.get_u32() != kCheckpointVersion)
+    throw net::CodecError("unsupported checkpoint version");
+
+  ServerCheckpoint cp;
+  cp.w = r.get_vector();
+  cp.version = r.get_u64();
+  cp.num_classes = r.get_u32();
+  const std::uint32_t devices = r.get_u32();
+  for (std::uint32_t i = 0; i < devices; ++i) {
+    const std::uint64_t id = r.get_u64();
+    DeviceStats st;
+    st.samples = r.get_i64();
+    st.errors_hat = r.get_i64();
+    st.checkins = r.get_i64();
+    const auto counts = r.get_i64_vector();
+    st.label_counts_hat.assign(counts.begin(), counts.end());
+    cp.device_stats.emplace(id, std::move(st));
+  }
+  if (!r.exhausted()) throw net::CodecError("trailing bytes in checkpoint");
+  return cp;
+}
+
+void ServerCheckpoint::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write checkpoint: " + path);
+  const net::Bytes bytes = serialize();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("short checkpoint write: " + path);
+}
+
+ServerCheckpoint ServerCheckpoint::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read checkpoint: " + path);
+  net::Bytes bytes((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+ServerCheckpoint checkpoint_server(const Server& server) {
+  ServerCheckpoint cp;
+  cp.w = server.parameters();
+  cp.version = server.version();
+  cp.device_stats = server.all_device_stats();
+  for (const auto& [id, st] : cp.device_stats) {
+    cp.num_classes = static_cast<std::uint32_t>(st.label_counts_hat.size());
+    break;
+  }
+  return cp;
+}
+
+}  // namespace crowdml::core

@@ -1,0 +1,42 @@
+// Server state checkpointing.
+//
+// A production parameter server must survive restarts without losing the
+// crowd's accumulated progress (the paper's prototype persists state in
+// MySQL; we persist the same state — w, iteration t, per-device noisy
+// statistics — as a CRC-framed binary snapshot via the wire codec).
+//
+// Note the privacy property: everything in a checkpoint is
+// post-sanitization data the server already held, so persisting it adds
+// no privacy loss (Section III-C: server-visible data is derived from the
+// sanitized communications).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/server.hpp"
+#include "net/codec.hpp"
+
+namespace crowdml::core {
+
+struct ServerCheckpoint {
+  linalg::Vector w;
+  std::uint64_t version = 0;
+  std::uint32_t num_classes = 0;
+  std::unordered_map<std::uint64_t, DeviceStats> device_stats;
+
+  net::Bytes serialize() const;
+  /// Throws net::CodecError on malformed input.
+  static ServerCheckpoint deserialize(const net::Bytes& bytes);
+
+  void save_file(const std::string& path) const;
+  /// Throws std::runtime_error (missing file) or net::CodecError.
+  static ServerCheckpoint load_file(const std::string& path);
+};
+
+/// Snapshot a live server.
+ServerCheckpoint checkpoint_server(const Server& server);
+
+}  // namespace crowdml::core

@@ -1,0 +1,339 @@
+#include "core/crowd_simulation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "metrics/evaluate.hpp"
+#include "rng/distributions.hpp"
+
+namespace crowdml::core {
+
+SampleSource make_cycling_source(std::vector<models::SampleSet> shards) {
+  auto state = std::make_shared<std::vector<models::SampleSet>>(std::move(shards));
+  auto cursors = std::make_shared<std::vector<std::size_t>>(state->size(), 0);
+  return [state, cursors](std::size_t device) -> std::optional<models::Sample> {
+    assert(device < state->size());
+    const models::SampleSet& shard = (*state)[device];
+    if (shard.empty()) return std::nullopt;
+    std::size_t& cur = (*cursors)[device];
+    models::Sample s = shard[cur];
+    cur = (cur + 1) % shard.size();
+    return s;
+  };
+}
+
+std::unique_ptr<opt::Updater> CrowdSimulation::make_updater(
+    const CrowdSimConfig& cfg) {
+  std::unique_ptr<opt::LearningRateSchedule> schedule;
+  switch (cfg.schedule) {
+    case ScheduleKind::kSqrtDecay:
+      schedule = std::make_unique<opt::SqrtDecaySchedule>(cfg.learning_rate_c);
+      break;
+    case ScheduleKind::kConstant:
+      schedule = std::make_unique<opt::ConstantSchedule>(cfg.learning_rate_c);
+      break;
+    case ScheduleKind::kInverseT:
+      schedule = std::make_unique<opt::InverseTSchedule>(cfg.learning_rate_c);
+      break;
+  }
+  switch (cfg.updater) {
+    case UpdaterKind::kSgd:
+      return std::make_unique<opt::SgdUpdater>(std::move(schedule),
+                                               cfg.projection_radius);
+    case UpdaterKind::kAdaGrad:
+      return std::make_unique<opt::AdaGradUpdater>(cfg.learning_rate_c,
+                                                   cfg.projection_radius);
+    case UpdaterKind::kMomentum:
+      return std::make_unique<opt::MomentumUpdater>(std::move(schedule),
+                                                    cfg.projection_radius);
+    case UpdaterKind::kDualAveraging:
+      return std::make_unique<opt::DualAveragingUpdater>(cfg.learning_rate_c,
+                                                         cfg.projection_radius);
+    case UpdaterKind::kAdam:
+      return std::make_unique<opt::AdamUpdater>(cfg.learning_rate_c,
+                                                cfg.projection_radius);
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Per-run mutable state shared by the event handlers.
+struct RunState {
+  const models::Model& model;
+  const CrowdSimConfig& cfg;
+  const SampleSource& source;
+  const models::SampleSet& test_set;
+
+  sim::Simulator simulator;
+  Server server;
+  std::vector<Device> devices;
+  std::vector<bool> malicious;
+  std::vector<sim::ChurnModel::State> churn_states;
+  rng::Engine delay_eng;
+  rng::Engine churn_eng;
+  rng::Engine attack_eng;
+  rng::Engine sampling_eng;
+  const sim::DelayModel* delay;
+  sim::ZeroDelay zero_delay;
+  sim::LossModel loss;
+  double timeout_s;
+
+  bool done = false;
+  long long samples_generated = 0;
+  long long next_eval_mark = 0;
+  long long eval_interval = 0;
+  long long checkouts_failed = 0;
+  long long online_preds = 0;
+  long long online_errs = 0;
+
+  CrowdSimResult result;
+
+  RunState(const models::Model& m, const CrowdSimConfig& c,
+           const SampleSource& src, const models::SampleSet& test,
+           rng::Engine server_eng)
+      : model(m),
+        cfg(c),
+        source(src),
+        test_set(test),
+        server(
+            ServerConfig{
+                m.param_dim(), m.num_classes(), c.max_server_iterations,
+                c.target_error, /*min_samples_for_stopping=*/100,
+                c.server_init_scale},
+            CrowdSimulation::make_updater(c), server_eng),
+        delay(c.delay ? c.delay.get() : nullptr),
+        loss(c.loss_probability) {
+    if (!delay) delay = &zero_delay;
+    timeout_s = c.checkout_timeout_seconds > 0.0
+                    ? c.checkout_timeout_seconds
+                    : std::max(1.0 / c.sampling_rate_hz,
+                               2.0 * std::max(delay->max_delay(), 0.0));
+  }
+
+  void evaluate_at(long long x) {
+    if (test_set.empty()) return;
+    const linalg::Vector w = server.parameters();
+    // Misclassification rate for classifiers, mean absolute error for
+    // regressors — the curve's semantics follow the model kind.
+    const double err = metrics::evaluate_model(model, w, test_set);
+    result.test_error.record(static_cast<double>(x), err);
+  }
+
+  void maybe_evaluate() {
+    while (samples_generated >= next_eval_mark &&
+           next_eval_mark <= cfg.max_total_samples) {
+      evaluate_at(next_eval_mark);
+      next_eval_mark += eval_interval;
+    }
+  }
+
+  void finish() {
+    if (done) return;
+    done = true;
+    simulator.clear();
+  }
+
+  void record_online(const std::vector<bool>& outcomes) {
+    for (bool wrong : outcomes) {
+      ++online_preds;
+      if (wrong) ++online_errs;
+      if (cfg.track_online_error)
+        result.online_error.record(
+            static_cast<double>(online_preds),
+            static_cast<double>(online_errs) / static_cast<double>(online_preds));
+    }
+  }
+
+  void corrupt_gradient(linalg::Vector& g) {
+    switch (cfg.attack) {
+      case AttackKind::kNone:
+        break;
+      case AttackKind::kRandomNoise:
+        for (double& v : g) v = rng::normal(attack_eng, 0.0, cfg.attack_magnitude);
+        break;
+      case AttackKind::kSignFlip:
+        linalg::scal(-cfg.attack_magnitude, g);
+        break;
+      case AttackKind::kLargeGradient:
+        linalg::scal(cfg.attack_magnitude, g);
+        break;
+    }
+  }
+
+  void deliver_checkin(net::CheckinMessage msg) {
+    const auto ack = server.handle_checkin(msg);
+    if (ack.ok) result.samples_consumed += msg.ns;
+    if (server.stopped()) finish();
+  }
+
+  void on_params(std::size_t i, net::ParamsMessage params) {
+    if (done) return;
+    Device& dev = devices[i];
+    if (!params.accepted) {
+      ++checkouts_failed;
+      dev.on_checkout_failed();
+      return;
+    }
+    if (dev.buffered() == 0) {
+      // Possible if a timeout already reset the flag and a later checkout
+      // consumed the buffer; nothing to do.
+      dev.on_checkout_failed();
+      return;
+    }
+    CheckinResult ci = dev.compute_checkin(params.w, params.version);
+    record_online(ci.misclassified);
+    if (malicious[i]) corrupt_gradient(ci.message.g_hat);
+    if (loss.drop(delay_eng)) return;  // lost checkin is non-critical (Remark 1)
+    const double tau_ci = delay->sample(delay_eng);
+    simulator.schedule_after(
+        tau_ci, [this, msg = std::move(ci.message)]() mutable {
+          if (!done) deliver_checkin(std::move(msg));
+        });
+  }
+
+  void initiate_checkout(std::size_t i) {
+    Device& dev = devices[i];
+    dev.begin_checkout();
+    if (loss.drop(delay_eng)) {
+      ++checkouts_failed;
+      simulator.schedule_after(timeout_s, [this, i] {
+        if (!done && devices[i].checkout_in_flight())
+          devices[i].on_checkout_failed();
+      });
+      return;
+    }
+    const double tau_req = delay->sample(delay_eng);
+    simulator.schedule_after(tau_req, [this, i] {
+      if (done) return;
+      net::ParamsMessage params = server.handle_checkout(devices[i].id());
+      if (loss.drop(delay_eng)) {
+        ++checkouts_failed;
+        simulator.schedule_after(timeout_s, [this, i] {
+          if (!done && devices[i].checkout_in_flight())
+            devices[i].on_checkout_failed();
+        });
+        return;
+      }
+      const double tau_co = delay->sample(delay_eng);
+      simulator.schedule_after(tau_co,
+                               [this, i, params = std::move(params)]() mutable {
+                                 on_params(i, std::move(params));
+                               });
+    });
+  }
+
+  double next_sample_interval() {
+    return cfg.poisson_sampling
+               ? rng::exponential(sampling_eng, cfg.sampling_rate_hz)
+               : 1.0 / cfg.sampling_rate_hz;
+  }
+
+  void on_sample_arrival(std::size_t i) {
+    if (done) return;
+    if (!cfg.churn.online_at(simulator.now(), churn_states[i], churn_eng)) {
+      simulator.schedule_after(next_sample_interval(),
+                               [this, i] { on_sample_arrival(i); });
+      return;
+    }
+    auto s = source(i);
+    if (!s) return;  // device's stream ended; it leaves the crowd
+    ++samples_generated;
+    if (!devices[i].on_sample(std::move(*s))) ++result.samples_dropped;
+    maybe_evaluate();
+    if (samples_generated >= cfg.max_total_samples) {
+      finish();
+      return;
+    }
+    if (devices[i].wants_checkout()) initiate_checkout(i);
+    simulator.schedule_after(next_sample_interval(),
+                             [this, i] { on_sample_arrival(i); });
+  }
+};
+
+}  // namespace
+
+CrowdSimulation::CrowdSimulation(const models::Model& model,
+                                 CrowdSimConfig config)
+    : model_(model), config_(std::move(config)) {
+  assert(config_.num_devices >= 1);
+  assert(config_.sampling_rate_hz > 0.0);
+  assert(config_.max_total_samples > 0);
+  assert(config_.eval_points >= 1);
+}
+
+CrowdSimResult CrowdSimulation::run(const SampleSource& source,
+                                    const models::SampleSet& test_set) {
+  rng::Engine root(config_.seed);
+  rng::Engine server_eng = root.split(0xC0FFEE);
+
+  RunState st(model_, config_, source, test_set, server_eng);
+  st.delay_eng = root.split(0xDE1A7);
+  st.churn_eng = root.split(0xC4012);
+  st.attack_eng = root.split(0xA77AC);
+  st.sampling_eng = root.split(0x5A301E);
+  st.eval_interval =
+      std::max<long long>(1, config_.max_total_samples /
+                                 static_cast<long long>(config_.eval_points));
+  st.next_eval_mark = st.eval_interval;
+
+  st.devices.reserve(config_.num_devices);
+  st.churn_states.reserve(config_.num_devices);
+  for (std::size_t i = 0; i < config_.num_devices; ++i) {
+    DeviceConfig dc;
+    dc.device_id = i + 1;
+    dc.minibatch_size = config_.minibatch_size;
+    dc.max_buffer = config_.max_buffer;
+    dc.budget = config_.budget;
+    dc.holdout_fraction = config_.holdout_fraction;
+    st.devices.emplace_back(dc, model_, root.split(1000 + i));
+    st.churn_states.push_back(config_.churn.initial_state(st.churn_eng));
+  }
+
+  // Designate malignant devices (Section III-C threat model).
+  st.malicious.assign(config_.num_devices, false);
+  if (config_.attack != AttackKind::kNone && config_.malicious_fraction > 0.0) {
+    const auto count = static_cast<std::size_t>(
+        std::ceil(config_.malicious_fraction *
+                  static_cast<double>(config_.num_devices)));
+    const auto order = rng::shuffled_indices(st.attack_eng, config_.num_devices);
+    for (std::size_t i = 0; i < std::min(count, order.size()); ++i)
+      st.malicious[order[i]] = true;
+  }
+
+  // Initial evaluation at x = 0 (random parameters).
+  st.evaluate_at(0);
+
+  // Stagger device sampling phases uniformly over one period.
+  rng::Engine phase_eng = root.split(0x9A5E);
+  const double interval = 1.0 / config_.sampling_rate_hz;
+  for (std::size_t i = 0; i < config_.num_devices; ++i) {
+    const double phase = rng::uniform(phase_eng, 0.0, interval);
+    st.simulator.schedule_at(phase, [&st, i] { st.on_sample_arrival(i); });
+  }
+
+  st.simulator.run();
+
+  // Drain: one final evaluation at the end mark.
+  st.maybe_evaluate();
+  if (st.result.test_error.empty() && !test_set.empty())
+    st.evaluate_at(st.samples_generated);
+
+  CrowdSimResult result = std::move(st.result);
+  result.final_test_error =
+      result.test_error.empty() ? 1.0 : result.test_error.final_value();
+  result.final_parameters = st.server.parameters();
+  result.server_updates = st.server.version();
+  result.samples_generated = st.samples_generated;
+  result.checkouts_failed = st.checkouts_failed;
+  result.server_estimated_error = st.server.estimated_error();
+  result.mean_staleness = st.server.mean_staleness();
+  result.max_staleness = st.server.max_staleness();
+  result.estimated_prior = st.server.estimated_prior();
+  result.per_sample_epsilon = st.devices.empty()
+                                  ? 0.0
+                                  : st.devices.front().accountant().per_sample_epsilon();
+  return result;
+}
+
+}  // namespace crowdml::core

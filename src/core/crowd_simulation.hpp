@@ -1,0 +1,135 @@
+// Discrete-event Crowd-ML experiment driver — the Section V-C "simulated
+// environment".
+//
+// M devices generate samples at rate Fs each; checkout requests, parameter
+// deliveries, and checkins each ride a delay leg drawn from the configured
+// DelayModel (the paper's tau = tau_req = tau_co = tau_ci, uniform [0,tau]);
+// the server applies updates in arrival order, so a device's gradient may be
+// stale by (tau_co + tau_ci) * M * Fs / b updates (Section IV-B3).
+//
+// The x-axis of every recorded curve is the total number of samples
+// generated across the crowd — the paper's "iteration (= number of samples
+// used)" and the unit of its delay measure Delta = tau * M * Fs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/device.hpp"
+#include "core/server.hpp"
+#include "data/dataset.hpp"
+#include "metrics/curves.hpp"
+#include "models/model.hpp"
+#include "sim/churn.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace crowdml::core {
+
+enum class ScheduleKind { kSqrtDecay, kConstant, kInverseT };
+enum class UpdaterKind { kSgd, kAdaGrad, kMomentum, kDualAveraging, kAdam };
+
+/// Malignant-device behavior (Section III-C's "malignant devices posing as
+/// legitimate devices"). A malicious device completes the protocol
+/// honestly but replaces its sanitized gradient:
+///   kRandomNoise   — iid Gaussian garbage of the given magnitude;
+///   kSignFlip      — the true gradient negated and scaled (poisoning);
+///   kLargeGradient — the true gradient scaled up (overdrive).
+enum class AttackKind { kNone, kRandomNoise, kSignFlip, kLargeGradient };
+
+struct CrowdSimConfig {
+  std::size_t num_devices = 1000;      // M
+  double sampling_rate_hz = 1.0;       // Fs per device
+  /// false: samples arrive at exact 1/Fs intervals (phase-staggered).
+  /// true: exponential inter-arrival times with mean 1/Fs ("triggered by
+  /// events", Algorithm 1). Deterministic intervals keep every device's
+  /// minibatch fill synchronized, which bursts checkins into narrow
+  /// windows; Poisson arrivals desynchronize the crowd and recover the
+  /// smooth-rate assumptions of Section IV-B3 (see ablation_staleness).
+  bool poisson_sampling = false;
+  std::size_t minibatch_size = 1;      // b
+  std::size_t max_buffer = 4096;       // B
+  privacy::PrivacyBudget budget;       // device-side sanitization
+  double holdout_fraction = 0.0;       // Remark 2
+
+  /// One delay model shared by all three legs (paper Section V-C).
+  std::shared_ptr<const sim::DelayModel> delay;  // nullptr => zero delay
+  double loss_probability = 0.0;
+  /// Retry timeout after a lost checkout leg; 0 = auto (max(1/Fs, 2*tau)).
+  double checkout_timeout_seconds = 0.0;
+  sim::ChurnModel churn;  // default: always online
+
+  /// Fraction of devices that are malignant (rounded up; the specific
+  /// devices are chosen pseudo-randomly from the seed).
+  AttackKind attack = AttackKind::kNone;
+  double malicious_fraction = 0.0;
+  double attack_magnitude = 10.0;
+
+  long long max_total_samples = 300000;  // stop after this many generated
+  std::size_t eval_points = 50;          // test-error grid resolution
+  bool track_online_error = false;       // Fig. 3 metric
+
+  /// Server-side learning configuration.
+  ScheduleKind schedule = ScheduleKind::kSqrtDecay;
+  UpdaterKind updater = UpdaterKind::kSgd;
+  double learning_rate_c = 1.0;       // c in Eq. (5) / eta0 for AdaGrad
+  double projection_radius = 100.0;   // R of Pi_W
+  double server_init_scale = 0.01;    // Algorithm 2 "randomized w"
+  long long max_server_iterations = -1;  // T_max (on top of sample cap)
+  double target_error = -1.0;            // rho
+
+  std::uint64_t seed = 1;
+};
+
+struct CrowdSimResult {
+  /// Test error vs samples generated (the figures' curves).
+  metrics::LearningCurve test_error;
+  /// Time-averaged true online error vs predictions made (Fig. 3), only
+  /// populated when track_online_error is set.
+  metrics::LearningCurve online_error;
+
+  double final_test_error = 1.0;
+  /// The learned model parameters at shutdown.
+  linalg::Vector final_parameters;
+  std::uint64_t server_updates = 0;
+  long long samples_generated = 0;
+  long long samples_consumed = 0;   // delivered to the server via checkins
+  long long samples_dropped = 0;    // buffer-full drops
+  long long checkouts_failed = 0;   // lost/refused checkouts
+  double server_estimated_error = 0.0;  // Eq. (14) from noisy counts
+  linalg::Vector estimated_prior;       // Eq. (14)
+  double per_sample_epsilon = 0.0;      // accountant's budget
+  /// Parameter staleness (updates between checkout and checkin apply) —
+  /// Section IV-B3 predicts ~ (tau_co + tau_ci) * M * Fs / b on average.
+  double mean_staleness = 0.0;
+  std::uint64_t max_staleness = 0;
+};
+
+/// A device's endless (or finite) labeled sample stream; return nullopt to
+/// stop that device permanently.
+using SampleSource =
+    std::function<std::optional<models::Sample>(std::size_t device_index)>;
+
+/// Source that deals `shards[i]` to device i, cycling forever (multiple
+/// passes through the data, as in the paper's "up to five passes").
+SampleSource make_cycling_source(std::vector<models::SampleSet> shards);
+
+class CrowdSimulation {
+ public:
+  CrowdSimulation(const models::Model& model, CrowdSimConfig config);
+
+  /// Run one trial. `test_set` may be empty (test_error stays empty).
+  CrowdSimResult run(const SampleSource& source,
+                     const models::SampleSet& test_set);
+
+  /// Build the configured server-side updater (exposed for baselines that
+  /// want identical update rules).
+  static std::unique_ptr<opt::Updater> make_updater(const CrowdSimConfig& cfg);
+
+ private:
+  const models::Model& model_;
+  CrowdSimConfig config_;
+};
+
+}  // namespace crowdml::core

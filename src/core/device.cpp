@@ -1,0 +1,144 @@
+#include "core/device.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::core {
+
+Device::Device(DeviceConfig config, const models::Model& model, rng::Engine eng)
+    : config_(config),
+      model_(model),
+      eng_(eng),
+      accountant_(config.budget, model.num_classes()) {
+  assert(config_.minibatch_size >= 1);
+  assert(config_.max_buffer >= config_.minibatch_size);
+  assert(config_.holdout_fraction >= 0.0 && config_.holdout_fraction < 1.0);
+  buffer_.reserve(config_.minibatch_size);
+}
+
+bool Device::on_sample(models::Sample s) {
+  if (buffer_.size() >= config_.max_buffer) {
+    ++dropped_samples_;  // Routine 1: stop collection to prevent outage
+    return false;
+  }
+  buffer_.push_back(std::move(s));
+  return true;
+}
+
+bool Device::wants_checkout() const {
+  return !in_flight_ && buffer_.size() >= config_.minibatch_size;
+}
+
+void Device::begin_checkout() {
+  assert(!in_flight_);
+  in_flight_ = true;
+}
+
+void Device::on_checkout_failed() { in_flight_ = false; }
+
+void Device::set_credentials(net::DeviceCredentials creds) {
+  config_.device_id = creds.device_id;
+  creds_ = std::move(creds);
+}
+
+CheckinResult Device::compute_checkin(const linalg::Vector& w,
+                                      std::uint64_t param_version) {
+  assert(!buffer_.empty());
+  assert(w.size() == model_.param_dim());
+
+  const std::size_t ns = buffer_.size();
+  const std::size_t classes = model_.num_classes();
+
+  // Remark 2: optionally hold out samples for unbiased error estimation.
+  std::vector<bool> held_out(ns, false);
+  bool any_held_out = false;
+  if (config_.holdout_fraction > 0.0) {
+    for (std::size_t i = 0; i < ns; ++i) {
+      held_out[i] = rng::uniform(eng_) < config_.holdout_fraction;
+      any_held_out = any_held_out || held_out[i];
+    }
+    // Degenerate draws (all held out) fall back to using every sample for
+    // the gradient so the checkin always carries information.
+    bool any_train = false;
+    for (std::size_t i = 0; i < ns; ++i) any_train = any_train || !held_out[i];
+    if (!any_train) held_out.assign(ns, false);
+  }
+
+  CheckinResult result;
+  result.batch_size = ns;
+  result.misclassified.reserve(ns);
+
+  // Device Routine 2: predictions, counts, averaged gradient. For
+  // regressors, "misclassified" means the prediction misses the target by
+  // more than the configured tolerance, and all label mass falls in the
+  // single pseudo-class 0.
+  const bool classifier = model_.is_classifier();
+  linalg::Vector g(model_.param_dim(), 0.0);
+  std::size_t gradient_samples = 0;
+  long long ne = 0;
+  std::vector<std::int64_t> ny(classes, 0);
+  for (std::size_t i = 0; i < ns; ++i) {
+    const models::Sample& s = buffer_[i];
+    bool wrong;
+    if (classifier) {
+      const int y = s.label();
+      assert(y >= 0 && static_cast<std::size_t>(y) < classes);
+      wrong = model_.predict_class(w, s.x) != y;
+      ++ny[static_cast<std::size_t>(y)];
+    } else {
+      wrong = std::abs(model_.predict(w, s.x) - s.y) >
+              config_.regression_tolerance;
+      ++ny[0];
+    }
+    result.misclassified.push_back(wrong);
+    const bool count_error = !any_held_out || held_out[i];
+    if (count_error && wrong) ++ne;
+    if (wrong) ++result.true_errors;
+    if (!held_out[i]) {
+      model_.add_loss_gradient(w, s, g);
+      ++gradient_samples;
+    }
+  }
+  assert(gradient_samples > 0);
+  linalg::scal(1.0 / static_cast<double>(gradient_samples), g);
+  model_.add_regularization_gradient(w, g);  // g~ = (1/ns) sum g_i + lambda w
+
+  // Device Routine 3: sanitize with the per-batch sensitivity S/b
+  // (Appendix A — the averaged gradient over `gradient_samples` samples
+  // has sensitivity per_sample_sensitivity / gradient_samples). Laplace
+  // noise on the L1 sensitivity gives pure eps-DP (Eq. 10); the Gaussian
+  // variant uses the L2 sensitivity for (eps, delta)-DP (footnote 1).
+  net::CheckinMessage msg;
+  msg.device_id = config_.device_id;
+  msg.param_version = param_version;
+  if (config_.budget.mechanism == privacy::NoiseMechanism::kGaussian) {
+    const double l2_sens = model_.per_sample_l2_sensitivity() /
+                           static_cast<double>(gradient_samples);
+    msg.g_hat = privacy::sanitize_vector_gaussian(
+        eng_, g, l2_sens, config_.budget.eps_gradient, config_.budget.delta);
+  } else {
+    const double l1_sens = model_.per_sample_l1_sensitivity() /
+                           static_cast<double>(gradient_samples);
+    msg.g_hat = privacy::sanitize_vector(eng_, g, l1_sens,
+                                         config_.budget.eps_gradient);
+  }
+  msg.ns = static_cast<std::int64_t>(ns);
+  msg.ne_hat = privacy::sanitize_count(eng_, ne, config_.budget.eps_error);
+  msg.ny_hat.resize(classes);
+  for (std::size_t k = 0; k < classes; ++k)
+    msg.ny_hat[k] = privacy::sanitize_count(eng_, ny[k], config_.budget.eps_label);
+  if (creds_) msg.auth_tag = creds_->sign(msg.body());
+
+  accountant_.record_checkin(ns);
+  lifetime_samples_ += static_cast<long long>(ns);
+  lifetime_errors_ += static_cast<long long>(result.true_errors);
+
+  buffer_.clear();
+  in_flight_ = false;
+  result.message = std::move(msg);
+  return result;
+}
+
+}  // namespace crowdml::core

@@ -1,0 +1,43 @@
+#include "core/model_selection.hpp"
+
+#include <cassert>
+
+#include "data/dataset.hpp"
+
+namespace crowdml::core {
+
+GridSearchResult select_hyperparameters(
+    const std::function<std::unique_ptr<models::Model>(double lambda)>&
+        model_factory,
+    const data::Dataset& dataset, const std::vector<double>& cs,
+    const std::vector<double>& lambdas, const CrowdSimConfig& base,
+    int trials) {
+  assert(!cs.empty() && !lambdas.empty() && trials >= 1);
+  GridSearchResult result;
+  result.best.mean_final_error = 2.0;  // above any reachable error
+
+  for (double lambda : lambdas) {
+    const std::unique_ptr<models::Model> model = model_factory(lambda);
+    for (double c : cs) {
+      double acc = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        CrowdSimConfig cfg = base;
+        cfg.learning_rate_c = c;
+        cfg.seed = base.seed + static_cast<std::uint64_t>(t) * 104729 + 1;
+        rng::Engine shard_eng(cfg.seed ^ 0xBEEF);
+        auto shards = data::shard_across_devices(dataset.train,
+                                                 cfg.num_devices, shard_eng);
+        CrowdSimulation sim(*model, cfg);
+        acc += sim.run(make_cycling_source(std::move(shards)), dataset.test)
+                   .final_test_error;
+      }
+      GridPoint point{c, lambda, acc / trials};
+      result.grid.push_back(point);
+      if (point.mean_final_error < result.best.mean_final_error)
+        result.best = point;
+    }
+  }
+  return result;
+}
+
+}  // namespace crowdml::core

@@ -1,0 +1,39 @@
+// Hyperparameter selection, the way the paper does it: "Hyperparameters
+// lambda (Table I) and c (5) are selected from the averaged test error
+// from 10 trials" (Section V-C).
+//
+// Runs the crowd simulation for every (c, lambda) grid point, averaged
+// over `trials` re-sharded runs, and returns the argmin plus the full
+// grid for inspection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/crowd_simulation.hpp"
+
+namespace crowdml::core {
+
+struct GridPoint {
+  double learning_rate_c = 0.0;
+  double lambda = 0.0;
+  double mean_final_error = 1.0;
+};
+
+struct GridSearchResult {
+  GridPoint best;
+  std::vector<GridPoint> grid;  // every evaluated point
+};
+
+/// `model_factory(lambda)` builds the model for a given regularizer.
+/// `base` supplies everything except learning_rate_c (overridden per grid
+/// point) and seed (offset per trial).
+GridSearchResult select_hyperparameters(
+    const std::function<std::unique_ptr<models::Model>(double lambda)>&
+        model_factory,
+    const data::Dataset& dataset, const std::vector<double>& cs,
+    const std::vector<double>& lambdas, const CrowdSimConfig& base,
+    int trials);
+
+}  // namespace crowdml::core

@@ -1,0 +1,64 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <iomanip>
+
+namespace crowdml::core {
+
+std::string portal_report(const Server& server) {
+  return portal_report(server, MonitorOptions{});
+}
+
+std::string portal_report(const Server& server, const MonitorOptions& options) {
+  std::ostringstream out;
+  out << std::fixed;
+
+  out << "=== Crowd-ML portal ===\n";
+  out << "iteration t:            " << server.version() << "\n";
+  out << "devices seen:           " << server.devices_seen() << "\n";
+  out << "samples reported:       " << server.total_samples() << "\n";
+  out << "rejected checkins:      " << server.rejected_checkins() << "\n";
+  out << std::setprecision(4);
+  out << "crowd error estimate:   " << server.estimated_error()
+      << "  (Eq. 14, from sanitized counts)\n";
+
+  const linalg::Vector prior = server.estimated_prior();
+  out << "label prior estimate:  ";
+  for (std::size_t k = 0; k < prior.size(); ++k) {
+    out << ' ';
+    if (k < options.class_names.size())
+      out << options.class_names[k] << '=';
+    else
+      out << 'c' << k << '=';
+    out << std::setprecision(3) << prior[k];
+  }
+  out << "\n";
+
+  // Per-device table, largest contributors first.
+  auto stats = server.all_device_stats();
+  std::vector<std::pair<std::uint64_t, DeviceStats>> rows(stats.begin(),
+                                                          stats.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.samples > b.second.samples;
+  });
+  if (rows.size() > options.max_device_rows) rows.resize(options.max_device_rows);
+
+  out << "\n" << std::setw(10) << "device" << std::setw(10) << "samples"
+      << std::setw(10) << "checkins" << std::setw(14) << "err estimate\n";
+  for (const auto& [id, st] : rows) {
+    const double err =
+        st.samples > 0
+            ? std::clamp(static_cast<double>(st.errors_hat) /
+                             static_cast<double>(st.samples),
+                         0.0, 1.0)
+            : 0.0;
+    out << std::setw(10) << id << std::setw(10) << st.samples << std::setw(10)
+        << st.checkins << std::setw(13) << std::setprecision(4) << err << "\n";
+  }
+  if (stats.size() > rows.size())
+    out << "  ... and " << stats.size() - rows.size() << " more devices\n";
+  return out.str();
+}
+
+}  // namespace crowdml::core

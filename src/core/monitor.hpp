@@ -1,0 +1,28 @@
+// Monitoring report — the text equivalent of the paper's web portal
+// ("displays timely statistics about crowd-learning applications such as
+// error rates and activity label distributions, which are differentially
+// private", Section V-A).
+//
+// Everything in the report derives from the sanitized checkins the server
+// already holds, so publishing it costs no additional privacy budget.
+#pragma once
+
+#include <string>
+
+#include "core/server.hpp"
+
+namespace crowdml::core {
+
+struct MonitorOptions {
+  /// Show at most this many per-device rows (largest contributors first).
+  std::size_t max_device_rows = 10;
+  /// Optional class names for the label-prior section (size must match
+  /// num_classes when provided).
+  std::vector<std::string> class_names;
+};
+
+/// Render the portal report for the current server state.
+std::string portal_report(const Server& server, const MonitorOptions& options);
+std::string portal_report(const Server& server);
+
+}  // namespace crowdml::core

@@ -1,0 +1,109 @@
+#include "core/protocol.hpp"
+
+namespace crowdml::core {
+
+net::Bytes ProtocolServer::handle(const net::Bytes& request_frame) {
+  using net::MessageType;
+  try {
+    const net::Frame frame = net::decode_frame(request_frame);
+    switch (frame.type) {
+      case MessageType::kCheckoutRequest: {
+        const auto req = net::CheckoutRequest::deserialize(frame.payload);
+        if (!auth_.verify(req.device_id, req.body(), req.auth_tag)) {
+          ++auth_failures_;
+          net::ParamsMessage refuse;
+          refuse.accepted = false;
+          return net::encode_frame(MessageType::kParams, refuse.serialize());
+        }
+        const net::ParamsMessage params = server_.handle_checkout(req.device_id);
+        return net::encode_frame(MessageType::kParams, params.serialize());
+      }
+      case MessageType::kCheckin: {
+        const auto msg = net::CheckinMessage::deserialize(frame.payload);
+        if (!auth_.verify(msg.device_id, msg.body(), msg.auth_tag)) {
+          ++auth_failures_;
+          const net::AckMessage nack{false, "authentication failed"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        const net::AckMessage ack = server_.handle_checkin(msg);
+        return net::encode_frame(MessageType::kAck, ack.serialize());
+      }
+      default: {
+        ++malformed_;
+        const net::AckMessage nack{false, "unexpected message type"};
+        return net::encode_frame(MessageType::kAck, nack.serialize());
+      }
+    }
+  } catch (const net::CodecError& e) {
+    ++malformed_;
+    const net::AckMessage nack{false, std::string("malformed frame: ") + e.what()};
+    return net::encode_frame(MessageType::kAck, nack.serialize());
+  }
+}
+
+DeviceClient::DeviceClient(Device& device, Exchange exchange)
+    : device_(device), exchange_(std::move(exchange)) {}
+
+std::optional<CheckinResult> DeviceClient::offer_sample(models::Sample s) {
+  device_.on_sample(std::move(s));
+  if (!device_.wants_checkout()) return std::nullopt;
+  return run_cycle();
+}
+
+std::optional<CheckinResult> DeviceClient::run_cycle() {
+  using net::MessageType;
+  if (!device_.wants_checkout()) return std::nullopt;
+  if (!device_.credentials()) return std::nullopt;  // must enroll first
+  device_.begin_checkout();
+
+  const auto fail = [&]() -> std::optional<CheckinResult> {
+    ++failures_;
+    device_.on_checkout_failed();  // Remark 1: retry later
+    return std::nullopt;
+  };
+
+  // Checkout (Fig. 2 steps 2-3).
+  net::CheckoutRequest req;
+  req.device_id = device_.id();
+  req.auth_tag = device_.credentials()->sign(req.body());
+  const auto params_frame =
+      exchange_(net::encode_frame(MessageType::kCheckoutRequest, req.serialize()));
+  if (!params_frame) return fail();
+
+  net::ParamsMessage params;
+  try {
+    const net::Frame f = net::decode_frame(*params_frame);
+    if (f.type != MessageType::kParams) return fail();
+    params = net::ParamsMessage::deserialize(f.payload);
+  } catch (const net::CodecError&) {
+    return fail();
+  }
+  if (!params.accepted) return fail();
+
+  // Compute + sanitize + checkin (Fig. 2 steps 4-5).
+  CheckinResult result = device_.compute_checkin(params.w, params.version);
+  const auto ack_frame = exchange_(
+      net::encode_frame(MessageType::kCheckin, result.message.serialize()));
+  if (!ack_frame) {
+    // The minibatch is already consumed; a lost checkin is non-critical
+    // (Remark 1) but we report the cycle as failed.
+    ++failures_;
+    return std::nullopt;
+  }
+  try {
+    const net::Frame f = net::decode_frame(*ack_frame);
+    if (f.type != MessageType::kAck ||
+        !net::AckMessage::deserialize(f.payload).ok) {
+      ++failures_;
+      return std::nullopt;
+    }
+  } catch (const net::CodecError&) {
+    ++failures_;
+    return std::nullopt;
+  }
+
+  ++cycles_;
+  return result;
+}
+
+}  // namespace crowdml::core

@@ -1,0 +1,71 @@
+// Protocol boundary: framed request/response dispatch with authentication.
+//
+// ProtocolServer is the untrusted-network face of core::Server — it
+// decodes frames (rejecting corrupt ones), verifies each device's
+// HMAC-SHA256 tag against the AuthRegistry (Server Routines 1-2:
+// "Authenticate device"), and only then lets the message reach the
+// learning state. DeviceClient drives a core::Device through the same
+// frames over any exchange function (in-process call, channel pump, or
+// TCP connection).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <optional>
+
+#include "core/device.hpp"
+#include "core/server.hpp"
+#include "net/auth.hpp"
+#include "net/messages.hpp"
+
+namespace crowdml::core {
+
+class ProtocolServer {
+ public:
+  ProtocolServer(Server& server, net::AuthRegistry& auth)
+      : server_(server), auth_(auth) {}
+
+  /// Handle one request frame, produce one response frame. Never throws:
+  /// malformed input yields an AckMessage{false, reason} frame.
+  net::Bytes handle(const net::Bytes& request_frame);
+
+  long long auth_failures() const { return auth_failures_; }
+  long long malformed_frames() const { return malformed_; }
+
+ private:
+  Server& server_;
+  net::AuthRegistry& auth_;
+  std::atomic<long long> auth_failures_{0};
+  std::atomic<long long> malformed_{0};
+};
+
+/// Device-side protocol driver.
+class DeviceClient {
+ public:
+  /// Sends a request frame, returns the response frame (nullopt = network
+  /// failure).
+  using Exchange = std::function<std::optional<net::Bytes>(const net::Bytes&)>;
+
+  DeviceClient(Device& device, Exchange exchange);
+
+  /// Feed one sample (Device Routine 1); if the minibatch is full, run the
+  /// full checkout -> compute -> checkin cycle synchronously. Returns the
+  /// checkin result when a cycle ran and was delivered.
+  std::optional<CheckinResult> offer_sample(models::Sample s);
+
+  /// Explicit cycle (used on shutdown to flush a partial batch is NOT done
+  /// — the paper never flushes partial minibatches). Returns nullopt if
+  /// the device does not want a checkout or any step failed.
+  std::optional<CheckinResult> run_cycle();
+
+  long long cycles_completed() const { return cycles_; }
+  long long cycles_failed() const { return failures_; }
+
+ private:
+  Device& device_;
+  Exchange exchange_;
+  long long cycles_ = 0;
+  long long failures_ = 0;
+};
+
+}  // namespace crowdml::core

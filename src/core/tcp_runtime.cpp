@@ -1,0 +1,70 @@
+#include "core/tcp_runtime.hpp"
+
+#include <stdexcept>
+
+namespace crowdml::core {
+
+TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
+                               std::uint16_t port)
+    : protocol_(server, auth) {
+  auto listener = net::TcpListener::bind(port);
+  if (!listener) throw std::runtime_error("TcpCrowdServer: bind failed");
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpCrowdServer::~TcpCrowdServer() { shutdown(); }
+
+void TcpCrowdServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept();
+    if (!conn) break;  // listener closed
+    auto c = std::make_shared<net::TcpConnection>(std::move(*conn));
+    std::lock_guard lock(workers_mu_);
+    if (stopping_.load()) break;
+    connections_.push_back(c);
+    workers_.emplace_back([this, c] {
+      while (!stopping_.load()) {
+        auto frame = c->recv_frame();
+        if (!frame) break;  // EOF / error
+        const net::Bytes response = protocol_.handle(*frame);
+        if (!c->send_frame(response)) break;
+      }
+    });
+  }
+}
+
+void TcpCrowdServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  std::vector<std::shared_ptr<net::TcpConnection>> connections;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers = std::move(workers_);
+    connections = std::move(connections_);
+  }
+  // Unblock workers parked in recv_frame, then join.
+  for (auto& c : connections) c->shutdown_both();
+  for (auto& w : workers)
+    if (w.joinable()) w.join();
+}
+
+TcpDeviceSession::TcpDeviceSession(const std::string& host, std::uint16_t port) {
+  auto conn = net::TcpConnection::connect(host, port);
+  if (!conn) throw std::runtime_error("TcpDeviceSession: connect failed");
+  conn_ = std::move(*conn);
+}
+
+std::optional<net::Bytes> TcpDeviceSession::exchange(const net::Bytes& request) {
+  if (!conn_.send_frame(request)) return std::nullopt;
+  return conn_.recv_frame();
+}
+
+DeviceClient::Exchange TcpDeviceSession::as_exchange() {
+  return [this](const net::Bytes& req) { return exchange(req); };
+}
+
+}  // namespace crowdml::core

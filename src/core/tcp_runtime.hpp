@@ -1,0 +1,65 @@
+// TCP deployment of the Crowd-ML server and device clients.
+//
+// TcpCrowdServer accepts device connections on a listener thread and
+// serves each connection on its own worker thread (frame in -> dispatch
+// through ProtocolServer -> frame out), mirroring the prototype's
+// Apache-fronted deployment. TcpDeviceSession is a device's persistent
+// connection implementing DeviceClient's Exchange.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/tcp.hpp"
+
+namespace crowdml::core {
+
+class TcpCrowdServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// Throws std::runtime_error if the bind fails.
+  TcpCrowdServer(Server& server, net::AuthRegistry& auth, std::uint16_t port);
+  ~TcpCrowdServer();
+
+  TcpCrowdServer(const TcpCrowdServer&) = delete;
+  TcpCrowdServer& operator=(const TcpCrowdServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  const ProtocolServer& protocol() const { return protocol_; }
+
+  /// Stop accepting, close the listener, and join all workers.
+  void shutdown();
+
+ private:
+  void accept_loop();
+
+  ProtocolServer protocol_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<net::TcpConnection>> connections_;
+  std::atomic<bool> stopping_{false};
+};
+
+/// A device's persistent TCP session; usable as DeviceClient::Exchange.
+class TcpDeviceSession {
+ public:
+  /// Connects to the server; throws std::runtime_error on failure.
+  TcpDeviceSession(const std::string& host, std::uint16_t port);
+
+  /// One request/response round trip. nullopt on connection failure.
+  std::optional<net::Bytes> exchange(const net::Bytes& request);
+
+  DeviceClient::Exchange as_exchange();
+
+ private:
+  net::TcpConnection conn_;
+};
+
+}  // namespace crowdml::core

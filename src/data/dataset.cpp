@@ -1,0 +1,72 @@
+#include "data/dataset.hpp"
+
+#include <cassert>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::data {
+
+Dataset split_train_test(SampleSet pool, double test_fraction,
+                         std::size_t num_classes, rng::Engine& eng) {
+  assert(test_fraction >= 0.0 && test_fraction < 1.0);
+  Dataset ds;
+  ds.num_classes = num_classes;
+  ds.feature_dim = pool.empty() ? 0 : pool.front().x.size();
+
+  const auto order = rng::shuffled_indices(eng, pool.size());
+  const auto test_n = static_cast<std::size_t>(
+      test_fraction * static_cast<double>(pool.size()));
+  ds.test.reserve(test_n);
+  ds.train.reserve(pool.size() - test_n);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    auto& dst = i < test_n ? ds.test : ds.train;
+    dst.push_back(std::move(pool[order[i]]));
+  }
+  return ds;
+}
+
+std::vector<SampleSet> shard_across_devices(const SampleSet& samples,
+                                            std::size_t num_devices,
+                                            rng::Engine& eng) {
+  assert(num_devices >= 1);
+  std::vector<SampleSet> shards(num_devices);
+  const auto order = rng::shuffled_indices(eng, samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    shards[i % num_devices].push_back(samples[order[i]]);
+  return shards;
+}
+
+std::vector<std::size_t> class_histogram(const SampleSet& samples,
+                                         std::size_t num_classes) {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (const Sample& s : samples) {
+    const int y = s.label();
+    assert(y >= 0 && static_cast<std::size_t>(y) < num_classes);
+    ++hist[static_cast<std::size_t>(y)];
+  }
+  return hist;
+}
+
+FeatureStats feature_stats(const SampleSet& samples) {
+  FeatureStats st;
+  if (samples.empty()) return st;
+  for (const Sample& s : samples) {
+    const double l1 = linalg::norm1(s.x);
+    st.mean_l1_norm += l1;
+    st.max_l1_norm = std::max(st.max_l1_norm, l1);
+    st.mean_l2_norm += linalg::norm2(s.x);
+  }
+  const auto n = static_cast<double>(samples.size());
+  st.mean_l1_norm /= n;
+  st.mean_l2_norm /= n;
+  return st;
+}
+
+void l1_normalize_features(SampleSet& samples) {
+  for (Sample& s : samples) {
+    const double n = linalg::norm1(s.x);
+    if (n > 0.0) linalg::scal(1.0 / n, s.x);
+  }
+}
+
+}  // namespace crowdml::data

@@ -1,0 +1,53 @@
+// Dataset container and crowd-sharding utilities.
+//
+// A Dataset is the global pool D of Eq. (1) split into train/test. For
+// crowd experiments the training pool is sharded across M devices
+// ("we set the number of devices M = 1000; consequently each device has 60
+// training and 10 test samples on average" — Section V-C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "models/sample.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::data {
+
+using models::Sample;
+using models::SampleSet;
+
+struct Dataset {
+  SampleSet train;
+  SampleSet test;
+  std::size_t num_classes = 0;
+  std::size_t feature_dim = 0;
+};
+
+/// Randomly shuffle `pool` and split off `test_fraction` as test data.
+Dataset split_train_test(SampleSet pool, double test_fraction,
+                         std::size_t num_classes, rng::Engine& eng);
+
+/// Shuffle and deal samples round-robin to `num_devices` shards. Shard
+/// sizes differ by at most one.
+std::vector<SampleSet> shard_across_devices(const SampleSet& samples,
+                                            std::size_t num_devices,
+                                            rng::Engine& eng);
+
+/// Histogram of class labels (size = num_classes).
+std::vector<std::size_t> class_histogram(const SampleSet& samples,
+                                         std::size_t num_classes);
+
+struct FeatureStats {
+  double mean_l1_norm = 0.0;
+  double max_l1_norm = 0.0;
+  double mean_l2_norm = 0.0;
+};
+
+FeatureStats feature_stats(const SampleSet& samples);
+
+/// Scale every feature vector to exactly unit L1 norm (zero vectors are
+/// left untouched) — the paper's preprocessing guaranteeing ||x||_1 <= 1.
+void l1_normalize_features(SampleSet& samples);
+
+}  // namespace crowdml::data

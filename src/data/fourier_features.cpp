@@ -1,0 +1,41 @@
+#include "data/fourier_features.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::data {
+
+void RandomFourierFeatures::fit(rng::Engine& eng, std::size_t input_dim,
+                                std::size_t output_dim, double gamma) {
+  assert(input_dim >= 1 && output_dim >= 1 && gamma > 0.0);
+  // RBF spectral density: w ~ N(0, 2*gamma*I).
+  const double sigma = std::sqrt(2.0 * gamma);
+  frequencies_ = linalg::Matrix(output_dim, input_dim);
+  for (std::size_t r = 0; r < output_dim; ++r)
+    for (std::size_t c = 0; c < input_dim; ++c)
+      frequencies_(r, c) = rng::normal(eng, 0.0, sigma);
+  offsets_.resize(output_dim);
+  for (double& b : offsets_)
+    b = rng::uniform(eng, 0.0, 2.0 * std::numbers::pi);
+}
+
+linalg::Vector RandomFourierFeatures::transform(const linalg::Vector& x) const {
+  assert(fitted() && x.size() == input_dim());
+  linalg::Vector z = frequencies_.multiply(x);
+  const double scale = std::sqrt(2.0 / static_cast<double>(output_dim()));
+  for (std::size_t i = 0; i < z.size(); ++i)
+    z[i] = scale * std::cos(z[i] + offsets_[i]);
+  // Restore the privacy precondition ||z||_1 <= 1.
+  const double n1 = linalg::norm1(z);
+  if (n1 > 0.0) linalg::scal(1.0 / n1, z);
+  return z;
+}
+
+void RandomFourierFeatures::transform(SampleSet& samples) const {
+  for (Sample& s : samples) s.x = transform(s.x);
+}
+
+}  // namespace crowdml::data

@@ -1,0 +1,39 @@
+// Random Fourier feature map (Rahimi-Recht) — an RBF-kernel approximation
+// that turns Crowd-ML's linear learners into non-linear ones without
+// changing a line of the privacy analysis: the map is data-independent
+// (fitted from public randomness only) and the output is re-normalized to
+// ||z||_1 <= 1, so every sensitivity bound still holds.
+//
+// This backs the paper's claim that "a wide range of classifiers or
+// predictors can be learned" (Section III-A): kernel classifiers reduce to
+// the same linear risk minimization after this preprocessing.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace crowdml::data {
+
+class RandomFourierFeatures {
+ public:
+  /// Draw `output_dim` random frequencies for an RBF kernel of bandwidth
+  /// `gamma` (k(x,y) = exp(-gamma ||x-y||^2)) over `input_dim` inputs.
+  void fit(rng::Engine& eng, std::size_t input_dim, std::size_t output_dim,
+           double gamma);
+
+  bool fitted() const { return !offsets_.empty(); }
+  std::size_t input_dim() const { return frequencies_.cols(); }
+  std::size_t output_dim() const { return frequencies_.rows(); }
+
+  /// z_i(x) = sqrt(2/D') cos(w_i . x + b_i), then L1-normalized.
+  linalg::Vector transform(const linalg::Vector& x) const;
+
+  /// Transform every sample's features in place.
+  void transform(SampleSet& samples) const;
+
+ private:
+  linalg::Matrix frequencies_;  // D' x d
+  linalg::Vector offsets_;      // D'
+};
+
+}  // namespace crowdml::data

@@ -1,0 +1,74 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace crowdml::data {
+
+void write_csv(std::ostream& out, const SampleSet& samples) {
+  out << std::setprecision(17);
+  for (const Sample& s : samples) {
+    out << s.y;
+    for (double v : s.x) out << ',' << v;
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const SampleSet& samples) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(out, samples);
+}
+
+SampleSet read_csv(std::istream& in) {
+  SampleSet samples;
+  std::string line;
+  std::size_t expected_dim = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    Sample s;
+    bool first = true;
+    while (std::getline(row, field, ',')) {
+      std::size_t consumed = 0;
+      double v;
+      try {
+        v = std::stod(field, &consumed);
+      } catch (const std::exception&) {
+        throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                 ": non-numeric field '" + field + "'");
+      }
+      if (consumed != field.size())
+        throw std::runtime_error("csv line " + std::to_string(line_no) +
+                                 ": trailing garbage in field '" + field + "'");
+      if (first) {
+        s.y = v;
+        first = false;
+      } else {
+        s.x.push_back(v);
+      }
+    }
+    if (first) continue;  // whitespace-only line
+    if (samples.empty()) {
+      expected_dim = s.x.size();
+    } else if (s.x.size() != expected_dim) {
+      throw std::runtime_error("csv line " + std::to_string(line_no) +
+                               ": inconsistent dimension");
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+SampleSet read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(in);
+}
+
+}  // namespace crowdml::data

@@ -1,0 +1,23 @@
+// CSV persistence for sample sets.
+//
+// Row format: label (or regression target), then feature values. Used by
+// the examples to export learning curves and datasets, and lets users feed
+// their own data into the framework.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace crowdml::data {
+
+void write_csv(std::ostream& out, const SampleSet& samples);
+void write_csv_file(const std::string& path, const SampleSet& samples);
+
+/// Parse samples back. Throws std::runtime_error on malformed rows
+/// (non-numeric fields, inconsistent dimensions).
+SampleSet read_csv(std::istream& in);
+SampleSet read_csv_file(const std::string& path);
+
+}  // namespace crowdml::data

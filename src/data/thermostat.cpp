@@ -1,0 +1,73 @@
+#include "data/thermostat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::data {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// The ground-truth preference weights (in the normalized feature space).
+/// Occupants like it warmer in the evening, cooler when it's hot outside,
+/// warmer when the home is occupied, slightly cooler when humid.
+constexpr double kTrueWeights[kThermostatDim] = {
+    0.9,   // sin(time): evening warmth
+    -0.3,  // cos(time)
+    -1.2,  // outdoor temperature (normalized): hot out -> cooler setpoint
+    0.8,   // occupancy
+    -0.4,  // humidity
+    0.3,   // weekend flag
+    0.5,   // bias
+};
+
+}  // namespace
+
+Dataset generate_thermostat(const ThermostatSpec& spec, rng::Engine& eng) {
+  assert(spec.train_size > 0 && spec.test_size > 0);
+  Dataset ds;
+  ds.num_classes = 1;
+  ds.feature_dim = kThermostatDim;
+
+  const std::size_t total = spec.train_size + spec.test_size;
+  for (std::size_t i = 0; i < total; ++i) {
+    const double hour = rng::uniform(eng, 0.0, 24.0);
+    linalg::Vector x(kThermostatDim);
+    x[0] = std::sin(kTwoPi * hour / 24.0);
+    x[1] = std::cos(kTwoPi * hour / 24.0);
+    x[2] = rng::uniform(eng, -1.0, 1.0);  // outdoor temp, normalized
+    x[3] = rng::uniform(eng) < 0.6 ? 1.0 : 0.0;  // occupied
+    x[4] = rng::uniform(eng, 0.0, 1.0);          // humidity
+    x[5] = rng::uniform(eng) < 2.0 / 7.0 ? 1.0 : 0.0;  // weekend
+    x[6] = 1.0;                                        // bias
+
+    double target = 0.0;
+    for (std::size_t d = 0; d < kThermostatDim; ++d)
+      target += kTrueWeights[d] * x[d];
+
+    // L1-normalize the features (||x||_1 <= 1, required by the privacy
+    // sensitivity analysis); scale the target by the same factor so the
+    // linear relationship is preserved exactly, then add taste noise and
+    // clamp into the model's residual-bound range.
+    const double n1 = linalg::norm1(x);
+    linalg::scal(1.0 / n1, x);
+    target /= n1;
+    target += rng::normal(eng, 0.0, spec.taste_noise);
+    target = std::clamp(target, -1.0, 1.0);
+
+    Sample s(std::move(x), target);
+    (i < spec.train_size ? ds.train : ds.test).push_back(std::move(s));
+  }
+  return ds;
+}
+
+double thermostat_offset_to_celsius(double offset) {
+  return 21.0 + 3.0 * offset;
+}
+
+}  // namespace crowdml::data

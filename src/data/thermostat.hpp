@@ -1,0 +1,35 @@
+// Synthetic smart-thermostat workload — the paper's very first motivating
+// application ("learning optimal settings of room temperatures for smart
+// thermostats", Section I-A), cast as crowd regression.
+//
+// Each sample is a home's context at some moment:
+//   features: time-of-day (sin/cos), outdoor temperature, occupancy,
+//             humidity, day-type — L1-normalized as required by the
+//             sensitivity analysis;
+//   target:   the occupant's preferred setpoint offset from a 21 C base,
+//             a shared linear function of the context plus per-home taste
+//             noise, scaled into [-1, 1] so the ridge model's residual
+//             clipping (and thus its DP sensitivity bound) is honest.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace crowdml::data {
+
+struct ThermostatSpec {
+  std::size_t train_size = 20000;
+  std::size_t test_size = 4000;
+  double taste_noise = 0.05;  // per-sample preference noise (target units)
+};
+
+/// Feature dimension of the thermostat context vector.
+inline constexpr std::size_t kThermostatDim = 7;
+
+/// Generate a thermostat dataset (num_classes = 1: regression).
+Dataset generate_thermostat(const ThermostatSpec& spec, rng::Engine& eng);
+
+/// Map a normalized target offset back to degrees Celsius around the base
+/// setpoint (for display: offset in [-1,1] spans +/- 3 C around 21 C).
+double thermostat_offset_to_celsius(double offset);
+
+}  // namespace crowdml::data

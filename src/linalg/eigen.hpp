@@ -1,0 +1,25 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Used by the PCA preprocessing stage (the paper reduces MNIST to 50 and
+// CNN features to 100 dimensions with PCA before learning). Jacobi is
+// O(d^3) per sweep but robust and dependency-free; our feature dimensions
+// (<= a few hundred) make it more than fast enough.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace crowdml::linalg {
+
+struct EigenResult {
+  /// Eigenvalues in descending order.
+  Vector values;
+  /// Eigenvectors as matrix columns, values[i] <-> column i.
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix. Asserts symmetry (within tol).
+/// Converges when all off-diagonal mass is below `tol * frobenius_norm`.
+EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12,
+                            int max_sweeps = 64);
+
+}  // namespace crowdml::linalg

@@ -1,0 +1,106 @@
+#include "linalg/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::linalg {
+
+Vector Matrix::row(std::size_t r) const {
+  assert(r < rows_);
+  return Vector(row_data(r), row_data(r) + cols_);
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  assert(r < rows_ && v.size() == cols_);
+  std::copy(v.begin(), v.end(), row_data(r));
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row_data(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transposed(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row_data(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& b) const {
+  assert(cols_ == b.rows_);
+  Matrix c(rows_, b.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      double* crow = c.row_data(i);
+      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Vector column_means(const Matrix& samples) {
+  Vector mu(samples.cols(), 0.0);
+  if (samples.rows() == 0) return mu;
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    const double* row = samples.row_data(r);
+    for (std::size_t c = 0; c < samples.cols(); ++c) mu[c] += row[c];
+  }
+  scal(1.0 / static_cast<double>(samples.rows()), mu);
+  return mu;
+}
+
+Matrix covariance(const Matrix& samples) {
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  Matrix cov(d, d, 0.0);
+  if (n == 0) return cov;
+  const Vector mu = column_means(samples);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = samples.row_data(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = row[i] - mu[i];
+      if (di == 0.0) continue;
+      double* crow = cov.row_data(i);
+      for (std::size_t j = 0; j < d; ++j) crow[j] += di * (row[j] - mu[j]);
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  scal(1.0 / denom, cov.data());
+  return cov;
+}
+
+}  // namespace crowdml::linalg

@@ -1,0 +1,66 @@
+// Row-major dense matrix with the BLAS-2 kernels Crowd-ML needs
+// (gemv, transpose products, covariance). Deliberately small: the paper's
+// models are linear, so this plus the Jacobi eigensolver (eigen.hpp) covers
+// every numerical need including PCA preprocessing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace crowdml::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Contiguous row access (row-major storage).
+  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copy of row r as a Vector.
+  Vector row(std::size_t r) const;
+  void set_row(std::size_t r, const Vector& v);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// y = A x  (y sized rows()).
+  Vector multiply(const Vector& x) const;
+
+  /// y = A^T x (y sized cols()).
+  Vector multiply_transposed(const Vector& x) const;
+
+  /// C = A * B.
+  Matrix multiply(const Matrix& b) const;
+
+  Matrix transposed() const;
+
+  static Matrix identity(std::size_t n);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Column means of a sample matrix (rows = samples).
+Vector column_means(const Matrix& samples);
+
+/// Sample covariance matrix (rows = samples, divides by n-1; by n if n==1).
+Matrix covariance(const Matrix& samples);
+
+}  // namespace crowdml::linalg

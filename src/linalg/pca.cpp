@@ -1,0 +1,45 @@
+#include "linalg/pca.hpp"
+
+#include <cassert>
+
+namespace crowdml::linalg {
+
+void Pca::fit(const Matrix& samples, std::size_t components) {
+  assert(components >= 1 && components <= samples.cols());
+  mean_ = column_means(samples);
+  const Matrix cov = covariance(samples);
+  const EigenResult eig = eigen_symmetric(cov);
+
+  const std::size_t d = samples.cols();
+  components_ = Matrix(components, d);
+  explained_variance_.assign(components, 0.0);
+  total_variance_ = 0.0;
+  for (std::size_t i = 0; i < d; ++i) total_variance_ += std::max(eig.values[i], 0.0);
+  for (std::size_t k = 0; k < components; ++k) {
+    explained_variance_[k] = std::max(eig.values[k], 0.0);
+    for (std::size_t c = 0; c < d; ++c) components_(k, c) = eig.vectors(c, k);
+  }
+}
+
+Vector Pca::transform(const Vector& x) const {
+  assert(fitted() && x.size() == input_dim());
+  Vector centered = sub(x, mean_);
+  return components_.multiply(centered);
+}
+
+Matrix Pca::transform(const Matrix& samples) const {
+  assert(fitted() && samples.cols() == input_dim());
+  Matrix out(samples.rows(), output_dim());
+  for (std::size_t r = 0; r < samples.rows(); ++r)
+    out.set_row(r, transform(samples.row(r)));
+  return out;
+}
+
+double Pca::explained_variance_ratio() const {
+  if (total_variance_ <= 0.0) return 0.0;
+  double kept = 0.0;
+  for (double v : explained_variance_) kept += v;
+  return kept / total_variance_;
+}
+
+}  // namespace crowdml::linalg

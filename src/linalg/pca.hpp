@@ -1,0 +1,43 @@
+// Principal component analysis over sample matrices.
+//
+// Mirrors the paper's preprocessing: "images from MNIST data are
+// preprocessed with PCA to have a reduced dimension of 50, and L1
+// normalized" (Section V-C). Fit on training data, then transform both
+// train and test features.
+#pragma once
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace crowdml::linalg {
+
+class Pca {
+ public:
+  /// Fit `components` principal directions on `samples` (rows = samples).
+  /// `components` must be in [1, samples.cols()].
+  void fit(const Matrix& samples, std::size_t components);
+
+  /// Project a single feature vector onto the fitted components.
+  Vector transform(const Vector& x) const;
+
+  /// Project every row of a sample matrix.
+  Matrix transform(const Matrix& samples) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t input_dim() const { return mean_.size(); }
+  std::size_t output_dim() const { return components_.rows(); }
+
+  /// Variance captured by each retained component (descending).
+  const Vector& explained_variance() const { return explained_variance_; }
+
+  /// Fraction of total variance captured by the retained components.
+  double explained_variance_ratio() const;
+
+ private:
+  Vector mean_;
+  Matrix components_;  // k x d, rows are principal directions
+  Vector explained_variance_;
+  double total_variance_ = 0.0;
+};
+
+}  // namespace crowdml::linalg

@@ -1,0 +1,94 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::linalg {
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double dot(const Vector& x, const Vector& y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+Vector add(const Vector& x, const Vector& y) {
+  assert(x.size() == y.size());
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+Vector sub(const Vector& x, const Vector& y) {
+  assert(x.size() == y.size());
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+double norm1(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double norm2_squared(const Vector& x) { return dot(x, x); }
+
+double norm2(const Vector& x) { return std::sqrt(norm2_squared(x)); }
+
+double norm_inf(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void l1_normalize(Vector& x) {
+  const double n = norm1(x);
+  if (n > 1.0) scal(1.0 / n, x);
+}
+
+void l2_normalize(Vector& x) {
+  const double n = norm2(x);
+  if (n > 0.0) scal(1.0 / n, x);
+}
+
+void project_l2_ball(Vector& w, double radius) {
+  assert(radius > 0.0);
+  const double n = norm2(w);
+  if (n > radius) scal(radius / n, w);
+}
+
+std::size_t argmax(const Vector& x) {
+  assert(!x.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (x[i] > x[best]) best = i;
+  return best;
+}
+
+double sum(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+double mean(const Vector& x) { return x.empty() ? 0.0 : sum(x) / static_cast<double>(x.size()); }
+
+bool all_finite(const Vector& x) {
+  for (double v : x)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace crowdml::linalg

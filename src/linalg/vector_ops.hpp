@@ -1,0 +1,57 @@
+// Dense vector type and BLAS-1 style kernels used throughout Crowd-ML.
+//
+// Vectors are plain `std::vector<double>` so that user code, the wire codec
+// and the math kernels all share one representation with zero conversion
+// cost. All kernels check dimensions with assertions in debug builds and
+// are branch-free in the hot path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace crowdml::linalg {
+
+using Vector = std::vector<double>;
+
+/// y += alpha * x  (dimensions must match).
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// x *= alpha.
+void scal(double alpha, Vector& x);
+
+/// Inner product <x, y>.
+double dot(const Vector& x, const Vector& y);
+
+/// Element-wise sum / difference (returns a fresh vector).
+Vector add(const Vector& x, const Vector& y);
+Vector sub(const Vector& x, const Vector& y);
+
+/// L1, L2, and infinity norms.
+double norm1(const Vector& x);
+double norm2(const Vector& x);
+double norm2_squared(const Vector& x);
+double norm_inf(const Vector& x);
+
+/// Scale `x` in place so that ||x||_1 <= 1 (no-op for the zero vector).
+/// Crowd-ML's sensitivity analysis (Appendix A) assumes this normalization.
+void l1_normalize(Vector& x);
+
+/// Scale `x` in place so that ||x||_2 == 1 (no-op for the zero vector).
+void l2_normalize(Vector& x);
+
+/// Project `w` onto the L2 ball of the given radius: Pi_W in Eq. (3),
+/// w <- min(1, radius/||w||_2) * w.
+void project_l2_ball(Vector& w, double radius);
+
+/// Index of the maximum element; 0 for empty input is invalid (asserts).
+std::size_t argmax(const Vector& x);
+
+/// Sum and mean of elements.
+double sum(const Vector& x);
+double mean(const Vector& x);
+
+/// true iff every element is finite (no NaN/inf) — used by checkin
+/// validation on the server side.
+bool all_finite(const Vector& x);
+
+}  // namespace crowdml::linalg

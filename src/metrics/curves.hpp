@@ -1,0 +1,81 @@
+// Learning-curve recording and multi-trial aggregation.
+//
+// Every figure in the paper is "error vs iteration (= number of samples
+// used)", averaged over 10 randomized trials (Section V-C). LearningCurve
+// records one trial; CurveAggregator averages trials recorded on a common
+// iteration grid; write_curves_csv emits the series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crowdml::metrics {
+
+struct CurvePoint {
+  double x = 0.0;  // iteration (samples used)
+  double y = 0.0;  // error
+};
+
+class LearningCurve {
+ public:
+  void record(double x, double y) { points_.push_back({x, y}); }
+  const std::vector<CurvePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// y of the last point (the converged/asymptotic error).
+  double final_value() const;
+
+  /// Mean y over the last `k` points — a steadier convergence estimate.
+  double tail_mean(std::size_t k) const;
+
+ private:
+  std::vector<CurvePoint> points_;
+};
+
+/// Averages curves that share one x-grid (same length, same x values).
+class CurveAggregator {
+ public:
+  void add_trial(const LearningCurve& curve);
+  std::size_t trials() const { return trials_; }
+
+  LearningCurve mean() const;
+  LearningCurve stddev() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> sum_;
+  std::vector<double> sum_sq_;
+  std::size_t trials_ = 0;
+};
+
+/// Online time-averaged misclassification error — the Fig. 3 metric
+/// Err(t) = (1/t) sum_i I[y_i != y^pred_i].
+class TimeAveragedError {
+ public:
+  void observe(bool misclassified);
+  double value() const;
+  long long count() const { return count_; }
+  const LearningCurve& curve() const { return curve_; }
+
+ private:
+  long long count_ = 0;
+  long long errors_ = 0;
+  LearningCurve curve_;
+};
+
+/// CSV with columns: x, <name1>, <name2>, ... All curves must share a grid.
+void write_curves_csv(std::ostream& out,
+                      const std::vector<std::string>& names,
+                      const std::vector<LearningCurve>& curves);
+
+/// Render curves as an ASCII table to stdout-style streams (the bench
+/// harness output that mirrors the paper's figures).
+void print_curve_table(std::ostream& out, const std::string& x_label,
+                       const std::vector<std::string>& names,
+                       const std::vector<LearningCurve>& curves,
+                       std::size_t max_rows = 24);
+
+}  // namespace crowdml::metrics

@@ -1,0 +1,17 @@
+#include "metrics/evaluate.hpp"
+
+#include <cmath>
+
+namespace crowdml::metrics {
+
+double evaluate_model(const models::Model& model, const linalg::Vector& w,
+                      std::span<const models::Sample> samples) {
+  if (samples.empty()) return 0.0;
+  if (model.is_classifier()) return model.error_rate(w, samples);
+  double acc = 0.0;
+  for (const models::Sample& s : samples)
+    acc += std::abs(model.predict(w, s.x) - s.y);
+  return acc / static_cast<double>(samples.size());
+}
+
+}  // namespace crowdml::metrics

@@ -1,0 +1,17 @@
+// Model-kind-aware evaluation: misclassification rate for classifiers,
+// mean absolute error for regressors — one call site for the experiment
+// drivers regardless of task type.
+#pragma once
+
+#include <span>
+
+#include "models/model.hpp"
+
+namespace crowdml::metrics {
+
+/// Classifier: fraction misclassified. Regressor: mean |h(x;w) - y|.
+/// Empty sample sets evaluate to 0.
+double evaluate_model(const models::Model& model, const linalg::Vector& w,
+                      std::span<const models::Sample> samples);
+
+}  // namespace crowdml::metrics

@@ -1,0 +1,32 @@
+#include "models/gradient_check.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::models {
+
+GradientCheckResult check_gradient(const Model& model, const linalg::Vector& w,
+                                   const Sample& s, double step) {
+  assert(w.size() == model.param_dim());
+  linalg::Vector analytic(model.param_dim(), 0.0);
+  model.add_loss_gradient(w, s, analytic);
+
+  GradientCheckResult res;
+  linalg::Vector wp = w;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double orig = wp[i];
+    wp[i] = orig + step;
+    const double lp = model.loss(wp, s);
+    wp[i] = orig - step;
+    const double lm = model.loss(wp, s);
+    wp[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * step);
+    const double abs_err = std::abs(analytic[i] - numeric);
+    res.max_abs_error = std::max(res.max_abs_error, abs_err);
+    res.max_rel_error =
+        std::max(res.max_rel_error, abs_err / std::max(1.0, std::abs(numeric)));
+  }
+  return res;
+}
+
+}  // namespace crowdml::models

@@ -1,0 +1,20 @@
+// Finite-difference gradient verification.
+//
+// Used by tests and by bench/table1_logreg to certify that each model's
+// analytic gradient matches Table I (and its analogues) numerically.
+#pragma once
+
+#include "models/model.hpp"
+
+namespace crowdml::models {
+
+struct GradientCheckResult {
+  double max_abs_error = 0.0;   // max_i |analytic_i - numeric_i|
+  double max_rel_error = 0.0;   // relative to max(1, |numeric_i|)
+};
+
+/// Central-difference check of model.add_loss_gradient at (w, s).
+GradientCheckResult check_gradient(const Model& model, const linalg::Vector& w,
+                                   const Sample& s, double step = 1e-6);
+
+}  // namespace crowdml::models

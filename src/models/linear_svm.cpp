@@ -1,0 +1,63 @@
+#include "models/linear_svm.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace crowdml::models {
+
+MulticlassSvm::MulticlassSvm(std::size_t classes, std::size_t dim, double lambda)
+    : Model(lambda), classes_(classes), dim_(dim) {
+  assert(classes >= 2 && dim >= 1 && lambda >= 0.0);
+}
+
+linalg::Vector MulticlassSvm::scores(const linalg::Vector& w,
+                                     const linalg::Vector& x) const {
+  assert(w.size() == param_dim() && x.size() == dim_);
+  linalg::Vector s(classes_, 0.0);
+  for (std::size_t k = 0; k < classes_; ++k) {
+    const double* wk = w.data() + k * dim_;
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) acc += wk[d] * x[d];
+    s[k] = acc;
+  }
+  return s;
+}
+
+double MulticlassSvm::predict(const linalg::Vector& w, const linalg::Vector& x) const {
+  return static_cast<double>(linalg::argmax(scores(w, x)));
+}
+
+double MulticlassSvm::loss(const linalg::Vector& w, const Sample& s) const {
+  const auto y = static_cast<std::size_t>(s.label());
+  assert(y < classes_);
+  const linalg::Vector sc = scores(w, s.x);
+  double best_other = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < classes_; ++k)
+    if (k != y) best_other = std::max(best_other, sc[k]);
+  return std::max(0.0, 1.0 + best_other - sc[y]);
+}
+
+void MulticlassSvm::add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                                      linalg::Vector& g) const {
+  assert(g.size() == param_dim());
+  const auto y = static_cast<std::size_t>(s.label());
+  const linalg::Vector sc = scores(w, s.x);
+  std::size_t violator = classes_;
+  double best_other = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < classes_; ++k) {
+    if (k == y) continue;
+    if (sc[k] > best_other) {
+      best_other = sc[k];
+      violator = k;
+    }
+  }
+  if (1.0 + best_other - sc[y] <= 0.0) return;  // zero subgradient region
+  double* gv = g.data() + violator * dim_;
+  double* gy = g.data() + y * dim_;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    gv[d] += s.x[d];
+    gy[d] -= s.x[d];
+  }
+}
+
+}  // namespace crowdml::models

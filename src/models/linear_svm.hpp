@@ -1,0 +1,39 @@
+// Multiclass linear SVM with the Crammer-Singer hinge loss — one of the
+// "wide range of learning algorithms" (Section III-A) Crowd-ML supports
+// beyond Table I's logistic regression.
+//
+//   loss:  max(0, 1 + max_{k != y} w_k' x - w_y' x)
+//
+// The subgradient touches at most two class blocks (+x for the violating
+// class, -x for the true class), so its L1 norm is at most 2||x||_1 <= 2
+// and the per-sample sensitivity is 4 — the same Laplace scale as
+// multiclass logistic regression.
+#pragma once
+
+#include "models/model.hpp"
+
+namespace crowdml::models {
+
+class MulticlassSvm final : public Model {
+ public:
+  MulticlassSvm(std::size_t classes, std::size_t dim, double lambda = 0.0);
+
+  std::size_t feature_dim() const override { return dim_; }
+  std::size_t num_classes() const override { return classes_; }
+  std::size_t param_dim() const override { return classes_ * dim_; }
+  bool is_classifier() const override { return true; }
+
+  double predict(const linalg::Vector& w, const linalg::Vector& x) const override;
+  double loss(const linalg::Vector& w, const Sample& s) const override;
+  void add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                         linalg::Vector& g) const override;
+  double per_sample_l1_sensitivity() const override { return 4.0; }
+
+ private:
+  linalg::Vector scores(const linalg::Vector& w, const linalg::Vector& x) const;
+
+  std::size_t classes_;
+  std::size_t dim_;
+};
+
+}  // namespace crowdml::models

@@ -1,0 +1,108 @@
+#include "models/logistic_regression.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::models {
+
+MulticlassLogisticRegression::MulticlassLogisticRegression(std::size_t classes,
+                                                           std::size_t dim,
+                                                           double lambda)
+    : Model(lambda), classes_(classes), dim_(dim) {
+  assert(classes >= 2 && dim >= 1 && lambda >= 0.0);
+}
+
+linalg::Vector MulticlassLogisticRegression::scores(const linalg::Vector& w,
+                                                    const linalg::Vector& x) const {
+  assert(w.size() == param_dim() && x.size() == dim_);
+  linalg::Vector s(classes_, 0.0);
+  for (std::size_t k = 0; k < classes_; ++k) {
+    const double* wk = w.data() + k * dim_;
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) acc += wk[d] * x[d];
+    s[k] = acc;
+  }
+  return s;
+}
+
+linalg::Vector MulticlassLogisticRegression::posterior(const linalg::Vector& w,
+                                                       const linalg::Vector& x) const {
+  linalg::Vector p = scores(w, x);
+  const double mx = p[linalg::argmax(p)];
+  double z = 0.0;
+  for (double& v : p) {
+    v = std::exp(v - mx);
+    z += v;
+  }
+  linalg::scal(1.0 / z, p);
+  return p;
+}
+
+double MulticlassLogisticRegression::predict(const linalg::Vector& w,
+                                             const linalg::Vector& x) const {
+  return static_cast<double>(linalg::argmax(scores(w, x)));
+}
+
+double MulticlassLogisticRegression::loss(const linalg::Vector& w,
+                                          const Sample& s) const {
+  const int y = s.label();
+  assert(y >= 0 && static_cast<std::size_t>(y) < classes_);
+  const linalg::Vector sc = scores(w, s.x);
+  const double mx = sc[linalg::argmax(sc)];
+  double z = 0.0;
+  for (double v : sc) z += std::exp(v - mx);
+  return -sc[static_cast<std::size_t>(y)] + mx + std::log(z);
+}
+
+void MulticlassLogisticRegression::add_loss_gradient(const linalg::Vector& w,
+                                                     const Sample& s,
+                                                     linalg::Vector& g) const {
+  assert(g.size() == param_dim());
+  const int y = s.label();
+  const linalg::Vector p = posterior(w, s.x);
+  for (std::size_t k = 0; k < classes_; ++k) {
+    const double coef = p[k] - (static_cast<std::size_t>(y) == k ? 1.0 : 0.0);
+    if (coef == 0.0) continue;
+    double* gk = g.data() + k * dim_;
+    for (std::size_t d = 0; d < dim_; ++d) gk[d] += coef * s.x[d];
+  }
+}
+
+BinaryLogisticRegression::BinaryLogisticRegression(std::size_t dim, double lambda)
+    : Model(lambda), dim_(dim) {
+  assert(dim >= 1 && lambda >= 0.0);
+}
+
+double BinaryLogisticRegression::probability(const linalg::Vector& w,
+                                             const linalg::Vector& x) const {
+  assert(w.size() == dim_ && x.size() == dim_);
+  const double z = linalg::dot(w, x);
+  // Numerically stable logistic.
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double BinaryLogisticRegression::predict(const linalg::Vector& w,
+                                         const linalg::Vector& x) const {
+  return probability(w, x) >= 0.5 ? 1.0 : 0.0;
+}
+
+double BinaryLogisticRegression::loss(const linalg::Vector& w, const Sample& s) const {
+  const int y = s.label();
+  assert(y == 0 || y == 1);
+  const double z = linalg::dot(w, s.x);
+  // log(1 + exp(z)) - y*z, computed stably.
+  const double softplus = z > 0.0 ? z + std::log1p(std::exp(-z)) : std::log1p(std::exp(z));
+  return softplus - static_cast<double>(y) * z;
+}
+
+void BinaryLogisticRegression::add_loss_gradient(const linalg::Vector& w,
+                                                 const Sample& s,
+                                                 linalg::Vector& g) const {
+  assert(g.size() == dim_);
+  const double coef = probability(w, s.x) - static_cast<double>(s.label());
+  linalg::axpy(coef, s.x, g);
+}
+
+}  // namespace crowdml::models

@@ -1,0 +1,77 @@
+// Multiclass logistic regression — Table I of the paper, and the model used
+// by every experiment (activity recognition, MNIST, CIFAR).
+//
+//   prediction:  argmax_k  w_k' x
+//   loss:        -w_y' x + log sum_l exp(w_l' x)
+//   gradient:    d/dw_k = x * (P(y=k | x; w) - I[y == k])
+//
+// Parameters are C class-weight vectors of dimension D stored contiguously
+// (w_k = w[k*D .. k*D+D)). The per-sample gradient's L1 norm is
+// ||x||_1 * sum_k |P_k - I[y=k]| = ||x||_1 * 2(1 - P_y) <= 2, so the
+// neighboring-minibatch sensitivity is 4/b (Appendix A).
+//
+// BinaryLogisticRegression is the C=2 single-weight-vector variant with
+// y in {0,1}, sensitivity 2/b.
+#pragma once
+
+#include <numbers>
+
+#include "models/model.hpp"
+
+namespace crowdml::models {
+
+class MulticlassLogisticRegression final : public Model {
+ public:
+  /// `classes >= 2`, `dim >= 1`, `lambda >= 0`.
+  MulticlassLogisticRegression(std::size_t classes, std::size_t dim,
+                               double lambda = 0.0);
+
+  std::size_t feature_dim() const override { return dim_; }
+  std::size_t num_classes() const override { return classes_; }
+  std::size_t param_dim() const override { return classes_ * dim_; }
+  bool is_classifier() const override { return true; }
+
+  double predict(const linalg::Vector& w, const linalg::Vector& x) const override;
+  double loss(const linalg::Vector& w, const Sample& s) const override;
+  void add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                         linalg::Vector& g) const override;
+  double per_sample_l1_sensitivity() const override { return 4.0; }
+  /// ||g||_2 = ||x||_2 ||P - e_y||_2 <= 1 * sqrt(2), so two neighboring
+  /// samples' gradients differ by at most 2*sqrt(2) in L2.
+  double per_sample_l2_sensitivity() const override {
+    return 2.0 * std::numbers::sqrt2;
+  }
+
+  /// Class scores w_k' x for all k, and the softmax posterior P(y=k|x;w)
+  /// (computed with the max-subtraction trick for stability).
+  linalg::Vector scores(const linalg::Vector& w, const linalg::Vector& x) const;
+  linalg::Vector posterior(const linalg::Vector& w, const linalg::Vector& x) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t dim_;
+};
+
+class BinaryLogisticRegression final : public Model {
+ public:
+  BinaryLogisticRegression(std::size_t dim, double lambda = 0.0);
+
+  std::size_t feature_dim() const override { return dim_; }
+  std::size_t num_classes() const override { return 2; }
+  std::size_t param_dim() const override { return dim_; }
+  bool is_classifier() const override { return true; }
+
+  double predict(const linalg::Vector& w, const linalg::Vector& x) const override;
+  double loss(const linalg::Vector& w, const Sample& s) const override;
+  void add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                         linalg::Vector& g) const override;
+  double per_sample_l1_sensitivity() const override { return 2.0; }
+
+  /// sigmoid(w' x).
+  double probability(const linalg::Vector& w, const linalg::Vector& x) const;
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace crowdml::models

@@ -1,0 +1,41 @@
+#include "models/model.hpp"
+
+#include <cassert>
+
+namespace crowdml::models {
+
+void Model::add_regularization_gradient(const linalg::Vector& w,
+                                        linalg::Vector& g) const {
+  assert(w.size() == param_dim() && g.size() == param_dim());
+  if (lambda_ != 0.0) linalg::axpy(lambda_, w, g);
+}
+
+linalg::Vector Model::averaged_gradient(const linalg::Vector& w,
+                                        std::span<const Sample> samples) const {
+  assert(!samples.empty());
+  linalg::Vector g(param_dim(), 0.0);
+  for (const Sample& s : samples) add_loss_gradient(w, s, g);
+  linalg::scal(1.0 / static_cast<double>(samples.size()), g);
+  add_regularization_gradient(w, g);
+  return g;
+}
+
+double Model::regularized_risk(const linalg::Vector& w,
+                               std::span<const Sample> samples) const {
+  double acc = 0.0;
+  for (const Sample& s : samples) acc += loss(w, s);
+  if (!samples.empty()) acc /= static_cast<double>(samples.size());
+  return acc + 0.5 * lambda_ * linalg::norm2_squared(w);
+}
+
+double Model::error_rate(const linalg::Vector& w,
+                         std::span<const Sample> samples) const {
+  assert(is_classifier());
+  if (samples.empty()) return 0.0;
+  std::size_t errors = 0;
+  for (const Sample& s : samples)
+    if (predict_class(w, s.x) != s.label()) ++errors;
+  return static_cast<double>(errors) / static_cast<double>(samples.size());
+}
+
+}  // namespace crowdml::models

@@ -1,0 +1,90 @@
+// The classifier/predictor abstraction of Section III-A.
+//
+// A Model encodes the hypothesis h(x; w) and loss l(h(x; w), y) of Eq. (2).
+// Parameters live in a flat `Vector` of `param_dim()` doubles so that the
+// same buffer flows through the optimizer, the privacy mechanisms, and the
+// wire codec without reshaping.
+//
+// The regularization term (lambda/2)||w||^2 of Eq. (2) is NOT part of
+// `loss`/`add_loss_gradient`: per Device Routine 2 the device adds
+// `lambda * w` once per averaged minibatch gradient
+// (g~ = (1/ns) sum_i g_i + lambda*w). `add_regularization_gradient` and
+// `regularized_risk` provide that term.
+//
+// `per_sample_l1_sensitivity()` is the model's privacy contract: an upper
+// bound on ||g(x,y) - g(x',y')||_1 over any two samples with ||x||_1 <= 1,
+// as required by Theorem 1 / Appendix A. The averaged-minibatch sensitivity
+// is this value divided by the minibatch size b.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/vector_ops.hpp"
+#include "models/sample.hpp"
+
+namespace crowdml::models {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::size_t feature_dim() const = 0;
+  /// Number of classes for classifiers; 1 for regressors.
+  virtual std::size_t num_classes() const = 0;
+  virtual std::size_t param_dim() const = 0;
+  virtual bool is_classifier() const = 0;
+
+  /// argmax_k prediction for classifiers; the real-valued prediction
+  /// h(x; w) for regressors.
+  virtual double predict(const linalg::Vector& w, const linalg::Vector& x) const = 0;
+
+  /// Un-regularized loss l(h(x; w), y).
+  virtual double loss(const linalg::Vector& w, const Sample& s) const = 0;
+
+  /// g += (sub)gradient of the un-regularized loss at (w, s) — Eq. (4).
+  virtual void add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                                 linalg::Vector& g) const = 0;
+
+  /// L1 global sensitivity of a single-sample loss gradient (Appendix A).
+  virtual double per_sample_l1_sensitivity() const = 0;
+
+  /// L2 global sensitivity of a single-sample loss gradient — used by the
+  /// (eps, delta) Gaussian variant (footnote 1). Defaults to the L1 bound
+  /// (always valid since ||v||_2 <= ||v||_1); models override with tighter
+  /// constants where available.
+  virtual double per_sample_l2_sensitivity() const {
+    return per_sample_l1_sensitivity();
+  }
+
+  double lambda() const { return lambda_; }
+
+  /// Predicted class for classifiers (uses `predict`).
+  int predict_class(const linalg::Vector& w, const linalg::Vector& x) const {
+    return static_cast<int>(predict(w, x));
+  }
+
+  /// g += lambda * w (the regularizer's gradient, added once per minibatch
+  /// in Device Routine 2).
+  void add_regularization_gradient(const linalg::Vector& w, linalg::Vector& g) const;
+
+  /// Average loss-gradient over `samples` plus lambda*w — the device's g~.
+  linalg::Vector averaged_gradient(const linalg::Vector& w,
+                                   std::span<const Sample> samples) const;
+
+  /// Empirical risk of Eq. (2) over one sample set:
+  /// mean loss + (lambda/2)||w||^2.
+  double regularized_risk(const linalg::Vector& w,
+                          std::span<const Sample> samples) const;
+
+  /// Fraction of `samples` misclassified under w (classifiers only).
+  double error_rate(const linalg::Vector& w, std::span<const Sample> samples) const;
+
+ protected:
+  explicit Model(double lambda) : lambda_(lambda) {}
+
+ private:
+  double lambda_;
+};
+
+}  // namespace crowdml::models

@@ -1,0 +1,38 @@
+#include "models/ridge_regression.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace crowdml::models {
+
+RidgeRegression::RidgeRegression(std::size_t dim, double lambda, double residual_bound)
+    : Model(lambda), dim_(dim), residual_bound_(residual_bound) {
+  assert(dim >= 1 && lambda >= 0.0 && residual_bound > 0.0);
+}
+
+double RidgeRegression::predict(const linalg::Vector& w, const linalg::Vector& x) const {
+  assert(w.size() == dim_ && x.size() == dim_);
+  return linalg::dot(w, x);
+}
+
+double RidgeRegression::clipped_residual(const linalg::Vector& w, const Sample& s) const {
+  const double r = linalg::dot(w, s.x) - s.y;
+  return std::clamp(r, -residual_bound_, residual_bound_);
+}
+
+double RidgeRegression::loss(const linalg::Vector& w, const Sample& s) const {
+  // Huber-style: quadratic inside the clip region, linear outside, so the
+  // gradient (clipped residual times x) is exactly this loss's gradient.
+  const double r = linalg::dot(w, s.x) - s.y;
+  const double b = residual_bound_;
+  if (std::abs(r) <= b) return 0.5 * r * r;
+  return b * std::abs(r) - 0.5 * b * b;
+}
+
+void RidgeRegression::add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                                        linalg::Vector& g) const {
+  assert(g.size() == dim_);
+  linalg::axpy(clipped_residual(w, s), s.x, g);
+}
+
+}  // namespace crowdml::models

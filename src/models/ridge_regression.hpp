@@ -1,0 +1,44 @@
+// Ridge (L2-regularized squared-loss) regression — the "predictor" side of
+// Crowd-ML's classifier/predictor framing (Section III-A mentions
+// regression explicitly).
+//
+//   prediction: w' x
+//   loss:       0.5 * (w' x - y)^2
+//   gradient:   x * (w' x - y)
+//
+// The squared-loss residual is unbounded, so a truthful differential-
+// privacy sensitivity needs clipping: the residual is clamped to
+// [-residual_bound, +residual_bound] inside loss/gradient (a Huber-style
+// transition), giving per-sample L1 sensitivity 2 * residual_bound for
+// ||x||_1 <= 1. This is the standard fix for DP-SGD on unbounded losses.
+#pragma once
+
+#include "models/model.hpp"
+
+namespace crowdml::models {
+
+class RidgeRegression final : public Model {
+ public:
+  RidgeRegression(std::size_t dim, double lambda = 0.0, double residual_bound = 1.0);
+
+  std::size_t feature_dim() const override { return dim_; }
+  std::size_t num_classes() const override { return 1; }
+  std::size_t param_dim() const override { return dim_; }
+  bool is_classifier() const override { return false; }
+
+  double predict(const linalg::Vector& w, const linalg::Vector& x) const override;
+  double loss(const linalg::Vector& w, const Sample& s) const override;
+  void add_loss_gradient(const linalg::Vector& w, const Sample& s,
+                         linalg::Vector& g) const override;
+  double per_sample_l1_sensitivity() const override { return 2.0 * residual_bound_; }
+
+  double residual_bound() const { return residual_bound_; }
+
+ private:
+  double clipped_residual(const linalg::Vector& w, const Sample& s) const;
+
+  std::size_t dim_;
+  double residual_bound_;
+};
+
+}  // namespace crowdml::models

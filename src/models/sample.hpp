@@ -1,0 +1,33 @@
+// A single (feature, target) pair — Eq. (1)'s data item.
+//
+// Classification tasks store the class label in `y` as an integral value
+// (0-based, unlike the paper's 1-based notation); regression tasks store
+// the real-valued target. `label()` is the checked classification view.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace crowdml::models {
+
+struct Sample {
+  linalg::Vector x;
+  double y = 0.0;
+
+  Sample() = default;
+  Sample(linalg::Vector features, double target)
+      : x(std::move(features)), y(target) {}
+
+  /// Classification label view. Asserts that y holds an integral value.
+  int label() const {
+    assert(std::nearbyint(y) == y);
+    return static_cast<int>(y);
+  }
+};
+
+using SampleSet = std::vector<Sample>;
+
+}  // namespace crowdml::models

@@ -1,0 +1,59 @@
+#include "net/channel.hpp"
+
+namespace crowdml::net {
+
+bool ByteChannel::send(Buffer msg) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<ByteChannel::Buffer> ByteChannel::receive() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  Buffer msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<ByteChannel::Buffer> ByteChannel::try_receive() {
+  std::lock_guard lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Buffer msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void ByteChannel::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ByteChannel::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t ByteChannel::size() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::pair<DuplexChannel::Endpoint, DuplexChannel::Endpoint>
+DuplexChannel::create() {
+  auto ab = std::make_shared<ByteChannel>();
+  auto ba = std::make_shared<ByteChannel>();
+  Endpoint a{ab, ba};
+  Endpoint b{ba, ab};
+  return {a, b};
+}
+
+}  // namespace crowdml::net

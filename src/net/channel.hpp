@@ -1,0 +1,58 @@
+// Thread-safe blocking message channels for the in-process threaded
+// runtime (devices on threads, server on threads, no sockets).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace crowdml::net {
+
+/// MPMC blocking queue of byte buffers with close semantics.
+class ByteChannel {
+ public:
+  using Buffer = std::vector<std::uint8_t>;
+
+  /// Enqueue; returns false if the channel is closed.
+  bool send(Buffer msg);
+
+  /// Block until a message or close. nullopt <=> closed and drained.
+  std::optional<Buffer> receive();
+
+  /// Non-blocking receive.
+  std::optional<Buffer> try_receive();
+
+  void close();
+  bool closed() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Buffer> queue_;
+  bool closed_ = false;
+};
+
+/// A bidirectional link: two channels, two endpoints.
+struct DuplexChannel {
+  struct Endpoint {
+    std::shared_ptr<ByteChannel> out;  // this side sends here
+    std::shared_ptr<ByteChannel> in;   // this side receives here
+
+    bool send(ByteChannel::Buffer msg) { return out->send(std::move(msg)); }
+    std::optional<ByteChannel::Buffer> receive() { return in->receive(); }
+    void close() {
+      out->close();
+      in->close();
+    }
+  };
+
+  /// Create a connected (a, b) endpoint pair.
+  static std::pair<Endpoint, Endpoint> create();
+};
+
+}  // namespace crowdml::net

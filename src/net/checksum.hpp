@@ -1,0 +1,11 @@
+// CRC-32 (IEEE 802.3 polynomial) for frame integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crowdml::net {
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+}  // namespace crowdml::net

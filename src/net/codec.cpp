@@ -1,0 +1,114 @@
+#include "net/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace crowdml::net {
+
+void Writer::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::put_f64(double v) {
+  static_assert(sizeof(double) == 8);
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::put_bytes(const Bytes& b) {
+  if (b.size() > kMaxFieldLength) throw CodecError("bytes field too long");
+  put_u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Writer::put_string(const std::string& s) {
+  if (s.size() > kMaxFieldLength) throw CodecError("string field too long");
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::put_vector(const linalg::Vector& v) {
+  if (v.size() > kMaxFieldLength) throw CodecError("vector field too long");
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  for (double d : v) put_f64(d);
+}
+
+void Writer::put_i64_vector(const std::vector<std::int64_t>& v) {
+  if (v.size() > kMaxFieldLength) throw CodecError("i64 vector field too long");
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  for (std::int64_t d : v) put_i64(d);
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw CodecError("truncated message");
+}
+
+std::uint8_t Reader::get_u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t Reader::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::get_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::int64_t Reader::get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+double Reader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+Bytes Reader::get_bytes() {
+  const std::uint32_t n = get_u32();
+  if (n > kMaxFieldLength) throw CodecError("bytes length out of range");
+  need(n);
+  Bytes out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::get_string() {
+  const std::uint32_t n = get_u32();
+  if (n > kMaxFieldLength) throw CodecError("string length out of range");
+  need(n);
+  std::string out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+linalg::Vector Reader::get_vector() {
+  const std::uint32_t n = get_u32();
+  if (n > kMaxFieldLength) throw CodecError("vector length out of range");
+  need(static_cast<std::size_t>(n) * 8);
+  linalg::Vector out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = get_f64();
+  return out;
+}
+
+std::vector<std::int64_t> Reader::get_i64_vector() {
+  const std::uint32_t n = get_u32();
+  if (n > kMaxFieldLength) throw CodecError("i64 vector length out of range");
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<std::int64_t> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = get_i64();
+  return out;
+}
+
+}  // namespace crowdml::net

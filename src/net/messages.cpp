@@ -1,0 +1,161 @@
+#include "net/messages.hpp"
+
+#include "net/checksum.hpp"
+
+namespace crowdml::net {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'C', 'R', 'M', 'L'};
+
+void put_digest(Writer& w, const Digest& d) {
+  for (std::uint8_t b : d) w.put_u8(b);
+}
+
+Digest get_digest(Reader& r) {
+  Digest d;
+  for (auto& b : d) b = r.get_u8();
+  return d;
+}
+
+}  // namespace
+
+Bytes CheckoutRequest::body() const {
+  Writer w;
+  w.put_u64(device_id);
+  return w.take();
+}
+
+Bytes CheckoutRequest::serialize() const {
+  Writer w;
+  w.put_u64(device_id);
+  put_digest(w, auth_tag);
+  return w.take();
+}
+
+CheckoutRequest CheckoutRequest::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  CheckoutRequest m;
+  m.device_id = r.get_u64();
+  m.auth_tag = get_digest(r);
+  if (!r.exhausted()) throw CodecError("trailing bytes in CheckoutRequest");
+  return m;
+}
+
+Bytes ParamsMessage::serialize() const {
+  Writer w;
+  w.put_u64(version);
+  w.put_u8(accepted ? 1 : 0);
+  w.put_vector(this->w);
+  return w.take();
+}
+
+ParamsMessage ParamsMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ParamsMessage m;
+  m.version = r.get_u64();
+  m.accepted = r.get_u8() != 0;
+  m.w = r.get_vector();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ParamsMessage");
+  return m;
+}
+
+Bytes CheckinMessage::body() const {
+  Writer w;
+  w.put_u64(device_id);
+  w.put_u64(param_version);
+  w.put_vector(g_hat);
+  w.put_i64(ns);
+  w.put_i64(ne_hat);
+  w.put_i64_vector(ny_hat);
+  return w.take();
+}
+
+Bytes CheckinMessage::serialize() const {
+  Writer w;
+  Bytes b = body();
+  w.put_bytes(b);
+  put_digest(w, auth_tag);
+  return w.take();
+}
+
+CheckinMessage CheckinMessage::deserialize(const Bytes& payload) {
+  Reader outer(payload);
+  const Bytes b = outer.get_bytes();
+  const Digest tag = get_digest(outer);
+  if (!outer.exhausted()) throw CodecError("trailing bytes in CheckinMessage");
+
+  Reader r(b);
+  CheckinMessage m;
+  m.device_id = r.get_u64();
+  m.param_version = r.get_u64();
+  m.g_hat = r.get_vector();
+  m.ns = r.get_i64();
+  m.ne_hat = r.get_i64();
+  m.ny_hat = r.get_i64_vector();
+  if (!r.exhausted()) throw CodecError("trailing bytes in CheckinMessage body");
+  m.auth_tag = tag;
+  return m;
+}
+
+Bytes AckMessage::serialize() const {
+  Writer w;
+  w.put_u8(ok ? 1 : 0);
+  w.put_string(reason);
+  return w.take();
+}
+
+AckMessage AckMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  AckMessage m;
+  m.ok = r.get_u8() != 0;
+  m.reason = r.get_string();
+  if (!r.exhausted()) throw CodecError("trailing bytes in AckMessage");
+  return m;
+}
+
+Bytes encode_frame(MessageType type, const Bytes& payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.push_back(static_cast<std::uint8_t>(type));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), payload.begin(), payload.end());
+  // CRC over type + len + payload (everything after the magic).
+  const std::uint32_t crc = crc32(out.data() + 4, out.size() - 4);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return out;
+}
+
+Frame decode_frame(const Bytes& buffer) {
+  if (buffer.size() < kFrameHeaderSize + kFrameTrailerSize)
+    throw CodecError("frame too short");
+  for (int i = 0; i < 4; ++i)
+    if (buffer[static_cast<std::size_t>(i)] != kMagic[i])
+      throw CodecError("bad frame magic");
+
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buffer[5 + static_cast<std::size_t>(i)]) << (8 * i);
+  if (buffer.size() != kFrameHeaderSize + len + kFrameTrailerSize)
+    throw CodecError("frame length mismatch");
+
+  std::uint32_t stated_crc = 0;
+  const std::size_t crc_off = kFrameHeaderSize + len;
+  for (int i = 0; i < 4; ++i)
+    stated_crc |= static_cast<std::uint32_t>(buffer[crc_off + static_cast<std::size_t>(i)])
+                  << (8 * i);
+  const std::uint32_t actual_crc = crc32(buffer.data() + 4, crc_off - 4);
+  if (stated_crc != actual_crc) throw CodecError("frame crc mismatch");
+
+  Frame f;
+  const std::uint8_t type = buffer[4];
+  if (type < 1 || type > 4) throw CodecError("unknown frame type");
+  f.type = static_cast<MessageType>(type);
+  f.payload.assign(buffer.begin() + kFrameHeaderSize,
+                   buffer.begin() + static_cast<std::ptrdiff_t>(crc_off));
+  return f;
+}
+
+}  // namespace crowdml::net

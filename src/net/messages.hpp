@@ -1,0 +1,88 @@
+// Crowd-ML protocol messages (the Fig. 2 workflow on the wire).
+//
+//   CheckoutRequest : device -> server   "send me the current w"     (step 2)
+//   ParamsMessage   : server -> device   versioned parameters        (step 3)
+//   CheckinMessage  : device -> server   sanitized (g^, ns, n^e, n^y) (step 4)
+//   AckMessage      : server -> device   accept/reject + reason       (step 5)
+//
+// Each message carrying device identity also carries an HMAC-SHA256 tag
+// over its body (see auth.hpp) — the server "authenticates the device"
+// in Server Routines 1 and 2.
+//
+// Frames: [magic 'CRML'][u8 type][u32 payload_len][payload][u32 crc32],
+// crc over type+len+payload. decode_frame throws CodecError on corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/codec.hpp"
+#include "net/sha256.hpp"
+
+namespace crowdml::net {
+
+enum class MessageType : std::uint8_t {
+  kCheckoutRequest = 1,
+  kParams = 2,
+  kCheckin = 3,
+  kAck = 4,
+};
+
+struct CheckoutRequest {
+  std::uint64_t device_id = 0;
+  Digest auth_tag{};
+
+  Bytes body() const;  // the authenticated portion
+  Bytes serialize() const;
+  static CheckoutRequest deserialize(const Bytes& payload);
+};
+
+struct ParamsMessage {
+  std::uint64_t version = 0;  // server iteration t at checkout time
+  bool accepted = true;       // false: checkout refused (e.g. auth failure)
+  linalg::Vector w;
+
+  Bytes serialize() const;
+  static ParamsMessage deserialize(const Bytes& payload);
+};
+
+struct CheckinMessage {
+  std::uint64_t device_id = 0;
+  std::uint64_t param_version = 0;  // version of the w the gradient used
+  linalg::Vector g_hat;             // sanitized averaged gradient (Eq. 10)
+  std::int64_t ns = 0;              // samples in the minibatch (public)
+  std::int64_t ne_hat = 0;          // sanitized error count (Eq. 11)
+  std::vector<std::int64_t> ny_hat; // sanitized label counts (Eq. 12)
+  Digest auth_tag{};
+
+  Bytes body() const;
+  Bytes serialize() const;
+  static CheckinMessage deserialize(const Bytes& payload);
+};
+
+struct AckMessage {
+  bool ok = true;
+  std::string reason;
+
+  Bytes serialize() const;
+  static AckMessage deserialize(const Bytes& payload);
+};
+
+/// Framing.
+Bytes encode_frame(MessageType type, const Bytes& payload);
+
+struct Frame {
+  MessageType type;
+  Bytes payload;
+};
+
+/// Decode a complete frame buffer. Throws CodecError on bad magic, length
+/// mismatch, or CRC failure.
+Frame decode_frame(const Bytes& buffer);
+
+/// Frame header size (magic + type + len) and trailer (crc).
+inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 4;
+inline constexpr std::size_t kFrameTrailerSize = 4;
+
+}  // namespace crowdml::net

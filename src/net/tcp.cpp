@@ -1,0 +1,168 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace crowdml::net {
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpConnection::~TcpConnection() { close(); }
+
+void TcpConnection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpConnection::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::optional<TcpConnection> TcpConnection::connect(const std::string& host,
+                                                    std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+bool TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpConnection::send_frame(const Bytes& frame) {
+  if (fd_ < 0) return false;
+  return write_all(frame.data(), frame.size());
+}
+
+std::optional<Bytes> TcpConnection::recv_frame() {
+  if (fd_ < 0) return std::nullopt;
+  Bytes buf(kFrameHeaderSize);
+  if (!read_all(buf.data(), buf.size())) return std::nullopt;
+
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buf[5 + static_cast<std::size_t>(i)]) << (8 * i);
+  if (len > kMaxFieldLength) return std::nullopt;
+
+  buf.resize(kFrameHeaderSize + len + kFrameTrailerSize);
+  if (!read_all(buf.data() + kFrameHeaderSize, len + kFrameTrailerSize))
+    return std::nullopt;
+  return buf;
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpListener> TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  TcpListener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(bound.sin_port);
+  return l;
+}
+
+std::optional<TcpConnection> TcpListener::accept() {
+  if (fd_ < 0) return std::nullopt;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(cfd);
+}
+
+}  // namespace crowdml::net

@@ -1,0 +1,78 @@
+// Minimal framed TCP transport (POSIX sockets) — the real-network path
+// standing in for the prototype's HTTPS plumbing. Devices connect, send a
+// frame, read a frame; the server accepts connections on a listener
+// thread. Used by examples/tcp_crowd and the net integration tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/messages.hpp"
+
+namespace crowdml::net {
+
+/// A connected stream socket. Move-only; closes on destruction.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+  ~TcpConnection();
+
+  /// Connect to host:port (dotted-quad or "localhost").
+  static std::optional<TcpConnection> connect(const std::string& host,
+                                              std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Send a complete encoded frame (from encode_frame). False on error.
+  bool send_frame(const Bytes& frame);
+
+  /// Receive one complete frame's raw bytes (header-driven). nullopt on
+  /// EOF or error; the caller runs decode_frame for validation.
+  std::optional<Bytes> recv_frame();
+
+  void close();
+
+  /// Shut down both directions without closing the fd — safe to call from
+  /// another thread to unblock a recv_frame in progress.
+  void shutdown_both();
+
+ private:
+  bool write_all(const std::uint8_t* data, std::size_t len);
+  bool read_all(std::uint8_t* data, std::size_t len);
+
+  int fd_ = -1;
+};
+
+/// A listening socket. Move-only.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Bind on 127.0.0.1:`port` (0 = ephemeral, see port()).
+  static std::optional<TcpListener> bind(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a connection arrives. nullopt once closed.
+  std::optional<TcpConnection> accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace crowdml::net

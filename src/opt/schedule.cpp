@@ -1,0 +1,34 @@
+#include "opt/schedule.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::opt {
+
+SqrtDecaySchedule::SqrtDecaySchedule(double c) : c_(c) { assert(c > 0.0); }
+double SqrtDecaySchedule::rate(long long t) const {
+  assert(t >= 1);
+  return c_ / std::sqrt(static_cast<double>(t));
+}
+std::unique_ptr<LearningRateSchedule> SqrtDecaySchedule::clone() const {
+  return std::make_unique<SqrtDecaySchedule>(*this);
+}
+
+ConstantSchedule::ConstantSchedule(double c) : c_(c) { assert(c > 0.0); }
+double ConstantSchedule::rate(long long) const { return c_; }
+std::unique_ptr<LearningRateSchedule> ConstantSchedule::clone() const {
+  return std::make_unique<ConstantSchedule>(*this);
+}
+
+InverseTSchedule::InverseTSchedule(double c, double t0) : c_(c), t0_(t0) {
+  assert(c > 0.0 && t0 >= 0.0);
+}
+double InverseTSchedule::rate(long long t) const {
+  assert(t >= 1);
+  return c_ / (t0_ + static_cast<double>(t));
+}
+std::unique_ptr<LearningRateSchedule> InverseTSchedule::clone() const {
+  return std::make_unique<InverseTSchedule>(*this);
+}
+
+}  // namespace crowdml::opt

@@ -1,0 +1,56 @@
+// Learning-rate schedules eta(t).
+//
+// The paper's default is eta(t) = c / sqrt(t) (Eq. 5); Remark 3 notes that
+// adaptive rates can be substituted without affecting the privacy guarantee
+// (the noise is added on-device, before the server-side update), so we also
+// ship constant and 1/t schedules plus AdaGrad in updater.hpp.
+#pragma once
+
+#include <memory>
+
+namespace crowdml::opt {
+
+class LearningRateSchedule {
+ public:
+  virtual ~LearningRateSchedule() = default;
+  /// Rate for iteration t (1-based).
+  virtual double rate(long long t) const = 0;
+  virtual std::unique_ptr<LearningRateSchedule> clone() const = 0;
+};
+
+/// eta(t) = c / sqrt(t) — Eq. (5).
+class SqrtDecaySchedule final : public LearningRateSchedule {
+ public:
+  explicit SqrtDecaySchedule(double c);
+  double rate(long long t) const override;
+  std::unique_ptr<LearningRateSchedule> clone() const override;
+
+ private:
+  double c_;
+};
+
+/// eta(t) = c.
+class ConstantSchedule final : public LearningRateSchedule {
+ public:
+  explicit ConstantSchedule(double c);
+  double rate(long long t) const override;
+  std::unique_ptr<LearningRateSchedule> clone() const override;
+
+ private:
+  double c_;
+};
+
+/// eta(t) = c / (t0 + t) — the classic Robbins-Monro rate for strongly
+/// convex risks.
+class InverseTSchedule final : public LearningRateSchedule {
+ public:
+  explicit InverseTSchedule(double c, double t0 = 0.0);
+  double rate(long long t) const override;
+  std::unique_ptr<LearningRateSchedule> clone() const override;
+
+ private:
+  double c_;
+  double t0_;
+};
+
+}  // namespace crowdml::opt

@@ -1,0 +1,136 @@
+#include "opt/updater.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::opt {
+
+SgdUpdater::SgdUpdater(std::unique_ptr<LearningRateSchedule> schedule, double radius)
+    : schedule_(std::move(schedule)), radius_(radius) {
+  assert(schedule_ && radius_ > 0.0);
+}
+
+void SgdUpdater::apply(linalg::Vector& w, const linalg::Vector& g) {
+  assert(w.size() == g.size());
+  const double eta = schedule_->rate(next_step());
+  linalg::axpy(-eta, g, w);
+  linalg::project_l2_ball(w, radius_);
+}
+
+AdaGradUpdater::AdaGradUpdater(double eta0, double radius, double delta)
+    : eta0_(eta0), radius_(radius), delta_(delta) {
+  assert(eta0 > 0.0 && radius > 0.0 && delta > 0.0);
+}
+
+void AdaGradUpdater::apply(linalg::Vector& w, const linalg::Vector& g) {
+  assert(w.size() == g.size());
+  if (accum_.size() != g.size()) accum_.assign(g.size(), 0.0);
+  next_step();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    accum_[i] += g[i] * g[i];
+    w[i] -= eta0_ / std::sqrt(delta_ + accum_[i]) * g[i];
+  }
+  linalg::project_l2_ball(w, radius_);
+}
+
+void AdaGradUpdater::reset() {
+  Updater::reset();
+  accum_.clear();
+}
+
+MomentumUpdater::MomentumUpdater(std::unique_ptr<LearningRateSchedule> schedule,
+                                 double radius, double beta)
+    : schedule_(std::move(schedule)), radius_(radius), beta_(beta) {
+  assert(schedule_ && radius > 0.0 && beta >= 0.0 && beta < 1.0);
+}
+
+void MomentumUpdater::apply(linalg::Vector& w, const linalg::Vector& g) {
+  assert(w.size() == g.size());
+  if (velocity_.size() != g.size()) velocity_.assign(g.size(), 0.0);
+  const double eta = schedule_->rate(next_step());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    velocity_[i] = beta_ * velocity_[i] - eta * g[i];
+    w[i] += velocity_[i];
+  }
+  linalg::project_l2_ball(w, radius_);
+}
+
+void MomentumUpdater::reset() {
+  Updater::reset();
+  velocity_.clear();
+}
+
+AdamUpdater::AdamUpdater(double eta0, double radius, double beta1,
+                         double beta2, double epsilon)
+    : eta0_(eta0),
+      radius_(radius),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  assert(eta0 > 0.0 && radius > 0.0);
+  assert(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0);
+  assert(epsilon > 0.0);
+}
+
+void AdamUpdater::apply(linalg::Vector& w, const linalg::Vector& g) {
+  assert(w.size() == g.size());
+  if (m_.size() != g.size()) {
+    m_.assign(g.size(), 0.0);
+    v_.assign(g.size(), 0.0);
+  }
+  const auto t = static_cast<double>(next_step());
+  const double bc1 = 1.0 - std::pow(beta1_, t);
+  const double bc2 = 1.0 - std::pow(beta2_, t);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g[i] * g[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    w[i] -= eta0_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+  linalg::project_l2_ball(w, radius_);
+}
+
+void AdamUpdater::reset() {
+  Updater::reset();
+  m_.clear();
+  v_.clear();
+}
+
+DualAveragingUpdater::DualAveragingUpdater(double c, double radius)
+    : c_(c), radius_(radius) {
+  assert(c > 0.0 && radius > 0.0);
+}
+
+void DualAveragingUpdater::apply(linalg::Vector& w, const linalg::Vector& g) {
+  assert(w.size() == g.size());
+  if (gradient_sum_.size() != g.size()) gradient_sum_.assign(g.size(), 0.0);
+  const auto t = static_cast<double>(next_step());
+  linalg::axpy(1.0, g, gradient_sum_);
+  const double scale = -c_ / std::sqrt(t);  // w_{t+1} = -(c/sqrt(t)) z_t
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = scale * gradient_sum_[i];
+  linalg::project_l2_ball(w, radius_);
+}
+
+void DualAveragingUpdater::reset() {
+  Updater::reset();
+  gradient_sum_.clear();
+}
+
+void PolyakAverager::observe(const linalg::Vector& w) {
+  if (avg_.size() != w.size()) {
+    avg_ = w;
+    count_ = 1;
+    return;
+  }
+  ++count_;
+  const double alpha = 1.0 / static_cast<double>(count_);
+  for (std::size_t i = 0; i < w.size(); ++i) avg_[i] += alpha * (w[i] - avg_[i]);
+}
+
+void PolyakAverager::reset() {
+  avg_.clear();
+  count_ = 0;
+}
+
+}  // namespace crowdml::opt

@@ -1,0 +1,138 @@
+// Server-side parameter update rules.
+//
+// The paper's Server Routine 2 applies w <- Pi_W[w - eta(t) g^] (Eq. 3)
+// with Pi_W the projection onto an L2 ball of radius R. Remark 3 allows
+// swapping in "more recent update methods" and "adaptive learning rates"
+// without touching the devices or the privacy analysis — AdaGrad and
+// momentum updaters implement that extension, and PolyakAverager the
+// classic averaged-SGD refinement.
+#pragma once
+
+#include <memory>
+
+#include "linalg/vector_ops.hpp"
+#include "opt/schedule.hpp"
+
+namespace crowdml::opt {
+
+class Updater {
+ public:
+  virtual ~Updater() = default;
+
+  /// Apply one (possibly sanitized) gradient. Increments the internal
+  /// iteration counter t.
+  virtual void apply(linalg::Vector& w, const linalg::Vector& g) = 0;
+
+  /// Iterations applied so far.
+  long long steps() const { return steps_; }
+
+  virtual void reset() { steps_ = 0; }
+
+  /// Fast-forward the iteration counter (checkpoint restore). Schedule
+  /// state (eta(t)) resumes exactly; adaptive accumulators (AdaGrad,
+  /// momentum velocity) restart empty — documented in checkpoint.hpp.
+  void restore_steps(long long steps) { steps_ = steps; }
+
+ protected:
+  long long next_step() { return ++steps_; }
+
+ private:
+  long long steps_ = 0;
+};
+
+/// Plain projected SGD — Eq. (3) with Eq. (5)-style schedule.
+class SgdUpdater final : public Updater {
+ public:
+  SgdUpdater(std::unique_ptr<LearningRateSchedule> schedule, double radius);
+  void apply(linalg::Vector& w, const linalg::Vector& g) override;
+
+ private:
+  std::unique_ptr<LearningRateSchedule> schedule_;
+  double radius_;
+};
+
+/// AdaGrad (Duchi et al., paper's Remark 3 reference [37]) with projection.
+/// Per-coordinate rate eta0 / sqrt(delta + sum g_i^2) — robust to the large
+/// noisy gradients produced by small-epsilon sanitization or malignant
+/// devices.
+class AdaGradUpdater final : public Updater {
+ public:
+  AdaGradUpdater(double eta0, double radius, double delta = 1e-8);
+  void apply(linalg::Vector& w, const linalg::Vector& g) override;
+  void reset() override;
+
+ private:
+  double eta0_;
+  double radius_;
+  double delta_;
+  linalg::Vector accum_;
+};
+
+/// Heavy-ball momentum with projection.
+class MomentumUpdater final : public Updater {
+ public:
+  MomentumUpdater(std::unique_ptr<LearningRateSchedule> schedule, double radius,
+                  double beta = 0.9);
+  void apply(linalg::Vector& w, const linalg::Vector& g) override;
+  void reset() override;
+
+ private:
+  std::unique_ptr<LearningRateSchedule> schedule_;
+  double radius_;
+  double beta_;
+  linalg::Vector velocity_;
+};
+
+/// Adam (bias-corrected first/second-moment adaptation) with projection —
+/// the modern default for noisy gradients, rounding out the Remark 3
+/// family of pluggable server-side update rules.
+class AdamUpdater final : public Updater {
+ public:
+  AdamUpdater(double eta0, double radius, double beta1 = 0.9,
+              double beta2 = 0.999, double epsilon = 1e-8);
+  void apply(linalg::Vector& w, const linalg::Vector& g) override;
+  void reset() override;
+
+ private:
+  double eta0_;
+  double radius_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  linalg::Vector m_;
+  linalg::Vector v_;
+};
+
+/// Nesterov's simple dual averaging (the paper's Remark 3 reference [35]):
+/// w_{t+1} = Pi_W[ -(c / sqrt(t)) * mean of all subgradients so far ].
+/// Averaging the gradient history makes each step robust to a single
+/// outlying (or malicious) noisy gradient — the robustness Remark 3 asks
+/// for.
+class DualAveragingUpdater final : public Updater {
+ public:
+  DualAveragingUpdater(double c, double radius);
+  void apply(linalg::Vector& w, const linalg::Vector& g) override;
+  void reset() override;
+
+ private:
+  double c_;
+  double radius_;
+  linalg::Vector gradient_sum_;
+};
+
+/// Running (Polyak-Ruppert) average of the iterates; querying the averaged
+/// parameters typically halves the variance of the final model under noisy
+/// gradients.
+class PolyakAverager {
+ public:
+  void observe(const linalg::Vector& w);
+  const linalg::Vector& average() const { return avg_; }
+  long long count() const { return count_; }
+  void reset();
+
+ private:
+  linalg::Vector avg_;
+  long long count_ = 0;
+};
+
+}  // namespace crowdml::opt

@@ -1,0 +1,26 @@
+#include "privacy/accountant.hpp"
+
+#include <cassert>
+
+namespace crowdml::privacy {
+
+PrivacyAccountant::PrivacyAccountant(PrivacyBudget budget, std::size_t num_classes)
+    : budget_(budget), num_classes_(num_classes) {
+  assert(num_classes >= 1);
+}
+
+void PrivacyAccountant::record_checkin(std::size_t batch_samples) {
+  assert(batch_samples > 0);
+  ++checkins_;
+  samples_released_ += static_cast<long long>(batch_samples);
+}
+
+double PrivacyAccountant::per_sample_epsilon() const {
+  return budget_.per_sample_epsilon(num_classes_);
+}
+
+double PrivacyAccountant::sequential_epsilon() const {
+  return per_sample_epsilon() * static_cast<double>(checkins_);
+}
+
+}  // namespace crowdml::privacy

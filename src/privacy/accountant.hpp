@@ -1,0 +1,45 @@
+// Privacy accounting for a device's lifetime.
+//
+// Crowd-ML's guarantee is per-sample: each sample is used in exactly one
+// minibatch, so releases over disjoint minibatches compose in parallel and
+// "the sensitivity of multiple minibatches ... is the same as the
+// sensitivity of a single one" (Appendix A). The accountant certifies that
+// invariant (no sample released twice) and reports both the per-sample
+// epsilon and the naive sequential-composition total, which is the honest
+// bound if a deployment ever re-released a sample.
+#pragma once
+
+#include <cstddef>
+
+#include "privacy/budget.hpp"
+
+namespace crowdml::privacy {
+
+class PrivacyAccountant {
+ public:
+  PrivacyAccountant(PrivacyBudget budget, std::size_t num_classes);
+
+  /// Record one checkin releasing a sanitized (gradient, counts) tuple
+  /// computed from `batch_samples` fresh samples.
+  void record_checkin(std::size_t batch_samples);
+
+  /// Worst-case epsilon for any single sample (parallel composition across
+  /// disjoint minibatches): eps_g + eps_e + C * eps_y.
+  double per_sample_epsilon() const;
+
+  /// Sequential-composition bound over the device lifetime — meaningful
+  /// only if minibatches could overlap; reported for auditability.
+  double sequential_epsilon() const;
+
+  long long checkins() const { return checkins_; }
+  long long samples_released() const { return samples_released_; }
+  const PrivacyBudget& budget() const { return budget_; }
+
+ private:
+  PrivacyBudget budget_;
+  std::size_t num_classes_;
+  long long checkins_ = 0;
+  long long samples_released_ = 0;
+};
+
+}  // namespace crowdml::privacy

@@ -1,0 +1,42 @@
+#include "privacy/budget.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace crowdml::privacy {
+
+double epsilon_from_inverse(double eps_inverse) {
+  assert(eps_inverse >= 0.0);
+  return eps_inverse == 0.0 ? kNoPrivacy : 1.0 / eps_inverse;
+}
+
+PrivacyBudget PrivacyBudget::gradient_dominated(double eps_gradient,
+                                                double counter_fraction) {
+  assert(eps_gradient > 0.0 && counter_fraction > 0.0);
+  PrivacyBudget b;
+  b.eps_gradient = eps_gradient;
+  if (std::isinf(eps_gradient)) return b;
+  b.eps_error = eps_gradient * counter_fraction;
+  b.eps_label = eps_gradient * counter_fraction;
+  return b;
+}
+
+PrivacyBudget PrivacyBudget::gaussian(double eps_gradient, double delta,
+                                      double counter_fraction) {
+  assert(delta > 0.0 && delta < 1.0);
+  PrivacyBudget b = gradient_dominated(eps_gradient, counter_fraction);
+  b.mechanism = NoiseMechanism::kGaussian;
+  b.delta = delta;
+  return b;
+}
+
+double PrivacyBudget::per_sample_epsilon(std::size_t num_classes) const {
+  return eps_gradient + eps_error + static_cast<double>(num_classes) * eps_label;
+}
+
+bool PrivacyBudget::is_private() const {
+  return !std::isinf(eps_gradient) || !std::isinf(eps_error) ||
+         !std::isinf(eps_label);
+}
+
+}  // namespace crowdml::privacy

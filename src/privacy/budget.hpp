@@ -1,0 +1,55 @@
+// Per-device privacy configuration.
+//
+// The paper splits the per-sample budget across the three quantities a
+// device releases (Appendix B, Remark 1):
+//
+//   eps = eps_g (gradient, Eq. 10) + eps_e (error count, Eq. 11)
+//         + C * eps_y (per-class label counts, Eq. 12)
+//
+// `epsilon = +infinity` means "no noise" — the paper's eps^{-1} = 0
+// setting — and every mechanism degrades to the identity in that case.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace crowdml::privacy {
+
+constexpr double kNoPrivacy = std::numeric_limits<double>::infinity();
+
+/// Convert the paper's eps^{-1} notation: 0 -> no privacy (infinite eps).
+double epsilon_from_inverse(double eps_inverse);
+
+/// Which noise mechanism sanitizes the gradient. Laplace gives pure
+/// eps-DP (Eq. 10); Gaussian gives (eps, delta)-DP (footnote 1) with
+/// noise scaled to the L2 sensitivity — usually far less total noise in
+/// high dimension.
+enum class NoiseMechanism { kLaplace, kGaussian };
+
+struct PrivacyBudget {
+  double eps_gradient = kNoPrivacy;  // eps_g in Eq. (10)
+  double eps_error = kNoPrivacy;     // eps_e in Eq. (11)
+  double eps_label = kNoPrivacy;     // eps_{y^k} in Eq. (12)
+  NoiseMechanism mechanism = NoiseMechanism::kLaplace;
+  double delta = 1e-6;  // only meaningful for kGaussian
+
+  static PrivacyBudget none() { return {}; }
+
+  /// (eps, delta) Gaussian-mechanism budget with the whole epsilon on the
+  /// gradient and tiny counter budgets (counters stay discrete-Laplace).
+  static PrivacyBudget gaussian(double eps_gradient, double delta,
+                                double counter_fraction = 0.01);
+
+  /// Budget with the whole epsilon on the gradient and a tiny share on the
+  /// monitoring counters (Appendix B Remark 1: "eps_e and eps_yk can be set
+  /// to be very small ... so that eps ~= eps_g").
+  static PrivacyBudget gradient_dominated(double eps_gradient,
+                                          double counter_fraction = 0.01);
+
+  /// Total per-sample epsilon: eps_g + eps_e + C * eps_y (Remark 1).
+  double per_sample_epsilon(std::size_t num_classes) const;
+
+  bool is_private() const;
+};
+
+}  // namespace crowdml::privacy

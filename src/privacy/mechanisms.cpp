@@ -1,0 +1,64 @@
+#include "privacy/mechanisms.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::privacy {
+
+linalg::Vector sanitize_vector(rng::Engine& eng, const linalg::Vector& v,
+                               double l1_sensitivity, double epsilon) {
+  assert(l1_sensitivity >= 0.0 && epsilon > 0.0);
+  linalg::Vector out = v;
+  if (std::isinf(epsilon) || l1_sensitivity == 0.0) return out;
+  const double scale = l1_sensitivity / epsilon;
+  for (double& c : out) c += rng::laplace(eng, scale);
+  return out;
+}
+
+long long sanitize_count(rng::Engine& eng, long long n, double epsilon) {
+  assert(epsilon > 0.0);
+  if (std::isinf(epsilon)) return n;
+  return n + rng::discrete_laplace(eng, epsilon / 2.0);
+}
+
+int perturb_label(rng::Engine& eng, int y, std::size_t num_classes,
+                  double epsilon) {
+  assert(y >= 0 && static_cast<std::size_t>(y) < num_classes);
+  assert(epsilon > 0.0);
+  if (std::isinf(epsilon)) return y;
+  // P(y^ = y) ∝ e^{eps/2}; P(y^ = other) ∝ 1.
+  std::vector<double> weights(num_classes, 1.0);
+  weights[static_cast<std::size_t>(y)] = std::exp(epsilon / 2.0);
+  return static_cast<int>(rng::categorical(eng, weights));
+}
+
+linalg::Vector perturb_features(rng::Engine& eng, const linalg::Vector& x,
+                                double epsilon) {
+  // Identity release of a vector with ||x||_1 <= 1 has sensitivity 2
+  // (Theorem 3), hence scale 2/epsilon per coordinate.
+  return sanitize_vector(eng, x, 2.0, epsilon);
+}
+
+linalg::Vector sanitize_vector_gaussian(rng::Engine& eng, const linalg::Vector& v,
+                                        double l2_sensitivity, double epsilon,
+                                        double delta) {
+  assert(l2_sensitivity >= 0.0 && epsilon > 0.0);
+  linalg::Vector out = v;
+  if (std::isinf(epsilon) || l2_sensitivity == 0.0) return out;
+  assert(delta > 0.0 && delta < 1.0);
+  const double sigma =
+      l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+  for (double& c : out) c += rng::normal(eng, 0.0, sigma);
+  return out;
+}
+
+double laplace_noise_variance(double l1_sensitivity, double epsilon) {
+  if (std::isinf(epsilon) || l1_sensitivity == 0.0) return 0.0;
+  const double scale = l1_sensitivity / epsilon;
+  return 2.0 * scale * scale;
+}
+
+}  // namespace crowdml::privacy

@@ -1,0 +1,52 @@
+// The differential-privacy mechanisms of Section III-C and Appendix C.
+//
+// All mechanisms take an explicit engine so experiments replay
+// deterministically, and all treat epsilon == +infinity as "no noise"
+// (the paper's eps^{-1} = 0 configuration).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::privacy {
+
+/// Eq. (10): Laplace vector mechanism for an averaged minibatch gradient.
+/// `l1_sensitivity` is the sensitivity of the *released vector* — for a
+/// minibatch of size b it is model.per_sample_l1_sensitivity() / b
+/// (Appendix A: 4/b for multiclass logistic regression). Adds iid Laplace
+/// noise of scale l1_sensitivity / epsilon per coordinate and returns the
+/// sanitized copy g^ = g~ + z.
+linalg::Vector sanitize_vector(rng::Engine& eng, const linalg::Vector& v,
+                               double l1_sensitivity, double epsilon);
+
+/// Eqs. (11)-(12): discrete Laplace mechanism for integer counts with unit
+/// sensitivity — P(z) proportional to exp(-epsilon/2 * |z|). Returns n + z
+/// (which may be negative; see Appendix B Remark 2).
+long long sanitize_count(rng::Engine& eng, long long n, double epsilon);
+
+/// Eq. (16): exponential-mechanism label perturbation with score
+/// d(y, y^) = I[y == y^]; P(y^|y) proportional to exp(epsilon/2 * I[y==y^]).
+/// Used by the centralized baseline (Appendix C).
+int perturb_label(rng::Engine& eng, int y, std::size_t num_classes,
+                  double epsilon);
+
+/// Eq. (15): Laplace feature perturbation for the centralized baseline.
+/// Sensitivity 2 for ||x||_1 <= 1, i.e. per-coordinate scale 2/epsilon.
+linalg::Vector perturb_features(rng::Engine& eng, const linalg::Vector& x,
+                                double epsilon);
+
+/// Footnote 1's (eps, delta) variant: Gaussian mechanism with
+/// sigma = l2_sensitivity * sqrt(2 ln(1.25/delta)) / epsilon.
+/// Requires 0 < epsilon (finite => delta in (0,1)).
+linalg::Vector sanitize_vector_gaussian(rng::Engine& eng, const linalg::Vector& v,
+                                        double l2_sensitivity, double epsilon,
+                                        double delta);
+
+/// Variance of one coordinate of the Eq. (10) noise: 2 * (S/eps)^2.
+/// Combined with the sampling term this gives the paper's Eq. (13)
+/// trade-off  E||g^||^2 = (1/b) E||g||^2 + 32 D / (b eps)^2  for S = 4/b.
+double laplace_noise_variance(double l1_sensitivity, double epsilon);
+
+}  // namespace crowdml::privacy

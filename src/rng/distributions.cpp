@@ -1,0 +1,101 @@
+#include "rng/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <numeric>
+
+namespace crowdml::rng {
+
+double uniform(Engine& eng, double lo, double hi) {
+  // 53-bit mantissa in [0, 1).
+  const double u = static_cast<double>(eng() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+std::uint64_t uniform_index(Engine& eng, std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % n;
+  std::uint64_t v;
+  do {
+    v = eng();
+  } while (v >= limit);
+  return v % n;
+}
+
+double normal(Engine& eng, double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform(eng);
+  } while (u1 <= 0.0);
+  const double u2 = uniform(eng);
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double exponential(Engine& eng, double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = uniform(eng);
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double laplace(Engine& eng, double scale) {
+  assert(scale >= 0.0);
+  if (scale == 0.0) return 0.0;
+  const double u = uniform(eng, -0.5, 0.5);
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+namespace {
+/// Geometric on {0,1,2,...} with success probability 1-p via inversion.
+long long geometric(Engine& eng, double p) {
+  if (p <= 0.0) return 0;
+  double u;
+  do {
+    u = uniform(eng);
+  } while (u <= 0.0);
+  return static_cast<long long>(std::floor(std::log(u) / std::log(p)));
+}
+}  // namespace
+
+long long discrete_laplace(Engine& eng, double alpha) {
+  assert(alpha > 0.0);
+  if (std::isinf(alpha)) return 0;
+  const double p = std::exp(-alpha);
+  return geometric(eng, p) - geometric(eng, p);
+}
+
+std::size_t categorical(Engine& eng, const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double r = uniform(eng, 0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return last positive bucket
+}
+
+std::vector<std::size_t> shuffled_indices(Engine& eng, std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(eng, i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace crowdml::rng

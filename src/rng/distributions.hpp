@@ -1,0 +1,49 @@
+// Samplers for the distributions Crowd-ML's mechanisms and workloads need.
+//
+// Notably:
+//  * `laplace`          — continuous Laplace, the gradient mechanism (Eq. 10)
+//                         and the centralized feature perturbation (Eq. 15);
+//  * `discrete_laplace` — two-sided geometric, the count mechanism
+//                         (Eqs. 11-12, Inusah & Kozubowski construction);
+//  * `categorical`      — weighted choice, the exponential mechanism for
+//                         label perturbation (Eq. 16) and class sampling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rng/engine.hpp"
+
+namespace crowdml::rng {
+
+/// Uniform real in [lo, hi).
+double uniform(Engine& eng, double lo = 0.0, double hi = 1.0);
+
+/// Uniform integer in [0, n). Requires n > 0.
+std::uint64_t uniform_index(Engine& eng, std::uint64_t n);
+
+/// Standard normal via Box-Muller (single value, no caching).
+double normal(Engine& eng, double mean = 0.0, double stddev = 1.0);
+
+/// Exponential with the given rate (mean = 1/rate).
+double exponential(Engine& eng, double rate);
+
+/// Continuous Laplace with density (1/2s) exp(-|z|/s). `scale == 0`
+/// returns exactly 0 (the no-privacy degenerate case).
+double laplace(Engine& eng, double scale);
+
+/// Discrete Laplace on Z with P(z) proportional to p^{|z|}, p = exp(-alpha):
+/// the difference of two iid geometric variables. `alpha` is the exponent
+/// coefficient of Eqs. (11)-(12), e.g. alpha = eps_e / 2.
+/// alpha == +infinity returns exactly 0.
+long long discrete_laplace(Engine& eng, double alpha);
+
+/// Index sampled proportionally to non-negative `weights` (at least one
+/// strictly positive).
+std::size_t categorical(Engine& eng, const std::vector<double>& weights);
+
+/// Fisher-Yates shuffle of indices [0, n).
+std::vector<std::size_t> shuffled_indices(Engine& eng, std::size_t n);
+
+}  // namespace crowdml::rng

@@ -1,0 +1,77 @@
+#include "sensing/accelerometer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::sensing {
+
+namespace {
+constexpr double kGravity = 9.81;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kStill:
+      return "Still";
+    case Activity::kOnFoot:
+      return "OnFoot";
+    case Activity::kInVehicle:
+      return "InVehicle";
+  }
+  return "Unknown";
+}
+
+double TriaxialSample::magnitude() const {
+  return std::sqrt(ax * ax + ay * ay + az * az);
+}
+
+AccelerometerSimulator::AccelerometerSimulator(rng::Engine eng,
+                                               double sample_rate_hz)
+    : eng_(eng), fs_(sample_rate_hz) {
+  set_activity(Activity::kStill);
+}
+
+void AccelerometerSimulator::set_activity(Activity a) {
+  activity_ = a;
+  phase_a_ = rng::uniform(eng_, 0.0, kTwoPi);
+  phase_b_ = rng::uniform(eng_, 0.0, kTwoPi);
+}
+
+TriaxialSample AccelerometerSimulator::next() {
+  TriaxialSample s;
+  const double t = t_;
+  t_ += 1.0 / fs_;
+
+  double vertical = kGravity;
+  double horizontal = 0.0;
+  double noise = 0.05;
+  switch (activity_) {
+    case Activity::kStill:
+      noise = 0.05;
+      break;
+    case Activity::kOnFoot:
+      // ~2 Hz gait with a 4 Hz harmonic; rectified-sine-like step impacts.
+      vertical += 2.5 * std::abs(std::sin(kTwoPi * 2.0 * t + phase_a_)) +
+                  0.8 * std::sin(kTwoPi * 4.0 * t + phase_b_);
+      horizontal = 0.9 * std::sin(kTwoPi * 2.0 * t + phase_a_ * 0.5);
+      noise = 0.30;
+      break;
+    case Activity::kInVehicle:
+      // Road sway ~0.8 Hz plus an engine band component ~6 Hz.
+      vertical += 0.5 * std::sin(kTwoPi * 0.8 * t + phase_a_) +
+                  0.35 * std::sin(kTwoPi * 6.0 * t + phase_b_);
+      horizontal = 0.25 * std::sin(kTwoPi * 1.2 * t + phase_b_ * 0.5);
+      noise = 0.15;
+      break;
+  }
+
+  s.ax = horizontal + rng::normal(eng_, 0.0, noise);
+  s.ay = rng::normal(eng_, 0.0, noise);
+  s.az = vertical + rng::normal(eng_, 0.0, noise);
+  return s;
+}
+
+}  // namespace crowdml::sensing

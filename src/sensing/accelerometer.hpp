@@ -1,0 +1,55 @@
+// Synthetic tri-axial accelerometer substrate.
+//
+// Stand-in for the paper's real phones (DESIGN.md "Substitutions"): each
+// activity class produces a distinct spectral signature in the
+// acceleration-magnitude signal sampled at 20 Hz —
+//   Still:     gravity plus small sensor noise (flat, near-DC spectrum);
+//   OnFoot:    ~2 Hz step cadence with a harmonic (walking gait);
+//   InVehicle: low-frequency road sway plus a mid-band engine component.
+// The downstream 64-bin FFT features (Section V-B pipeline) are therefore
+// linearly separable to roughly the same degree as real phone data.
+#pragma once
+
+#include "rng/engine.hpp"
+
+namespace crowdml::sensing {
+
+enum class Activity : int { kStill = 0, kOnFoot = 1, kInVehicle = 2 };
+inline constexpr std::size_t kNumActivities = 3;
+
+const char* activity_name(Activity a);
+
+struct TriaxialSample {
+  double ax = 0.0;
+  double ay = 0.0;
+  double az = 0.0;
+
+  /// |a| = sqrt(ax^2 + ay^2 + az^2) — the paper's magnitude signal.
+  double magnitude() const;
+};
+
+/// Streaming generator of tri-axial samples for one device.
+class AccelerometerSimulator {
+ public:
+  AccelerometerSimulator(rng::Engine eng, double sample_rate_hz = 20.0);
+
+  /// Switch activity; re-randomizes the motion phases (a new gait/ride).
+  void set_activity(Activity a);
+  Activity activity() const { return activity_; }
+
+  /// Produce the next sample and advance the clock by 1/sample_rate.
+  TriaxialSample next();
+
+  double sample_rate_hz() const { return fs_; }
+  double time_seconds() const { return t_; }
+
+ private:
+  rng::Engine eng_;
+  double fs_;
+  double t_ = 0.0;
+  Activity activity_ = Activity::kStill;
+  double phase_a_ = 0.0;  // primary oscillation phase offset
+  double phase_b_ = 0.0;  // secondary (harmonic / engine) phase offset
+};
+
+}  // namespace crowdml::sensing

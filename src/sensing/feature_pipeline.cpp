@@ -1,0 +1,100 @@
+#include "sensing/feature_pipeline.hpp"
+
+#include <cassert>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::sensing {
+
+WindowFeaturizer::WindowFeaturizer(std::size_t window_size)
+    : window_size_(window_size) {
+  assert(is_power_of_two(window_size));
+  buffer_.reserve(window_size);
+}
+
+std::optional<linalg::Vector> WindowFeaturizer::push(double magnitude) {
+  buffer_.push_back(magnitude);
+  if (buffer_.size() < window_size_) return std::nullopt;
+  // Remove the DC component (gravity dominates |a| by ~9.81 regardless of
+  // activity); without this the L1-normalized spectrum is ~99% DC bin and
+  // the activity signature is numerically invisible.
+  double mean = 0.0;
+  for (double v : buffer_) mean += v;
+  mean /= static_cast<double>(buffer_.size());
+  for (double& v : buffer_) v -= mean;
+  linalg::Vector feature = magnitude_spectrum(buffer_);
+  buffer_.clear();
+  const double n = linalg::norm1(feature);
+  if (n > 0.0) linalg::scal(1.0 / n, feature);
+  return feature;
+}
+
+bool LabelChangeTrigger::should_emit(int label) {
+  if (last_emitted_ && *last_emitted_ == label) return false;
+  last_emitted_ = label;
+  return true;
+}
+
+void LabelChangeTrigger::reset() { last_emitted_.reset(); }
+
+ActivityFeatureStream::ActivityFeatureStream(rng::Engine eng, Options opt)
+    : eng_(eng),
+      opt_(opt),
+      accel_(eng_.split(1), opt.sample_rate_hz),
+      featurizer_(opt.window_size) {
+  maybe_switch_activity();
+}
+
+void ActivityFeatureStream::maybe_switch_activity() {
+  if (dwell_remaining_s_ > 0.0) return;
+  const auto a = static_cast<Activity>(rng::uniform_index(eng_, kNumActivities));
+  if (a != accel_.activity()) {
+    // Start a fresh window so no emitted feature straddles two activities
+    // (a straddling window's spectrum belongs to neither class).
+    featurizer_.reset();
+  }
+  accel_.set_activity(a);
+  dwell_remaining_s_ = rng::exponential(eng_, 1.0 / opt_.mean_dwell_seconds);
+}
+
+models::Sample ActivityFeatureStream::next() {
+  for (;;) {
+    maybe_switch_activity();
+    const Activity label = accel_.activity();
+    const TriaxialSample t = accel_.next();
+    dwell_remaining_s_ -= 1.0 / opt_.sample_rate_hz;
+    auto feature = featurizer_.push(t.magnitude());
+    if (!feature) continue;
+    ++windows_seen_;
+    const int y = static_cast<int>(label);
+    if (opt_.label_change_trigger && !trigger_.should_emit(y)) continue;
+    ++samples_emitted_;
+    return models::Sample(std::move(*feature), static_cast<double>(y));
+  }
+}
+
+linalg::Vector activity_window_feature(rng::Engine& eng, Activity a,
+                                       std::size_t window_size,
+                                       double sample_rate_hz) {
+  AccelerometerSimulator accel(eng.split(static_cast<std::uint64_t>(a) + 17),
+                               sample_rate_hz);
+  accel.set_activity(a);
+  WindowFeaturizer featurizer(window_size);
+  for (;;) {
+    if (auto f = featurizer.push(accel.next().magnitude())) return *f;
+  }
+}
+
+models::SampleSet generate_activity_samples(rng::Engine& eng, std::size_t n,
+                                            std::size_t window_size) {
+  models::SampleSet out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = static_cast<Activity>(rng::uniform_index(eng, kNumActivities));
+    out.emplace_back(activity_window_feature(eng, a, window_size),
+                     static_cast<double>(static_cast<int>(a)));
+  }
+  return out;
+}
+
+}  // namespace crowdml::sensing

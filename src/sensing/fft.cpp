@@ -1,0 +1,55 @@
+#include "sensing/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace crowdml::sensing {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  assert(is_power_of_two(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& c : data) c *= scale;
+  }
+}
+
+linalg::Vector magnitude_spectrum(const std::vector<double>& signal) {
+  assert(is_power_of_two(signal.size()));
+  std::vector<std::complex<double>> buf(signal.begin(), signal.end());
+  fft(buf);
+  linalg::Vector mags(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) mags[i] = std::abs(buf[i]);
+  return mags;
+}
+
+}  // namespace crowdml::sensing

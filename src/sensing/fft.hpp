@@ -1,0 +1,23 @@
+// Radix-2 iterative FFT — the signal-processing substrate for the activity
+// recognition experiment ("Feature extraction is performed by computing the
+// 64-bin FFT of the acceleration magnitudes", Section V-B).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace crowdml::sensing {
+
+/// In-place iterative Cooley-Tukey FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform with 1/N scaling.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Magnitude spectrum |FFT(signal)| of a real signal whose length is a
+/// power of two. Returns signal.size() bins (the paper's "64-bin FFT").
+linalg::Vector magnitude_spectrum(const std::vector<double>& signal);
+
+bool is_power_of_two(std::size_t n);
+
+}  // namespace crowdml::sensing

@@ -1,0 +1,45 @@
+#include "sim/churn.hpp"
+
+#include <cassert>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::sim {
+
+ChurnModel::ChurnModel(double mean_online_s, double mean_offline_s)
+    : mean_online_s_(mean_online_s), mean_offline_s_(mean_offline_s) {
+  assert(mean_online_s > 0.0 && mean_offline_s >= 0.0);
+}
+
+ChurnModel::ChurnModel() : mean_online_s_(1.0), mean_offline_s_(0.0) {}
+
+ChurnModel::State ChurnModel::initial_state(rng::Engine& eng) const {
+  State s;
+  if (!enabled()) {
+    s.online = true;
+    s.until = 0.0;
+    return s;
+  }
+  const double p_online = mean_online_s_ / (mean_online_s_ + mean_offline_s_);
+  s.online = rng::uniform(eng) < p_online;
+  s.until = rng::exponential(
+      eng, 1.0 / (s.online ? mean_online_s_ : mean_offline_s_));
+  return s;
+}
+
+ChurnModel::State ChurnModel::next_state(const State& current,
+                                         rng::Engine& eng) const {
+  State s;
+  s.online = !current.online;
+  s.until = current.until +
+            rng::exponential(eng, 1.0 / (s.online ? mean_online_s_ : mean_offline_s_));
+  return s;
+}
+
+bool ChurnModel::online_at(double t, State& state, rng::Engine& eng) const {
+  if (!enabled()) return true;
+  while (state.until <= t) state = next_state(state, eng);
+  return state.online;
+}
+
+}  // namespace crowdml::sim

@@ -1,0 +1,42 @@
+// Device availability (churn) model.
+//
+// "Devices can join or leave the task at any time" (Fig. 2 caption).
+// Each device alternates online/offline periods with exponential
+// durations; a device that is offline neither collects samples nor
+// communicates. The Section V experiments run churn-free; the integration
+// tests exercise learning under churn.
+#pragma once
+
+#include "rng/engine.hpp"
+
+namespace crowdml::sim {
+
+class ChurnModel {
+ public:
+  /// mean_online / mean_offline in seconds; initial state online with
+  /// probability mean_online / (mean_online + mean_offline).
+  /// mean_offline == 0 disables churn (always online).
+  ChurnModel(double mean_online_s, double mean_offline_s);
+
+  /// Always-online model.
+  ChurnModel();
+
+  bool enabled() const { return mean_offline_s_ > 0.0; }
+
+  struct State {
+    bool online = true;
+    double until = 0.0;  // sim time when the current period ends
+  };
+
+  State initial_state(rng::Engine& eng) const;
+  State next_state(const State& current, rng::Engine& eng) const;
+
+  /// Is the device online at time t, advancing `state` as needed?
+  bool online_at(double t, State& state, rng::Engine& eng) const;
+
+ private:
+  double mean_online_s_;
+  double mean_offline_s_;
+};
+
+}  // namespace crowdml::sim

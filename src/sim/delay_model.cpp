@@ -1,0 +1,33 @@
+#include "sim/delay_model.hpp"
+
+#include <cassert>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::sim {
+
+UniformDelay::UniformDelay(double tau) : tau_(tau) { assert(tau >= 0.0); }
+
+double UniformDelay::sample(rng::Engine& eng) const {
+  return tau_ == 0.0 ? 0.0 : rng::uniform(eng, 0.0, tau_);
+}
+
+FixedDelay::FixedDelay(double delay) : delay_(delay) { assert(delay >= 0.0); }
+
+ExponentialDelay::ExponentialDelay(double mean) : mean_(mean) {
+  assert(mean > 0.0);
+}
+
+double ExponentialDelay::sample(rng::Engine& eng) const {
+  return rng::exponential(eng, 1.0 / mean_);
+}
+
+LossModel::LossModel(double probability) : probability_(probability) {
+  assert(probability >= 0.0 && probability < 1.0);
+}
+
+bool LossModel::drop(rng::Engine& eng) const {
+  return probability_ > 0.0 && rng::uniform(eng) < probability_;
+}
+
+}  // namespace crowdml::sim

@@ -1,0 +1,85 @@
+// Communication-delay and message-loss models (Section IV-B3).
+//
+// The paper samples each delay leg (request / check-out / check-in)
+// "randomly and uniformly from [0, tau]" — UniformDelay. Zero, fixed, and
+// exponential variants support the tests and extensions ("we can test with
+// any distribution other than uniform as well", footnote 7).
+#pragma once
+
+#include <memory>
+
+#include "rng/engine.hpp"
+
+namespace crowdml::sim {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// One delay draw in seconds (>= 0).
+  virtual double sample(rng::Engine& eng) const = 0;
+  /// Upper bound if one exists (used for the paper's Delta unit); -1 if
+  /// unbounded.
+  virtual double max_delay() const = 0;
+  virtual std::unique_ptr<DelayModel> clone() const = 0;
+};
+
+class ZeroDelay final : public DelayModel {
+ public:
+  double sample(rng::Engine&) const override { return 0.0; }
+  double max_delay() const override { return 0.0; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<ZeroDelay>();
+  }
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  explicit UniformDelay(double tau);
+  double sample(rng::Engine& eng) const override;
+  double max_delay() const override { return tau_; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<UniformDelay>(tau_);
+  }
+
+ private:
+  double tau_;
+};
+
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(double delay);
+  double sample(rng::Engine&) const override { return delay_; }
+  double max_delay() const override { return delay_; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<FixedDelay>(delay_);
+  }
+
+ private:
+  double delay_;
+};
+
+class ExponentialDelay final : public DelayModel {
+ public:
+  explicit ExponentialDelay(double mean);
+  double sample(rng::Engine& eng) const override;
+  double max_delay() const override { return -1.0; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<ExponentialDelay>(mean_);
+  }
+
+ private:
+  double mean_;
+};
+
+/// Bernoulli message loss.
+class LossModel {
+ public:
+  explicit LossModel(double probability = 0.0);
+  bool drop(rng::Engine& eng) const;
+  double probability() const { return probability_; }
+
+ private:
+  double probability_;
+};
+
+}  // namespace crowdml::sim

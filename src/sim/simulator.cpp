@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace crowdml::sim {
+
+void Simulator::schedule_at(SimTime t, Handler h) {
+  assert(t >= now_);
+  queue_.push(Event{t, seq_++, std::move(h)});
+}
+
+void Simulator::schedule_after(SimTime dt, Handler h) {
+  assert(dt >= 0.0);
+  schedule_at(now_ + dt, std::move(h));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the handler must be moved out
+  // before pop, so copy the POD parts and move via const_cast (safe: the
+  // element is removed immediately after).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.handler();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  now_ = std::max(now_, t_end);
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace crowdml::sim

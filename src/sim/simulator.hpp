@@ -1,0 +1,64 @@
+// Discrete-event simulation kernel.
+//
+// Drives the Section V-C experiments: virtual time in seconds, events
+// ordered by (time, insertion sequence) so runs are fully deterministic,
+// handlers are arbitrary callables that may schedule further events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace crowdml::sim {
+
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule at absolute time `t >= now()`.
+  void schedule_at(SimTime t, Handler h);
+
+  /// Schedule `dt >= 0` after the current time.
+  void schedule_after(SimTime dt, Handler h);
+
+  /// Process the earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Run while events exist and their time is <= t_end; afterwards
+  /// now() == max(processed time, t_end).
+  void run_until(SimTime t_end);
+
+  /// Drop all pending events (used by early-stop conditions).
+  void clear();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace crowdml::sim

@@ -1,0 +1,193 @@
+// Tests for the three comparison approaches (Sections IV-A, V-C,
+// Appendix C): centralized batch, centralized perturbed SGD, decentralized.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/central_batch.hpp"
+#include "baselines/central_sgd.hpp"
+#include "baselines/decentralized.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+const data::Dataset& easy_dataset() {
+  static const data::Dataset ds = [] {
+    rng::Engine eng(555);
+    data::MixtureSpec spec;
+    spec.num_classes = 4;
+    spec.raw_dim = 40;
+    spec.latent_dim = 15;
+    spec.pca_dim = 10;
+    spec.separation = 3.5;
+    spec.train_size = 3000;
+    spec.test_size = 800;
+    return data::generate_mixture(spec, eng);
+  }();
+  return ds;
+}
+
+models::MulticlassLogisticRegression easy_model() {
+  return models::MulticlassLogisticRegression(4, 10, 0.0);
+}
+
+}  // namespace
+
+TEST(CentralBatch, ReachesLowErrorOnCleanData) {
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::BatchTrainerConfig cfg;
+  cfg.iterations = 300;
+  cfg.learning_rate = 100.0;
+  cfg.projection_radius = 500.0;
+  const auto res = baselines::train_central_batch(model, ds.train, ds.test, cfg);
+  EXPECT_LT(res.final_test_error, 0.06);
+  EXPECT_TRUE(linalg::all_finite(res.w));
+  EXPECT_LT(res.final_train_risk, std::log(4.0));  // better than random
+}
+
+TEST(CentralBatch, MoreIterationsNeverHurtMuch) {
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::BatchTrainerConfig short_cfg;
+  short_cfg.iterations = 10;
+  short_cfg.learning_rate = 100.0;
+  baselines::BatchTrainerConfig long_cfg = short_cfg;
+  long_cfg.iterations = 200;
+  const auto s = baselines::train_central_batch(model, ds.train, ds.test, short_cfg);
+  const auto l = baselines::train_central_batch(model, ds.train, ds.test, long_cfg);
+  EXPECT_LE(l.final_train_risk, s.final_train_risk + 1e-9);
+}
+
+TEST(PerturbDataset, LabelFlipRateMatchesMechanism) {
+  const auto& ds = easy_dataset();
+  rng::Engine eng(1);
+  const double eps_y = 2.0;
+  const auto noisy = baselines::perturb_dataset(ds.train, 4, privacy::kNoPrivacy,
+                                                eps_y, eng);
+  ASSERT_EQ(noisy.size(), ds.train.size());
+  int kept = 0;
+  for (std::size_t i = 0; i < noisy.size(); ++i)
+    if (noisy[i].label() == ds.train[i].label()) ++kept;
+  const double expected =
+      std::exp(eps_y / 2.0) / (std::exp(eps_y / 2.0) + 3.0);
+  EXPECT_NEAR(kept / static_cast<double>(noisy.size()), expected, 0.02);
+  // Features untouched (eps_x infinite).
+  EXPECT_EQ(noisy[0].x, ds.train[0].x);
+}
+
+TEST(PerturbDataset, FeatureNoiseVarianceMatchesEq15) {
+  const auto& ds = easy_dataset();
+  rng::Engine eng(2);
+  const double eps_x = 4.0;
+  const auto noisy =
+      baselines::perturb_dataset(ds.train, 4, eps_x, privacy::kNoPrivacy, eng);
+  double sumsq = 0.0;
+  long long n = 0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    for (std::size_t d = 0; d < noisy[i].x.size(); ++d) {
+      const double z = noisy[i].x[d] - ds.train[i].x[d];
+      sumsq += z * z;
+      ++n;
+    }
+    EXPECT_EQ(noisy[i].label(), ds.train[i].label());
+  }
+  EXPECT_NEAR(sumsq / static_cast<double>(n), 8.0 / (eps_x * eps_x),
+              0.02 * 8.0 / (eps_x * eps_x));
+}
+
+TEST(CentralSgd, CleanDataApproachesBatchError) {
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::CentralSgdConfig cfg;
+  cfg.learning_rate_c = 50.0;
+  cfg.projection_radius = 500.0;
+  cfg.max_samples = 15000;  // 5 passes
+  cfg.eval_points = 5;
+  const auto res = baselines::train_central_sgd(model, ds.train, ds.test, cfg);
+  EXPECT_LT(res.final_test_error, 0.10);
+  // Curve starts at chance and improves.
+  EXPECT_GT(res.test_error.points().front().y, 0.5);
+}
+
+TEST(CentralSgd, StrongInputPerturbationDegradesAccuracy) {
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::CentralSgdConfig clean;
+  clean.learning_rate_c = 50.0;
+  clean.projection_radius = 500.0;
+  clean.max_samples = 9000;
+  clean.eval_points = 3;
+  baselines::CentralSgdConfig noisy = clean;
+  noisy.epsilon = 1.0;  // harsh per-sample budget (Appendix C)
+  const auto rc = baselines::train_central_sgd(model, ds.train, ds.test, clean);
+  const auto rn = baselines::train_central_sgd(model, ds.train, ds.test, noisy);
+  EXPECT_GT(rn.final_test_error, rc.final_test_error + 0.2);
+}
+
+TEST(CentralSgd, MinibatchingDoesNotRescueInputNoise) {
+  // Section IV-A: the centralized approach "has no means of mitigating the
+  // negative impact of constant noise" — larger b must not help much.
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::CentralSgdConfig b1;
+  b1.epsilon = 1.0;
+  b1.learning_rate_c = 50.0;
+  b1.projection_radius = 500.0;
+  b1.max_samples = 9000;
+  b1.eval_points = 3;
+  baselines::CentralSgdConfig b20 = b1;
+  b20.minibatch_size = 20;
+  const auto r1 = baselines::train_central_sgd(model, ds.train, ds.test, b1);
+  const auto r20 = baselines::train_central_sgd(model, ds.train, ds.test, b20);
+  EXPECT_GT(r20.final_test_error, 0.5);
+  EXPECT_GT(r1.final_test_error, 0.5);
+}
+
+TEST(Decentralized, PlateausAboveCentralizedError) {
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::DecentralizedConfig cfg;
+  cfg.num_devices = 300;  // ~10 samples per device
+  cfg.learning_rate_c = 50.0;
+  cfg.projection_radius = 500.0;
+  cfg.max_total_samples = 15000;
+  cfg.eval_points = 5;
+  cfg.seed = 4;
+  const auto res = baselines::train_decentralized(model, ds.train, ds.test, cfg);
+  // Few samples per device -> error far above the ~0.05 batch error.
+  EXPECT_GT(res.final_test_error, 0.15);
+  EXPECT_LT(res.final_test_error, 0.9);
+}
+
+TEST(Decentralized, FewDevicesApproachCentralPerformance) {
+  // With M=1 the decentralized learner IS centralized SGD.
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::DecentralizedConfig cfg;
+  cfg.num_devices = 1;
+  cfg.learning_rate_c = 50.0;
+  cfg.projection_radius = 500.0;
+  cfg.max_total_samples = 15000;
+  cfg.eval_points = 5;
+  cfg.eval_device_sample = 1;
+  cfg.eval_test_sample = 800;
+  cfg.seed = 5;
+  const auto res = baselines::train_decentralized(model, ds.train, ds.test, cfg);
+  EXPECT_LT(res.final_test_error, 0.10);
+}
+
+TEST(Decentralized, CurveGridMatchesEvalPoints) {
+  const auto& ds = easy_dataset();
+  auto model = easy_model();
+  baselines::DecentralizedConfig cfg;
+  cfg.num_devices = 10;
+  cfg.max_total_samples = 1000;
+  cfg.eval_points = 4;
+  const auto res = baselines::train_decentralized(model, ds.train, ds.test, cfg);
+  EXPECT_EQ(res.test_error.size(), 5u);  // x=0 plus 4 marks
+  EXPECT_DOUBLE_EQ(res.test_error.points().back().x, 1000.0);
+}

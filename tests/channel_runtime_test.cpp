@@ -1,0 +1,82 @@
+// Integration: the in-memory channel transport as a full Crowd-ML runtime
+// (devices and server on threads, DuplexChannel frames instead of TCP) —
+// the third deployment of the same transport-agnostic Device/Server code.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/protocol.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+#include "net/channel.hpp"
+#include "opt/schedule.hpp"
+
+using namespace crowdml;
+
+TEST(ChannelRuntime, CrowdLearnsOverDuplexChannels) {
+  rng::Engine data_eng(88);
+  data::MixtureSpec spec;
+  spec.num_classes = 3;
+  spec.raw_dim = 30;
+  spec.latent_dim = 12;
+  spec.pca_dim = 8;
+  spec.separation = 3.5;
+  spec.train_size = 900;
+  spec.test_size = 300;
+  const data::Dataset ds = data::generate_mixture(spec, data_eng);
+
+  models::MulticlassLogisticRegression model(3, 8, 0.0);
+  core::ServerConfig scfg;
+  scfg.param_dim = model.param_dim();
+  scfg.num_classes = 3;
+  core::Server server(scfg,
+                      std::make_unique<opt::SgdUpdater>(
+                          std::make_unique<opt::SqrtDecaySchedule>(30.0), 500.0),
+                      rng::Engine(1));
+  net::AuthRegistry registry(rng::Engine(2));
+  core::ProtocolServer protocol(server, registry);
+
+  constexpr std::size_t kDevices = 4;
+  rng::Engine shard_eng(3);
+  const auto shards = data::shard_across_devices(ds.train, kDevices, shard_eng);
+
+  // One duplex link per device; a server-side pump thread per link (the
+  // same worker-per-connection shape as the TCP runtime).
+  std::vector<net::DuplexChannel::Endpoint> device_ends;
+  std::vector<std::thread> pumps;
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    auto [server_end, device_end] = net::DuplexChannel::create();
+    device_ends.push_back(device_end);
+    pumps.emplace_back([end = server_end, &protocol]() mutable {
+      while (auto frame = end.receive()) end.send(protocol.handle(*frame));
+    });
+  }
+
+  std::vector<std::thread> device_threads;
+  std::atomic<long long> cycles{0};
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    device_threads.emplace_back([&, d] {
+      core::DeviceConfig dc;
+      dc.minibatch_size = 5;
+      core::Device dev(dc, model, rng::Engine(100 + d));
+      dev.set_credentials(registry.enroll());
+      auto& link = device_ends[d];
+      core::DeviceClient client(dev, [&link](const net::Bytes& req)
+                                         -> std::optional<net::Bytes> {
+        if (!link.send(req)) return std::nullopt;
+        return link.receive();
+      });
+      for (int pass = 0; pass < 3; ++pass)
+        for (const auto& s : shards[d])
+          if (client.offer_sample(s)) ++cycles;
+      link.close();  // device leaves; pump thread unblocks
+    });
+  }
+  for (auto& t : device_threads) t.join();
+  for (auto& t : pumps) t.join();
+
+  EXPECT_GT(cycles.load(), 100);
+  EXPECT_EQ(server.version(), static_cast<std::uint64_t>(cycles.load()));
+  const double err = model.error_rate(server.parameters(), ds.test);
+  EXPECT_LT(err, 0.15);
+}

@@ -1,0 +1,149 @@
+// Tests for server checkpoint/restore.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "opt/schedule.hpp"
+
+using namespace crowdml;
+using core::Server;
+using core::ServerCheckpoint;
+
+namespace {
+
+std::unique_ptr<opt::Updater> sgd(double c = 1.0) {
+  return std::make_unique<opt::SgdUpdater>(
+      std::make_unique<opt::SqrtDecaySchedule>(c), 100.0);
+}
+
+core::ServerConfig config(std::size_t dim = 4, std::size_t classes = 3) {
+  core::ServerConfig c;
+  c.param_dim = dim;
+  c.num_classes = classes;
+  return c;
+}
+
+net::CheckinMessage checkin(std::uint64_t device, linalg::Vector g,
+                            std::int64_t ns, std::int64_t ne,
+                            std::vector<std::int64_t> ny) {
+  net::CheckinMessage m;
+  m.device_id = device;
+  m.g_hat = std::move(g);
+  m.ns = ns;
+  m.ne_hat = ne;
+  m.ny_hat = std::move(ny);
+  return m;
+}
+
+void populate(Server& s) {
+  s.handle_checkin(checkin(1, {1.0, 0.0, -1.0, 0.5}, 10, 2, {4, 3, 3}));
+  s.handle_checkin(checkin(2, {0.5, 0.5, 0.0, 0.0}, 5, 1, {2, 2, 1}));
+  s.handle_checkin(checkin(1, {0.0, 1.0, 0.0, 0.0}, 10, 0, {5, 5, 0}));
+}
+
+}  // namespace
+
+TEST(Checkpoint, SerializeRoundTrip) {
+  Server s(config(), sgd(), rng::Engine(1));
+  populate(s);
+  const ServerCheckpoint cp = core::checkpoint_server(s);
+  const ServerCheckpoint back = ServerCheckpoint::deserialize(cp.serialize());
+  EXPECT_EQ(back.w, cp.w);
+  EXPECT_EQ(back.version, 3u);
+  ASSERT_EQ(back.device_stats.size(), 2u);
+  EXPECT_EQ(back.device_stats.at(1).samples, 20);
+  EXPECT_EQ(back.device_stats.at(1).errors_hat, 2);
+  EXPECT_EQ(back.device_stats.at(1).checkins, 2);
+  EXPECT_EQ(back.device_stats.at(2).label_counts_hat,
+            (std::vector<long long>{2, 2, 1}));
+}
+
+TEST(Checkpoint, CorruptionDetected) {
+  Server s(config(), sgd(), rng::Engine(1));
+  populate(s);
+  const ServerCheckpoint cp = core::checkpoint_server(s);
+  net::Bytes bytes = cp.serialize();
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_THROW(ServerCheckpoint::deserialize(bytes), net::CodecError);
+}
+
+TEST(Checkpoint, TruncationDetected) {
+  Server s(config(), sgd(), rng::Engine(1));
+  populate(s);
+  const ServerCheckpoint cp = core::checkpoint_server(s);
+  net::Bytes bytes = cp.serialize();
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(ServerCheckpoint::deserialize(bytes), net::CodecError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "crowdml_ckpt_test.bin").string();
+  Server s(config(), sgd(), rng::Engine(1));
+  populate(s);
+  const ServerCheckpoint cp = core::checkpoint_server(s);
+  cp.save_file(path);
+  const ServerCheckpoint back = ServerCheckpoint::load_file(path);
+  EXPECT_EQ(back.w, cp.w);
+  EXPECT_EQ(back.version, cp.version);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(ServerCheckpoint::load_file("/nonexistent/ckpt.bin"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RestorePreservesLearningState) {
+  Server original(config(), sgd(), rng::Engine(1));
+  populate(original);
+  const ServerCheckpoint cp = core::checkpoint_server(original);
+
+  Server restored(config(), sgd(), rng::Engine(99));
+  restored.restore(cp.w, cp.version, cp.device_stats);
+
+  EXPECT_EQ(restored.parameters(), original.parameters());
+  EXPECT_EQ(restored.version(), original.version());
+  EXPECT_EQ(restored.total_samples(), original.total_samples());
+  EXPECT_DOUBLE_EQ(restored.estimated_error(), original.estimated_error());
+  EXPECT_EQ(restored.estimated_prior(), original.estimated_prior());
+  EXPECT_EQ(restored.devices_seen(), 2u);
+}
+
+TEST(Checkpoint, RestoredServerResumesSchedule) {
+  // After restore at version t, the next update uses eta(t+1): both
+  // servers must produce identical parameters on the same checkin.
+  Server original(config(), sgd(), rng::Engine(1));
+  populate(original);
+  const ServerCheckpoint cp = core::checkpoint_server(original);
+  Server restored(config(), sgd(), rng::Engine(99));
+  restored.restore(cp.w, cp.version, cp.device_stats);
+
+  const auto next = checkin(3, {1.0, 1.0, 1.0, 1.0}, 1, 0, {1, 0, 0});
+  original.handle_checkin(next);
+  restored.handle_checkin(next);
+  const auto wo = original.parameters();
+  const auto wr = restored.parameters();
+  for (std::size_t i = 0; i < wo.size(); ++i) EXPECT_NEAR(wr[i], wo[i], 1e-15);
+}
+
+TEST(Checkpoint, RestoreRejectsDimensionMismatch) {
+  Server s(config(4, 3), sgd(), rng::Engine(1));
+  EXPECT_THROW(s.restore(linalg::Vector(5, 0.0), 0, {}), std::invalid_argument);
+
+  core::DeviceStats bad;
+  bad.label_counts_hat = {1, 2};  // wrong class count
+  std::unordered_map<std::uint64_t, core::DeviceStats> stats{{1, bad}};
+  EXPECT_THROW(s.restore(linalg::Vector(4, 0.0), 0, stats),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, EmptyServerCheckpoints) {
+  Server s(config(), sgd(), rng::Engine(1));
+  const ServerCheckpoint cp = core::checkpoint_server(s);
+  const ServerCheckpoint back = ServerCheckpoint::deserialize(cp.serialize());
+  EXPECT_EQ(back.version, 0u);
+  EXPECT_TRUE(back.device_stats.empty());
+}

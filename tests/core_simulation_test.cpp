@@ -1,0 +1,229 @@
+// Tests for the discrete-event Crowd-ML driver: determinism, convergence,
+// delays, loss, churn, and the paper's iteration accounting.
+#include <gtest/gtest.h>
+
+#include "core/crowd_simulation.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+
+using namespace crowdml;
+using core::CrowdSimConfig;
+using core::CrowdSimulation;
+
+namespace {
+
+struct SmallProblem {
+  data::Dataset ds;
+  models::MulticlassLogisticRegression model{4, 10, 0.0};
+
+  SmallProblem() {
+    rng::Engine eng(1234);
+    data::MixtureSpec spec;
+    spec.num_classes = 4;
+    spec.raw_dim = 40;
+    spec.latent_dim = 15;
+    spec.pca_dim = 10;
+    spec.separation = 3.5;
+    spec.train_size = 2000;
+    spec.test_size = 500;
+    ds = data::generate_mixture(spec, eng);
+  }
+
+  core::SampleSource source(std::size_t devices, std::uint64_t seed) const {
+    rng::Engine eng(seed);
+    return core::make_cycling_source(
+        data::shard_across_devices(ds.train, devices, eng));
+  }
+};
+
+CrowdSimConfig fast_config() {
+  CrowdSimConfig cfg;
+  cfg.num_devices = 20;
+  cfg.minibatch_size = 1;
+  cfg.max_total_samples = 8000;
+  cfg.eval_points = 8;
+  cfg.learning_rate_c = 50.0;
+  cfg.projection_radius = 500.0;
+  cfg.seed = 9;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(CyclingSource, DealsShardInOrderAndCycles) {
+  models::SampleSet shard;
+  for (int i = 0; i < 3; ++i)
+    shard.emplace_back(linalg::Vector{static_cast<double>(i)}, 0.0);
+  auto src = core::make_cycling_source({shard});
+  EXPECT_DOUBLE_EQ((*src(0)).x[0], 0.0);
+  EXPECT_DOUBLE_EQ((*src(0)).x[0], 1.0);
+  EXPECT_DOUBLE_EQ((*src(0)).x[0], 2.0);
+  EXPECT_DOUBLE_EQ((*src(0)).x[0], 0.0);  // cycles
+}
+
+TEST(CyclingSource, EmptyShardEndsStream) {
+  auto src = core::make_cycling_source({models::SampleSet{}});
+  EXPECT_FALSE(src(0).has_value());
+}
+
+TEST(CrowdSimulation, LearnsWithoutPrivacyOrDelay) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  ASSERT_FALSE(res.test_error.empty());
+  EXPECT_GT(res.test_error.points().front().y, 0.5);  // random start
+  EXPECT_LT(res.final_test_error, 0.10);
+  EXPECT_EQ(res.samples_generated, cfg.max_total_samples);
+  EXPECT_GT(res.server_updates, 0u);
+}
+
+TEST(CrowdSimulation, DeterministicGivenSeed) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(5.0);
+  cfg.delay = std::make_shared<sim::UniformDelay>(3.0);
+  CrowdSimulation sim1(p.model, cfg);
+  CrowdSimulation sim2(p.model, cfg);
+  const auto r1 = sim1.run(p.source(cfg.num_devices, 1), p.ds.test);
+  const auto r2 = sim2.run(p.source(cfg.num_devices, 1), p.ds.test);
+  ASSERT_EQ(r1.test_error.size(), r2.test_error.size());
+  for (std::size_t i = 0; i < r1.test_error.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.test_error.points()[i].y, r2.test_error.points()[i].y);
+  EXPECT_EQ(r1.server_updates, r2.server_updates);
+}
+
+TEST(CrowdSimulation, DifferentSeedsProduceDifferentRuns) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(5.0);
+  CrowdSimulation sim1(p.model, cfg);
+  cfg.seed = 10;
+  CrowdSimulation sim2(p.model, cfg);
+  const auto r1 = sim1.run(p.source(cfg.num_devices, 1), p.ds.test);
+  const auto r2 = sim2.run(p.source(cfg.num_devices, 1), p.ds.test);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < r1.test_error.size() && !any_diff; ++i)
+    any_diff = r1.test_error.points()[i].y != r2.test_error.points()[i].y;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CrowdSimulation, MinibatchReducesServerUpdates) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.minibatch_size = 10;
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  // N/b updates (up to boundary effects).
+  EXPECT_LE(res.server_updates,
+            static_cast<std::uint64_t>(cfg.max_total_samples) / 10 + 25);
+  EXPECT_GT(res.server_updates,
+            static_cast<std::uint64_t>(cfg.max_total_samples) / 12);
+  EXPECT_LT(res.final_test_error, 0.12);
+}
+
+TEST(CrowdSimulation, ConvergesUnderDelay) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.minibatch_size = 5;
+  // Delay worth ~100 crowd samples per leg (tau * M * Fs = 5 * 20 * 1).
+  cfg.delay = std::make_shared<sim::UniformDelay>(5.0);
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  EXPECT_LT(res.final_test_error, 0.15);
+  // Staleness means some samples are still in flight at shutdown.
+  EXPECT_LE(res.samples_consumed, res.samples_generated);
+}
+
+TEST(CrowdSimulation, SurvivesMessageLoss) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.loss_probability = 0.2;
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  EXPECT_GT(res.checkouts_failed, 0);
+  EXPECT_LT(res.final_test_error, 0.15);
+}
+
+TEST(CrowdSimulation, SurvivesChurn) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.churn = sim::ChurnModel(50.0, 50.0);  // half the crowd offline
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  EXPECT_EQ(res.samples_generated, cfg.max_total_samples);
+  EXPECT_LT(res.final_test_error, 0.15);
+}
+
+TEST(CrowdSimulation, OnlineErrorTracksPredictions) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.max_total_samples = 500;
+  cfg.track_online_error = true;
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  ASSERT_FALSE(res.online_error.empty());
+  // x-axis is the running prediction count: strictly increasing by 1.
+  const auto& pts = res.online_error.points();
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_DOUBLE_EQ(pts[i].x, static_cast<double>(i + 1));
+  // Online error should improve from start to end.
+  EXPECT_LT(pts.back().y, 0.6);
+}
+
+TEST(CrowdSimulation, EvalGridHasRequestedResolution) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.eval_points = 10;
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  // x=0 plus 10 marks.
+  EXPECT_EQ(res.test_error.size(), 11u);
+  EXPECT_DOUBLE_EQ(res.test_error.points().front().x, 0.0);
+  EXPECT_DOUBLE_EQ(res.test_error.points().back().x,
+                   static_cast<double>(cfg.max_total_samples));
+}
+
+TEST(CrowdSimulation, PrivacyReportsPerSampleEpsilon) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.max_total_samples = 500;
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(10.0, 0.01);
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  // eps_g + eps_e + C * eps_y = 10 + 0.1 + 4*0.1
+  EXPECT_NEAR(res.per_sample_epsilon, 10.5, 1e-9);
+}
+
+TEST(CrowdSimulation, ServerEstimatedErrorTracksTruth) {
+  // Without privacy the Eq. (14) estimate equals the true online error of
+  // the crowd, so it must be sane (between 0 and 1, > 0 early on).
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  EXPECT_GT(res.server_estimated_error, 0.0);
+  EXPECT_LT(res.server_estimated_error, 1.0);
+  // Prior estimate roughly uniform over 4 classes.
+  for (double pk : res.estimated_prior) EXPECT_NEAR(pk, 0.25, 0.05);
+}
+
+TEST(CrowdSimulation, StopsAtServerMaxIterations) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.max_server_iterations = 100;
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  EXPECT_EQ(res.server_updates, 100u);
+  EXPECT_LT(res.samples_generated, cfg.max_total_samples);
+}
+
+TEST(CrowdSimulation, AdaGradUpdaterAlsoConverges) {
+  SmallProblem p;
+  CrowdSimConfig cfg = fast_config();
+  cfg.updater = core::UpdaterKind::kAdaGrad;
+  cfg.learning_rate_c = 1.0;
+  CrowdSimulation sim(p.model, cfg);
+  const auto res = sim.run(p.source(cfg.num_devices, 1), p.ds.test);
+  EXPECT_LT(res.final_test_error, 0.12);
+}

@@ -1,0 +1,212 @@
+// Tests for dataset containers, sharding, synthetic generators, and CSV IO.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "data/dataset.hpp"
+#include "data/io.hpp"
+#include "data/mixture.hpp"
+
+using namespace crowdml;
+using data::Dataset;
+using models::Sample;
+using models::SampleSet;
+
+namespace {
+
+SampleSet numbered_samples(std::size_t n, std::size_t classes = 3) {
+  SampleSet out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.emplace_back(linalg::Vector{static_cast<double>(i), 1.0},
+                     static_cast<double>(i % classes));
+  return out;
+}
+
+}  // namespace
+
+TEST(SplitTrainTest, SizesAndDisjointness) {
+  rng::Engine eng(1);
+  Dataset ds = data::split_train_test(numbered_samples(100), 0.2, 3, eng);
+  EXPECT_EQ(ds.test.size(), 20u);
+  EXPECT_EQ(ds.train.size(), 80u);
+  EXPECT_EQ(ds.num_classes, 3u);
+  EXPECT_EQ(ds.feature_dim, 2u);
+  // No sample appears twice (identified by the unique first feature).
+  std::set<double> ids;
+  for (const auto& s : ds.train) ids.insert(s.x[0]);
+  for (const auto& s : ds.test) ids.insert(s.x[0]);
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(SplitTrainTest, ZeroFractionPutsEverythingInTrain) {
+  rng::Engine eng(2);
+  Dataset ds = data::split_train_test(numbered_samples(10), 0.0, 3, eng);
+  EXPECT_TRUE(ds.test.empty());
+  EXPECT_EQ(ds.train.size(), 10u);
+}
+
+TEST(Shard, BalancedSizes) {
+  rng::Engine eng(3);
+  const auto shards = data::shard_across_devices(numbered_samples(103), 10, eng);
+  ASSERT_EQ(shards.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& s : shards) {
+    EXPECT_GE(s.size(), 10u);
+    EXPECT_LE(s.size(), 11u);
+    total += s.size();
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(Shard, PreservesAllSamples) {
+  rng::Engine eng(4);
+  const auto shards = data::shard_across_devices(numbered_samples(50), 7, eng);
+  std::set<double> ids;
+  for (const auto& shard : shards)
+    for (const auto& s : shard) ids.insert(s.x[0]);
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(Shard, MoreDevicesThanSamples) {
+  rng::Engine eng(5);
+  const auto shards = data::shard_across_devices(numbered_samples(3), 10, eng);
+  std::size_t nonempty = 0;
+  for (const auto& s : shards)
+    if (!s.empty()) ++nonempty;
+  EXPECT_EQ(nonempty, 3u);
+}
+
+TEST(ClassHistogram, CountsLabels) {
+  const auto hist = data::class_histogram(numbered_samples(10, 3), 3);
+  EXPECT_EQ(hist[0], 4u);  // labels 0,3,6,9
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 3u);
+}
+
+TEST(FeatureStats, NormsComputed) {
+  SampleSet s{Sample({3.0, 4.0}, 0.0), Sample({1.0, 0.0}, 1.0)};
+  const auto st = data::feature_stats(s);
+  EXPECT_DOUBLE_EQ(st.max_l1_norm, 7.0);
+  EXPECT_DOUBLE_EQ(st.mean_l1_norm, 4.0);
+  EXPECT_DOUBLE_EQ(st.mean_l2_norm, 3.0);
+}
+
+TEST(L1NormalizeFeatures, UnitNormAfter) {
+  SampleSet s{Sample({3.0, 4.0}, 0.0), Sample({0.0, 0.0}, 1.0)};
+  data::l1_normalize_features(s);
+  EXPECT_NEAR(linalg::norm1(s[0].x), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(linalg::norm1(s[1].x), 0.0);  // zero vector untouched
+}
+
+TEST(Mixture, DimensionsAndLabels) {
+  rng::Engine eng(6);
+  data::MixtureSpec spec;
+  spec.num_classes = 4;
+  spec.raw_dim = 30;
+  spec.latent_dim = 10;
+  spec.pca_dim = 8;
+  spec.train_size = 200;
+  spec.test_size = 50;
+  const Dataset ds = data::generate_mixture(spec, eng);
+  EXPECT_EQ(ds.train.size(), 200u);
+  EXPECT_EQ(ds.test.size(), 50u);
+  EXPECT_EQ(ds.feature_dim, 8u);
+  for (const auto& s : ds.train) {
+    EXPECT_EQ(s.x.size(), 8u);
+    EXPECT_GE(s.label(), 0);
+    EXPECT_LT(s.label(), 4);
+    EXPECT_LE(linalg::norm1(s.x), 1.0 + 1e-9);
+  }
+}
+
+TEST(Mixture, DeterministicGivenSeed) {
+  data::MixtureSpec spec;
+  spec.train_size = 50;
+  spec.test_size = 10;
+  rng::Engine a(7), b(7);
+  const Dataset d1 = data::generate_mixture(spec, a);
+  const Dataset d2 = data::generate_mixture(spec, b);
+  ASSERT_EQ(d1.train.size(), d2.train.size());
+  for (std::size_t i = 0; i < d1.train.size(); ++i) {
+    EXPECT_EQ(d1.train[i].y, d2.train[i].y);
+    EXPECT_EQ(d1.train[i].x, d2.train[i].x);
+  }
+}
+
+TEST(Mixture, DifferentSeedsDiffer) {
+  data::MixtureSpec spec;
+  spec.train_size = 50;
+  spec.test_size = 10;
+  rng::Engine a(7), b(8);
+  const Dataset d1 = data::generate_mixture(spec, a);
+  const Dataset d2 = data::generate_mixture(spec, b);
+  EXPECT_NE(d1.train[0].x, d2.train[0].x);
+}
+
+TEST(Mixture, AllClassesRepresented) {
+  rng::Engine eng(9);
+  data::MixtureSpec spec;
+  spec.train_size = 2000;
+  spec.test_size = 100;
+  const Dataset ds = data::generate_mixture(spec, eng);
+  const auto hist = data::class_histogram(ds.train, spec.num_classes);
+  for (auto c : hist) EXPECT_GT(c, 100u);  // ~200 expected per class
+}
+
+TEST(Mixture, MnistAndCifarSpecsMatchPaperShapes) {
+  const auto mnist = data::mnist_like_spec(1.0);
+  EXPECT_EQ(mnist.num_classes, 10u);
+  EXPECT_EQ(mnist.pca_dim, 50u);    // "reduced dimension of 50"
+  EXPECT_EQ(mnist.train_size, 60000u);
+  EXPECT_EQ(mnist.test_size, 10000u);
+
+  const auto cifar = data::cifar_like_spec(1.0);
+  EXPECT_EQ(cifar.pca_dim, 100u);   // "reduced dimension of 100"
+  EXPECT_EQ(cifar.train_size, 50000u);
+  EXPECT_EQ(cifar.test_size, 10000u);
+
+  const auto small = data::mnist_like_spec(0.1);
+  EXPECT_EQ(small.train_size, 6000u);
+}
+
+TEST(CsvIo, RoundTrip) {
+  SampleSet original{Sample({1.5, -2.25}, 3.0), Sample({0.0, 4.0}, 1.0)};
+  std::stringstream ss;
+  data::write_csv(ss, original);
+  const SampleSet parsed = data::read_csv(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].y, 3.0);
+  EXPECT_EQ(parsed[0].x, original[0].x);
+  EXPECT_EQ(parsed[1].x, original[1].x);
+}
+
+TEST(CsvIo, RoundTripPreservesFullPrecision) {
+  SampleSet original{Sample({1.0 / 3.0, 2.0 / 7.0}, 0.0)};
+  std::stringstream ss;
+  data::write_csv(ss, original);
+  const SampleSet parsed = data::read_csv(ss);
+  EXPECT_DOUBLE_EQ(parsed[0].x[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(parsed[0].x[1], 2.0 / 7.0);
+}
+
+TEST(CsvIo, RejectsNonNumericField) {
+  std::stringstream ss("1.0,2.0,bogus\n");
+  EXPECT_THROW(data::read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, RejectsInconsistentDimensions) {
+  std::stringstream ss("1.0,2.0,3.0\n0.0,4.0\n");
+  EXPECT_THROW(data::read_csv(ss), std::runtime_error);
+}
+
+TEST(CsvIo, SkipsEmptyLines) {
+  std::stringstream ss("1.0,2.0\n\n0.0,3.0\n");
+  const SampleSet parsed = data::read_csv(ss);
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(CsvIo, MissingFileThrows) {
+  EXPECT_THROW(data::read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}

@@ -1,0 +1,73 @@
+// Tests for the CLI flag parser used by the tools.
+#include <gtest/gtest.h>
+
+#include "tools/flags.hpp"
+
+using crowdml::tools::Flags;
+
+namespace {
+
+Flags parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+}  // namespace
+
+TEST(Flags, EqualsForm) {
+  const Flags f = parse({"--port=9000", "--host=localhost"});
+  EXPECT_EQ(f.get_int("port", 0), 9000);
+  EXPECT_EQ(f.get("host", ""), "localhost");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = parse({"--port", "9000", "--lr", "0.5"});
+  EXPECT_EQ(f.get_int("port", 0), 9000);
+  EXPECT_DOUBLE_EQ(f.get_double("lr", 0.0), 0.5);
+}
+
+TEST(Flags, BareBoolean) {
+  const Flags f = parse({"--verbose", "--port", "1"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+}
+
+TEST(Flags, BooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x"));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+}
+
+TEST(Flags, Fallbacks) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  const Flags f = parse({"--target-error=-1.0", "--max-iterations=-1"});
+  EXPECT_DOUBLE_EQ(f.get_double("target-error", 0.0), -1.0);
+  EXPECT_EQ(f.get_int("max-iterations", 0), -1);
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  EXPECT_THROW(parse({"oops"}), std::runtime_error);
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = parse({"--port=1", "--port=2"});
+  EXPECT_EQ(f.get_int("port", 0), 2);
+}
+
+TEST(Flags, EmptyValueViaEquals) {
+  const Flags f = parse({"--name="});
+  EXPECT_TRUE(f.has("name"));
+  EXPECT_EQ(f.get("name", "x"), "");
+}

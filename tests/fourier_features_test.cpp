@@ -1,0 +1,91 @@
+// Tests for the random Fourier feature map (kernelized Crowd-ML).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/central_batch.hpp"
+#include "data/fourier_features.hpp"
+#include "models/logistic_regression.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+TEST(FourierFeatures, Dimensions) {
+  rng::Engine eng(1);
+  data::RandomFourierFeatures rff;
+  EXPECT_FALSE(rff.fitted());
+  rff.fit(eng, 4, 32, 1.0);
+  EXPECT_TRUE(rff.fitted());
+  EXPECT_EQ(rff.input_dim(), 4u);
+  EXPECT_EQ(rff.output_dim(), 32u);
+  EXPECT_EQ(rff.transform(linalg::Vector{0.1, 0.2, 0.3, 0.4}).size(), 32u);
+}
+
+TEST(FourierFeatures, OutputL1Bounded) {
+  rng::Engine eng(2);
+  data::RandomFourierFeatures rff;
+  rff.fit(eng, 3, 64, 2.0);
+  for (int i = 0; i < 50; ++i) {
+    linalg::Vector x(3);
+    for (double& v : x) v = rng::normal(eng);
+    EXPECT_LE(linalg::norm1(rff.transform(x)), 1.0 + 1e-9);
+  }
+}
+
+TEST(FourierFeatures, DeterministicGivenEngineState) {
+  rng::Engine a(3), b(3);
+  data::RandomFourierFeatures ra, rb;
+  ra.fit(a, 2, 16, 1.0);
+  rb.fit(b, 2, 16, 1.0);
+  const linalg::Vector x{0.5, -0.25};
+  EXPECT_EQ(ra.transform(x), rb.transform(x));
+}
+
+TEST(FourierFeatures, TransformSampleSetInPlace) {
+  rng::Engine eng(4);
+  data::RandomFourierFeatures rff;
+  rff.fit(eng, 2, 8, 1.0);
+  models::SampleSet set{models::Sample({0.1, 0.2}, 1.0)};
+  rff.transform(set);
+  EXPECT_EQ(set[0].x.size(), 8u);
+  EXPECT_EQ(set[0].y, 1.0);  // labels untouched
+}
+
+TEST(FourierFeatures, MakesCircularDataLinearlySeparable) {
+  // Circle-inside-ring: linearly inseparable in R^2; the RFF map makes a
+  // linear classifier work — the "wide range of algorithms" claim.
+  rng::Engine eng(5);
+  models::SampleSet raw;
+  for (int i = 0; i < 1200; ++i) {
+    const double angle = rng::uniform(eng, 0.0, 6.2831853);
+    const bool ring = i % 2 == 0;
+    const double radius = ring ? rng::uniform(eng, 1.6, 2.2)
+                               : rng::uniform(eng, 0.0, 0.9);
+    raw.emplace_back(
+        linalg::Vector{radius * std::cos(angle), radius * std::sin(angle)},
+        ring ? 1.0 : 0.0);
+  }
+  models::SampleSet train(raw.begin(), raw.begin() + 900);
+  models::SampleSet test(raw.begin() + 900, raw.end());
+
+  baselines::BatchTrainerConfig cfg;
+  cfg.iterations = 300;
+  cfg.learning_rate = 30.0;
+  cfg.projection_radius = 500.0;
+
+  models::MulticlassLogisticRegression linear(2, 2, 0.0);
+  const double linear_err =
+      baselines::train_central_batch(linear, train, test, cfg).final_test_error;
+  EXPECT_GT(linear_err, 0.3);  // hopeless in raw coordinates
+
+  data::RandomFourierFeatures rff;
+  rff.fit(eng, 2, 200, 1.0);
+  rff.transform(train);
+  rff.transform(test);
+  models::MulticlassLogisticRegression kernelized(2, 200, 0.0);
+  cfg.learning_rate = 200.0;
+  const double rff_err =
+      baselines::train_central_batch(kernelized, train, test, cfg)
+          .final_test_error;
+  EXPECT_LT(rff_err, 0.1);
+}

@@ -1,0 +1,144 @@
+// Fuzz-style robustness tests: random and mutated bytes must never crash
+// the decoders or the protocol server — Section III-C's threat model
+// includes arbitrary hostile input on every network-facing surface.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/protocol.hpp"
+#include "data/io.hpp"
+#include "models/logistic_regression.hpp"
+#include "opt/schedule.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+net::Bytes random_bytes(rng::Engine& eng, std::size_t max_len) {
+  net::Bytes b(rng::uniform_index(eng, max_len + 1));
+  for (auto& v : b) v = static_cast<std::uint8_t>(eng());
+  return b;
+}
+
+}  // namespace
+
+TEST(Fuzz, FrameDecoderNeverCrashesOnRandomBytes) {
+  rng::Engine eng(1);
+  int decoded = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const net::Bytes b = random_bytes(eng, 64);
+    try {
+      net::decode_frame(b);
+      ++decoded;
+    } catch (const net::CodecError&) {
+      // expected for almost all inputs
+    }
+  }
+  // Random bytes essentially never form a valid CRC-protected frame.
+  EXPECT_EQ(decoded, 0);
+}
+
+TEST(Fuzz, MessageDeserializersNeverCrash) {
+  rng::Engine eng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const net::Bytes b = random_bytes(eng, 128);
+    EXPECT_NO_FATAL_FAILURE({
+      try {
+        (void)net::CheckinMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::ParamsMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::CheckoutRequest::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::AckMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+    });
+  }
+}
+
+TEST(Fuzz, MutatedValidFramesHandledGracefully) {
+  // Start from a valid checkin frame and flip random bytes: decode must
+  // either throw CodecError (CRC catches it) or parse — never crash.
+  rng::Engine eng(3);
+  net::CheckinMessage m;
+  m.device_id = 1;
+  m.g_hat = {0.5, -0.5, 0.25};
+  m.ns = 10;
+  m.ny_hat = {5, 5};
+  const net::Bytes valid =
+      net::encode_frame(net::MessageType::kCheckin, m.serialize());
+  for (int i = 0; i < 5000; ++i) {
+    net::Bytes mutated = valid;
+    const int flips = 1 + static_cast<int>(rng::uniform_index(eng, 4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng::uniform_index(eng, mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng::uniform_index(eng, 255));
+    }
+    try {
+      const net::Frame frame = net::decode_frame(mutated);
+      (void)net::CheckinMessage::deserialize(frame.payload);
+    } catch (const net::CodecError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, ProtocolServerAlwaysAnswersGarbage) {
+  models::MulticlassLogisticRegression model(2, 3, 0.0);
+  core::ServerConfig cfg;
+  cfg.param_dim = model.param_dim();
+  cfg.num_classes = 2;
+  core::Server server(cfg,
+                      std::make_unique<opt::SgdUpdater>(
+                          std::make_unique<opt::ConstantSchedule>(0.1), 100.0),
+                      rng::Engine(1));
+  net::AuthRegistry registry(rng::Engine(2));
+  core::ProtocolServer protocol(server, registry);
+
+  rng::Engine eng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const net::Bytes response = protocol.handle(random_bytes(eng, 96));
+    // Every response is itself a well-formed frame.
+    EXPECT_NO_THROW((void)net::decode_frame(response));
+  }
+  EXPECT_EQ(server.version(), 0u);  // nothing got through
+}
+
+TEST(Fuzz, CsvReaderNeverCrashesOnRandomText) {
+  rng::Engine eng(5);
+  const std::string charset = "0123456789.,-+eE\nabcxyz ";
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const std::size_t len = rng::uniform_index(eng, 200);
+    for (std::size_t c = 0; c < len; ++c)
+      text.push_back(charset[rng::uniform_index(eng, charset.size())]);
+    std::istringstream in(text);
+    try {
+      (void)data::read_csv(in);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, CheckpointDeserializerNeverCrashes) {
+  rng::Engine eng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const net::Bytes b = random_bytes(eng, 128);
+    try {
+      (void)core::ServerCheckpoint::deserialize(b);
+    } catch (const net::CodecError&) {
+    }
+  }
+  SUCCEED();
+}

@@ -1,0 +1,186 @@
+// Tests for the (eps, delta) Gaussian gradient-sanitization path
+// (footnote 1) and the L2 sensitivity contracts behind it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/crowd_simulation.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+models::Sample make_sample(rng::Engine& eng, std::size_t dim,
+                           std::size_t classes) {
+  linalg::Vector x(dim);
+  for (double& v : x) v = rng::normal(eng);
+  linalg::l1_normalize(x);
+  return models::Sample(std::move(x),
+                        static_cast<double>(rng::uniform_index(eng, classes)));
+}
+
+}  // namespace
+
+TEST(GaussianBudget, FactoryFields) {
+  const auto b = privacy::PrivacyBudget::gaussian(1.0, 1e-5);
+  EXPECT_EQ(b.mechanism, privacy::NoiseMechanism::kGaussian);
+  EXPECT_DOUBLE_EQ(b.delta, 1e-5);
+  EXPECT_DOUBLE_EQ(b.eps_gradient, 1.0);
+  EXPECT_TRUE(b.is_private());
+}
+
+TEST(GaussianBudget, DefaultIsLaplace) {
+  EXPECT_EQ(privacy::PrivacyBudget::gradient_dominated(1.0).mechanism,
+            privacy::NoiseMechanism::kLaplace);
+}
+
+TEST(ModelL2Sensitivity, LogisticGradientL2Bounded) {
+  // Per-sample ||g||_2 <= sqrt(2) for ||x||_1 <= 1; neighbor difference
+  // <= 2 sqrt(2) = per_sample_l2_sensitivity().
+  rng::Engine eng(1);
+  models::MulticlassLogisticRegression m(10, 20, 0.0);
+  EXPECT_NEAR(m.per_sample_l2_sensitivity(), 2.0 * std::sqrt(2.0), 1e-12);
+  for (int trial = 0; trial < 200; ++trial) {
+    linalg::Vector w(m.param_dim());
+    for (double& v : w) v = rng::normal(eng) * 3.0;
+    linalg::Vector ga(m.param_dim(), 0.0), gb(m.param_dim(), 0.0);
+    m.add_loss_gradient(w, make_sample(eng, 20, 10), ga);
+    m.add_loss_gradient(w, make_sample(eng, 20, 10), gb);
+    EXPECT_LE(linalg::norm2(linalg::sub(ga, gb)),
+              m.per_sample_l2_sensitivity() + 1e-9);
+  }
+}
+
+TEST(ModelL2Sensitivity, DefaultFallsBackToL1) {
+  models::BinaryLogisticRegression m(5, 0.0);
+  EXPECT_DOUBLE_EQ(m.per_sample_l2_sensitivity(), m.per_sample_l1_sensitivity());
+}
+
+TEST(GaussianDevice, AddsGaussianNoise) {
+  models::MulticlassLogisticRegression model(3, 4, 0.0);
+  core::DeviceConfig cfg;
+  cfg.minibatch_size = 2;
+  cfg.budget = privacy::PrivacyBudget::gaussian(2.0, 1e-5);
+  core::Device noisy(cfg, model, rng::Engine(1));
+  core::DeviceConfig clean_cfg;
+  clean_cfg.minibatch_size = 2;
+  core::Device clean(clean_cfg, model, rng::Engine(1));
+
+  rng::Engine eng(2);
+  for (int i = 0; i < 2; ++i) {
+    const auto s = make_sample(eng, 4, 3);
+    noisy.on_sample(s);
+    clean.on_sample(s);
+  }
+  const linalg::Vector w(model.param_dim(), 0.0);
+  noisy.begin_checkout();
+  clean.begin_checkout();
+  const auto gn = noisy.compute_checkin(w, 0).message.g_hat;
+  const auto gc = clean.compute_checkin(w, 0).message.g_hat;
+  EXPECT_GT(linalg::norm1(linalg::sub(gn, gc)), 1e-6);
+}
+
+TEST(GaussianDevice, NoiseVarianceMatchesAnalyticSigma) {
+  models::MulticlassLogisticRegression model(3, 4, 0.0);
+  const double eps = 2.0, delta = 1e-5;
+  const std::size_t b = 4;
+  core::DeviceConfig cfg;
+  cfg.minibatch_size = b;
+  cfg.budget = privacy::PrivacyBudget::gaussian(eps, delta);
+  core::Device dev(cfg, model, rng::Engine(7));
+  core::DeviceConfig clean_cfg;
+  clean_cfg.minibatch_size = b;
+  core::Device clean(clean_cfg, model, rng::Engine(7));
+
+  rng::Engine eng(8);
+  const linalg::Vector w(model.param_dim(), 0.0);
+  double sumsq = 0.0;
+  long long n = 0;
+  for (int round = 0; round < 400; ++round) {
+    models::SampleSet batch;
+    for (std::size_t i = 0; i < b; ++i) batch.push_back(make_sample(eng, 4, 3));
+    for (const auto& s : batch) {
+      dev.on_sample(s);
+      clean.on_sample(s);
+    }
+    dev.begin_checkout();
+    clean.begin_checkout();
+    const auto gn = dev.compute_checkin(w, 0).message.g_hat;
+    const auto gc = clean.compute_checkin(w, 0).message.g_hat;
+    for (std::size_t i = 0; i < gn.size(); ++i) {
+      const double z = gn[i] - gc[i];
+      sumsq += z * z;
+      ++n;
+    }
+  }
+  const double l2_sens = model.per_sample_l2_sensitivity() / static_cast<double>(b);
+  const double sigma = l2_sens * std::sqrt(2.0 * std::log(1.25 / delta)) / eps;
+  EXPECT_NEAR(sumsq / static_cast<double>(n), sigma * sigma,
+              0.08 * sigma * sigma);
+}
+
+TEST(GaussianVsLaplace, LaplaceWinsWhenL1SensitivityIsDimensionFree) {
+  // For unit-L1-normalized features the multiclass-logistic L1 sensitivity
+  // (4/b) does NOT grow with dimension, so at the same eps the Laplace
+  // per-coordinate variance is *lower* than the Gaussian mechanism's —
+  // pure eps-DP is the better deal for this model family, which is why the
+  // paper uses Laplace (Eq. 10) and relegates Gaussian to a footnote.
+  const double eps = 1.0, delta = 1e-5;
+  const std::size_t b = 10;
+  const double laplace_var = privacy::laplace_noise_variance(4.0 / b, eps);
+  const double s2 = 2.0 * std::sqrt(2.0) / b;
+  const double sigma = s2 * std::sqrt(2.0 * std::log(1.25 / delta)) / eps;
+  EXPECT_GT(sigma * sigma, laplace_var);
+}
+
+TEST(GaussianVsLaplace, GaussianWinsWhenL1GrowsWithDimension) {
+  // The generic high-dimension story: a release whose coordinates each
+  // carry sensitivity s has S1 = D*s but S2 = sqrt(D)*s. Total Laplace
+  // noise power scales as D^3 s^2 vs Gaussian's ~ D^2 s^2 log(1/delta):
+  // past a few dozen dimensions the (eps, delta) mechanism dominates.
+  const double eps = 1.0, delta = 1e-5, s = 0.01;
+  for (const double d : {100.0, 500.0}) {
+    const double laplace_total =
+        d * privacy::laplace_noise_variance(d * s, eps);
+    const double sigma =
+        std::sqrt(d) * s * std::sqrt(2.0 * std::log(1.25 / delta)) / eps;
+    const double gaussian_total = d * sigma * sigma;
+    EXPECT_GT(laplace_total, gaussian_total);
+  }
+}
+
+TEST(GaussianCrowd, LearnsComparablyToLaplace) {
+  rng::Engine eng(11);
+  const data::Dataset ds = data::make_mnist_like(eng, 0.05);
+  models::MulticlassLogisticRegression model(10, 50, 0.0);
+
+  auto run = [&](privacy::PrivacyBudget budget) {
+    core::CrowdSimConfig cfg;
+    cfg.num_devices = 100;
+    cfg.minibatch_size = 20;
+    cfg.budget = budget;
+    cfg.max_total_samples = static_cast<long long>(5 * ds.train.size());
+    cfg.eval_points = 4;
+    cfg.learning_rate_c = 50.0;
+    cfg.projection_radius = 500.0;
+    cfg.seed = 23;
+    rng::Engine shard_eng(29);
+    auto shards = data::shard_across_devices(ds.train, cfg.num_devices, shard_eng);
+    core::CrowdSimulation sim(model, cfg);
+    return sim.run(core::make_cycling_source(std::move(shards)), ds.test)
+        .final_test_error;
+  };
+
+  const double laplace_err =
+      run(privacy::PrivacyBudget::gradient_dominated(30.0));
+  const double gaussian_err = run(privacy::PrivacyBudget::gaussian(30.0, 1e-6));
+  // Both mechanisms learn well below chance (0.9); for this model family
+  // Laplace is the better mechanism (dimension-free L1 sensitivity — see
+  // GaussianVsLaplace above), which the run reproduces.
+  EXPECT_LT(gaussian_err, 0.55);
+  EXPECT_LT(laplace_err, 0.35);
+  EXPECT_LE(laplace_err, gaussian_err + 0.05);
+}

@@ -1,0 +1,359 @@
+// Unit and property tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/pca.hpp"
+#include "linalg/vector_ops.hpp"
+#include "rng/distributions.hpp"
+
+namespace la = crowdml::linalg;
+using crowdml::rng::Engine;
+
+namespace {
+
+la::Vector random_vector(Engine& eng, std::size_t n, double scale = 1.0) {
+  la::Vector v(n);
+  for (double& x : v) x = crowdml::rng::normal(eng) * scale;
+  return v;
+}
+
+}  // namespace
+
+TEST(VectorOps, AxpyAddsScaledVector) {
+  la::Vector x{1.0, 2.0, 3.0};
+  la::Vector y{10.0, 20.0, 30.0};
+  la::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(VectorOps, ScalScalesInPlace) {
+  la::Vector x{1.0, -2.0, 0.5};
+  la::scal(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], -1.0);
+}
+
+TEST(VectorOps, DotOfOrthogonalVectorsIsZero) {
+  EXPECT_DOUBLE_EQ(la::dot({1.0, 0.0}, {0.0, 5.0}), 0.0);
+}
+
+TEST(VectorOps, DotMatchesManualSum) {
+  EXPECT_DOUBLE_EQ(la::dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorOps, AddAndSubElementwise) {
+  const la::Vector a{1.0, 2.0};
+  const la::Vector b{3.0, -1.0};
+  const la::Vector s = la::add(a, b);
+  const la::Vector d = la::sub(a, b);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+TEST(VectorOps, Norms) {
+  const la::Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(la::norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(la::norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(la::norm2_squared(v), 25.0);
+  EXPECT_DOUBLE_EQ(la::norm_inf(v), 4.0);
+}
+
+TEST(VectorOps, NormsOfEmptyVectorAreZero) {
+  const la::Vector v;
+  EXPECT_DOUBLE_EQ(la::norm1(v), 0.0);
+  EXPECT_DOUBLE_EQ(la::norm2(v), 0.0);
+  EXPECT_DOUBLE_EQ(la::norm_inf(v), 0.0);
+}
+
+TEST(VectorOps, L1NormalizeOnlyShrinks) {
+  la::Vector big{2.0, 2.0};
+  la::l1_normalize(big);
+  EXPECT_NEAR(la::norm1(big), 1.0, 1e-12);
+
+  la::Vector small{0.1, 0.1};
+  la::l1_normalize(small);  // already <= 1: untouched
+  EXPECT_DOUBLE_EQ(small[0], 0.1);
+}
+
+TEST(VectorOps, L1NormalizeZeroVectorIsNoop) {
+  la::Vector z{0.0, 0.0};
+  la::l1_normalize(z);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(VectorOps, L2NormalizeUnitNorm) {
+  la::Vector v{3.0, 4.0};
+  la::l2_normalize(v);
+  EXPECT_NEAR(la::norm2(v), 1.0, 1e-12);
+}
+
+TEST(VectorOps, ProjectL2BallCapsNorm) {
+  la::Vector v{30.0, 40.0};
+  la::project_l2_ball(v, 5.0);
+  EXPECT_NEAR(la::norm2(v), 5.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(v[0] / v[1], 0.75, 1e-12);
+}
+
+TEST(VectorOps, ProjectL2BallInsideIsIdentity) {
+  la::Vector v{1.0, 1.0};
+  const la::Vector before = v;
+  la::project_l2_ball(v, 10.0);
+  EXPECT_EQ(v, before);
+}
+
+TEST(VectorOps, ArgmaxFirstOfTies) {
+  EXPECT_EQ(la::argmax({1.0, 3.0, 3.0, 2.0}), 1u);
+  EXPECT_EQ(la::argmax({-5.0}), 0u);
+}
+
+TEST(VectorOps, SumAndMean) {
+  EXPECT_DOUBLE_EQ(la::sum({1.0, 2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(la::mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(la::mean({}), 0.0);
+}
+
+TEST(VectorOps, AllFiniteDetectsNanAndInf) {
+  EXPECT_TRUE(la::all_finite({1.0, -2.0}));
+  EXPECT_FALSE(la::all_finite({1.0, std::nan("")}));
+  EXPECT_FALSE(la::all_finite({1.0, INFINITY}));
+}
+
+// Property: projection is idempotent and never grows the norm.
+class ProjectionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProjectionProperty, IdempotentAndBounded) {
+  Engine eng(GetParam() * 1000);
+  const double radius = GetParam();
+  for (int i = 0; i < 50; ++i) {
+    la::Vector v = random_vector(eng, 20, 10.0);
+    la::project_l2_ball(v, radius);
+    EXPECT_LE(la::norm2(v), radius * (1.0 + 1e-12));
+    la::Vector again = v;
+    la::project_l2_ball(again, radius);
+    for (std::size_t k = 0; k < v.size(); ++k)
+      EXPECT_NEAR(again[k], v[k], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, ProjectionProperty,
+                         ::testing::Values(0.5, 1.0, 5.0, 100.0));
+
+TEST(Matrix, MultiplyVector) {
+  la::Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const la::Vector y = m.multiply(la::Vector{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MultiplyTransposedMatchesExplicitTranspose) {
+  Engine eng(3);
+  la::Matrix m(4, 6);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 6; ++c) m(r, c) = crowdml::rng::normal(eng);
+  const la::Vector x = random_vector(eng, 4);
+  const la::Vector a = m.multiply_transposed(x);
+  const la::Vector b = m.transposed().multiply(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Matrix, MatrixProductAgainstHand) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  la::Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const la::Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, IdentityActsAsIdentity) {
+  Engine eng(9);
+  const la::Matrix i3 = la::Matrix::identity(3);
+  const la::Vector x = random_vector(eng, 3);
+  const la::Vector y = i3.multiply(x);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(y[k], x[k]);
+}
+
+TEST(Matrix, RowAccessors) {
+  la::Matrix m(2, 2);
+  m.set_row(1, {7.0, 8.0});
+  const la::Vector r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 7.0);
+  EXPECT_DOUBLE_EQ(r[1], 8.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[0], 0.0);
+}
+
+TEST(Matrix, ColumnMeans) {
+  la::Matrix m(2, 2);
+  m.set_row(0, {1.0, 10.0});
+  m.set_row(1, {3.0, 20.0});
+  const la::Vector mu = la::column_means(m);
+  EXPECT_DOUBLE_EQ(mu[0], 2.0);
+  EXPECT_DOUBLE_EQ(mu[1], 15.0);
+}
+
+TEST(Matrix, CovarianceOfUncorrelatedColumns) {
+  // Two columns: [1,-1,1,-1] and [1,1,-1,-1] — orthogonal, variance 4/3.
+  la::Matrix m(4, 2);
+  m.set_row(0, {1.0, 1.0});
+  m.set_row(1, {-1.0, 1.0});
+  m.set_row(2, {1.0, -1.0});
+  m.set_row(3, {-1.0, -1.0});
+  const la::Matrix cov = la::covariance(m);
+  EXPECT_NEAR(cov(0, 0), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 0.0, 1e-12);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  la::Matrix m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSortedDescending) {
+  la::Matrix m(3, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  const la::EigenResult e = la::eigen_symmetric(m);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  la::Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  const la::EigenResult e = la::eigen_symmetric(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+}
+
+// Property: for random symmetric A, A v_i = lambda_i v_i and eigenvectors
+// are orthonormal.
+class EigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenProperty, ReconstructionAndOrthonormality) {
+  const int n = GetParam();
+  Engine eng(static_cast<std::uint64_t>(n) * 77);
+  la::Matrix a(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = r; c < n; ++c) {
+      const double v = crowdml::rng::normal(eng);
+      a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+      a(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) = v;
+    }
+  const la::EigenResult e = la::eigen_symmetric(a);
+
+  for (int i = 0; i < n; ++i) {
+    la::Vector v(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k)
+      v[static_cast<std::size_t>(k)] =
+          e.vectors(static_cast<std::size_t>(k), static_cast<std::size_t>(i));
+    const la::Vector av = a.multiply(v);
+    for (int k = 0; k < n; ++k)
+      EXPECT_NEAR(av[static_cast<std::size_t>(k)],
+                  e.values[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(k)],
+                  1e-8);
+    // Orthonormality against every other eigenvector.
+    for (int j = 0; j < n; ++j) {
+      la::Vector u(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k)
+        u[static_cast<std::size_t>(k)] =
+            e.vectors(static_cast<std::size_t>(k), static_cast<std::size_t>(j));
+      EXPECT_NEAR(la::dot(u, v), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty, ::testing::Values(2, 5, 10, 25));
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data concentrated along (1, 1)/sqrt(2) with small orthogonal noise.
+  Engine eng(4);
+  la::Matrix samples(500, 2);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double t = crowdml::rng::normal(eng) * 5.0;
+    const double s = crowdml::rng::normal(eng) * 0.1;
+    samples(i, 0) = t + s;
+    samples(i, 1) = t - s;
+  }
+  la::Pca pca;
+  pca.fit(samples, 1);
+  ASSERT_EQ(pca.output_dim(), 1u);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.99);
+  // The principal direction is (±1, ±1)/sqrt(2): transformed coordinates
+  // of (1,1) and (2,2) differ by sqrt(2) * 1.
+  const double a = pca.transform(la::Vector{1.0, 1.0})[0];
+  const double b = pca.transform(la::Vector{2.0, 2.0})[0];
+  EXPECT_NEAR(std::abs(b - a), std::sqrt(2.0), 1e-6);
+}
+
+TEST(Pca, TransformCentersData) {
+  la::Matrix samples(2, 2);
+  samples.set_row(0, {1.0, 2.0});
+  samples.set_row(1, {3.0, 6.0});
+  la::Pca pca;
+  pca.fit(samples, 2);
+  // The mean maps to the origin.
+  const la::Vector z = pca.transform(la::Vector{2.0, 4.0});
+  EXPECT_NEAR(z[0], 0.0, 1e-12);
+  EXPECT_NEAR(z[1], 0.0, 1e-12);
+}
+
+TEST(Pca, MatrixTransformMatchesVectorTransform) {
+  Engine eng(11);
+  la::Matrix samples(50, 4);
+  for (std::size_t i = 0; i < 50; ++i)
+    samples.set_row(i, random_vector(eng, 4));
+  la::Pca pca;
+  pca.fit(samples, 2);
+  const la::Matrix t = pca.transform(samples);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const la::Vector v = pca.transform(samples.row(i));
+    EXPECT_NEAR(t(i, 0), v[0], 1e-12);
+    EXPECT_NEAR(t(i, 1), v[1], 1e-12);
+  }
+}
+
+TEST(Pca, ExplainedVarianceDescending) {
+  Engine eng(12);
+  la::Matrix samples(200, 6);
+  for (std::size_t i = 0; i < 200; ++i)
+    samples.set_row(i, random_vector(eng, 6));
+  la::Pca pca;
+  pca.fit(samples, 6);
+  const la::Vector& ev = pca.explained_variance();
+  for (std::size_t i = 1; i < ev.size(); ++i) EXPECT_GE(ev[i - 1], ev[i]);
+  EXPECT_NEAR(pca.explained_variance_ratio(), 1.0, 1e-9);
+}

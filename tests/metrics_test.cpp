@@ -1,0 +1,105 @@
+// Tests for learning-curve recording, aggregation, and emission.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/curves.hpp"
+
+using namespace crowdml::metrics;
+
+TEST(LearningCurve, RecordAndQuery) {
+  LearningCurve c;
+  EXPECT_TRUE(c.empty());
+  c.record(0, 1.0);
+  c.record(100, 0.5);
+  c.record(200, 0.25);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.final_value(), 0.25);
+}
+
+TEST(LearningCurve, TailMean) {
+  LearningCurve c;
+  c.record(0, 1.0);
+  c.record(1, 0.4);
+  c.record(2, 0.2);
+  EXPECT_DOUBLE_EQ(c.tail_mean(2), 0.3);
+  EXPECT_DOUBLE_EQ(c.tail_mean(10), (1.0 + 0.4 + 0.2) / 3.0);  // clamped
+}
+
+TEST(CurveAggregator, MeanOfTrials) {
+  CurveAggregator agg;
+  LearningCurve a, b;
+  a.record(0, 1.0);
+  a.record(10, 0.2);
+  b.record(0, 0.8);
+  b.record(10, 0.4);
+  agg.add_trial(a);
+  agg.add_trial(b);
+  EXPECT_EQ(agg.trials(), 2u);
+  const LearningCurve m = agg.mean();
+  EXPECT_DOUBLE_EQ(m.points()[0].y, 0.9);
+  EXPECT_DOUBLE_EQ(m.points()[1].y, 0.3);
+  EXPECT_DOUBLE_EQ(m.points()[1].x, 10.0);
+}
+
+TEST(CurveAggregator, StdDev) {
+  CurveAggregator agg;
+  LearningCurve a, b;
+  a.record(0, 1.0);
+  b.record(0, 3.0);
+  agg.add_trial(a);
+  agg.add_trial(b);
+  EXPECT_NEAR(agg.stddev().points()[0].y, 1.0, 1e-12);
+}
+
+TEST(CurveAggregator, SingleTrialZeroStd) {
+  CurveAggregator agg;
+  LearningCurve a;
+  a.record(0, 0.5);
+  agg.add_trial(a);
+  EXPECT_NEAR(agg.stddev().points()[0].y, 0.0, 1e-12);
+}
+
+TEST(TimeAveragedError, MatchesDefinition) {
+  TimeAveragedError e;
+  e.observe(true);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+  e.observe(false);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.observe(false);
+  e.observe(false);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25);
+  EXPECT_EQ(e.count(), 4);
+  // Curve recorded one point per observation.
+  EXPECT_EQ(e.curve().size(), 4u);
+  EXPECT_DOUBLE_EQ(e.curve().points()[3].x, 4.0);
+}
+
+TEST(TimeAveragedError, EmptyIsZero) {
+  TimeAveragedError e;
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(WriteCurvesCsv, Format) {
+  LearningCurve a, b;
+  a.record(0, 0.9);
+  a.record(5, 0.1);
+  b.record(0, 0.8);
+  b.record(5, 0.2);
+  std::stringstream ss;
+  write_curves_csv(ss, {"crowd", "central"}, {a, b});
+  EXPECT_EQ(ss.str(), "x,crowd,central\n0,0.9,0.8\n5,0.1,0.2\n");
+}
+
+TEST(PrintCurveTable, ContainsHeaderAndValues) {
+  LearningCurve a;
+  for (int i = 0; i <= 100; ++i) a.record(i, 1.0 / (i + 1));
+  std::stringstream ss;
+  print_curve_table(ss, "iter", {"err"}, {a}, 10);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("iter"), std::string::npos);
+  EXPECT_NE(out.find("err"), std::string::npos);
+  EXPECT_NE(out.find("1.0000"), std::string::npos);
+  // Last row always present.
+  EXPECT_NE(out.find("100"), std::string::npos);
+}

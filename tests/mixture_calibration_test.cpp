@@ -1,0 +1,51 @@
+// Calibration guards: the synthetic stand-ins must keep the operating
+// points the figures depend on (batch logistic regression ~0.10 on the
+// MNIST-like data, ~0.30 on the CIFAR-like data — Figs. 4 and 7).
+//
+// These run on 10%-scale datasets; the full-scale errors are slightly
+// lower (more training data), which EXPERIMENTS.md records.
+#include <gtest/gtest.h>
+
+#include "baselines/central_batch.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+double batch_error(const data::Dataset& ds, std::size_t pca_dim) {
+  models::MulticlassLogisticRegression model(10, pca_dim, 0.0);
+  baselines::BatchTrainerConfig cfg;
+  cfg.iterations = 400;
+  cfg.learning_rate = 200.0;
+  cfg.momentum = 0.95;
+  cfg.projection_radius = 500.0;
+  return baselines::train_central_batch(model, ds.train, ds.test, cfg)
+      .final_test_error;
+}
+
+}  // namespace
+
+TEST(MixtureCalibration, MnistLikeBatchErrorNearPoint1) {
+  rng::Engine eng(42);
+  const data::Dataset ds = data::make_mnist_like(eng, 0.1);
+  const double err = batch_error(ds, 50);
+  EXPECT_GT(err, 0.05);
+  EXPECT_LT(err, 0.15);
+}
+
+TEST(MixtureCalibration, CifarLikeBatchErrorNearPoint3) {
+  rng::Engine eng(42);
+  const data::Dataset ds = data::make_cifar_like(eng, 0.1);
+  const double err = batch_error(ds, 100);
+  EXPECT_GT(err, 0.22);
+  EXPECT_LT(err, 0.38);
+}
+
+TEST(MixtureCalibration, CifarHarderThanMnist) {
+  rng::Engine e1(42), e2(42);
+  const data::Dataset mnist = data::make_mnist_like(e1, 0.05);
+  const data::Dataset cifar = data::make_cifar_like(e2, 0.05);
+  EXPECT_GT(batch_error(cifar, 100), batch_error(mnist, 50) + 0.1);
+}

@@ -1,0 +1,78 @@
+// Tests for the Section V-C hyperparameter-selection protocol.
+#include <gtest/gtest.h>
+
+#include "core/model_selection.hpp"
+#include "data/mixture.hpp"
+#include "models/logistic_regression.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+data::Dataset small_dataset() {
+  rng::Engine eng(77);
+  data::MixtureSpec spec;
+  spec.num_classes = 3;
+  spec.raw_dim = 30;
+  spec.latent_dim = 10;
+  spec.pca_dim = 8;
+  spec.separation = 3.5;
+  spec.train_size = 1200;
+  spec.test_size = 300;
+  return data::generate_mixture(spec, eng);
+}
+
+core::CrowdSimConfig base_config() {
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = 20;
+  cfg.max_total_samples = 3600;
+  cfg.eval_points = 3;
+  cfg.projection_radius = 500.0;
+  cfg.seed = 1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ModelSelection, EvaluatesFullGridAndPicksArgmin) {
+  const data::Dataset ds = small_dataset();
+  const auto factory = [&](double lambda) -> std::unique_ptr<models::Model> {
+    return std::make_unique<models::MulticlassLogisticRegression>(3, 8, lambda);
+  };
+  const auto result = core::select_hyperparameters(
+      factory, ds, {0.001, 50.0}, {0.0, 0.1}, base_config(), 2);
+
+  EXPECT_EQ(result.grid.size(), 4u);
+  for (const auto& p : result.grid) {
+    EXPECT_GE(p.mean_final_error, 0.0);
+    EXPECT_LE(p.mean_final_error, 1.0);
+    EXPECT_GE(result.best.mean_final_error, 0.0);
+    EXPECT_LE(result.best.mean_final_error, p.mean_final_error + 1e-12);
+  }
+  // c = 0.001 barely moves the parameters; c = 50 must win.
+  EXPECT_DOUBLE_EQ(result.best.learning_rate_c, 50.0);
+  EXPECT_LT(result.best.mean_final_error, 0.2);
+}
+
+TEST(ModelSelection, HeavyRegularizationLoses) {
+  const data::Dataset ds = small_dataset();
+  const auto factory = [&](double lambda) -> std::unique_ptr<models::Model> {
+    return std::make_unique<models::MulticlassLogisticRegression>(3, 8, lambda);
+  };
+  const auto result = core::select_hyperparameters(
+      factory, ds, {50.0}, {0.0, 100.0}, base_config(), 1);
+  ASSERT_EQ(result.grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.best.lambda, 0.0);
+}
+
+TEST(ModelSelection, DeterministicGivenBaseSeed) {
+  const data::Dataset ds = small_dataset();
+  const auto factory = [&](double lambda) -> std::unique_ptr<models::Model> {
+    return std::make_unique<models::MulticlassLogisticRegression>(3, 8, lambda);
+  };
+  const auto r1 = core::select_hyperparameters(factory, ds, {10.0}, {0.0},
+                                               base_config(), 2);
+  const auto r2 = core::select_hyperparameters(factory, ds, {10.0}, {0.0},
+                                               base_config(), 2);
+  EXPECT_DOUBLE_EQ(r1.best.mean_final_error, r2.best.mean_final_error);
+}

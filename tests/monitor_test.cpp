@@ -1,0 +1,76 @@
+// Tests for the portal-style monitoring report.
+#include <gtest/gtest.h>
+
+#include "core/monitor.hpp"
+#include "opt/schedule.hpp"
+
+using namespace crowdml;
+using core::Server;
+
+namespace {
+
+Server make_server() {
+  core::ServerConfig cfg;
+  cfg.param_dim = 2;
+  cfg.num_classes = 3;
+  return Server(cfg,
+                std::make_unique<opt::SgdUpdater>(
+                    std::make_unique<opt::ConstantSchedule>(0.1), 10.0),
+                rng::Engine(1));
+}
+
+net::CheckinMessage checkin(std::uint64_t device, std::int64_t ns,
+                            std::int64_t ne) {
+  net::CheckinMessage m;
+  m.device_id = device;
+  m.g_hat = {0.1, 0.1};
+  m.ns = ns;
+  m.ne_hat = ne;
+  m.ny_hat = {ns, 0, 0};
+  return m;
+}
+
+}  // namespace
+
+TEST(Monitor, ReportContainsHeadlineNumbers) {
+  Server s = make_server();
+  s.handle_checkin(checkin(7, 10, 3));
+  const std::string report = core::portal_report(s);
+  EXPECT_NE(report.find("iteration t:            1"), std::string::npos);
+  EXPECT_NE(report.find("samples reported:       10"), std::string::npos);
+  EXPECT_NE(report.find("0.3000"), std::string::npos);  // Eq. 14 estimate
+  EXPECT_NE(report.find("7"), std::string::npos);       // device row
+}
+
+TEST(Monitor, ClassNamesUsedWhenProvided) {
+  Server s = make_server();
+  s.handle_checkin(checkin(1, 10, 0));
+  core::MonitorOptions opt;
+  opt.class_names = {"Still", "OnFoot", "InVehicle"};
+  const std::string report = core::portal_report(s, opt);
+  EXPECT_NE(report.find("Still="), std::string::npos);
+  EXPECT_NE(report.find("InVehicle="), std::string::npos);
+}
+
+TEST(Monitor, DeviceRowsCapped) {
+  Server s = make_server();
+  for (std::uint64_t d = 1; d <= 20; ++d) s.handle_checkin(checkin(d, 5, 1));
+  core::MonitorOptions opt;
+  opt.max_device_rows = 5;
+  const std::string report = core::portal_report(s, opt);
+  EXPECT_NE(report.find("and 15 more devices"), std::string::npos);
+}
+
+TEST(Monitor, NoisyNegativeErrorClamped) {
+  Server s = make_server();
+  s.handle_checkin(checkin(1, 10, -50));  // sanitized count went negative
+  const std::string report = core::portal_report(s);
+  EXPECT_EQ(report.find("-0."), std::string::npos)
+      << "no negative rates should be displayed:\n" << report;
+}
+
+TEST(Monitor, EmptyServerReportIsSane) {
+  Server s = make_server();
+  const std::string report = core::portal_report(s);
+  EXPECT_NE(report.find("devices seen:           0"), std::string::npos);
+}

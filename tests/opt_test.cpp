@@ -1,0 +1,147 @@
+// Tests for schedules and updaters (Eq. 3, Eq. 5, Remark 3 extensions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "opt/schedule.hpp"
+#include "opt/updater.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+TEST(Schedules, SqrtDecayValues) {
+  opt::SqrtDecaySchedule s(2.0);
+  EXPECT_DOUBLE_EQ(s.rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(4), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate(100), 0.2);
+}
+
+TEST(Schedules, ConstantValue) {
+  opt::ConstantSchedule s(0.5);
+  EXPECT_DOUBLE_EQ(s.rate(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.rate(1000000), 0.5);
+}
+
+TEST(Schedules, InverseTValues) {
+  opt::InverseTSchedule s(10.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.rate(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.rate(6), 1.0);
+}
+
+TEST(Schedules, CloneIsIndependentCopy) {
+  opt::SqrtDecaySchedule s(3.0);
+  auto c = s.clone();
+  EXPECT_DOUBLE_EQ(c->rate(9), 1.0);
+}
+
+TEST(SgdUpdater, SingleStepMatchesFormula) {
+  opt::SgdUpdater u(std::make_unique<opt::ConstantSchedule>(0.1), 100.0);
+  linalg::Vector w{1.0, 2.0};
+  u.apply(w, {10.0, -10.0});
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 3.0);
+  EXPECT_EQ(u.steps(), 1);
+}
+
+TEST(SgdUpdater, ScheduleAdvancesWithSteps) {
+  opt::SgdUpdater u(std::make_unique<opt::SqrtDecaySchedule>(1.0), 100.0);
+  linalg::Vector w{0.0};
+  u.apply(w, {1.0});  // eta(1) = 1
+  EXPECT_DOUBLE_EQ(w[0], -1.0);
+  u.apply(w, {1.0});  // eta(2) = 1/sqrt(2)
+  EXPECT_NEAR(w[0], -1.0 - 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(SgdUpdater, ProjectionKeepsIterateInBall) {
+  opt::SgdUpdater u(std::make_unique<opt::ConstantSchedule>(1.0), 2.0);
+  linalg::Vector w{0.0, 0.0};
+  u.apply(w, {-100.0, 0.0});
+  EXPECT_NEAR(linalg::norm2(w), 2.0, 1e-12);
+}
+
+TEST(SgdUpdater, ConvergesOnQuadratic) {
+  // min 0.5*(w-3)^2, gradient w-3.
+  opt::SgdUpdater u(std::make_unique<opt::SqrtDecaySchedule>(0.8), 100.0);
+  linalg::Vector w{0.0};
+  for (int t = 0; t < 3000; ++t) u.apply(w, {w[0] - 3.0});
+  EXPECT_NEAR(w[0], 3.0, 0.05);
+}
+
+TEST(AdaGrad, PerCoordinateAdaptation) {
+  opt::AdaGradUpdater u(1.0, 100.0);
+  linalg::Vector w{0.0, 0.0};
+  // Coordinate 0 sees large gradients, coordinate 1 small ones; after one
+  // step the effective rates already differ.
+  u.apply(w, {10.0, 0.1});
+  EXPECT_NEAR(w[0], -1.0, 1e-6);  // 1/sqrt(100) * 10 ~ 1
+  EXPECT_NEAR(w[1], -1.0, 1e-3);  // 1/sqrt(0.01) * 0.1 ~ 1 (same first step)
+  // Second identical step is smaller for both (accumulators grow).
+  const double w0 = w[0];
+  u.apply(w, {10.0, 0.1});
+  EXPECT_GT(w0 - w[0], 0.0);
+  EXPECT_LT(w0 - w[0], 1.0);
+}
+
+TEST(AdaGrad, ConvergesOnQuadratic) {
+  opt::AdaGradUpdater u(2.0, 100.0);
+  linalg::Vector w{0.0};
+  for (int t = 0; t < 5000; ++t) u.apply(w, {w[0] - 3.0});
+  EXPECT_NEAR(w[0], 3.0, 0.05);
+}
+
+TEST(AdaGrad, ResetClearsAccumulators) {
+  opt::AdaGradUpdater u(1.0, 100.0);
+  linalg::Vector w{0.0};
+  u.apply(w, {10.0});
+  u.reset();
+  EXPECT_EQ(u.steps(), 0);
+  linalg::Vector w2{0.0};
+  u.apply(w2, {10.0});
+  EXPECT_NEAR(w2[0], -1.0, 1e-6);  // same as a fresh updater's first step
+}
+
+TEST(Momentum, AcceleratesAlongConsistentGradient) {
+  opt::MomentumUpdater u(std::make_unique<opt::ConstantSchedule>(0.1), 1000.0,
+                         0.9);
+  linalg::Vector w{0.0};
+  u.apply(w, {1.0});
+  const double step1 = -w[0];
+  u.apply(w, {1.0});
+  const double step2 = -w[0] - step1;
+  EXPECT_GT(step2, step1);  // velocity accumulates
+}
+
+TEST(Momentum, ConvergesOnQuadratic) {
+  opt::MomentumUpdater u(std::make_unique<opt::ConstantSchedule>(0.05), 100.0,
+                         0.9);
+  linalg::Vector w{0.0};
+  for (int t = 0; t < 2000; ++t) u.apply(w, {w[0] - 3.0});
+  EXPECT_NEAR(w[0], 3.0, 0.01);
+}
+
+TEST(Polyak, AverageOfObservations) {
+  opt::PolyakAverager avg;
+  avg.observe({2.0});
+  avg.observe({4.0});
+  avg.observe({6.0});
+  EXPECT_EQ(avg.count(), 3);
+  EXPECT_NEAR(avg.average()[0], 4.0, 1e-12);
+}
+
+TEST(Polyak, ResetStartsOver) {
+  opt::PolyakAverager avg;
+  avg.observe({10.0});
+  avg.reset();
+  EXPECT_EQ(avg.count(), 0);
+  avg.observe({2.0});
+  EXPECT_NEAR(avg.average()[0], 2.0, 1e-12);
+}
+
+TEST(Polyak, ReducesVarianceOfNoisyIterates) {
+  rng::Engine eng(5);
+  opt::PolyakAverager avg;
+  for (int i = 0; i < 10000; ++i)
+    avg.observe({3.0 + rng::normal(eng)});
+  EXPECT_NEAR(avg.average()[0], 3.0, 0.05);
+}

@@ -1,0 +1,89 @@
+// Empirical differential-privacy verification for the discrete mechanisms
+// (the continuous Laplace mechanism's check lives in privacy_test.cpp):
+// for neighboring inputs, every outcome's probability ratio must be
+// bounded by e^eps, up to sampling error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "privacy/mechanisms.hpp"
+#include "rng/engine.hpp"
+
+using namespace crowdml;
+
+TEST(EmpiricalDp, DiscreteLaplaceCountMechanism) {
+  // Counts n and n' = n + 1 (unit sensitivity), eps = 1.
+  const double eps = 1.0;
+  rng::Engine e1(1), e2(2);
+  const int n = 500000;
+  std::map<long long, int> h1, h2;
+  for (int i = 0; i < n; ++i) {
+    ++h1[privacy::sanitize_count(e1, 10, eps)];
+    ++h2[privacy::sanitize_count(e2, 11, eps)];
+  }
+  int checked = 0;
+  for (const auto& [out, c1] : h1) {
+    const auto it = h2.find(out);
+    if (it == h2.end() || c1 < 3000 || it->second < 3000) continue;
+    const double ratio = static_cast<double>(c1) / it->second;
+    EXPECT_LE(ratio, std::exp(eps) * 1.1) << "outcome " << out;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.1) << "outcome " << out;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(EmpiricalDp, ExponentialMechanismLabelPerturbation) {
+  // Two true labels y=0 and y=1 with C=4, eps = 1.5: for every output
+  // label, P(out|y=0)/P(out|y=1) in [e^-eps, e^eps]. (The score function
+  // I[y==y^] changes by at most 1 between neighbors.)
+  const double eps = 1.5;
+  const std::size_t C = 4;
+  rng::Engine e1(3), e2(4);
+  const int n = 400000;
+  std::vector<int> h1(C, 0), h2(C, 0);
+  for (int i = 0; i < n; ++i) {
+    ++h1[static_cast<std::size_t>(privacy::perturb_label(e1, 0, C, eps))];
+    ++h2[static_cast<std::size_t>(privacy::perturb_label(e2, 1, C, eps))];
+  }
+  for (std::size_t out = 0; out < C; ++out) {
+    ASSERT_GT(h1[out], 1000);
+    ASSERT_GT(h2[out], 1000);
+    const double ratio = static_cast<double>(h1[out]) / h2[out];
+    EXPECT_LE(ratio, std::exp(eps) * 1.1) << "label " << out;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.1) << "label " << out;
+  }
+}
+
+TEST(EmpiricalDp, GaussianMechanismRespectsApproximateBound) {
+  // (eps, delta)-DP is not a pointwise-ratio guarantee, but within the
+  // central region (|z| < sigma^2 eps / sensitivity) the likelihood ratio
+  // is bounded by e^eps; check that region empirically.
+  const double eps = 1.0, delta = 1e-5, sens = 1.0;
+  const double sigma = sens * std::sqrt(2.0 * std::log(1.25 / delta)) / eps;
+  rng::Engine e1(5), e2(6);
+  const int n = 400000;
+  const double bin = sigma / 4.0;
+  std::map<int, int> h1, h2;
+  for (int i = 0; i < n; ++i) {
+    const double a =
+        privacy::sanitize_vector_gaussian(e1, {0.0}, sens, eps, delta)[0];
+    const double b =
+        privacy::sanitize_vector_gaussian(e2, {1.0}, sens, eps, delta)[0];
+    ++h1[static_cast<int>(std::floor(a / bin))];
+    ++h2[static_cast<int>(std::floor(b / bin))];
+  }
+  int checked = 0;
+  for (const auto& [out, c1] : h1) {
+    const double center = (out + 0.5) * bin;
+    if (std::abs(center) > sigma) continue;  // stay in the central region
+    const auto it = h2.find(out);
+    if (it == h2.end() || c1 < 3000 || it->second < 3000) continue;
+    const double ratio = static_cast<double>(c1) / it->second;
+    EXPECT_LE(ratio, std::exp(eps) * 1.15);
+    EXPECT_GE(ratio, std::exp(-eps) / 1.15);
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}

@@ -1,0 +1,214 @@
+// Tests for the differential-privacy mechanisms (Section III-C,
+// Appendices A-C) including an empirical epsilon check on the Laplace
+// mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "privacy/accountant.hpp"
+#include "privacy/budget.hpp"
+#include "privacy/mechanisms.hpp"
+#include "rng/engine.hpp"
+
+using namespace crowdml;
+using privacy::kNoPrivacy;
+
+TEST(Budget, EpsilonFromInverse) {
+  EXPECT_TRUE(std::isinf(privacy::epsilon_from_inverse(0.0)));
+  EXPECT_DOUBLE_EQ(privacy::epsilon_from_inverse(0.1), 10.0);
+  EXPECT_DOUBLE_EQ(privacy::epsilon_from_inverse(2.0), 0.5);
+}
+
+TEST(Budget, NoneIsNotPrivate) {
+  const auto b = privacy::PrivacyBudget::none();
+  EXPECT_FALSE(b.is_private());
+  EXPECT_TRUE(std::isinf(b.per_sample_epsilon(10)));
+}
+
+TEST(Budget, GradientDominatedSplit) {
+  const auto b = privacy::PrivacyBudget::gradient_dominated(10.0, 0.01);
+  EXPECT_TRUE(b.is_private());
+  EXPECT_DOUBLE_EQ(b.eps_gradient, 10.0);
+  EXPECT_DOUBLE_EQ(b.eps_error, 0.1);
+  EXPECT_DOUBLE_EQ(b.eps_label, 0.1);
+  // eps = eps_g + eps_e + C * eps_y (Appendix B Remark 1).
+  EXPECT_NEAR(b.per_sample_epsilon(10), 10.0 + 0.1 + 10 * 0.1, 1e-12);
+}
+
+TEST(Budget, GradientDominatedInfinityStaysInfinite) {
+  const auto b = privacy::PrivacyBudget::gradient_dominated(kNoPrivacy);
+  EXPECT_FALSE(b.is_private());
+}
+
+TEST(Mechanisms, NoPrivacyIsIdentity) {
+  rng::Engine eng(1);
+  const linalg::Vector v{1.0, -2.0, 3.0};
+  EXPECT_EQ(privacy::sanitize_vector(eng, v, 4.0, kNoPrivacy), v);
+  EXPECT_EQ(privacy::sanitize_count(eng, 17, kNoPrivacy), 17);
+  EXPECT_EQ(privacy::perturb_label(eng, 3, 10, kNoPrivacy), 3);
+  EXPECT_EQ(privacy::perturb_features(eng, v, kNoPrivacy), v);
+}
+
+TEST(Mechanisms, ZeroSensitivityAddsNoNoise) {
+  rng::Engine eng(2);
+  const linalg::Vector v{1.0, 2.0};
+  EXPECT_EQ(privacy::sanitize_vector(eng, v, 0.0, 1.0), v);
+}
+
+TEST(Mechanisms, LaplaceNoiseVarianceFormula) {
+  EXPECT_DOUBLE_EQ(privacy::laplace_noise_variance(4.0, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(privacy::laplace_noise_variance(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(privacy::laplace_noise_variance(4.0, kNoPrivacy), 0.0);
+}
+
+// Empirical variance of the sanitized vector matches 2 (S/eps)^2 per
+// coordinate — the noise term of the Eq. (13) trade-off.
+class LaplaceVariance
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LaplaceVariance, MatchesTheory) {
+  const auto [sens, eps] = GetParam();
+  rng::Engine eng(99);
+  const int n = 200000;
+  double sumsq = 0.0, sum = 0.0;
+  const linalg::Vector zero{0.0};
+  for (int i = 0; i < n; ++i) {
+    const double z = privacy::sanitize_vector(eng, zero, sens, eps)[0];
+    sum += z;
+    sumsq += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  const double expected = privacy::laplace_noise_variance(sens, eps);
+  EXPECT_NEAR(var, expected, 0.1 * expected);
+  EXPECT_NEAR(mean, 0.0, 0.05 * std::sqrt(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, LaplaceVariance,
+    ::testing::Values(std::pair{4.0, 10.0}, std::pair{0.4, 10.0},
+                      std::pair{4.0, 1.0}, std::pair{0.04, 0.5}));
+
+// Empirical differential privacy of the Laplace mechanism: for two
+// adjacent outputs f(D)=0, f(D')=S, the histogram ratio over any bin must
+// be bounded by e^eps (up to sampling noise).
+TEST(Mechanisms, EmpiricalEpsilonBound) {
+  const double eps = 1.0;
+  const double sens = 1.0;
+  rng::Engine eng1(7), eng2(8);
+  const int n = 400000;
+  const double bin_width = 0.25;
+  std::map<int, int> h1, h2;
+  for (int i = 0; i < n; ++i) {
+    const double a = privacy::sanitize_vector(eng1, {0.0}, sens, eps)[0];
+    const double b = privacy::sanitize_vector(eng2, {1.0}, sens, eps)[0];
+    ++h1[static_cast<int>(std::floor(a / bin_width))];
+    ++h2[static_cast<int>(std::floor(b / bin_width))];
+  }
+  // Check bins with enough mass on both sides.
+  for (const auto& [bin, c1] : h1) {
+    const auto it = h2.find(bin);
+    if (it == h2.end()) continue;
+    const int c2 = it->second;
+    if (c1 < 2000 || c2 < 2000) continue;
+    const double ratio = static_cast<double>(c1) / c2;
+    EXPECT_LE(ratio, std::exp(eps) * 1.15) << "bin " << bin;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.15) << "bin " << bin;
+  }
+}
+
+TEST(Mechanisms, SanitizedCountIsUnbiased) {
+  rng::Engine eng(3);
+  const double eps = 0.5;
+  const int n = 200000;
+  long long sum = 0;
+  for (int i = 0; i < n; ++i) sum += privacy::sanitize_count(eng, 10, eps);
+  EXPECT_NEAR(static_cast<double>(sum) / n, 10.0, 0.1);
+}
+
+TEST(Mechanisms, SanitizedCountCanGoNegative) {
+  // Appendix B Remark 2: n^ may be negative with small probability.
+  rng::Engine eng(4);
+  bool negative_seen = false;
+  for (int i = 0; i < 10000 && !negative_seen; ++i)
+    negative_seen = privacy::sanitize_count(eng, 0, 0.5) < 0;
+  EXPECT_TRUE(negative_seen);
+}
+
+TEST(Mechanisms, LabelPerturbationKeepProbability) {
+  // P(keep) = e^{eps/2} / (e^{eps/2} + C - 1) for Eq. (16)'s score.
+  rng::Engine eng(5);
+  const double eps = 2.0;
+  const std::size_t C = 5;
+  const int n = 200000;
+  int kept = 0;
+  std::vector<int> counts(C, 0);
+  for (int i = 0; i < n; ++i) {
+    const int y = privacy::perturb_label(eng, 2, C, eps);
+    ++counts[static_cast<std::size_t>(y)];
+    if (y == 2) ++kept;
+  }
+  const double expected =
+      std::exp(eps / 2.0) / (std::exp(eps / 2.0) + static_cast<double>(C - 1));
+  EXPECT_NEAR(kept / static_cast<double>(n), expected, 0.01);
+  // All other labels equally likely.
+  const double other = (1.0 - expected) / static_cast<double>(C - 1);
+  for (std::size_t k = 0; k < C; ++k) {
+    if (k == 2) continue;
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), other, 0.01);
+  }
+}
+
+TEST(Mechanisms, FeaturePerturbationScale) {
+  // Eq. (15): per-coordinate Laplace of scale 2/eps -> variance 8/eps^2.
+  rng::Engine eng(6);
+  const double eps = 4.0;
+  const int n = 200000;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = privacy::perturb_features(eng, {0.0}, eps)[0];
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sumsq / n, 8.0 / (eps * eps), 0.05);
+}
+
+TEST(Mechanisms, GaussianVarianceMatchesAnalyticSigma) {
+  rng::Engine eng(7);
+  const double eps = 1.0, delta = 1e-5, sens = 2.0;
+  const double sigma = sens * std::sqrt(2.0 * std::log(1.25 / delta)) / eps;
+  const int n = 200000;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z =
+        privacy::sanitize_vector_gaussian(eng, {0.0}, sens, eps, delta)[0];
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sumsq / n, sigma * sigma, 0.02 * sigma * sigma);
+}
+
+TEST(Mechanisms, GaussianNoPrivacyIdentity) {
+  rng::Engine eng(8);
+  const linalg::Vector v{1.0, 2.0};
+  EXPECT_EQ(privacy::sanitize_vector_gaussian(eng, v, 2.0, kNoPrivacy, 1e-5), v);
+}
+
+TEST(Accountant, RecordsCheckinsAndSamples) {
+  privacy::PrivacyAccountant acc(privacy::PrivacyBudget::gradient_dominated(5.0),
+                                 10);
+  acc.record_checkin(20);
+  acc.record_checkin(20);
+  EXPECT_EQ(acc.checkins(), 2);
+  EXPECT_EQ(acc.samples_released(), 40);
+}
+
+TEST(Accountant, PerSampleEpsilonIndependentOfCheckins) {
+  privacy::PrivacyAccountant acc(privacy::PrivacyBudget::gradient_dominated(5.0),
+                                 4);
+  const double before = acc.per_sample_epsilon();
+  acc.record_checkin(10);
+  acc.record_checkin(10);
+  EXPECT_DOUBLE_EQ(acc.per_sample_epsilon(), before);
+  // Sequential bound grows linearly.
+  EXPECT_DOUBLE_EQ(acc.sequential_epsilon(), 2.0 * before);
+}

@@ -1,0 +1,199 @@
+// Tests for the protocol boundary: framed dispatch, authentication, and
+// the DeviceClient cycle (in-process, no sockets).
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "models/logistic_regression.hpp"
+#include "opt/schedule.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+using core::Device;
+using core::DeviceClient;
+using core::ProtocolServer;
+using core::Server;
+
+namespace {
+
+struct Harness {
+  models::MulticlassLogisticRegression model{3, 4, 0.0};
+  net::AuthRegistry registry{rng::Engine(50)};
+  Server server;
+  ProtocolServer protocol;
+
+  Harness()
+      : server(make_config(),
+               std::make_unique<opt::SgdUpdater>(
+                   std::make_unique<opt::ConstantSchedule>(0.5), 100.0),
+               rng::Engine(51)),
+        protocol(server, registry) {}
+
+  static core::ServerConfig make_config() {
+    core::ServerConfig c;
+    c.param_dim = 12;
+    c.num_classes = 3;
+    return c;
+  }
+
+  DeviceClient::Exchange loopback() {
+    return [this](const net::Bytes& req) -> std::optional<net::Bytes> {
+      return protocol.handle(req);
+    };
+  }
+
+  models::Sample sample(rng::Engine& eng) {
+    linalg::Vector x(4);
+    for (double& v : x) v = rng::normal(eng);
+    linalg::l1_normalize(x);
+    return models::Sample(std::move(x),
+                          static_cast<double>(rng::uniform_index(eng, 3)));
+  }
+};
+
+}  // namespace
+
+TEST(Protocol, FullCycleAdvancesServer) {
+  Harness h;
+  core::DeviceConfig dc;
+  dc.minibatch_size = 2;
+  Device dev(dc, h.model, rng::Engine(1));
+  dev.set_credentials(h.registry.enroll());
+  DeviceClient client(dev, h.loopback());
+
+  rng::Engine eng(2);
+  EXPECT_FALSE(client.offer_sample(h.sample(eng)).has_value());
+  const auto result = client.offer_sample(h.sample(eng));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->batch_size, 2u);
+  EXPECT_EQ(h.server.version(), 1u);
+  EXPECT_EQ(h.server.total_samples(), 2);
+  EXPECT_EQ(client.cycles_completed(), 1);
+  EXPECT_EQ(client.cycles_failed(), 0);
+}
+
+TEST(Protocol, ManyCyclesAccumulate) {
+  Harness h;
+  core::DeviceConfig dc;
+  dc.minibatch_size = 1;
+  Device dev(dc, h.model, rng::Engine(1));
+  dev.set_credentials(h.registry.enroll());
+  DeviceClient client(dev, h.loopback());
+  rng::Engine eng(3);
+  for (int i = 0; i < 25; ++i) client.offer_sample(h.sample(eng));
+  EXPECT_EQ(h.server.version(), 25u);
+  EXPECT_EQ(client.cycles_completed(), 25);
+}
+
+TEST(Protocol, UnenrolledDeviceRefused) {
+  Harness h;
+  core::DeviceConfig dc;
+  dc.minibatch_size = 1;
+  dc.device_id = 9999;  // never enrolled
+  Device dev(dc, h.model, rng::Engine(1));
+  // Forge credentials not known to the registry.
+  net::DeviceCredentials fake;
+  fake.device_id = 9999;
+  fake.key.assign(32, 0x42);
+  dev.set_credentials(fake);
+  DeviceClient client(dev, h.loopback());
+  rng::Engine eng(4);
+  EXPECT_FALSE(client.offer_sample(h.sample(eng)).has_value());
+  EXPECT_EQ(client.cycles_failed(), 1);
+  EXPECT_EQ(h.server.version(), 0u);
+  EXPECT_GT(h.protocol.auth_failures(), 0);
+  // Remark 1: the device retries on the next sample.
+  EXPECT_TRUE(dev.wants_checkout());
+}
+
+TEST(Protocol, DeviceWithoutCredentialsNeverCycles) {
+  Harness h;
+  core::DeviceConfig dc;
+  dc.minibatch_size = 1;
+  Device dev(dc, h.model, rng::Engine(1));
+  DeviceClient client(dev, h.loopback());
+  rng::Engine eng(5);
+  EXPECT_FALSE(client.offer_sample(h.sample(eng)).has_value());
+  EXPECT_EQ(h.server.version(), 0u);
+}
+
+TEST(Protocol, MalformedFrameGetsNack) {
+  Harness h;
+  const net::Bytes garbage{1, 2, 3, 4, 5};
+  const net::Bytes response = h.protocol.handle(garbage);
+  const net::Frame f = net::decode_frame(response);
+  EXPECT_EQ(f.type, net::MessageType::kAck);
+  EXPECT_FALSE(net::AckMessage::deserialize(f.payload).ok);
+  EXPECT_EQ(h.protocol.malformed_frames(), 1);
+}
+
+TEST(Protocol, UnexpectedMessageTypeGetsNack) {
+  Harness h;
+  // A Params frame is a server->device message; the server rejects it.
+  net::ParamsMessage m;
+  m.w = {1.0};
+  const net::Bytes frame =
+      net::encode_frame(net::MessageType::kParams, m.serialize());
+  const net::Frame f = net::decode_frame(h.protocol.handle(frame));
+  EXPECT_EQ(f.type, net::MessageType::kAck);
+  EXPECT_FALSE(net::AckMessage::deserialize(f.payload).ok);
+}
+
+TEST(Protocol, TamperedCheckinRejected) {
+  Harness h;
+  const auto creds = h.registry.enroll();
+  core::DeviceConfig dc;
+  dc.minibatch_size = 1;
+  Device dev(dc, h.model, rng::Engine(1));
+  dev.set_credentials(creds);
+  rng::Engine eng(6);
+  dev.on_sample(h.sample(eng));
+  dev.begin_checkout();
+  auto result = dev.compute_checkin(linalg::Vector(12, 0.0), 0);
+  // Man-in-the-middle inflates the sample count.
+  result.message.ns = 1000;
+  const net::Bytes frame = net::encode_frame(net::MessageType::kCheckin,
+                                             result.message.serialize());
+  const net::Frame f = net::decode_frame(h.protocol.handle(frame));
+  EXPECT_FALSE(net::AckMessage::deserialize(f.payload).ok);
+  EXPECT_EQ(h.server.version(), 0u);
+}
+
+TEST(Protocol, NetworkFailureTriggersRetryPath) {
+  Harness h;
+  core::DeviceConfig dc;
+  dc.minibatch_size = 1;
+  Device dev(dc, h.model, rng::Engine(1));
+  dev.set_credentials(h.registry.enroll());
+  int calls = 0;
+  DeviceClient client(dev, [&](const net::Bytes& req) -> std::optional<net::Bytes> {
+    ++calls;
+    if (calls <= 1) return std::nullopt;  // first checkout attempt: dead net
+    return h.protocol.handle(req);
+  });
+  rng::Engine eng(7);
+  EXPECT_FALSE(client.offer_sample(h.sample(eng)).has_value());
+  EXPECT_EQ(client.cycles_failed(), 1);
+  // Buffer intact; next sample retries and succeeds.
+  EXPECT_TRUE(client.offer_sample(h.sample(eng)).has_value());
+  EXPECT_EQ(h.server.version(), 1u);
+  EXPECT_EQ(h.server.total_samples(), 2);  // both samples in the batch
+}
+
+TEST(Protocol, ServerStopRefusesCheckout) {
+  Harness h2;
+  core::ServerConfig cfg = Harness::make_config();
+  cfg.max_iterations = 0;  // stopped immediately
+  Server stopped(cfg,
+                 std::make_unique<opt::SgdUpdater>(
+                     std::make_unique<opt::ConstantSchedule>(0.5), 100.0),
+                 rng::Engine(1));
+  ProtocolServer proto(stopped, h2.registry);
+  Device dev(core::DeviceConfig{}, h2.model, rng::Engine(1));
+  dev.set_credentials(h2.registry.enroll());
+  DeviceClient client(dev, [&](const net::Bytes& req) {
+    return std::optional<net::Bytes>(proto.handle(req));
+  });
+  rng::Engine eng(8);
+  EXPECT_FALSE(client.offer_sample(h2.sample(eng)).has_value());
+  EXPECT_EQ(client.cycles_failed(), 1);
+}

@@ -1,0 +1,163 @@
+// Tests for the regression ("predictor") path: device handling of
+// regressors, regression evaluation, the thermostat workload, and a full
+// crowd-regression run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/crowd_simulation.hpp"
+#include "data/thermostat.hpp"
+#include "metrics/evaluate.hpp"
+#include "models/ridge_regression.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+TEST(EvaluateModel, RegressionMeanAbsoluteError) {
+  models::RidgeRegression model(1, 0.0, 10.0);
+  models::SampleSet set{models::Sample({1.0}, 2.0),
+                        models::Sample({1.0}, 4.0)};
+  // w = {3}: predictions 3 and 3 -> MAE = (1 + 1) / 2.
+  EXPECT_DOUBLE_EQ(metrics::evaluate_model(model, {3.0}, set), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::evaluate_model(model, {3.0}, models::SampleSet{}),
+                   0.0);
+}
+
+TEST(DeviceRegression, CheckinCountsToleranceErrors) {
+  models::RidgeRegression model(1, 0.0, 10.0);
+  core::DeviceConfig cfg;
+  cfg.minibatch_size = 3;
+  cfg.regression_tolerance = 0.5;
+  core::Device dev(cfg, model, rng::Engine(1));
+
+  // With w = {1}: predictions equal x[0].
+  dev.on_sample(models::Sample({1.0}, 1.2));   // |1 - 1.2| = 0.2 ok
+  dev.on_sample(models::Sample({2.0}, 1.0));   // |2 - 1| = 1.0 error
+  dev.on_sample(models::Sample({0.5}, 0.45));  // 0.05 ok
+  dev.begin_checkout();
+  const auto res = dev.compute_checkin({1.0}, 0);
+  EXPECT_EQ(res.message.ns, 3);
+  EXPECT_EQ(res.message.ne_hat, 1);  // no privacy: exact
+  ASSERT_EQ(res.message.ny_hat.size(), 1u);
+  EXPECT_EQ(res.message.ny_hat[0], 3);  // single regression pseudo-class
+  EXPECT_EQ(res.true_errors, 1u);
+}
+
+TEST(DeviceRegression, GradientMatchesModelAverage) {
+  models::RidgeRegression model(2, 0.1, 10.0);
+  core::DeviceConfig cfg;
+  cfg.minibatch_size = 2;
+  core::Device dev(cfg, model, rng::Engine(1));
+  models::SampleSet batch{models::Sample({0.5, 0.5}, 0.7),
+                          models::Sample({0.2, -0.3}, -0.1)};
+  for (const auto& s : batch) dev.on_sample(s);
+  const linalg::Vector w{0.4, -0.2};
+  dev.begin_checkout();
+  const auto res = dev.compute_checkin(w, 0);
+  const linalg::Vector expected = model.averaged_gradient(w, batch);
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_NEAR(res.message.g_hat[i], expected[i], 1e-12);
+}
+
+TEST(Thermostat, DatasetShape) {
+  rng::Engine eng(5);
+  data::ThermostatSpec spec;
+  spec.train_size = 500;
+  spec.test_size = 100;
+  const data::Dataset ds = data::generate_thermostat(spec, eng);
+  EXPECT_EQ(ds.train.size(), 500u);
+  EXPECT_EQ(ds.test.size(), 100u);
+  EXPECT_EQ(ds.num_classes, 1u);
+  EXPECT_EQ(ds.feature_dim, data::kThermostatDim);
+  for (const auto& s : ds.train) {
+    EXPECT_LE(linalg::norm1(s.x), 1.0 + 1e-9);
+    EXPECT_LE(std::abs(s.y), 1.0);
+  }
+}
+
+TEST(Thermostat, TargetsAreLinearlyPredictable) {
+  // The generator is linear + small noise: least-squares via SGD should
+  // reach MAE close to the taste-noise floor.
+  rng::Engine eng(6);
+  data::ThermostatSpec spec;
+  spec.train_size = 4000;
+  spec.test_size = 1000;
+  const data::Dataset ds = data::generate_thermostat(spec, eng);
+  models::RidgeRegression model(data::kThermostatDim, 0.0, 1.0);
+
+  linalg::Vector w(model.param_dim(), 0.0);
+  rng::Engine order(7);
+  for (int pass = 0; pass < 20; ++pass) {
+    for (std::size_t i = 0; i < ds.train.size(); ++i) {
+      const auto& s =
+          ds.train[rng::uniform_index(order, ds.train.size())];
+      linalg::Vector g(model.param_dim(), 0.0);
+      model.add_loss_gradient(w, s, g);
+      linalg::axpy(-2.0, g, w);
+    }
+  }
+  const double mae = metrics::evaluate_model(model, w, ds.test);
+  // Laplace-ish noise floor: E|noise| = sigma * sqrt(2/pi) ~ 0.04.
+  EXPECT_LT(mae, 0.08);
+}
+
+TEST(Thermostat, CelsiusMapping) {
+  EXPECT_DOUBLE_EQ(data::thermostat_offset_to_celsius(0.0), 21.0);
+  EXPECT_DOUBLE_EQ(data::thermostat_offset_to_celsius(1.0), 24.0);
+  EXPECT_DOUBLE_EQ(data::thermostat_offset_to_celsius(-1.0), 18.0);
+}
+
+TEST(CrowdRegression, LearnsThermostatWithPrivacy) {
+  rng::Engine eng(8);
+  data::ThermostatSpec spec;
+  spec.train_size = 6000;
+  spec.test_size = 1000;
+  const data::Dataset ds = data::generate_thermostat(spec, eng);
+  models::RidgeRegression model(data::kThermostatDim, 1e-4, 1.0);
+
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = 100;
+  cfg.minibatch_size = 10;
+  cfg.budget = privacy::PrivacyBudget::gradient_dominated(10.0);
+  cfg.max_total_samples = static_cast<long long>(3 * ds.train.size());
+  cfg.eval_points = 6;
+  cfg.learning_rate_c = 3.0;
+  cfg.projection_radius = 50.0;
+  cfg.seed = 2;
+
+  rng::Engine shard_eng(3);
+  auto shards = data::shard_across_devices(ds.train, cfg.num_devices, shard_eng);
+  core::CrowdSimulation sim(model, cfg);
+  const auto res =
+      sim.run(core::make_cycling_source(std::move(shards)), ds.test);
+  EXPECT_LT(res.final_test_error, 0.12);  // MAE in normalized units
+  EXPECT_GT(res.test_error.points().front().y, res.final_test_error);
+}
+
+TEST(CrowdRegression, OnlineErrorUsesTolerance) {
+  rng::Engine eng(9);
+  data::ThermostatSpec spec;
+  spec.train_size = 800;
+  spec.test_size = 100;
+  const data::Dataset ds = data::generate_thermostat(spec, eng);
+  models::RidgeRegression model(data::kThermostatDim, 0.0, 1.0);
+
+  core::CrowdSimConfig cfg;
+  cfg.num_devices = 10;
+  cfg.minibatch_size = 1;
+  cfg.max_total_samples = 800;
+  cfg.track_online_error = true;
+  cfg.eval_points = 4;
+  cfg.learning_rate_c = 3.0;
+  cfg.projection_radius = 50.0;
+  cfg.seed = 3;
+
+  rng::Engine shard_eng(4);
+  auto shards = data::shard_across_devices(ds.train, cfg.num_devices, shard_eng);
+  core::CrowdSimulation sim(model, cfg);
+  const auto res =
+      sim.run(core::make_cycling_source(std::move(shards)), ds.test);
+  ASSERT_FALSE(res.online_error.empty());
+  // Late online error (fraction outside the 0.25 tolerance) becomes small.
+  EXPECT_LT(res.online_error.final_value(), 0.2);
+}

@@ -1,0 +1,209 @@
+// Tests for the seedable engine and the distribution samplers the privacy
+// mechanisms depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/engine.hpp"
+
+using crowdml::rng::Engine;
+namespace rng = crowdml::rng;
+
+TEST(Engine, SameSeedSameSequence) {
+  Engine a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Engine, DifferentSeedsDiffer) {
+  Engine a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Engine, SplitStreamsAreDeterministicAndDistinct) {
+  Engine parent1(7), parent2(7);
+  Engine c1 = parent1.split(42);
+  Engine c2 = parent2.split(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1(), c2());
+
+  Engine parent3(7);
+  Engine d1 = parent3.split(1);
+  Engine d2 = parent3.split(1);  // parent advanced: different stream
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (d1() == d2()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Engine, SplitSaltSeparatesStreams) {
+  Engine p1(9), p2(9);
+  Engine a = p1.split(100);
+  Engine b = p2.split(200);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Uniform, WithinBounds) {
+  Engine eng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng::uniform(eng, -2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Uniform, MeanNearMidpoint) {
+  Engine eng(6);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng::uniform(eng, 0.0, 10.0);
+  EXPECT_NEAR(acc / n, 5.0, 0.05);
+}
+
+TEST(UniformIndex, CoversAllValues) {
+  Engine eng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng::uniform_index(eng, 7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (auto v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(UniformIndex, SingleValue) {
+  Engine eng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng::uniform_index(eng, 1), 0u);
+}
+
+TEST(Normal, MomentsMatch) {
+  Engine eng(9);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng::normal(eng, 2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.03);
+  EXPECT_NEAR(var, 9.0, 0.15);
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  Engine eng(10);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng::exponential(eng, 0.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.03);
+}
+
+TEST(Laplace, ZeroScaleIsExactlyZero) {
+  Engine eng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng::laplace(eng, 0.0), 0.0);
+}
+
+// Property over scales: Laplace(b) has mean 0 and variance 2 b^2.
+class LaplaceMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceMoments, MeanZeroVarianceTwoBSquared) {
+  const double b = GetParam();
+  Engine eng(static_cast<std::uint64_t>(b * 1000) + 1);
+  const int n = 300000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng::laplace(eng, b);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02 * b + 1e-9);
+  EXPECT_NEAR(var, 2.0 * b * b, 0.1 * b * b + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LaplaceMoments,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0));
+
+// Discrete Laplace with parameter alpha has variance 2p/(1-p)^2, p=e^-alpha
+// (Inusah & Kozubowski), and is symmetric about 0.
+class DiscreteLaplaceMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteLaplaceMoments, SymmetricWithKnownVariance) {
+  const double alpha = GetParam();
+  Engine eng(static_cast<std::uint64_t>(alpha * 997) + 3);
+  const int n = 300000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = static_cast<double>(rng::discrete_laplace(eng, alpha));
+    sum += z;
+    sumsq += z * z;
+  }
+  const double p = std::exp(-alpha);
+  const double expected_var = 2.0 * p / ((1.0 - p) * (1.0 - p));
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05 * std::sqrt(expected_var) + 0.01);
+  EXPECT_NEAR(var, expected_var, 0.1 * expected_var + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DiscreteLaplaceMoments,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+TEST(DiscreteLaplace, InfiniteAlphaIsZero) {
+  Engine eng(13);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(rng::discrete_laplace(eng, INFINITY), 0);
+}
+
+TEST(Categorical, ProportionsMatchWeights) {
+  Engine eng(14);
+  const std::vector<double> w{1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng::categorical(eng, w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Categorical, ZeroWeightNeverChosen) {
+  Engine eng(15);
+  const std::vector<double> w{0.0, 1.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng::categorical(eng, w), 1u);
+}
+
+TEST(ShuffledIndices, IsPermutation) {
+  Engine eng(16);
+  const auto idx = rng::shuffled_indices(eng, 100);
+  std::set<std::size_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(ShuffledIndices, ActuallyShuffles) {
+  Engine eng(17);
+  const auto idx = rng::shuffled_indices(eng, 100);
+  int in_place = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (idx[i] == i) ++in_place;
+  EXPECT_LT(in_place, 10);  // expected ~1 fixed point
+}
+
+TEST(ShuffledIndices, EmptyAndSingle) {
+  Engine eng(18);
+  EXPECT_TRUE(rng::shuffled_indices(eng, 0).empty());
+  const auto one = rng::shuffled_indices(eng, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}

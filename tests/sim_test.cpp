@@ -1,0 +1,179 @@
+// Tests for the discrete-event kernel, delay/loss models, and churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/simulator.hpp"
+
+using namespace crowdml;
+using sim::Simulator;
+
+TEST(Simulator, ProcessesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+  EXPECT_EQ(s.processed(), 3u);
+}
+
+TEST(Simulator, FifoAmongSimultaneousEvents) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(5.0, [&] {
+    s.schedule_after(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, HandlersCanCascade) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(1.0, recurse);
+  };
+  s.schedule_at(0.0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(s.now(), 99.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  for (int t = 1; t <= 10; ++t)
+    s.schedule_at(static_cast<double>(t), [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending(), 5u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(42.0);
+  EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Simulator, ClearDropsPending) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.clear();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+}
+
+TEST(DelayModels, ZeroDelay) {
+  rng::Engine eng(1);
+  sim::ZeroDelay d;
+  EXPECT_DOUBLE_EQ(d.sample(eng), 0.0);
+  EXPECT_DOUBLE_EQ(d.max_delay(), 0.0);
+}
+
+TEST(DelayModels, UniformWithinBounds) {
+  rng::Engine eng(2);
+  sim::UniformDelay d(4.0);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(eng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 4.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 2.0, 0.1);
+  EXPECT_DOUBLE_EQ(d.max_delay(), 4.0);
+}
+
+TEST(DelayModels, UniformZeroTau) {
+  rng::Engine eng(3);
+  sim::UniformDelay d(0.0);
+  EXPECT_DOUBLE_EQ(d.sample(eng), 0.0);
+}
+
+TEST(DelayModels, Fixed) {
+  rng::Engine eng(4);
+  sim::FixedDelay d(1.5);
+  EXPECT_DOUBLE_EQ(d.sample(eng), 1.5);
+}
+
+TEST(DelayModels, ExponentialMean) {
+  rng::Engine eng(5);
+  sim::ExponentialDelay d(3.0);
+  double sum = 0.0;
+  for (int i = 0; i < 50000; ++i) sum += d.sample(eng);
+  EXPECT_NEAR(sum / 50000.0, 3.0, 0.1);
+  EXPECT_DOUBLE_EQ(d.max_delay(), -1.0);
+}
+
+TEST(DelayModels, CloneProducesEquivalentModel) {
+  sim::UniformDelay d(2.0);
+  auto c = d.clone();
+  EXPECT_DOUBLE_EQ(c->max_delay(), 2.0);
+}
+
+TEST(LossModel, ZeroNeverDrops) {
+  rng::Engine eng(6);
+  sim::LossModel loss(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(loss.drop(eng));
+}
+
+TEST(LossModel, RateMatchesProbability) {
+  rng::Engine eng(7);
+  sim::LossModel loss(0.3);
+  int drops = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (loss.drop(eng)) ++drops;
+  EXPECT_NEAR(drops / 100000.0, 0.3, 0.01);
+}
+
+TEST(Churn, DisabledIsAlwaysOnline) {
+  rng::Engine eng(8);
+  sim::ChurnModel churn;
+  EXPECT_FALSE(churn.enabled());
+  auto st = churn.initial_state(eng);
+  for (double t = 0.0; t < 1000.0; t += 100.0)
+    EXPECT_TRUE(churn.online_at(t, st, eng));
+}
+
+TEST(Churn, StateAlternates) {
+  rng::Engine eng(9);
+  sim::ChurnModel churn(10.0, 5.0);
+  auto st = churn.initial_state(eng);
+  const bool first = st.online;
+  auto next = churn.next_state(st, eng);
+  EXPECT_EQ(next.online, !first);
+  EXPECT_GT(next.until, st.until);
+}
+
+TEST(Churn, LongRunOnlineFractionMatchesRatio) {
+  rng::Engine eng(10);
+  sim::ChurnModel churn(30.0, 10.0);  // expect 75% online
+  auto st = churn.initial_state(eng);
+  int online = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    if (churn.online_at(i * 0.5, st, eng)) ++online;
+  EXPECT_NEAR(online / static_cast<double>(n), 0.75, 0.03);
+}

@@ -1,0 +1,108 @@
+// Tests for the Remark 3 extension updaters (dual averaging) and the
+// checkpoint-related step restoration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opt/schedule.hpp"
+#include "opt/updater.hpp"
+#include "rng/distributions.hpp"
+
+using namespace crowdml;
+
+TEST(DualAveraging, ConvergesOnQuadratic) {
+  opt::DualAveragingUpdater u(1.0, 100.0);
+  linalg::Vector w{0.0};
+  for (int t = 0; t < 50000; ++t) u.apply(w, {w[0] - 3.0});
+  EXPECT_NEAR(w[0], 3.0, 0.05);
+}
+
+TEST(DualAveraging, FirstStepIsScaledGradient) {
+  opt::DualAveragingUpdater u(2.0, 100.0);
+  linalg::Vector w{5.0};  // prior value irrelevant: DA rebuilds w from sum
+  u.apply(w, {1.0});
+  EXPECT_NEAR(w[0], -2.0, 1e-12);  // -(c/sqrt(1)) * mean(= 1)
+}
+
+TEST(DualAveraging, IterateRebuiltFromGradientHistory) {
+  // Distinctive dual-averaging property: the iterate is a function of the
+  // accumulated gradients only — externally perturbing w between steps has
+  // no effect on the next iterate (an SGD step would carry it forward).
+  opt::DualAveragingUpdater a(1.0, 100.0), b(1.0, 100.0);
+  linalg::Vector wa{0.0}, wb{0.0};
+  for (int t = 0; t < 10; ++t) {
+    a.apply(wa, {1.0});
+    b.apply(wb, {1.0});
+  }
+  wb[0] += 77.0;  // corruption of the iterate itself
+  a.apply(wa, {1.0});
+  b.apply(wb, {1.0});
+  EXPECT_DOUBLE_EQ(wa[0], wb[0]);
+}
+
+TEST(DualAveraging, ProjectionApplies) {
+  opt::DualAveragingUpdater u(1000.0, 2.0);
+  linalg::Vector w{0.0};
+  u.apply(w, {-10.0});
+  EXPECT_LE(std::abs(w[0]), 2.0 + 1e-12);
+}
+
+TEST(DualAveraging, ResetClearsHistory) {
+  opt::DualAveragingUpdater u(1.0, 100.0);
+  linalg::Vector w{0.0};
+  u.apply(w, {10.0});
+  u.reset();
+  EXPECT_EQ(u.steps(), 0);
+  linalg::Vector w2{0.0};
+  u.apply(w2, {1.0});
+  EXPECT_NEAR(w2[0], -1.0, 1e-12);  // fresh history
+}
+
+TEST(RestoreSteps, ResumesScheduleMidway) {
+  opt::SgdUpdater u(std::make_unique<opt::SqrtDecaySchedule>(1.0), 100.0);
+  u.restore_steps(99);
+  linalg::Vector w{0.0};
+  u.apply(w, {1.0});  // applies eta(100) = 0.1
+  EXPECT_NEAR(w[0], -0.1, 1e-12);
+  EXPECT_EQ(u.steps(), 100);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  opt::AdamUpdater u(0.05, 100.0);
+  linalg::Vector w{0.0};
+  for (int t = 0; t < 5000; ++t) u.apply(w, {w[0] - 3.0});
+  EXPECT_NEAR(w[0], 3.0, 0.05);
+}
+
+TEST(Adam, FirstStepIsBiasCorrectlyScaled) {
+  // With bias correction, the first step is ~eta0 * sign(g) regardless of
+  // the gradient magnitude.
+  opt::AdamUpdater small(0.1, 100.0), large(0.1, 100.0);
+  linalg::Vector ws{0.0}, wl{0.0};
+  small.apply(ws, {0.001});
+  large.apply(wl, {1000.0});
+  EXPECT_NEAR(ws[0], -0.1, 1e-3);
+  EXPECT_NEAR(wl[0], -0.1, 1e-6);
+}
+
+TEST(Adam, BoundedStepAbsorbsOutliers) {
+  // Like AdaGrad, Adam's per-coordinate step is bounded by ~eta0 — a
+  // malicious huge gradient cannot move the iterate arbitrarily far.
+  opt::AdamUpdater u(0.1, 1000.0);
+  linalg::Vector w{0.0};
+  for (int t = 0; t < 100; ++t) u.apply(w, {0.01});
+  const double before = w[0];
+  u.apply(w, {1e6});
+  EXPECT_LT(std::abs(w[0] - before), 0.2);
+}
+
+TEST(Adam, ResetClearsMoments) {
+  opt::AdamUpdater u(0.1, 100.0);
+  linalg::Vector w{0.0};
+  u.apply(w, {100.0});
+  u.reset();
+  EXPECT_EQ(u.steps(), 0);
+  linalg::Vector w2{0.0};
+  u.apply(w2, {0.001});
+  EXPECT_NEAR(w2[0], -0.1, 1e-3);  // behaves like a fresh updater
+}

@@ -1,0 +1,92 @@
+// crowdml-device — a standalone Crowd-ML device client over TCP.
+//
+// Streams labeled samples from a CSV file (label,feature1,feature2,...)
+// through Algorithm 1 against a running crowdml-server:
+//
+//   crowdml-device --host 127.0.0.1 --port 9000 \
+//       --data samples.csv --key "17,ab34..."   # one row of keys-out
+//       [--minibatch 10] [--epsilon 10] [--passes 1] [--classes 10]
+//
+// Features are L1-normalized on ingest (the privacy precondition).
+#include <cstdio>
+#include <sstream>
+
+#include "core/tcp_runtime.hpp"
+#include "data/dataset.hpp"
+#include "data/io.hpp"
+#include "models/logistic_regression.hpp"
+#include "models/ridge_regression.hpp"
+#include "tools/flags.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+net::DeviceCredentials parse_key(const std::string& spec) {
+  const auto comma = spec.find(',');
+  if (comma == std::string::npos)
+    throw std::runtime_error("--key must be 'device_id,hex_secret'");
+  net::DeviceCredentials cred;
+  cred.device_id = std::stoull(spec.substr(0, comma));
+  const std::string hex = spec.substr(comma + 1);
+  if (hex.size() % 2 != 0) throw std::runtime_error("odd-length hex key");
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    cred.key.push_back(
+        static_cast<std::uint8_t>(std::stoul(hex.substr(i, 2), nullptr, 16)));
+  return cred;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    tools::Flags flags(argc, argv);
+    const std::string host = flags.get("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(flags.get_int("port", 9000));
+    const std::string data_path = flags.get("data", "");
+    if (data_path.empty()) throw std::runtime_error("--data is required");
+
+    models::SampleSet samples = data::read_csv_file(data_path);
+    if (samples.empty()) throw std::runtime_error("no samples in " + data_path);
+    data::l1_normalize_features(samples);
+    const std::size_t dim = samples.front().x.size();
+    const auto classes = static_cast<std::size_t>(flags.get_int("classes", 10));
+
+    // Model must match the server's dimensions.
+    std::unique_ptr<models::Model> model;
+    if (classes >= 2)
+      model = std::make_unique<models::MulticlassLogisticRegression>(classes, dim,
+                                                                     0.0);
+    else
+      model = std::make_unique<models::RidgeRegression>(dim, 0.0, 1.0);
+
+    core::DeviceConfig dc;
+    dc.minibatch_size = static_cast<std::size_t>(flags.get_int("minibatch", 10));
+    const double eps = flags.get_double("epsilon", 10.0);
+    if (eps > 0.0) dc.budget = privacy::PrivacyBudget::gradient_dominated(eps);
+
+    core::Device device(dc, *model, rng::Engine(flags.get_int("seed", 99)));
+    device.set_credentials(parse_key(flags.get("key", "")));
+
+    core::TcpDeviceSession session(host, port);
+    core::DeviceClient client(device, session.as_exchange());
+
+    const auto passes = flags.get_int("passes", 1);
+    long long cycles = 0;
+    for (long long p = 0; p < passes; ++p)
+      for (const auto& s : samples)
+        if (client.offer_sample(s)) ++cycles;
+
+    std::printf("device %llu: streamed %zu samples x %lld passes, "
+                "%lld checkins (%lld failed)\n",
+                static_cast<unsigned long long>(device.id()), samples.size(),
+                passes, cycles, client.cycles_failed());
+    std::printf("per-sample epsilon: %.3f over %lld checkins\n",
+                device.accountant().per_sample_epsilon(),
+                device.accountant().checkins());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crowdml-device: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,129 @@
+// crowdml-server — a standalone Crowd-ML parameter server over TCP.
+//
+// Usage:
+//   crowdml-server --port 9000 --classes 10 --dim 50 \
+//       [--lr 50] [--radius 500] [--updater sgd|adagrad|momentum|dualavg] \
+//       [--max-iterations N] [--target-error rho] \
+//       [--enroll N --keys-out keys.csv]      # pre-enroll N devices
+//       [--checkpoint state.bin]              # load + periodically save
+//       [--report-every SECONDS]              # portal report to stdout
+//
+// Device secrets are written to --keys-out as "device_id,hex_key" rows;
+// hand one row to each device (crowdml_device --key-file takes the same
+// format). The server runs until the stopping criteria are met or SIGINT.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "core/monitor.hpp"
+#include "core/tcp_runtime.hpp"
+#include "models/logistic_regression.hpp"
+#include "opt/schedule.hpp"
+#include "tools/flags.hpp"
+
+using namespace crowdml;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+
+std::unique_ptr<opt::Updater> make_updater(const std::string& kind, double lr,
+                                           double radius) {
+  if (kind == "adagrad") return std::make_unique<opt::AdaGradUpdater>(lr, radius);
+  if (kind == "momentum")
+    return std::make_unique<opt::MomentumUpdater>(
+        std::make_unique<opt::SqrtDecaySchedule>(lr), radius);
+  if (kind == "dualavg")
+    return std::make_unique<opt::DualAveragingUpdater>(lr, radius);
+  return std::make_unique<opt::SgdUpdater>(
+      std::make_unique<opt::SqrtDecaySchedule>(lr), radius);
+}
+
+std::string hex_key(const net::SecretKey& key) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::uint8_t b : key) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  const auto port = static_cast<std::uint16_t>(flags.get_int("port", 0));
+  const auto classes = static_cast<std::size_t>(flags.get_int("classes", 10));
+  const auto dim = static_cast<std::size_t>(flags.get_int("dim", 50));
+  const double lr = flags.get_double("lr", 50.0);
+  const double radius = flags.get_double("radius", 500.0);
+
+  core::ServerConfig cfg;
+  cfg.param_dim = classes >= 2 ? classes * dim : dim;
+  cfg.num_classes = classes >= 2 ? classes : 1;
+  cfg.max_iterations = flags.get_int("max-iterations", -1);
+  cfg.target_error = flags.get_double("target-error", -1.0);
+
+  core::Server server(cfg, make_updater(flags.get("updater", "sgd"), lr, radius),
+                      rng::Engine(flags.get_int("seed", 1)));
+
+  const std::string ckpt_path = flags.get("checkpoint", "");
+  if (!ckpt_path.empty()) {
+    try {
+      const auto cp = core::ServerCheckpoint::load_file(ckpt_path);
+      server.restore(cp.w, cp.version, cp.device_stats);
+      std::printf("restored checkpoint %s at iteration %llu\n",
+                  ckpt_path.c_str(),
+                  static_cast<unsigned long long>(cp.version));
+    } catch (const std::exception& e) {
+      std::printf("no checkpoint loaded (%s); starting fresh\n", e.what());
+    }
+  }
+
+  net::AuthRegistry registry(rng::Engine(flags.get_int("auth-seed", 2)));
+  const auto enroll_n = flags.get_int("enroll", 0);
+  if (enroll_n > 0) {
+    const std::string keys_path = flags.get("keys-out", "device_keys.csv");
+    std::ofstream keys(keys_path);
+    for (long long i = 0; i < enroll_n; ++i) {
+      const auto cred = registry.enroll();
+      keys << cred.device_id << ',' << hex_key(cred.key) << '\n';
+    }
+    std::printf("enrolled %lld devices; secrets in %s\n", enroll_n,
+                keys_path.c_str());
+  }
+
+  core::TcpCrowdServer tcp(server, registry, port);
+  std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
+              tcp.port(), dim, classes);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  const double report_every = flags.get_double("report-every", 10.0);
+  auto last_report = std::chrono::steady_clock::now();
+  while (!g_stop.load() && !server.stopped()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - last_report).count() >= report_every) {
+      std::fputs(core::portal_report(server).c_str(), stdout);
+      std::fflush(stdout);
+      last_report = now;
+      if (!ckpt_path.empty()) core::checkpoint_server(server).save_file(ckpt_path);
+    }
+  }
+
+  if (!ckpt_path.empty()) {
+    core::checkpoint_server(server).save_file(ckpt_path);
+    std::printf("checkpoint saved to %s\n", ckpt_path.c_str());
+  }
+  std::fputs(core::portal_report(server).c_str(), stdout);
+  tcp.shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// crowdml-eval — evaluate a server checkpoint against a CSV test set.
+//
+//   crowdml-eval --checkpoint state.bin --data test.csv --classes 10
+//
+// Completes the CLI loop: crowdml-server persists its state; this tool
+// reports the learned model's true test error (something the server itself
+// never sees — it only has the Eq. 14 estimate from sanitized counts).
+#include <cstdio>
+
+#include "core/checkpoint.hpp"
+#include "data/dataset.hpp"
+#include "data/io.hpp"
+#include "metrics/evaluate.hpp"
+#include "models/logistic_regression.hpp"
+#include "models/ridge_regression.hpp"
+#include "tools/flags.hpp"
+
+using namespace crowdml;
+
+int main(int argc, char** argv) {
+  try {
+    tools::Flags flags(argc, argv);
+    const std::string ckpt_path = flags.get("checkpoint", "");
+    const std::string data_path = flags.get("data", "");
+    if (ckpt_path.empty() || data_path.empty())
+      throw std::runtime_error("--checkpoint and --data are required");
+
+    const auto cp = core::ServerCheckpoint::load_file(ckpt_path);
+    models::SampleSet test = data::read_csv_file(data_path);
+    if (test.empty()) throw std::runtime_error("no samples in " + data_path);
+    data::l1_normalize_features(test);
+    const std::size_t dim_features = test.front().x.size();
+
+    const auto classes = static_cast<std::size_t>(flags.get_int("classes", 10));
+    std::unique_ptr<models::Model> model;
+    if (classes >= 2)
+      model = std::make_unique<models::MulticlassLogisticRegression>(
+          classes, dim_features, 0.0);
+    else
+      model = std::make_unique<models::RidgeRegression>(dim_features, 0.0, 1.0);
+    if (model->param_dim() != cp.w.size())
+      throw std::runtime_error(
+          "checkpoint dimension " + std::to_string(cp.w.size()) +
+          " does not match model dimension " + std::to_string(model->param_dim()) +
+          " (check --classes and the data's feature count)");
+
+    const double err = metrics::evaluate_model(*model, cp.w, test);
+    std::printf("checkpoint:   %s (iteration %llu, %zu devices)\n",
+                ckpt_path.c_str(), static_cast<unsigned long long>(cp.version),
+                cp.device_stats.size());
+    std::printf("test set:     %s (%zu samples, %zu dims)\n", data_path.c_str(),
+                test.size(), dim_features);
+    std::printf(classes >= 2 ? "test error:   %.4f\n" : "test MAE:     %.4f\n",
+                err);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "crowdml-eval: %s\n", e.what());
+    return 1;
+  }
+}

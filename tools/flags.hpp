@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for the CLI tools (no external deps).
+// Supports --name=value and --name value forms plus boolean --name.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace crowdml::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0)
+        throw std::runtime_error("unexpected positional argument: " + arg);
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long long get_int(const std::string& name, long long fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool get_bool(const std::string& name, bool fallback = false) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace crowdml::tools
