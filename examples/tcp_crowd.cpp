@@ -1,14 +1,26 @@
 // Crowd-ML over a real network stack: a TCP parameter server with
-// HMAC-authenticated device sessions on localhost — the deployment path
-// the paper prototypes with Android phones + an Apache-fronted server.
+// HMAC-authenticated device sessions — the deployment path the paper
+// prototypes with Android phones + an Apache-fronted server.
 //
 // Six device threads connect, stream their data shards through the
 // Algorithm 1 cycle (checkout -> sanitized gradient -> checkin), and the
 // server learns a 10-class model with per-sample differential privacy.
+//
+// Usage: tcp_crowd [bind_address] [port]
+//   tcp_crowd                 # loopback, ephemeral port (the default)
+//   tcp_crowd 0.0.0.0 9090    # non-loopback deployment: serve the LAN
+//
+// Devices ride ReconnectingDeviceSession, so a dropped connection or a
+// stalled server leg is retried with capped exponential backoff instead
+// of killing the device (Remark 1).
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
 #include <thread>
 
+#include "core/monitor.hpp"
 #include "core/tcp_runtime.hpp"
 #include "data/mixture.hpp"
 #include "models/logistic_regression.hpp"
@@ -16,13 +28,14 @@
 
 using namespace crowdml;
 
-int main() {
+int main(int argc, char** argv) {
   // Data: a small MNIST-like problem sharded across the devices.
   rng::Engine data_eng(7);
   const data::Dataset ds = data::make_mnist_like(data_eng, 0.05);
   models::MulticlassLogisticRegression model(ds.num_classes, ds.feature_dim, 0.0);
 
-  // Server + auth registry, listening on an ephemeral localhost port.
+  // Server + auth registry on a caller-chosen interface (defaults keep the
+  // historical behavior: loopback, ephemeral port).
   core::ServerConfig scfg;
   scfg.param_dim = model.param_dim();
   scfg.num_classes = ds.num_classes;
@@ -31,13 +44,29 @@ int main() {
                           std::make_unique<opt::SqrtDecaySchedule>(50.0), 500.0),
                       rng::Engine(1));
   net::AuthRegistry registry(rng::Engine(2));
-  core::TcpCrowdServer tcp_server(server, registry, 0);
-  std::printf("server listening on 127.0.0.1:%u\n", tcp_server.port());
+
+  core::TcpServerConfig tcfg;
+  if (argc > 1) tcfg.bind_address = argv[1];
+  if (argc > 2) tcfg.port = static_cast<std::uint16_t>(std::atoi(argv[2]));
+  tcfg.max_connections = 64;
+  tcfg.idle_timeout_ms = 30000;
+  std::optional<core::TcpCrowdServer> maybe_server;
+  try {
+    maybe_server.emplace(server, registry, tcfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcp_crowd: cannot listen on %s:%u (%s)\n",
+                 tcfg.bind_address.c_str(), tcfg.port, e.what());
+    return 1;
+  }
+  core::TcpCrowdServer& tcp_server = *maybe_server;
+  std::printf("server listening on %s:%u\n", tcfg.bind_address.c_str(),
+              tcp_server.port());
 
   constexpr std::size_t kDevices = 6;
   rng::Engine shard_eng(3);
   const auto shards = data::shard_across_devices(ds.train, kDevices, shard_eng);
 
+  core::NetCounters transport;
   std::atomic<long long> cycles{0};
   std::vector<std::thread> threads;
   for (std::size_t d = 0; d < kDevices; ++d) {
@@ -47,7 +76,10 @@ int main() {
       dc.budget = privacy::PrivacyBudget::gradient_dominated(20.0);
       core::Device dev(dc, model, rng::Engine(100 + d));
       dev.set_credentials(registry.enroll());  // server-issued HMAC secret
-      core::TcpDeviceSession session("127.0.0.1", tcp_server.port());
+      core::ReconnectPolicy policy;  // deadlines + capped backoff defaults
+      core::ReconnectingDeviceSession session("127.0.0.1", tcp_server.port(),
+                                              policy, rng::Engine(200 + d),
+                                              &transport);
       core::DeviceClient client(dev, session.as_exchange());
       for (int pass = 0; pass < 4; ++pass)
         for (const auto& s : shards[d])
@@ -65,6 +97,15 @@ int main() {
   std::printf("server-side error estimate (Eq. 14, from noisy counts): %.4f\n",
               server.estimated_error());
   std::printf("true test error of the learned model: %.4f\n", err);
+
+  // Transport health: device-side retry/reconnect counters merged with the
+  // server's accept/refuse/reap counters would come from separate hosts in
+  // a real deployment; here we print both.
+  std::printf("\n%s", core::transport_report(transport.snapshot()).c_str());
+  const auto srv = tcp_server.net_snapshot();
+  std::printf("server: accepted=%lld refused=%lld idle-closed=%lld reaped=%lld\n",
+              srv.accepted_connections, srv.refused_connections,
+              srv.idle_closed, srv.reaped_workers);
 
   tcp_server.shutdown();
   return err < 0.5 ? 0 : 1;

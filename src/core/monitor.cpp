@@ -6,8 +6,40 @@
 
 namespace crowdml::core {
 
+NetCountersSnapshot NetCounters::snapshot() const {
+  NetCountersSnapshot s;
+  s.timeouts = timeouts.load();
+  s.retries = retries.load();
+  s.reconnects = reconnects.load();
+  s.checkins_abandoned = checkins_abandoned.load();
+  s.accepted_connections = accepted_connections.load();
+  s.refused_connections = refused_connections.load();
+  s.idle_closed = idle_closed.load();
+  s.reaped_workers = reaped_workers.load();
+  return s;
+}
+
+std::string transport_report(const NetCountersSnapshot& net) {
+  std::ostringstream out;
+  out << "--- transport health ---\n";
+  out << "timeouts:               " << net.timeouts << "\n";
+  out << "retries:                " << net.retries << "\n";
+  out << "reconnects:             " << net.reconnects << "\n";
+  out << "checkins abandoned:     " << net.checkins_abandoned << "\n";
+  out << "connections accepted:   " << net.accepted_connections << "\n";
+  out << "connections refused:    " << net.refused_connections << "\n";
+  out << "idle connections closed: " << net.idle_closed << "\n";
+  out << "workers reaped:         " << net.reaped_workers << "\n";
+  return out.str();
+}
+
 std::string portal_report(const Server& server) {
   return portal_report(server, MonitorOptions{});
+}
+
+std::string portal_report(const Server& server, const MonitorOptions& options,
+                          const NetCountersSnapshot& net) {
+  return portal_report(server, options) + "\n" + transport_report(net);
 }
 
 std::string portal_report(const Server& server, const MonitorOptions& options) {

@@ -5,13 +5,49 @@
 //
 // Everything in the report derives from the sanitized checkins the server
 // already holds, so publishing it costs no additional privacy budget.
+//
+// NetCounters adds the transport-health side of the portal: timeouts,
+// retries, reconnects and connection-management events from the live TCP
+// runtime. These count network events, never sample data, so they are
+// publishable for the same reason.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "core/server.hpp"
 
 namespace crowdml::core {
+
+/// Plain-value copy of NetCounters at one instant.
+struct NetCountersSnapshot {
+  long long timeouts = 0;
+  long long retries = 0;
+  long long reconnects = 0;
+  long long checkins_abandoned = 0;
+  long long accepted_connections = 0;
+  long long refused_connections = 0;
+  long long idle_closed = 0;
+  long long reaped_workers = 0;
+};
+
+/// Shared transport-health counters. Device sessions record timeouts,
+/// retries, reconnects and abandoned checkins; TcpCrowdServer records
+/// accept/refuse/idle-close/reap events. All fields are atomics so the
+/// runtime threads and the portal reader never race.
+class NetCounters {
+ public:
+  std::atomic<long long> timeouts{0};
+  std::atomic<long long> retries{0};
+  std::atomic<long long> reconnects{0};
+  std::atomic<long long> checkins_abandoned{0};
+  std::atomic<long long> accepted_connections{0};
+  std::atomic<long long> refused_connections{0};
+  std::atomic<long long> idle_closed{0};
+  std::atomic<long long> reaped_workers{0};
+
+  NetCountersSnapshot snapshot() const;
+};
 
 struct MonitorOptions {
   /// Show at most this many per-device rows (largest contributors first).
@@ -24,5 +60,12 @@ struct MonitorOptions {
 /// Render the portal report for the current server state.
 std::string portal_report(const Server& server, const MonitorOptions& options);
 std::string portal_report(const Server& server);
+
+/// Portal report plus a transport-health section from the TCP runtime.
+std::string portal_report(const Server& server, const MonitorOptions& options,
+                          const NetCountersSnapshot& net);
+
+/// Just the transport-health section (appended by the overload above).
+std::string transport_report(const NetCountersSnapshot& net);
 
 }  // namespace crowdml::core

@@ -1,13 +1,21 @@
 #include "core/tcp_runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "rng/distributions.hpp"
 
 namespace crowdml::core {
 
 TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
                                std::uint16_t port)
-    : protocol_(server, auth) {
-  auto listener = net::TcpListener::bind(port);
+    : TcpCrowdServer(server, auth, TcpServerConfig{.port = port}) {}
+
+TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
+                               TcpServerConfig config)
+    : config_(std::move(config)), protocol_(server, auth) {
+  auto listener = net::TcpListener::bind(config_.bind_address, config_.port);
   if (!listener) throw std::runtime_error("TcpCrowdServer: bind failed");
   listener_ = std::move(*listener);
   port_ = listener_.port();
@@ -20,50 +28,183 @@ void TcpCrowdServer::accept_loop() {
   while (!stopping_.load()) {
     auto conn = listener_.accept();
     if (!conn) break;  // listener closed
-    auto c = std::make_shared<net::TcpConnection>(std::move(*conn));
     std::lock_guard lock(workers_mu_);
     if (stopping_.load()) break;
-    connections_.push_back(c);
-    workers_.emplace_back([this, c] {
-      while (!stopping_.load()) {
-        auto frame = c->recv_frame();
-        if (!frame) break;  // EOF / error
-        const net::Bytes response = protocol_.handle(*frame);
-        if (!c->send_frame(response)) break;
-      }
+    reap_finished_locked();
+    if (workers_.size() >= config_.max_connections) {
+      // Graceful refusal: tell the device why before hanging up, so its
+      // next backoff delay is informed rather than a mystery EOF.
+      ++counters_.refused_connections;
+      const net::AckMessage nack{false, "server at capacity"};
+      conn->set_deadline_ms(1000);
+      conn->send_frame(
+          net::encode_frame(net::MessageType::kAck, nack.serialize()));
+      continue;  // conn destructs -> closed
+    }
+    ++counters_.accepted_connections;
+    auto c = std::make_shared<net::TcpConnection>(std::move(*conn));
+    c->set_deadline_ms(config_.idle_timeout_ms);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Worker w;
+    w.conn = c;
+    w.done = done;
+    w.thread = std::thread([this, c, done] {
+      serve(c);
+      done->store(true);
     });
+    workers_.push_back(std::move(w));
   }
+}
+
+void TcpCrowdServer::serve(const std::shared_ptr<net::TcpConnection>& conn) {
+  while (!stopping_.load()) {
+    auto frame = conn->recv_frame();
+    if (!frame) {
+      if (conn->last_error() == net::NetError::kTimeout)
+        ++counters_.idle_closed;
+      break;  // EOF / error / idle deadline
+    }
+    const net::Bytes response = protocol_.handle(*frame);
+    if (!conn->send_frame(response)) break;
+  }
+  conn->shutdown_both();
+}
+
+void TcpCrowdServer::reap_finished_locked() {
+  for (auto& w : workers_) {
+    if (w.done->load() && w.thread.joinable()) {
+      w.thread.join();
+      ++counters_.reaped_workers;
+    }
+  }
+  workers_.erase(std::remove_if(workers_.begin(), workers_.end(),
+                                [](const Worker& w) {
+                                  return !w.thread.joinable();
+                                }),
+                 workers_.end());
 }
 
 void TcpCrowdServer::shutdown() {
   if (stopping_.exchange(true)) return;
   listener_.close();
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
-  std::vector<std::shared_ptr<net::TcpConnection>> connections;
+  std::vector<Worker> workers;
   {
     std::lock_guard lock(workers_mu_);
     workers = std::move(workers_);
-    connections = std::move(connections_);
   }
   // Unblock workers parked in recv_frame, then join.
-  for (auto& c : connections) c->shutdown_both();
+  for (auto& w : workers) w.conn->shutdown_both();
   for (auto& w : workers)
-    if (w.joinable()) w.join();
+    if (w.thread.joinable()) w.thread.join();
 }
 
-TcpDeviceSession::TcpDeviceSession(const std::string& host, std::uint16_t port) {
-  auto conn = net::TcpConnection::connect(host, port);
-  if (!conn) throw std::runtime_error("TcpDeviceSession: connect failed");
+TcpDeviceSession::TcpDeviceSession(const std::string& host, std::uint16_t port)
+    : TcpDeviceSession(host, port, net::TcpConnection::kNoDeadline,
+                       net::TcpConnection::kNoDeadline) {}
+
+TcpDeviceSession::TcpDeviceSession(const std::string& host, std::uint16_t port,
+                                   int io_deadline_ms, int connect_timeout_ms) {
+  net::NetError err = net::NetError::kNone;
+  auto conn = net::TcpConnection::connect(host, port, connect_timeout_ms, &err);
+  if (!conn)
+    throw std::runtime_error(std::string("TcpDeviceSession: connect failed (") +
+                             net::net_error_name(err) + ")");
   conn_ = std::move(*conn);
+  conn_.set_deadline_ms(io_deadline_ms);
 }
 
 std::optional<net::Bytes> TcpDeviceSession::exchange(const net::Bytes& request) {
-  if (!conn_.send_frame(request)) return std::nullopt;
-  return conn_.recv_frame();
+  if (!conn_.send_frame(request)) {
+    conn_.close();
+    return std::nullopt;
+  }
+  auto reply = conn_.recv_frame();
+  if (!reply) conn_.close();
+  return reply;
 }
 
 DeviceClient::Exchange TcpDeviceSession::as_exchange() {
+  return [this](const net::Bytes& req) { return exchange(req); };
+}
+
+ReconnectingDeviceSession::ReconnectingDeviceSession(std::string host,
+                                                     std::uint16_t port,
+                                                     ReconnectPolicy policy,
+                                                     rng::Engine eng,
+                                                     NetCounters* counters)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      eng_(eng),
+      counters_(counters) {}
+
+bool ReconnectingDeviceSession::try_connect() {
+  try {
+    session_.emplace(host_, port_, policy_.io_deadline_ms,
+                     policy_.connect_timeout_ms);
+  } catch (const std::runtime_error&) {
+    session_.reset();
+    return false;
+  }
+  if (ever_connected_) {
+    ++reconnects_;
+    if (counters_) ++counters_->reconnects;
+  }
+  ever_connected_ = true;
+  return true;
+}
+
+void ReconnectingDeviceSession::backoff(int attempt) {
+  const int shift = std::min(attempt - 1, 20);
+  const long long base =
+      std::min<long long>(static_cast<long long>(policy_.backoff_base_ms)
+                              << shift,
+                          policy_.backoff_max_ms);
+  const double factor =
+      rng::uniform(eng_, 1.0 - policy_.jitter, 1.0 + policy_.jitter);
+  const auto delay = static_cast<long long>(static_cast<double>(base) * factor);
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
+    const net::Bytes& request) {
+  // A checkout (or any non-checkin frame) is idempotent and may be
+  // replayed; a checkin must hit the wire at most once (Remark 1 — the
+  // server may already have applied it, and the device's privacy
+  // accountant already charged the minibatch).
+  const bool replayable =
+      request.size() <= net::kFrameTypeOffset ||
+      request[net::kFrameTypeOffset] !=
+          static_cast<std::uint8_t>(net::MessageType::kCheckin);
+
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++retries_;
+      if (counters_) ++counters_->retries;
+      backoff(attempt);
+    }
+    if (!session_ || !session_->connected()) {
+      if (!try_connect()) continue;
+    }
+    if (!replayable) ++checkin_sends_;
+    auto reply = session_->exchange(request);
+    if (reply) return reply;
+    if (session_->last_error() == net::NetError::kTimeout) {
+      ++timeouts_;
+      if (counters_) ++counters_->timeouts;
+    }
+    session_->close();
+    if (!replayable) {
+      ++checkins_abandoned_;
+      if (counters_) ++counters_->checkins_abandoned;
+      return std::nullopt;  // abandoned, never replayed
+    }
+  }
+  return std::nullopt;
+}
+
+DeviceClient::Exchange ReconnectingDeviceSession::as_exchange() {
   return [this](const net::Bytes& req) { return exchange(req); };
 }
 

@@ -5,24 +5,58 @@
 // through ProtocolServer -> frame out), mirroring the prototype's
 // Apache-fronted deployment. TcpDeviceSession is a device's persistent
 // connection implementing DeviceClient's Exchange.
+//
+// Fault tolerance (Remark 1: devices ride a lossy public network and
+// "retry later" when a leg is lost):
+//   - the server enforces per-connection idle deadlines, caps concurrent
+//     connections with a graceful refusal, and reaps finished worker
+//     threads so long-lived deployments don't leak;
+//   - ReconnectingDeviceSession wraps TcpDeviceSession with capped
+//     exponential backoff + jitter, transparently re-establishing the
+//     connection across drops. A checkout may be retried freely; a
+//     checkin whose send already started is abandoned, never replayed —
+//     the server may have applied it before the ack was lost, and a
+//     replay would double-spend the minibatch's privacy budget.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/monitor.hpp"
 #include "core/protocol.hpp"
 #include "net/tcp.hpp"
+#include "rng/engine.hpp"
 
 namespace crowdml::core {
+
+struct TcpServerConfig {
+  /// Interface to listen on; "0.0.0.0" exposes the server beyond loopback.
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (see TcpCrowdServer::port())
+  /// Concurrent-connection cap; further connections receive a
+  /// "server at capacity" nack and are closed (counted as refused).
+  std::size_t max_connections = 256;
+  /// Per-connection receive deadline. A device silent for this long has
+  /// its connection closed (counted as idle_closed); devices reconnect on
+  /// their next cycle. kNoDeadline disables the reaper.
+  int idle_timeout_ms = net::TcpConnection::kNoDeadline;
+};
 
 class TcpCrowdServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
   /// Throws std::runtime_error if the bind fails.
   TcpCrowdServer(Server& server, net::AuthRegistry& auth, std::uint16_t port);
+
+  /// Full configuration (bind address, connection cap, idle timeout).
+  TcpCrowdServer(Server& server, net::AuthRegistry& auth,
+                 TcpServerConfig config);
   ~TcpCrowdServer();
 
   TcpCrowdServer(const TcpCrowdServer&) = delete;
@@ -31,35 +65,114 @@ class TcpCrowdServer {
   std::uint16_t port() const { return port_; }
   const ProtocolServer& protocol() const { return protocol_; }
 
+  /// Transport-health counters (accepted/refused/idle-closed/reaped).
+  const NetCounters& net_counters() const { return counters_; }
+  NetCountersSnapshot net_snapshot() const { return counters_.snapshot(); }
+
   /// Stop accepting, close the listener, and join all workers.
   void shutdown();
 
  private:
-  void accept_loop();
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<net::TcpConnection> conn;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
 
+  void accept_loop();
+  void serve(const std::shared_ptr<net::TcpConnection>& conn);
+  /// Join and drop workers whose serve loop has finished. Caller holds
+  /// workers_mu_.
+  void reap_finished_locked();
+
+  TcpServerConfig config_;
   ProtocolServer protocol_;
   net::TcpListener listener_;
   std::uint16_t port_ = 0;
   std::thread acceptor_;
   std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
-  std::vector<std::shared_ptr<net::TcpConnection>> connections_;
+  std::vector<Worker> workers_;
   std::atomic<bool> stopping_{false};
+  NetCounters counters_;
 };
 
 /// A device's persistent TCP session; usable as DeviceClient::Exchange.
 class TcpDeviceSession {
  public:
   /// Connects to the server; throws std::runtime_error on failure.
+  /// The two-argument form keeps the legacy behavior: OS-default connect
+  /// timeout, no I/O deadline.
   TcpDeviceSession(const std::string& host, std::uint16_t port);
+  TcpDeviceSession(const std::string& host, std::uint16_t port,
+                   int io_deadline_ms, int connect_timeout_ms);
 
-  /// One request/response round trip. nullopt on connection failure.
+  /// One request/response round trip, bounded by the I/O deadline when one
+  /// was configured. nullopt on failure; the connection is closed so the
+  /// caller can tell it needs to reconnect.
   std::optional<net::Bytes> exchange(const net::Bytes& request);
 
   DeviceClient::Exchange as_exchange();
 
+  bool connected() const { return conn_.valid(); }
+  net::NetError last_error() const { return conn_.last_error(); }
+  void close() { conn_.close(); }
+
  private:
   net::TcpConnection conn_;
+};
+
+/// Backoff/retry policy for ReconnectingDeviceSession.
+struct ReconnectPolicy {
+  int connect_timeout_ms = 2000;
+  int io_deadline_ms = 5000;
+  /// Attempts per exchange() call (connects and replays combined).
+  int max_attempts = 8;
+  /// Backoff before attempt k is min(base << (k-1), max), jittered by
+  /// a uniform factor in [1 - jitter, 1 + jitter].
+  int backoff_base_ms = 10;
+  int backoff_max_ms = 2000;
+  double jitter = 0.5;
+};
+
+/// TcpDeviceSession wrapper that survives connection loss: it connects
+/// lazily, re-establishes dropped connections with capped exponential
+/// backoff + jitter, and replays failed requests — except checkins, which
+/// are abandoned once their send has begun (see the header comment).
+class ReconnectingDeviceSession {
+ public:
+  /// `counters`, when non-null, receives timeout/retry/reconnect events
+  /// (shared across sessions; must outlive the session).
+  ReconnectingDeviceSession(std::string host, std::uint16_t port,
+                            ReconnectPolicy policy, rng::Engine eng,
+                            NetCounters* counters = nullptr);
+
+  std::optional<net::Bytes> exchange(const net::Bytes& request);
+  DeviceClient::Exchange as_exchange();
+
+  long long reconnects() const { return reconnects_; }
+  long long retries() const { return retries_; }
+  long long timeouts() const { return timeouts_; }
+  long long checkins_abandoned() const { return checkins_abandoned_; }
+  /// Checkin frames handed to the socket at least once (each at most once
+  /// — never replayed), for double-apply audits in chaos tests.
+  long long checkin_frames_sent() const { return checkin_sends_; }
+
+ private:
+  bool try_connect();
+  void backoff(int attempt);
+
+  std::string host_;
+  std::uint16_t port_;
+  ReconnectPolicy policy_;
+  rng::Engine eng_;
+  NetCounters* counters_;
+  std::optional<TcpDeviceSession> session_;
+  bool ever_connected_ = false;
+  long long reconnects_ = 0;
+  long long retries_ = 0;
+  long long timeouts_ = 0;
+  long long checkins_abandoned_ = 0;
+  long long checkin_sends_ = 0;
 };
 
 }  // namespace crowdml::core

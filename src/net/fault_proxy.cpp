@@ -1,0 +1,150 @@
+#include "net/fault_proxy.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace crowdml::net {
+
+namespace {
+constexpr int kUpstreamConnectTimeoutMs = 2000;
+constexpr std::size_t kChunkSize = 4096;
+
+bool coin(rng::Engine& eng, double p) {
+  return p > 0.0 && rng::uniform(eng) < p;
+}
+}  // namespace
+
+FaultProxy::FaultProxy(std::string upstream_host, std::uint16_t upstream_port,
+                       FaultPolicy policy, rng::Engine eng)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      policy_(policy),
+      eng_(eng) {
+  auto listener = TcpListener::bind(0);
+  if (!listener) throw std::runtime_error("FaultProxy: bind failed");
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+FaultProxy::~FaultProxy() { shutdown(); }
+
+void FaultProxy::accept_loop() {
+  while (!stopping_.load()) {
+    auto down = listener_.accept();
+    if (!down) break;  // listener closed
+    ++connections_;
+
+    NetError err = NetError::kNone;
+    auto up = TcpConnection::connect(upstream_host_, upstream_port_,
+                                     kUpstreamConnectTimeoutMs, &err);
+    if (!up) {
+      ++upstream_failures_;
+      continue;  // dropping `down` looks like a refused/reset connection
+    }
+
+    const bool blackhole_down = coin(eng_, policy_.blackhole_prob);
+    if (blackhole_down) ++blackholed_;
+
+    Link link;
+    link.down = std::make_shared<TcpConnection>(std::move(*down));
+    link.up = std::make_shared<TcpConnection>(std::move(*up));
+    std::lock_guard lock(links_mu_);
+    if (stopping_.load()) break;
+    link.up_pump = std::thread([this, d = link.down, u = link.up,
+                                eng = eng_.split()]() mutable {
+      pump(d, u, /*blackhole=*/false, std::move(eng));
+    });
+    link.down_pump = std::thread([this, d = link.down, u = link.up,
+                                  blackhole_down,
+                                  eng = eng_.split()]() mutable {
+      pump(u, d, blackhole_down, std::move(eng));
+    });
+    links_.push_back(std::move(link));
+  }
+}
+
+void FaultProxy::pump(std::shared_ptr<TcpConnection> src,
+                      std::shared_ptr<TcpConnection> dst, bool blackhole,
+                      rng::Engine eng) {
+  std::uint8_t buf[kChunkSize];
+  const auto kill_link = [&] {
+    src->shutdown_both();
+    dst->shutdown_both();
+  };
+
+  while (!stopping_.load()) {
+    const long n = src->read_some(buf, sizeof(buf));
+    if (n <= 0) {
+      // EOF or error on either conn ends the relay in both directions so
+      // neither peer is left talking to a half-dead link.
+      kill_link();
+      return;
+    }
+    std::size_t len = static_cast<std::size_t>(n);
+    ++relayed_chunks_;
+
+    if (blackhole) continue;  // swallow: the peer sees a stalled connection
+
+    if (coin(eng, policy_.drop_conn_prob)) {
+      ++dropped_;
+      kill_link();
+      return;
+    }
+    if (coin(eng, policy_.truncate_prob)) {
+      ++truncated_;
+      if (len > 1) dst->write_some(buf, len / 2);  // partial frame escapes
+      kill_link();
+      return;
+    }
+    if (coin(eng, policy_.corrupt_prob)) {
+      ++corrupted_;
+      buf[rng::uniform_index(eng, len)] ^= 0xFF;
+    }
+    if (coin(eng, policy_.delay_prob) && policy_.max_delay_ms > 0) {
+      ++delayed_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int>(rng::uniform(eng, 0.0, policy_.max_delay_ms))));
+    }
+    if (!dst->write_some(buf, len)) {
+      kill_link();
+      return;
+    }
+  }
+}
+
+FaultCounts FaultProxy::counts() const {
+  FaultCounts c;
+  c.connections = connections_.load();
+  c.relayed_chunks = relayed_chunks_.load();
+  c.delayed = delayed_.load();
+  c.dropped = dropped_.load();
+  c.truncated = truncated_.load();
+  c.corrupted = corrupted_.load();
+  c.blackholed = blackholed_.load();
+  c.upstream_failures = upstream_failures_.load();
+  return c;
+}
+
+void FaultProxy::shutdown() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<Link> links;
+  {
+    std::lock_guard lock(links_mu_);
+    links = std::move(links_);
+  }
+  for (auto& l : links) {
+    l.down->shutdown_both();
+    l.up->shutdown_both();
+  }
+  for (auto& l : links) {
+    if (l.up_pump.joinable()) l.up_pump.join();
+    if (l.down_pump.joinable()) l.down_pump.join();
+  }
+}
+
+}  // namespace crowdml::net

@@ -1,0 +1,111 @@
+// In-process TCP fault-injection proxy — the live-path analogue of
+// sim::LossModel / sim::DelayModel (Section IV-B3's lossy, delayed public
+// network, but against real sockets instead of simulated event times).
+//
+// The proxy listens on its own ephemeral port and relays bytes in both
+// directions to a configured upstream. Per a seeded policy it can delay
+// chunks, corrupt bytes (caught downstream by the frame CRC), truncate a
+// chunk and drop the connection mid-frame, drop connections outright, and
+// blackhole one direction of a connection (delivering the stalled-peer
+// scenario that deadlines must bound). Every injected fault is counted so
+// chaos tests can cross-check transport-layer retry counters against what
+// was actually injected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::net {
+
+/// Per-chunk / per-connection fault probabilities. All default to zero, so
+/// a default-constructed policy is a transparent relay.
+struct FaultPolicy {
+  double delay_prob = 0.0;      ///< chance a relayed chunk is delayed
+  int max_delay_ms = 0;         ///< delay drawn uniformly from [0, max]
+  double drop_conn_prob = 0.0;  ///< chance a chunk kills the connection
+  double truncate_prob = 0.0;   ///< chance a chunk is cut short, then killed
+  double corrupt_prob = 0.0;    ///< chance one byte of a chunk is flipped
+  double blackhole_prob = 0.0;  ///< per-connection: server->device direction
+                                ///< swallowed (reads succeed, nothing relayed)
+};
+
+/// Totals of injected faults, for chaos-test cross-checks.
+struct FaultCounts {
+  long long connections = 0;   ///< device connections accepted
+  long long relayed_chunks = 0;
+  long long delayed = 0;
+  long long dropped = 0;       ///< connections killed outright
+  long long truncated = 0;     ///< connections killed mid-chunk
+  long long corrupted = 0;
+  long long blackholed = 0;    ///< connections with a swallowed direction
+  long long upstream_failures = 0;  ///< upstream connect failed; conn refused
+
+  long long killed_connections() const { return dropped + truncated; }
+};
+
+class FaultProxy {
+ public:
+  /// Starts listening on an ephemeral loopback port and relaying to
+  /// upstream_host:upstream_port. Throws std::runtime_error if the local
+  /// bind fails (upstream connects happen lazily, per device connection).
+  FaultProxy(std::string upstream_host, std::uint16_t upstream_port,
+             FaultPolicy policy, rng::Engine eng);
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The port devices should connect to instead of the real server's.
+  std::uint16_t port() const { return port_; }
+
+  FaultCounts counts() const;
+
+  /// Stop accepting, sever all relayed connections, join all pumps.
+  void shutdown();
+
+ private:
+  struct Link {
+    std::shared_ptr<TcpConnection> down;  // device side
+    std::shared_ptr<TcpConnection> up;    // server side
+    std::thread up_pump;                  // device -> server
+    std::thread down_pump;                // server -> device
+  };
+
+  void accept_loop();
+  /// Relay src -> dst, injecting faults per `eng`. `blackhole` swallows
+  /// every chunk instead of forwarding.
+  void pump(std::shared_ptr<TcpConnection> src,
+            std::shared_ptr<TcpConnection> dst, bool blackhole,
+            rng::Engine eng);
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  FaultPolicy policy_;
+  rng::Engine eng_;  // accept-loop only; pumps get split() children
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex links_mu_;
+  std::vector<Link> links_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<long long> connections_{0};
+  std::atomic<long long> relayed_chunks_{0};
+  std::atomic<long long> delayed_{0};
+  std::atomic<long long> dropped_{0};
+  std::atomic<long long> truncated_{0};
+  std::atomic<long long> corrupted_{0};
+  std::atomic<long long> blackholed_{0};
+  std::atomic<long long> upstream_failures_{0};
+};
+
+}  // namespace crowdml::net

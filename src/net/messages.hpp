@@ -81,8 +81,18 @@ struct Frame {
 /// mismatch, or CRC failure.
 Frame decode_frame(const Bytes& buffer);
 
-/// Frame header size (magic + type + len) and trailer (crc).
-inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 4;
+/// Frame layout constants. The header is [magic][type][payload_len]; any
+/// code that picks fields out of a raw header buffer (e.g. the socket
+/// layer reading the length before the payload arrives) must use these
+/// offsets rather than hard-coded byte positions.
+inline constexpr std::size_t kFrameMagicSize = 4;
+inline constexpr std::size_t kFrameTypeOffset = kFrameMagicSize;
+inline constexpr std::size_t kFrameLenOffset = kFrameTypeOffset + 1;
+inline constexpr std::size_t kFrameHeaderSize = kFrameLenOffset + sizeof(std::uint32_t);
 inline constexpr std::size_t kFrameTrailerSize = 4;
+static_assert(kFrameHeaderSize == kFrameMagicSize + 1 + sizeof(std::uint32_t),
+              "frame header is magic + u8 type + u32 payload length");
+static_assert(kFrameLenOffset + sizeof(std::uint32_t) == kFrameHeaderSize,
+              "length field is the last header field");
 
 }  // namespace crowdml::net

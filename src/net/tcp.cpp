@@ -1,24 +1,81 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 namespace crowdml::net {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`; 0 when already past.
+int ms_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+/// Resolve host:port to a list of socket addresses. Returns nullptr on
+/// failure; the caller owns the list (freeaddrinfo).
+addrinfo* resolve(const std::string& host, std::uint16_t port, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;  // the Crowd-ML transport is IPv4
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  char port_str[8];
+  std::snprintf(port_str, sizeof(port_str), "%u", port);
+  addrinfo* result = nullptr;
+  if (::getaddrinfo(host.empty() ? nullptr : host.c_str(), port_str, &hints,
+                    &result) != 0)
+    return nullptr;
+  return result;
+}
+
+}  // namespace
+
+const char* net_error_name(NetError e) {
+  switch (e) {
+    case NetError::kNone: return "none";
+    case NetError::kTimeout: return "timeout";
+    case NetError::kClosed: return "closed";
+    case NetError::kRefused: return "refused";
+    case NetError::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
 TcpConnection::TcpConnection(TcpConnection&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      deadline_ms_(other.deadline_ms_),
+      last_error_(other.last_error_.load()) {}
 
 TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    deadline_ms_ = other.deadline_ms_;
+    last_error_.store(other.last_error_.load());
   }
   return *this;
 }
@@ -37,32 +94,86 @@ void TcpConnection::shutdown_both() {
 }
 
 std::optional<TcpConnection> TcpConnection::connect(const std::string& host,
-                                                    std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
+                                                    std::uint16_t port,
+                                                    int timeout_ms,
+                                                    NetError* err) {
+  const auto fail = [err](NetError e) -> std::optional<TcpConnection> {
+    if (err) *err = e;
+    return std::nullopt;
+  };
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return std::nullopt;
+  addrinfo* addrs = resolve(host, port, /*passive=*/false);
+  if (!addrs) return fail(NetError::kIoError);
+
+  NetError last = NetError::kIoError;
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    set_nonblocking(fd, true);
+
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, timeout_ms);
+      if (n == 0) {
+        last = NetError::kTimeout;
+        ::close(fd);
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (n < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        last = so_error == ECONNREFUSED ? NetError::kRefused : NetError::kIoError;
+        ::close(fd);
+        continue;
+      }
+      rc = 0;
+    }
+    if (rc != 0) {
+      last = errno == ECONNREFUSED ? NetError::kRefused : NetError::kIoError;
+      ::close(fd);
+      continue;
+    }
+
+    set_nonblocking(fd, false);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(addrs);
+    if (err) *err = NetError::kNone;
+    return TcpConnection(fd);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return std::nullopt;
+  ::freeaddrinfo(addrs);
+  return fail(last);
+}
+
+bool TcpConnection::wait_ready(short events, int deadline_left_ms) {
+  pollfd pfd{fd_, events, 0};
+  for (;;) {
+    const int n = ::poll(&pfd, 1, deadline_left_ms);
+    if (n > 0) return true;
+    if (n == 0) {
+      last_error_ = NetError::kTimeout;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    last_error_ = NetError::kIoError;
+    return false;
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return TcpConnection(fd);
 }
 
 bool TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
+  const bool bounded = deadline_ms_ != kNoDeadline;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           bounded ? deadline_ms_ : 0);
   while (len > 0) {
+    if (!wait_ready(POLLOUT, bounded ? ms_until(deadline) : -1)) return false;
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      last_error_ = errno == EPIPE || errno == ECONNRESET ? NetError::kClosed
+                                                          : NetError::kIoError;
       return false;
     }
     data += n;
@@ -72,10 +183,15 @@ bool TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
 }
 
 bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
+  const bool bounded = deadline_ms_ != kNoDeadline;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           bounded ? deadline_ms_ : 0);
   while (len > 0) {
+    if (!wait_ready(POLLIN, bounded ? ms_until(deadline) : -1)) return false;
     const ssize_t n = ::recv(fd_, data, len, 0);
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      last_error_ = n == 0 ? NetError::kClosed : NetError::kIoError;
       return false;
     }
     data += n;
@@ -85,19 +201,32 @@ bool TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
 }
 
 bool TcpConnection::send_frame(const Bytes& frame) {
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    last_error_ = NetError::kClosed;
+    return false;
+  }
+  last_error_ = NetError::kNone;
   return write_all(frame.data(), frame.size());
 }
 
 std::optional<Bytes> TcpConnection::recv_frame() {
-  if (fd_ < 0) return std::nullopt;
+  if (fd_ < 0) {
+    last_error_ = NetError::kClosed;
+    return std::nullopt;
+  }
+  last_error_ = NetError::kNone;
   Bytes buf(kFrameHeaderSize);
   if (!read_all(buf.data(), buf.size())) return std::nullopt;
 
   std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i)
-    len |= static_cast<std::uint32_t>(buf[5 + static_cast<std::size_t>(i)]) << (8 * i);
-  if (len > kMaxFieldLength) return std::nullopt;
+  for (std::size_t i = 0; i < sizeof(std::uint32_t); ++i)
+    len |= static_cast<std::uint32_t>(buf[kFrameLenOffset + i]) << (8 * i);
+  if (len > kMaxFieldLength) {
+    // Hostile or corrupt header: refuse before allocating the advertised
+    // payload (a 4 GiB length must not become a 4 GiB buffer).
+    last_error_ = NetError::kIoError;
+    return std::nullopt;
+  }
 
   buf.resize(kFrameHeaderSize + len + kFrameTrailerSize);
   if (!read_all(buf.data() + kFrameHeaderSize, len + kFrameTrailerSize))
@@ -105,13 +234,42 @@ std::optional<Bytes> TcpConnection::recv_frame() {
   return buf;
 }
 
+long TcpConnection::read_some(std::uint8_t* data, std::size_t cap) {
+  if (fd_ < 0) {
+    last_error_ = NetError::kClosed;
+    return -1;
+  }
+  last_error_ = NetError::kNone;
+  const int wait_ms = deadline_ms_;  // one chunk = one deadline budget
+  for (;;) {
+    if (!wait_ready(POLLIN, wait_ms)) return -1;
+    const ssize_t n = ::recv(fd_, data, cap, 0);
+    if (n >= 0) {
+      if (n == 0) last_error_ = NetError::kClosed;
+      return static_cast<long>(n);
+    }
+    if (errno == EINTR || errno == EAGAIN) continue;
+    last_error_ = NetError::kIoError;
+    return -1;
+  }
+}
+
+bool TcpConnection::write_some(const std::uint8_t* data, std::size_t len) {
+  if (fd_ < 0) {
+    last_error_ = NetError::kClosed;
+    return false;
+  }
+  last_error_ = NetError::kNone;
+  return write_all(data, len);
+}
+
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1));
     port_ = other.port_;
   }
   return *this;
@@ -120,45 +278,54 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
 TcpListener::~TcpListener() { close(); }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
 std::optional<TcpListener> TcpListener::bind(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  return bind("127.0.0.1", port);
+}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 128) != 0) {
-    ::close(fd);
-    return std::nullopt;
+std::optional<TcpListener> TcpListener::bind(const std::string& address,
+                                             std::uint16_t port) {
+  addrinfo* addrs = resolve(address, port, /*passive=*/true);
+  if (!addrs) return std::nullopt;
+
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, 128) != 0) {
+      ::close(fd);
+      continue;
+    }
+
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+      ::close(fd);
+      continue;
+    }
+
+    ::freeaddrinfo(addrs);
+    TcpListener l;
+    l.fd_.store(fd);
+    l.port_ = ntohs(bound.sin_port);
+    return l;
   }
-
-  sockaddr_in bound{};
-  socklen_t blen = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-
-  TcpListener l;
-  l.fd_ = fd;
-  l.port_ = ntohs(bound.sin_port);
-  return l;
+  ::freeaddrinfo(addrs);
+  return std::nullopt;
 }
 
 std::optional<TcpConnection> TcpListener::accept() {
-  if (fd_ < 0) return std::nullopt;
-  const int cfd = ::accept(fd_, nullptr, nullptr);
+  const int fd = fd_.load();
+  if (fd < 0) return std::nullopt;
+  const int cfd = ::accept(fd, nullptr, nullptr);
   if (cfd < 0) return std::nullopt;
   const int one = 1;
   ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

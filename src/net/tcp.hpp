@@ -2,8 +2,15 @@
 // standing in for the prototype's HTTPS plumbing. Devices connect, send a
 // frame, read a frame; the server accepts connections on a listener
 // thread. Used by examples/tcp_crowd and the net integration tests.
+//
+// Fault tolerance: every blocking operation honors an optional deadline
+// (poll-based, so a peer dribbling one byte at a time cannot stall a
+// reader past its budget), connect is non-blocking with its own timeout,
+// and failures carry a coarse taxonomy (NetError) so callers can tell a
+// retryable timeout from a fatal refusal.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -12,9 +19,25 @@
 
 namespace crowdml::net {
 
+/// Coarse failure taxonomy for socket operations. Callers use it to pick
+/// between retrying (kTimeout, kClosed), backing off before reconnecting
+/// (kRefused), and giving up (kIoError).
+enum class NetError : std::uint8_t {
+  kNone = 0,   ///< no failure recorded
+  kTimeout,    ///< deadline expired before the operation completed
+  kClosed,     ///< orderly EOF / peer closed the connection
+  kRefused,    ///< connection refused (no listener / server at capacity)
+  kIoError,    ///< anything else: resolution failure, reset, protocol abuse
+};
+
+const char* net_error_name(NetError e);
+
 /// A connected stream socket. Move-only; closes on destruction.
 class TcpConnection {
  public:
+  /// Sentinel deadline: block indefinitely.
+  static constexpr int kNoDeadline = -1;
+
   TcpConnection() = default;
   explicit TcpConnection(int fd) : fd_(fd) {}
   TcpConnection(TcpConnection&& other) noexcept;
@@ -23,18 +46,42 @@ class TcpConnection {
   TcpConnection& operator=(const TcpConnection&) = delete;
   ~TcpConnection();
 
-  /// Connect to host:port (dotted-quad or "localhost").
+  /// Connect to host:port. `host` may be a dotted quad or a hostname
+  /// (resolved via getaddrinfo). The handshake is non-blocking and bounded
+  /// by `timeout_ms` (kNoDeadline = OS default). On failure the reason is
+  /// written to `err` when non-null.
   static std::optional<TcpConnection> connect(const std::string& host,
-                                              std::uint16_t port);
+                                              std::uint16_t port,
+                                              int timeout_ms = kNoDeadline,
+                                              NetError* err = nullptr);
 
   bool valid() const { return fd_ >= 0; }
+
+  /// Per-operation deadline for send_frame/recv_frame, in milliseconds.
+  /// kNoDeadline (the default) blocks indefinitely. The budget covers the
+  /// whole frame, not each syscall, so slow-loris peers are bounded too.
+  void set_deadline_ms(int ms) { deadline_ms_ = ms; }
+  int deadline_ms() const { return deadline_ms_; }
+
+  /// Why the most recent send_frame/recv_frame/read_some failed. Atomic:
+  /// a connection relayed by two pump threads (one direction each) records
+  /// errors from both without racing.
+  NetError last_error() const { return last_error_.load(); }
 
   /// Send a complete encoded frame (from encode_frame). False on error.
   bool send_frame(const Bytes& frame);
 
   /// Receive one complete frame's raw bytes (header-driven). nullopt on
-  /// EOF or error; the caller runs decode_frame for validation.
+  /// EOF, error, deadline expiry, or a header whose advertised payload
+  /// length exceeds kMaxFieldLength (never over-allocates); the caller
+  /// runs decode_frame for validation.
   std::optional<Bytes> recv_frame();
+
+  /// Raw chunk I/O for byte-level relays (the fault proxy). read_some
+  /// returns the number of bytes read, 0 on EOF, -1 on error/timeout;
+  /// write_some pushes the whole buffer or fails.
+  long read_some(std::uint8_t* data, std::size_t cap);
+  bool write_some(const std::uint8_t* data, std::size_t len);
 
   void close();
 
@@ -43,10 +90,16 @@ class TcpConnection {
   void shutdown_both();
 
  private:
+  /// Poll fd_ for `events` within the per-op deadline anchored at
+  /// `deadline_left_ms` (kNoDeadline blocks). Returns false on timeout.
+  bool wait_ready(short events, int deadline_left_ms);
+
   bool write_all(const std::uint8_t* data, std::size_t len);
   bool read_all(std::uint8_t* data, std::size_t len);
 
   int fd_ = -1;
+  int deadline_ms_ = kNoDeadline;
+  std::atomic<NetError> last_error_{NetError::kNone};
 };
 
 /// A listening socket. Move-only.
@@ -62,16 +115,23 @@ class TcpListener {
   /// Bind on 127.0.0.1:`port` (0 = ephemeral, see port()).
   static std::optional<TcpListener> bind(std::uint16_t port);
 
-  bool valid() const { return fd_ >= 0; }
+  /// Bind on `address`:`port`. `address` is a dotted quad or a hostname
+  /// ("0.0.0.0" for all interfaces).
+  static std::optional<TcpListener> bind(const std::string& address,
+                                         std::uint16_t port);
+
+  bool valid() const { return fd_.load() >= 0; }
   std::uint16_t port() const { return port_; }
 
   /// Block until a connection arrives. nullopt once closed.
   std::optional<TcpConnection> accept();
 
+  /// Safe to call from another thread to unblock a pending accept().
   void close();
 
  private:
-  int fd_ = -1;
+  // Atomic: close() races with the accept loop by design (shutdown path).
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 
