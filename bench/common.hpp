@@ -9,6 +9,10 @@
 //   CROWDML_SCALE  — dataset scale in (0,1]; default 0.25 (15000/2500
 //                    samples for MNIST-like). 1.0 = the paper's full size.
 //   CROWDML_TRIALS — trials to average; default 3 (paper: 10).
+//   CROWDML_PROFILE — if set, print the hot-path timing histograms
+//                    (gradient, sanitize, codec, server update) at exit.
+//   CROWDML_METRICS_OUT — if set, write the full Prometheus exposition of
+//                    the process registry to this path at exit.
 #pragma once
 
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include "data/mixture.hpp"
 #include "metrics/curves.hpp"
 #include "models/logistic_regression.hpp"
+#include "obs/metrics.hpp"
 
 namespace bench {
 
@@ -31,7 +36,30 @@ using namespace crowdml;
 struct Options {
   double scale = 0.25;
   int trials = 3;
+  bool profile = false;
 };
+
+/// atexit hook: render the timing histograms accumulated in the process
+/// registry (every sim run below records into it) as a per-phase summary,
+/// and optionally dump the raw Prometheus text for offline diffing.
+inline void print_profile_report() {
+  const auto snap = obs::default_registry().snapshot();
+  std::printf("\n---- profile (CROWDML_PROFILE) ----------------------------\n");
+  std::printf("%-40s %12s %14s %14s\n", "scope", "count", "total_s", "mean_us");
+  for (const auto& h : snap.histograms) {
+    // Only timing scopes belong in a seconds table; other histograms
+    // (e.g. observed staleness) still land in CROWDML_METRICS_OUT.
+    const bool timing = h.name.size() > 8 &&
+                        h.name.rfind("_seconds") == h.name.size() - 8;
+    if (h.data.count == 0 || !timing) continue;
+    std::printf("%-40s %12lld %14.4f %14.2f\n", h.name.c_str(), h.data.count,
+                h.data.sum, h.data.mean() * 1e6);
+  }
+  if (const char* path = std::getenv("CROWDML_METRICS_OUT")) {
+    obs::write_metrics_file(obs::default_registry(), path);
+    std::printf("(metrics written: %s)\n", path);
+  }
+}
 
 inline Options options() {
   Options o;
@@ -39,6 +67,16 @@ inline Options options() {
   if (const char* t = std::getenv("CROWDML_TRIALS")) o.trials = std::atoi(t);
   if (o.scale <= 0.0 || o.scale > 1.0) o.scale = 0.25;
   if (o.trials < 1) o.trials = 1;
+  o.profile = std::getenv("CROWDML_PROFILE") != nullptr ||
+              std::getenv("CROWDML_METRICS_OUT") != nullptr;
+  static bool hook_registered = false;
+  if (o.profile && !hook_registered) {
+    hook_registered = true;
+    // Construct the registry's function-local static *before* registering
+    // the hook, so it is destroyed after the hook runs at exit.
+    obs::default_registry();
+    std::atexit(print_profile_report);
+  }
   return o;
 }
 
@@ -69,6 +107,10 @@ inline metrics::LearningCurve run_crowd_trials(
   metrics::CurveAggregator agg;
   for (int t = 0; t < trials; ++t) {
     core::CrowdSimConfig cfg = base;
+    // Aggregate protocol counters + staleness/update-latency histograms
+    // across all trials into the process registry (observability only;
+    // the sim itself never reads them).
+    cfg.metrics = &obs::default_registry();
     cfg.seed = seed0 + static_cast<std::uint64_t>(t) * 7919;
     rng::Engine shard_eng(cfg.seed ^ 0x5A5A);
     auto shards =

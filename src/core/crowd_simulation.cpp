@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "metrics/evaluate.hpp"
+#include "obs/profile.hpp"
 #include "rng/distributions.hpp"
 
 namespace crowdml::core {
@@ -87,6 +88,13 @@ struct RunState {
   long long online_preds = 0;
   long long online_errs = 0;
 
+  // Optional observability instruments (null when cfg.metrics is null).
+  obs::Counter* ck_applied = nullptr;
+  obs::Counter* ck_rejected = nullptr;
+  obs::Counter* co_failed = nullptr;
+  obs::Histogram* staleness_hist = nullptr;
+  obs::Histogram* update_hist = nullptr;
+
   CrowdSimResult result;
 
   RunState(const models::Model& m, const CrowdSimConfig& c,
@@ -109,6 +117,30 @@ struct RunState {
                     ? c.checkout_timeout_seconds
                     : std::max(1.0 / c.sampling_rate_hz,
                                2.0 * std::max(delay->max_delay(), 0.0));
+    if (c.metrics) {
+      ck_applied = &c.metrics->counter(
+          "crowdml_sim_checkins_applied_total",
+          "Sanitized checkins the server accepted and applied",
+          obs::Provenance::kSanitizedAggregate);
+      ck_rejected = &c.metrics->counter(
+          "crowdml_sim_checkins_rejected_total",
+          "Checkins the server's validation refused",
+          obs::Provenance::kSanitizedAggregate);
+      co_failed = &c.metrics->counter(
+          "crowdml_sim_checkouts_failed_total",
+          "Checkout legs lost or refused (Remark 1 retry-later path)",
+          obs::Provenance::kTransportEvent);
+      staleness_hist = &c.metrics->histogram(
+          "crowdml_sim_staleness_updates",
+          "Server updates between a gradient's checkout and its apply "
+          "(Section IV-B3)",
+          obs::Provenance::kSanitizedAggregate,
+          obs::exponential_bounds(1.0, 4.0, 10));
+      update_hist = &c.metrics->histogram(
+          "crowdml_server_update_seconds",
+          "Server-side checkin handling: validate, record stats, apply",
+          obs::Provenance::kTiming);
+    }
   }
 
   void evaluate_at(long long x) {
@@ -162,8 +194,32 @@ struct RunState {
   }
 
   void deliver_checkin(net::CheckinMessage msg) {
-    const auto ack = server.handle_checkin(msg);
-    if (ack.ok) result.samples_consumed += msg.ns;
+    const std::uint64_t version_before = server.version();
+    net::AckMessage ack;
+    if (update_hist) {
+      obs::TimedScope timer(*update_hist);
+      ack = server.handle_checkin(msg);
+    } else {
+      ack = server.handle_checkin(msg);
+    }
+    if (ack.ok) {
+      result.samples_consumed += msg.ns;
+      const std::uint64_t staleness = version_before >= msg.param_version
+                                          ? version_before - msg.param_version
+                                          : 0;
+      if (ck_applied) ++*ck_applied;
+      if (staleness_hist)
+        staleness_hist->observe(static_cast<double>(staleness));
+      if (cfg.trace)
+        cfg.trace->event("update_applied", {{"device", msg.device_id},
+                                            {"round", msg.param_version},
+                                            {"staleness", staleness}});
+    } else {
+      if (ck_rejected) ++*ck_rejected;
+      if (cfg.trace)
+        cfg.trace->event("checkin_rejected",
+                         {{"device", msg.device_id}, {"reason", ack.reason}});
+    }
     if (server.stopped()) finish();
   }
 
@@ -172,6 +228,7 @@ struct RunState {
     Device& dev = devices[i];
     if (!params.accepted) {
       ++checkouts_failed;
+      if (co_failed) ++*co_failed;
       dev.on_checkout_failed();
       return;
     }
@@ -195,8 +252,10 @@ struct RunState {
   void initiate_checkout(std::size_t i) {
     Device& dev = devices[i];
     dev.begin_checkout();
+    if (cfg.trace) cfg.trace->event("checkout", {{"device", dev.id()}});
     if (loss.drop(delay_eng)) {
       ++checkouts_failed;
+      if (co_failed) ++*co_failed;
       simulator.schedule_after(timeout_s, [this, i] {
         if (!done && devices[i].checkout_in_flight())
           devices[i].on_checkout_failed();
@@ -209,6 +268,7 @@ struct RunState {
       net::ParamsMessage params = server.handle_checkout(devices[i].id());
       if (loss.drop(delay_eng)) {
         ++checkouts_failed;
+        if (co_failed) ++*co_failed;
         simulator.schedule_after(timeout_s, [this, i] {
           if (!done && devices[i].checkout_in_flight())
             devices[i].on_checkout_failed();

@@ -21,6 +21,8 @@
 #include "data/dataset.hpp"
 #include "metrics/curves.hpp"
 #include "models/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/churn.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +80,15 @@ struct CrowdSimConfig {
   double server_init_scale = 0.01;    // Algorithm 2 "randomized w"
   long long max_server_iterations = -1;  // T_max (on top of sample cap)
   double target_error = -1.0;            // rho
+
+  /// Observability (both optional; must outlive the run). `metrics`
+  /// receives protocol counters (checkins applied/rejected, failed
+  /// checkouts), the observed-staleness histogram, and the server-update
+  /// latency histogram. `trace` receives one JSONL event per protocol
+  /// step (checkout, update_applied with staleness, checkin_rejected) —
+  /// everything post-sanitization, as in the portal report.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 
   std::uint64_t seed = 1;
 };

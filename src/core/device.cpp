@@ -3,9 +3,32 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/profile.hpp"
 #include "rng/distributions.hpp"
 
 namespace crowdml::core {
+
+namespace {
+
+// Hot-path profiling scopes record into the process-wide registry
+// (timings only — see docs/OBSERVABILITY.md "Always-on timings").
+obs::Histogram& gradient_seconds() {
+  static obs::Histogram& h = obs::default_registry().histogram(
+      "crowdml_device_gradient_seconds",
+      "Per-minibatch gradient compute (Device Routine 2)",
+      obs::Provenance::kTiming);
+  return h;
+}
+
+obs::Histogram& sanitize_seconds() {
+  static obs::Histogram& h = obs::default_registry().histogram(
+      "crowdml_device_sanitize_seconds",
+      "Per-minibatch sanitization (Device Routine 3, Eqs. 10-12)",
+      obs::Provenance::kTiming);
+  return h;
+}
+
+}  // namespace
 
 Device::Device(DeviceConfig config, const models::Model& model, rng::Engine eng)
     : config_(config),
@@ -79,31 +102,34 @@ CheckinResult Device::compute_checkin(const linalg::Vector& w,
   std::size_t gradient_samples = 0;
   long long ne = 0;
   std::vector<std::int64_t> ny(classes, 0);
-  for (std::size_t i = 0; i < ns; ++i) {
-    const models::Sample& s = buffer_[i];
-    bool wrong;
-    if (classifier) {
-      const int y = s.label();
-      assert(y >= 0 && static_cast<std::size_t>(y) < classes);
-      wrong = model_.predict_class(w, s.x) != y;
-      ++ny[static_cast<std::size_t>(y)];
-    } else {
-      wrong = std::abs(model_.predict(w, s.x) - s.y) >
-              config_.regression_tolerance;
-      ++ny[0];
+  {
+    obs::TimedScope gradient_timer(gradient_seconds());
+    for (std::size_t i = 0; i < ns; ++i) {
+      const models::Sample& s = buffer_[i];
+      bool wrong;
+      if (classifier) {
+        const int y = s.label();
+        assert(y >= 0 && static_cast<std::size_t>(y) < classes);
+        wrong = model_.predict_class(w, s.x) != y;
+        ++ny[static_cast<std::size_t>(y)];
+      } else {
+        wrong = std::abs(model_.predict(w, s.x) - s.y) >
+                config_.regression_tolerance;
+        ++ny[0];
+      }
+      result.misclassified.push_back(wrong);
+      const bool count_error = !any_held_out || held_out[i];
+      if (count_error && wrong) ++ne;
+      if (wrong) ++result.true_errors;
+      if (!held_out[i]) {
+        model_.add_loss_gradient(w, s, g);
+        ++gradient_samples;
+      }
     }
-    result.misclassified.push_back(wrong);
-    const bool count_error = !any_held_out || held_out[i];
-    if (count_error && wrong) ++ne;
-    if (wrong) ++result.true_errors;
-    if (!held_out[i]) {
-      model_.add_loss_gradient(w, s, g);
-      ++gradient_samples;
-    }
+    assert(gradient_samples > 0);
+    linalg::scal(1.0 / static_cast<double>(gradient_samples), g);
+    model_.add_regularization_gradient(w, g);  // g~ = (1/ns) sum g_i + lambda w
   }
-  assert(gradient_samples > 0);
-  linalg::scal(1.0 / static_cast<double>(gradient_samples), g);
-  model_.add_regularization_gradient(w, g);  // g~ = (1/ns) sum g_i + lambda w
 
   // Device Routine 3: sanitize with the per-batch sensitivity S/b
   // (Appendix A — the averaged gradient over `gradient_samples` samples
@@ -113,22 +139,26 @@ CheckinResult Device::compute_checkin(const linalg::Vector& w,
   net::CheckinMessage msg;
   msg.device_id = config_.device_id;
   msg.param_version = param_version;
-  if (config_.budget.mechanism == privacy::NoiseMechanism::kGaussian) {
-    const double l2_sens = model_.per_sample_l2_sensitivity() /
-                           static_cast<double>(gradient_samples);
-    msg.g_hat = privacy::sanitize_vector_gaussian(
-        eng_, g, l2_sens, config_.budget.eps_gradient, config_.budget.delta);
-  } else {
-    const double l1_sens = model_.per_sample_l1_sensitivity() /
-                           static_cast<double>(gradient_samples);
-    msg.g_hat = privacy::sanitize_vector(eng_, g, l1_sens,
-                                         config_.budget.eps_gradient);
+  {
+    obs::TimedScope sanitize_timer(sanitize_seconds());
+    if (config_.budget.mechanism == privacy::NoiseMechanism::kGaussian) {
+      const double l2_sens = model_.per_sample_l2_sensitivity() /
+                             static_cast<double>(gradient_samples);
+      msg.g_hat = privacy::sanitize_vector_gaussian(
+          eng_, g, l2_sens, config_.budget.eps_gradient, config_.budget.delta);
+    } else {
+      const double l1_sens = model_.per_sample_l1_sensitivity() /
+                             static_cast<double>(gradient_samples);
+      msg.g_hat = privacy::sanitize_vector(eng_, g, l1_sens,
+                                           config_.budget.eps_gradient);
+    }
+    msg.ns = static_cast<std::int64_t>(ns);
+    msg.ne_hat = privacy::sanitize_count(eng_, ne, config_.budget.eps_error);
+    msg.ny_hat.resize(classes);
+    for (std::size_t k = 0; k < classes; ++k)
+      msg.ny_hat[k] =
+          privacy::sanitize_count(eng_, ny[k], config_.budget.eps_label);
   }
-  msg.ns = static_cast<std::int64_t>(ns);
-  msg.ne_hat = privacy::sanitize_count(eng_, ne, config_.budget.eps_error);
-  msg.ny_hat.resize(classes);
-  for (std::size_t k = 0; k < classes; ++k)
-    msg.ny_hat[k] = privacy::sanitize_count(eng_, ny[k], config_.budget.eps_label);
   if (creds_) msg.auth_tag = creds_->sign(msg.body());
 
   accountant_.record_checkin(ns);

@@ -6,16 +6,52 @@
 
 namespace crowdml::core {
 
+NetCounters::NetCounters(obs::MetricsRegistry* registry)
+    : owned_(registry ? nullptr : std::make_shared<obs::MetricsRegistry>()),
+      registry_(registry ? *registry : *owned_),
+      timeouts(registry_.counter(
+          "crowdml_net_timeouts_total",
+          "Socket operations that hit their deadline",
+          obs::Provenance::kTransportEvent)),
+      retries(registry_.counter(
+          "crowdml_net_retries_total",
+          "Exchange attempts beyond the first (reconnect backoff loop)",
+          obs::Provenance::kTransportEvent)),
+      reconnects(registry_.counter(
+          "crowdml_net_reconnects_total",
+          "Connections re-established after a drop",
+          obs::Provenance::kTransportEvent)),
+      checkins_abandoned(registry_.counter(
+          "crowdml_net_checkins_abandoned_total",
+          "Checkins whose send began but got no ack (never replayed)",
+          obs::Provenance::kTransportEvent)),
+      accepted_connections(registry_.counter(
+          "crowdml_net_accepted_connections_total",
+          "Device connections accepted by the server",
+          obs::Provenance::kTransportEvent)),
+      refused_connections(registry_.counter(
+          "crowdml_net_refused_connections_total",
+          "Connections refused at the concurrency cap",
+          obs::Provenance::kTransportEvent)),
+      idle_closed(registry_.counter(
+          "crowdml_net_idle_closed_total",
+          "Connections closed by the idle-timeout reaper",
+          obs::Provenance::kTransportEvent)),
+      reaped_workers(registry_.counter(
+          "crowdml_net_reaped_workers_total",
+          "Finished per-connection worker threads joined",
+          obs::Provenance::kTransportEvent)) {}
+
 NetCountersSnapshot NetCounters::snapshot() const {
   NetCountersSnapshot s;
-  s.timeouts = timeouts.load();
-  s.retries = retries.load();
-  s.reconnects = reconnects.load();
-  s.checkins_abandoned = checkins_abandoned.load();
-  s.accepted_connections = accepted_connections.load();
-  s.refused_connections = refused_connections.load();
-  s.idle_closed = idle_closed.load();
-  s.reaped_workers = reaped_workers.load();
+  s.timeouts = timeouts.value();
+  s.retries = retries.value();
+  s.reconnects = reconnects.value();
+  s.checkins_abandoned = checkins_abandoned.value();
+  s.accepted_connections = accepted_connections.value();
+  s.refused_connections = refused_connections.value();
+  s.idle_closed = idle_closed.value();
+  s.reaped_workers = reaped_workers.value();
   return s;
 }
 

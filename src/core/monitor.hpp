@@ -9,13 +9,17 @@
 // NetCounters adds the transport-health side of the portal: timeouts,
 // retries, reconnects and connection-management events from the live TCP
 // runtime. These count network events, never sample data, so they are
-// publishable for the same reason.
+// publishable for the same reason. The counters live in an
+// obs::MetricsRegistry (each instance owns a private one unless attached
+// to a shared registry), so the same numbers back the text report here
+// and the Prometheus exposition (`--metrics-out`).
 #pragma once
 
-#include <atomic>
+#include <memory>
 #include <string>
 
 #include "core/server.hpp"
+#include "obs/metrics.hpp"
 
 namespace crowdml::core {
 
@@ -33,18 +37,38 @@ struct NetCountersSnapshot {
 
 /// Shared transport-health counters. Device sessions record timeouts,
 /// retries, reconnects and abandoned checkins; TcpCrowdServer records
-/// accept/refuse/idle-close/reap events. All fields are atomics so the
-/// runtime threads and the portal reader never race.
+/// accept/refuse/idle-close/reap events. Every field is a registry-backed
+/// obs::Counter (names `crowdml_net_*_total`), so the runtime threads and
+/// the portal reader never race, and an exporter sees the live values.
+///
+/// Registration uses get-or-create semantics: two NetCounters attached to
+/// the same registry share the same underlying counters (one merged
+/// transport-health view per registry).
 class NetCounters {
+ private:
+  // Declared before the references: when no registry is supplied this
+  // instance owns one, and the references below must bind into it.
+  std::shared_ptr<obs::MetricsRegistry> owned_;
+  obs::MetricsRegistry& registry_;
+
  public:
-  std::atomic<long long> timeouts{0};
-  std::atomic<long long> retries{0};
-  std::atomic<long long> reconnects{0};
-  std::atomic<long long> checkins_abandoned{0};
-  std::atomic<long long> accepted_connections{0};
-  std::atomic<long long> refused_connections{0};
-  std::atomic<long long> idle_closed{0};
-  std::atomic<long long> reaped_workers{0};
+  /// Attach to `registry`, or own a private registry when null.
+  explicit NetCounters(obs::MetricsRegistry* registry = nullptr);
+
+  NetCounters(const NetCounters&) = delete;
+  NetCounters& operator=(const NetCounters&) = delete;
+
+  obs::Counter& timeouts;
+  obs::Counter& retries;
+  obs::Counter& reconnects;
+  obs::Counter& checkins_abandoned;
+  obs::Counter& accepted_connections;
+  obs::Counter& refused_connections;
+  obs::Counter& idle_closed;
+  obs::Counter& reaped_workers;
+
+  /// The registry the counters live in (for rendering/exporting).
+  obs::MetricsRegistry& registry() const { return registry_; }
 
   NetCountersSnapshot snapshot() const;
 };

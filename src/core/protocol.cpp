@@ -11,31 +11,65 @@ net::Bytes ProtocolServer::handle(const net::Bytes& request_frame) {
         const auto req = net::CheckoutRequest::deserialize(frame.payload);
         if (!auth_.verify(req.device_id, req.body(), req.auth_tag)) {
           ++auth_failures_;
+          if (trace_)
+            trace_->event("auth_failed", {{"device", req.device_id},
+                                          {"message", "checkout"}});
           net::ParamsMessage refuse;
           refuse.accepted = false;
           return net::encode_frame(MessageType::kParams, refuse.serialize());
         }
         const net::ParamsMessage params = server_.handle_checkout(req.device_id);
+        if (trace_)
+          trace_->event("checkout", {{"device", req.device_id},
+                                     {"round", params.version},
+                                     {"accepted", params.accepted}});
         return net::encode_frame(MessageType::kParams, params.serialize());
       }
       case MessageType::kCheckin: {
         const auto msg = net::CheckinMessage::deserialize(frame.payload);
         if (!auth_.verify(msg.device_id, msg.body(), msg.auth_tag)) {
           ++auth_failures_;
+          if (trace_)
+            trace_->event("auth_failed", {{"device", msg.device_id},
+                                          {"message", "checkin"}});
           const net::AckMessage nack{false, "authentication failed"};
           return net::encode_frame(MessageType::kAck, nack.serialize());
         }
+        if (trace_)
+          trace_->event("checkin", {{"device", msg.device_id},
+                                    {"round", msg.param_version},
+                                    {"ns", msg.ns}});
+        const std::uint64_t version_before = server_.version();
         const net::AckMessage ack = server_.handle_checkin(msg);
+        if (trace_) {
+          if (ack.ok) {
+            // version_before >= param_version: the gradient was computed
+            // against an earlier w; the gap is the observed staleness
+            // (Section IV-B3).
+            const std::uint64_t staleness =
+                version_before >= msg.param_version
+                    ? version_before - msg.param_version
+                    : 0;
+            trace_->event("update_applied", {{"device", msg.device_id},
+                                             {"round", msg.param_version},
+                                             {"staleness", staleness}});
+          } else {
+            trace_->event("checkin_rejected",
+                          {{"device", msg.device_id}, {"reason", ack.reason}});
+          }
+        }
         return net::encode_frame(MessageType::kAck, ack.serialize());
       }
       default: {
         ++malformed_;
+        if (trace_) trace_->event("malformed_frame");
         const net::AckMessage nack{false, "unexpected message type"};
         return net::encode_frame(MessageType::kAck, nack.serialize());
       }
     }
   } catch (const net::CodecError& e) {
     ++malformed_;
+    if (trace_) trace_->event("malformed_frame");
     const net::AckMessage nack{false, std::string("malformed frame: ") + e.what()};
     return net::encode_frame(MessageType::kAck, nack.serialize());
   }

@@ -17,13 +17,20 @@
 #include "core/server.hpp"
 #include "net/auth.hpp"
 #include "net/messages.hpp"
+#include "obs/trace.hpp"
 
 namespace crowdml::core {
 
 class ProtocolServer {
  public:
-  ProtocolServer(Server& server, net::AuthRegistry& auth)
-      : server_(server), auth_(auth) {}
+  /// `trace`, when non-null, receives one structured event per protocol
+  /// step (checkout, checkin, update_applied with observed staleness,
+  /// auth_failed, checkin_rejected, malformed_frame) — all derived from
+  /// the sanitized protocol messages, never from sample data. Must
+  /// outlive the server.
+  ProtocolServer(Server& server, net::AuthRegistry& auth,
+                 obs::TraceSink* trace = nullptr)
+      : server_(server), auth_(auth), trace_(trace) {}
 
   /// Handle one request frame, produce one response frame. Never throws:
   /// malformed input yields an AckMessage{false, reason} frame.
@@ -35,6 +42,7 @@ class ProtocolServer {
  private:
   Server& server_;
   net::AuthRegistry& auth_;
+  obs::TraceSink* trace_;
   std::atomic<long long> auth_failures_{0};
   std::atomic<long long> malformed_{0};
 };

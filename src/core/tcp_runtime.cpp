@@ -14,7 +14,15 @@ TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
 
 TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
                                TcpServerConfig config)
-    : config_(std::move(config)), protocol_(server, auth) {
+    : config_(std::move(config)),
+      protocol_(server, auth, config_.trace),
+      counters_(config_.metrics),
+      handle_seconds_(
+          (config_.metrics ? *config_.metrics : obs::default_registry())
+              .histogram("crowdml_server_handle_seconds",
+                         "Whole request dispatch: decode, authenticate, "
+                         "apply, encode",
+                         obs::Provenance::kTiming)) {
   auto listener = net::TcpListener::bind(config_.bind_address, config_.port);
   if (!listener) throw std::runtime_error("TcpCrowdServer: bind failed");
   listener_ = std::move(*listener);
@@ -35,6 +43,8 @@ void TcpCrowdServer::accept_loop() {
       // Graceful refusal: tell the device why before hanging up, so its
       // next backoff delay is informed rather than a mystery EOF.
       ++counters_.refused_connections;
+      if (config_.trace)
+        config_.trace->event("refusal", {{"reason", "server at capacity"}});
       const net::AckMessage nack{false, "server at capacity"};
       conn->set_deadline_ms(1000);
       conn->send_frame(
@@ -42,6 +52,7 @@ void TcpCrowdServer::accept_loop() {
       continue;  // conn destructs -> closed
     }
     ++counters_.accepted_connections;
+    if (config_.trace) config_.trace->event("accept");
     auto c = std::make_shared<net::TcpConnection>(std::move(*conn));
     c->set_deadline_ms(config_.idle_timeout_ms);
     auto done = std::make_shared<std::atomic<bool>>(false);
@@ -60,11 +71,17 @@ void TcpCrowdServer::serve(const std::shared_ptr<net::TcpConnection>& conn) {
   while (!stopping_.load()) {
     auto frame = conn->recv_frame();
     if (!frame) {
-      if (conn->last_error() == net::NetError::kTimeout)
+      if (conn->last_error() == net::NetError::kTimeout) {
         ++counters_.idle_closed;
+        if (config_.trace) config_.trace->event("idle_close");
+      }
       break;  // EOF / error / idle deadline
     }
-    const net::Bytes response = protocol_.handle(*frame);
+    net::Bytes response;
+    {
+      obs::TimedScope timer(handle_seconds_);
+      response = protocol_.handle(*frame);
+    }
     if (!conn->send_frame(response)) break;
   }
   conn->shutdown_both();
@@ -128,16 +145,17 @@ DeviceClient::Exchange TcpDeviceSession::as_exchange() {
   return [this](const net::Bytes& req) { return exchange(req); };
 }
 
-ReconnectingDeviceSession::ReconnectingDeviceSession(std::string host,
-                                                     std::uint16_t port,
-                                                     ReconnectPolicy policy,
-                                                     rng::Engine eng,
-                                                     NetCounters* counters)
+ReconnectingDeviceSession::ReconnectingDeviceSession(
+    std::string host, std::uint16_t port, ReconnectPolicy policy,
+    rng::Engine eng, NetCounters* counters, obs::TraceSink* trace,
+    std::uint64_t device_id)
     : host_(std::move(host)),
       port_(port),
       policy_(policy),
       eng_(eng),
-      counters_(counters) {}
+      counters_(counters),
+      trace_(trace),
+      device_id_(device_id) {}
 
 bool ReconnectingDeviceSession::try_connect() {
   try {
@@ -150,6 +168,7 @@ bool ReconnectingDeviceSession::try_connect() {
   if (ever_connected_) {
     ++reconnects_;
     if (counters_) ++counters_->reconnects;
+    if (trace_) trace_->event("reconnect", {{"device", device_id_}});
   }
   ever_connected_ = true;
   return true;
@@ -182,6 +201,8 @@ std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
     if (attempt > 1) {
       ++retries_;
       if (counters_) ++counters_->retries;
+      if (trace_)
+        trace_->event("retry", {{"device", device_id_}, {"attempt", attempt}});
       backoff(attempt);
     }
     if (!session_ || !session_->connected()) {
@@ -193,11 +214,13 @@ std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
     if (session_->last_error() == net::NetError::kTimeout) {
       ++timeouts_;
       if (counters_) ++counters_->timeouts;
+      if (trace_) trace_->event("timeout", {{"device", device_id_}});
     }
     session_->close();
     if (!replayable) {
       ++checkins_abandoned_;
       if (counters_) ++counters_->checkins_abandoned;
+      if (trace_) trace_->event("checkin_abandoned", {{"device", device_id_}});
       return std::nullopt;  // abandoned, never replayed
     }
   }

@@ -31,6 +31,8 @@
 #include "core/monitor.hpp"
 #include "core/protocol.hpp"
 #include "net/tcp.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "rng/engine.hpp"
 
 namespace crowdml::core {
@@ -46,6 +48,14 @@ struct TcpServerConfig {
   /// its connection closed (counted as idle_closed); devices reconnect on
   /// their next cycle. kNoDeadline disables the reaper.
   int idle_timeout_ms = net::TcpConnection::kNoDeadline;
+  /// Registry for the server's transport counters and dispatch-latency
+  /// histogram (null = obs::default_registry()). Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Sink for lifecycle trace events (accept, refusal, idle_close, plus
+  /// the per-message events ProtocolServer emits: checkout, checkin,
+  /// update_applied, staleness, rejections). Null disables tracing. Must
+  /// outlive the server.
+  obs::TraceSink* trace = nullptr;
 };
 
 class TcpCrowdServer {
@@ -94,6 +104,8 @@ class TcpCrowdServer {
   std::vector<Worker> workers_;
   std::atomic<bool> stopping_{false};
   NetCounters counters_;
+  /// Whole-dispatch latency (decode + auth + server update + encode).
+  obs::Histogram& handle_seconds_;
 };
 
 /// A device's persistent TCP session; usable as DeviceClient::Exchange.
@@ -141,10 +153,15 @@ struct ReconnectPolicy {
 class ReconnectingDeviceSession {
  public:
   /// `counters`, when non-null, receives timeout/retry/reconnect events
-  /// (shared across sessions; must outlive the session).
+  /// (shared across sessions; must outlive the session). `trace`, when
+  /// non-null, receives the same events as structured JSONL lines tagged
+  /// with `device_id` (use the enrolled id so traces join with the
+  /// server's checkout/checkin events).
   ReconnectingDeviceSession(std::string host, std::uint16_t port,
                             ReconnectPolicy policy, rng::Engine eng,
-                            NetCounters* counters = nullptr);
+                            NetCounters* counters = nullptr,
+                            obs::TraceSink* trace = nullptr,
+                            std::uint64_t device_id = 0);
 
   std::optional<net::Bytes> exchange(const net::Bytes& request);
   DeviceClient::Exchange as_exchange();
@@ -166,6 +183,8 @@ class ReconnectingDeviceSession {
   ReconnectPolicy policy_;
   rng::Engine eng_;
   NetCounters* counters_;
+  obs::TraceSink* trace_;
+  std::uint64_t device_id_;
   std::optional<TcpDeviceSession> session_;
   bool ever_connected_ = false;
   long long reconnects_ = 0;

@@ -1,12 +1,29 @@
 #include "net/messages.hpp"
 
 #include "net/checksum.hpp"
+#include "obs/profile.hpp"
 
 namespace crowdml::net {
 
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'C', 'R', 'M', 'L'};
+
+// Always-on codec timings (process-wide registry; Provenance::kTiming —
+// durations only, the payload never reaches the metric).
+obs::Histogram& encode_seconds() {
+  static obs::Histogram& h = obs::default_registry().histogram(
+      "crowdml_codec_encode_seconds", "encode_frame: header + CRC + copy",
+      obs::Provenance::kTiming);
+  return h;
+}
+
+obs::Histogram& decode_seconds() {
+  static obs::Histogram& h = obs::default_registry().histogram(
+      "crowdml_codec_decode_seconds", "decode_frame: validate + CRC + copy",
+      obs::Provenance::kTiming);
+  return h;
+}
 
 void put_digest(Writer& w, const Digest& d) {
   for (std::uint8_t b : d) w.put_u8(b);
@@ -115,6 +132,7 @@ AckMessage AckMessage::deserialize(const Bytes& payload) {
 }
 
 Bytes encode_frame(MessageType type, const Bytes& payload) {
+  obs::TimedScope timer(encode_seconds());
   Bytes out;
   out.reserve(kFrameHeaderSize + payload.size() + kFrameTrailerSize);
   out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
@@ -129,6 +147,7 @@ Bytes encode_frame(MessageType type, const Bytes& payload) {
 }
 
 Frame decode_frame(const Bytes& buffer) {
+  obs::TimedScope timer(decode_seconds());
   if (buffer.size() < kFrameHeaderSize + kFrameTrailerSize)
     throw CodecError("frame too short");
   for (int i = 0; i < 4; ++i)

@@ -15,11 +15,31 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/profile.hpp"
+
 namespace crowdml::net {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Always-on frame I/O timings (Provenance::kTiming — durations only).
+// recv_frame includes the wait for the peer's bytes, so its distribution
+// reflects network latency, not just local work.
+obs::Histogram& send_frame_seconds() {
+  static obs::Histogram& h = obs::default_registry().histogram(
+      "crowdml_tcp_send_frame_seconds", "send_frame: write until drained",
+      obs::Provenance::kTiming);
+  return h;
+}
+
+obs::Histogram& recv_frame_seconds() {
+  static obs::Histogram& h = obs::default_registry().histogram(
+      "crowdml_tcp_recv_frame_seconds",
+      "recv_frame: header wait + payload read (includes peer latency)",
+      obs::Provenance::kTiming);
+  return h;
+}
 
 /// Milliseconds left until `deadline`; 0 when already past.
 int ms_until(Clock::time_point deadline) {
@@ -205,6 +225,7 @@ bool TcpConnection::send_frame(const Bytes& frame) {
     last_error_ = NetError::kClosed;
     return false;
   }
+  obs::TimedScope timer(send_frame_seconds());
   last_error_ = NetError::kNone;
   return write_all(frame.data(), frame.size());
 }
@@ -214,6 +235,7 @@ std::optional<Bytes> TcpConnection::recv_frame() {
     last_error_ = NetError::kClosed;
     return std::nullopt;
   }
+  obs::TimedScope timer(recv_frame_seconds());
   last_error_ = NetError::kNone;
   Bytes buf(kFrameHeaderSize);
   if (!read_all(buf.data(), buf.size())) return std::nullopt;

@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace crowdml::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_')
+    return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  });
+}
+
+/// Prometheus renders 0.001 etc.; use shortest round-trip-ish form.
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+const char* provenance_note(Provenance p) {
+  switch (p) {
+    case Provenance::kSanitizedAggregate:
+      return "derives from sanitized checkins; exporting costs no "
+             "additional privacy budget";
+    case Provenance::kTransportEvent:
+      return "counts network/protocol events, never sample data";
+    case Provenance::kTiming:
+      return "wall-clock duration of local computation; carries no sample "
+             "data";
+  }
+  return "unknown provenance";
+}
+
+void Gauge::add(double delta) { atomic_add_double(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: bucket bounds must be non-empty");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("Histogram: bucket bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<long long>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0)
+    throw std::invalid_argument("exponential_bounds: need start > 0, "
+                                "factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> default_latency_bounds() {
+  // 1us, 4us, ..., 16.8s — wide enough for a sub-microsecond codec call
+  // and a multi-second deadline-bounded socket wait in one layout.
+  return exponential_bounds(1e-6, 4.0, 13);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(
+    const std::string& name, const std::string& help, Provenance provenance,
+    Kind kind, std::vector<double>* bounds) {
+  if (!valid_metric_name(name))
+    throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
+                                name + "'");
+  if (help.empty())
+    throw std::invalid_argument("MetricsRegistry: metric '" + name +
+                                "' needs help text (see docs/OBSERVABILITY.md)");
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind)
+      throw std::invalid_argument("MetricsRegistry: metric '" + name +
+                                  "' already registered as another kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  entry.provenance = provenance;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::unique_ptr<Counter>(new Counter());
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::unique_ptr<Gauge>(new Gauge());
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::unique_ptr<Histogram>(new Histogram(
+          bounds && !bounds->empty() ? std::move(*bounds)
+                                     : default_latency_bounds()));
+      break;
+  }
+  return entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  Provenance provenance) {
+  return *get_or_create(name, help, provenance, Kind::kCounter, nullptr)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Provenance provenance) {
+  return *get_or_create(name, help, provenance, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      Provenance provenance,
+                                      std::vector<double> bounds) {
+  return *get_or_create(name, help, provenance, Kind::kHistogram, &bounds)
+              .histogram;
+}
+
+MetricsRegistry::RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot s;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.counters.push_back(
+            {name, entry.help, entry.provenance, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        s.gauges.push_back(
+            {name, entry.help, entry.provenance, entry.gauge->value()});
+        break;
+      case Kind::kHistogram:
+        s.histograms.push_back(
+            {name, entry.help, entry.provenance, entry.histogram->snapshot()});
+        break;
+    }
+  }
+  return s;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const RegistrySnapshot snap = snapshot();
+  std::ostringstream out;
+  for (const auto& c : snap.counters) {
+    out << "# HELP " << c.name << ' ' << c.help << " ("
+        << provenance_note(c.provenance) << ")\n";
+    out << "# TYPE " << c.name << " counter\n";
+    out << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    out << "# HELP " << g.name << ' ' << g.help << " ("
+        << provenance_note(g.provenance) << ")\n";
+    out << "# TYPE " << g.name << " gauge\n";
+    out << g.name << ' ' << format_double(g.value) << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    out << "# HELP " << h.name << ' ' << h.help << " ("
+        << provenance_note(h.provenance) << ")\n";
+    out << "# TYPE " << h.name << " histogram\n";
+    long long cumulative = 0;
+    for (std::size_t i = 0; i < h.data.bounds.size(); ++i) {
+      cumulative += h.data.buckets[i];
+      out << h.name << "_bucket{le=\"" << format_double(h.data.bounds[i])
+          << "\"} " << cumulative << '\n';
+    }
+    out << h.name << "_bucket{le=\"+Inf\"} " << h.data.count << '\n';
+    out << h.name << "_sum " << format_double(h.data.sum) << '\n';
+    out << h.name << "_count " << h.data.count << '\n';
+  }
+  return out.str();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << registry.render_prometheus();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace crowdml::obs

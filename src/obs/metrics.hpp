@@ -1,0 +1,194 @@
+// Observability metrics — the machine-readable face of the paper's
+// Section V-A "web portal".
+//
+// A MetricsRegistry holds named counters, gauges, and fixed-bucket
+// histograms. Registration (get-or-create) takes a lock; every recording
+// operation afterwards is a lock-free atomic, so instruments can sit on
+// the gradient/codec/socket hot paths. Bucket layouts are fixed at
+// registration, so a histogram's memory is bounded no matter how many
+// observations it absorbs.
+//
+// Privacy invariant: every instrument must declare a Provenance — the
+// reason its value may be exported without spending privacy budget. The
+// three admissible provenances cover everything the server legitimately
+// observes (sanitized checkins, transport events, local wall-clock time);
+// there is deliberately no "raw sample data" provenance, so the type
+// system refuses metrics that would need one. The rendered exposition
+// repeats each instrument's justification in its HELP line, and
+// docs/OBSERVABILITY.md catalogues them all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crowdml::obs {
+
+/// Why a metric is exportable without additional privacy budget.
+/// Mirrors the monitor.hpp argument: the portal only republishes what the
+/// server already legitimately holds.
+enum class Provenance {
+  /// Derives from sanitized checkins (Eqs. 10-12) the server already
+  /// holds; publishing is post-processing of eps-DP data.
+  kSanitizedAggregate,
+  /// Counts network/protocol events (connects, timeouts, frames); never
+  /// touches sample data.
+  kTransportEvent,
+  /// Wall-clock duration of a local computation; carries no sample data.
+  kTiming,
+};
+
+/// The justification sentence rendered into the exposition HELP line.
+const char* provenance_note(Provenance p);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(long long n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  Counter& operator++() {
+    inc();
+    return *this;
+  }
+  Counter& operator+=(long long n) {
+    inc(n);
+    return *this;
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<long long> value_{0};
+};
+
+/// A value that can go up and down (queue depths, live connections).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-bucket counts plus sum/count, all
+/// atomics. Bounds are upper bounds in ascending order; an implicit +Inf
+/// bucket catches the tail, so memory never grows with observations.
+class Histogram {
+ public:
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;       ///< upper bounds (excludes +Inf)
+    std::vector<long long> buckets;   ///< per-bucket counts, bounds.size()+1
+    long long count = 0;
+    double sum = 0.0;
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<long long>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` geometric upper bounds: start, start*factor, start*factor^2, ...
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+
+/// Default latency layout: 1 us .. ~16.7 s in x4 steps (13 finite buckets).
+std::vector<double> default_latency_bounds();
+
+/// Thread-safe instrument registry with get-or-create semantics:
+/// registering an existing name returns the existing instrument (so e.g.
+/// two NetCounters attached to one registry share counters), and
+/// re-registering a name as a different kind throws std::invalid_argument.
+/// Instrument references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   Provenance provenance);
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Provenance provenance);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       Provenance provenance, std::vector<double> bounds = {});
+
+  struct RegistrySnapshot {
+    struct CounterRow {
+      std::string name, help;
+      Provenance provenance;
+      long long value;
+    };
+    struct GaugeRow {
+      std::string name, help;
+      Provenance provenance;
+      double value;
+    };
+    struct HistogramRow {
+      std::string name, help;
+      Provenance provenance;
+      Histogram::Snapshot data;
+    };
+    std::vector<CounterRow> counters;
+    std::vector<GaugeRow> gauges;
+    std::vector<HistogramRow> histograms;
+  };
+  RegistrySnapshot snapshot() const;
+
+  /// Prometheus text exposition (format 0.0.4): # HELP (with the
+  /// provenance justification), # TYPE, cumulative histogram buckets with
+  /// an explicit +Inf, _sum and _count series. Names are sorted, so the
+  /// output is deterministic.
+  std::string render_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    Provenance provenance;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& get_or_create(const std::string& name, const std::string& help,
+                       Provenance provenance, Kind kind,
+                       std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Process-wide registry used by always-on hot-path instrumentation
+/// (gradient compute, sanitization, codec, frame I/O). Exporters render
+/// it on demand; components that want isolation take an explicit
+/// MetricsRegistry instead.
+MetricsRegistry& default_registry();
+
+/// Render `registry` as Prometheus text into `path` (atomic-ish: write to
+/// path then flush). Returns false when the file cannot be written.
+bool write_metrics_file(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace crowdml::obs

@@ -1,0 +1,49 @@
+// RAII profiling scope: measures wall-clock time from construction to
+// destruction and records it (in seconds) into a Histogram. Two
+// steady_clock reads plus one lock-free observe per scope, so it is cheap
+// enough for the per-minibatch hot paths (gradient compute, sanitization,
+// codec, frame I/O, server update).
+//
+// Scopes nest: a thread-local depth counter tracks how many TimedScopes
+// are live on the current thread (exposed for tests and for samplers that
+// only want top-level timings). Timing is per-scope, not self-time — an
+// outer scope's histogram includes the time spent in inner scopes.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace crowdml::obs {
+
+class TimedScope {
+ public:
+  explicit TimedScope(Histogram& hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {
+    ++depth_;
+  }
+  TimedScope(const TimedScope&) = delete;
+  TimedScope& operator=(const TimedScope&) = delete;
+  ~TimedScope() {
+    --depth_;
+    hist_.observe(elapsed_seconds());
+  }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Live TimedScopes on the calling thread (this scope included while it
+  /// is alive).
+  static int depth() { return depth_; }
+
+ private:
+  inline static thread_local int depth_ = 0;
+
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace crowdml::obs

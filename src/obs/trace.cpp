@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace crowdml::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+std::string render_double(double v) {
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+TraceField::TraceField(std::string k, const char* v)
+    : key(std::move(k)), rendered(quoted(v)) {}
+TraceField::TraceField(std::string k, const std::string& v)
+    : key(std::move(k)), rendered(quoted(v)) {}
+TraceField::TraceField(std::string k, bool v)
+    : key(std::move(k)), rendered(v ? "true" : "false") {}
+TraceField::TraceField(std::string k, double v)
+    : key(std::move(k)), rendered(render_double(v)) {}
+
+TraceSink::TraceSink(const std::string& path)
+    : epoch_(std::chrono::steady_clock::now()),
+      file_(path, std::ios::trunc),
+      out_(&file_) {
+  if (!file_)
+    throw std::runtime_error("TraceSink: cannot open trace file " + path);
+}
+
+TraceSink::TraceSink(std::ostream& out)
+    : epoch_(std::chrono::steady_clock::now()), out_(&out) {}
+
+void TraceSink::event(std::string_view kind,
+                      std::initializer_list<TraceField> fields) {
+  std::string tail;
+  tail.reserve(64);
+  tail += ",\"event\":";
+  tail += quoted(kind);
+  for (const auto& f : fields) {
+    tail += ',';
+    tail += quoted(f.key);
+    tail += ':';
+    tail += f.rendered;
+  }
+  tail += "}\n";
+  // The timestamp is read under the lock so line order in the file always
+  // matches timestamp order (traces promise monotone ts_us).
+  std::lock_guard lock(mu_);
+  const auto ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count();
+  *out_ << "{\"ts_us\":" << ts_us << tail;
+  ++events_;
+}
+
+long long TraceSink::events_written() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+void TraceSink::flush() {
+  std::lock_guard lock(mu_);
+  out_->flush();
+}
+
+}  // namespace crowdml::obs

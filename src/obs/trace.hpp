@@ -1,0 +1,76 @@
+// Structured event tracing: one JSON object per line (JSONL), each with a
+// monotonic timestamp, an event kind, and typed fields (device/round ids,
+// counts, reasons). The sink is thread-safe — a mutex serializes line
+// writes, so concurrent device threads and the server never interleave
+// bytes — and timestamps come from steady_clock relative to sink
+// creation, so they are monotone even if the wall clock steps.
+//
+// Privacy: trace events describe protocol lifecycle (checkout, checkin,
+// update-applied, staleness, reconnect, refusal), never payload contents.
+// Everything recorded is either a transport event or post-sanitization
+// metadata, so a trace file is exportable under the same argument as the
+// portal report (see docs/OBSERVABILITY.md for the event catalogue).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace crowdml::obs {
+
+/// One key/value pair of a trace event. Values are rendered to their JSON
+/// form at construction: integers and doubles as numbers, bools as
+/// true/false, strings quoted and escaped.
+struct TraceField {
+  TraceField(std::string k, const char* v);
+  TraceField(std::string k, const std::string& v);
+  TraceField(std::string k, bool v);
+  TraceField(std::string k, double v);
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  TraceField(std::string k, T v)
+      : key(std::move(k)), rendered(std::to_string(v)) {}
+
+  std::string key;
+  std::string rendered;  ///< value in final JSON form
+};
+
+class TraceSink {
+ public:
+  /// Write JSONL events to `path`, truncating any existing file — stale
+  /// events from a previous run would carry a different epoch and break
+  /// the monotone-ts_us promise. Throws std::runtime_error if the file
+  /// cannot be opened.
+  explicit TraceSink(const std::string& path);
+  /// Write to a caller-owned stream (tests; must outlive the sink).
+  explicit TraceSink(std::ostream& out);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Emit one line: {"ts_us":<monotonic>,"event":"<kind>",...fields}.
+  void event(std::string_view kind,
+             std::initializer_list<TraceField> fields = {});
+
+  long long events_written() const;
+  void flush();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::ofstream file_;
+  std::ostream* out_;  // &file_ or the caller's stream
+  mutable std::mutex mu_;
+  long long events_ = 0;
+};
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace crowdml::obs

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -16,9 +17,23 @@
 #include "data/mixture.hpp"
 #include "models/logistic_regression.hpp"
 #include "net/fault_proxy.hpp"
+#include "obs/trace.hpp"
 #include "opt/schedule.hpp"
 
 using namespace crowdml;
+
+namespace {
+
+long long count_events(const std::string& jsonl, const std::string& kind) {
+  const std::string needle = "\"event\":\"" + kind + "\"";
+  long long n = 0;
+  for (std::size_t pos = jsonl.find(needle); pos != std::string::npos;
+       pos = jsonl.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+}  // namespace
 
 TEST(ChaosTcp, CrowdLearnsThroughFaultyNetwork) {
   rng::Engine data_eng(77);
@@ -70,6 +85,11 @@ TEST(ChaosTcp, CrowdLearnsThroughFaultyNetwork) {
   policy.backoff_base_ms = 2;
   policy.backoff_max_ms = 50;
 
+  // Device-side trace: the same code paths that bump the counters also
+  // emit JSONL events, so the two must agree exactly at the end.
+  std::ostringstream trace_out;
+  obs::TraceSink trace(trace_out);
+
   core::NetCounters device_counters;
   std::vector<std::unique_ptr<core::ReconnectingDeviceSession>> sessions;
   std::vector<std::unique_ptr<core::Device>> devices;
@@ -84,7 +104,7 @@ TEST(ChaosTcp, CrowdLearnsThroughFaultyNetwork) {
     devices.back()->set_credentials(registry.enroll());
     sessions.push_back(std::make_unique<core::ReconnectingDeviceSession>(
         "127.0.0.1", proxy.port(), policy, rng::Engine(500 + d),
-        &device_counters));
+        &device_counters, &trace, devices.back()->id()));
     clients.push_back(std::make_unique<core::DeviceClient>(
         *devices.back(), sessions.back()->as_exchange()));
   }
@@ -159,4 +179,14 @@ TEST(ChaosTcp, CrowdLearnsThroughFaultyNetwork) {
   EXPECT_GE(server_net.accepted_connections, faults.connections -
                                                  faults.upstream_failures -
                                                  faults.killed_connections());
+
+  // The JSONL trace tells the same story as the counters: each reconnect/
+  // timeout/retry/abandon increments its counter and emits its event on
+  // the identical code path, so the counts match exactly.
+  const std::string jsonl = trace_out.str();
+  EXPECT_EQ(count_events(jsonl, "reconnect"), dev_net.reconnects);
+  EXPECT_EQ(count_events(jsonl, "timeout"), dev_net.timeouts);
+  EXPECT_EQ(count_events(jsonl, "retry"), dev_net.retries);
+  EXPECT_EQ(count_events(jsonl, "checkin_abandoned"),
+            dev_net.checkins_abandoned);
 }

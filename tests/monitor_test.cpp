@@ -74,3 +74,35 @@ TEST(Monitor, EmptyServerReportIsSane) {
   const std::string report = core::portal_report(s);
   EXPECT_NE(report.find("devices seen:           0"), std::string::npos);
 }
+
+// NetCounters now sits on an obs::MetricsRegistry; the portal report is a
+// rendered view of the same instruments.
+TEST(Monitor, TransportReportReadsRegistryBackedCounters) {
+  core::NetCounters counters;
+  ++counters.timeouts;
+  ++counters.timeouts;
+  ++counters.reconnects;
+  counters.checkins_abandoned += 3;
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.timeouts, 2);
+  EXPECT_EQ(snap.reconnects, 1);
+  EXPECT_EQ(snap.checkins_abandoned, 3);
+  const std::string report = core::transport_report(snap);
+  EXPECT_NE(report.find("timeouts:"), std::string::npos);
+  EXPECT_NE(report.find("2"), std::string::npos);
+}
+
+TEST(Monitor, PortalReportAndPrometheusAgree) {
+  obs::MetricsRegistry reg;
+  core::NetCounters counters(&reg);
+  ++counters.retries;
+  counters.reconnects += 4;
+  Server s = make_server();
+  const std::string portal =
+      core::portal_report(s, core::MonitorOptions{}, counters.snapshot());
+  EXPECT_NE(portal.find("transport health"), std::string::npos);
+  EXPECT_NE(portal.find("reconnects:"), std::string::npos);
+  const std::string prom = reg.render_prometheus();
+  EXPECT_NE(prom.find("crowdml_net_reconnects_total 4"), std::string::npos);
+  EXPECT_NE(prom.find("crowdml_net_retries_total 1"), std::string::npos);
+}

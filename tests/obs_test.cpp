@@ -1,0 +1,274 @@
+// Tests for the observability layer: metrics registry semantics and
+// thread-safety, profiling scopes, and the JSONL trace sink.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+using namespace crowdml;
+
+TEST(Metrics, CounterGetOrCreateSharesInstrument) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a =
+      reg.counter("crowdml_test_total", "help", obs::Provenance::kTransportEvent);
+  obs::Counter& b =
+      reg.counter("crowdml_test_total", "help", obs::Provenance::kTransportEvent);
+  EXPECT_EQ(&a, &b);
+  ++a;
+  b += 2;
+  EXPECT_EQ(a.value(), 3);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("crowdml_x", "help", obs::Provenance::kTiming);
+  EXPECT_THROW(reg.gauge("crowdml_x", "help", obs::Provenance::kTiming),
+               std::invalid_argument);
+  EXPECT_THROW(reg.histogram("crowdml_x", "help", obs::Provenance::kTiming),
+               std::invalid_argument);
+}
+
+TEST(Metrics, InvalidNamesAndEmptyHelpRejected) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("bad name", "help", obs::Provenance::kTiming),
+               std::invalid_argument);
+  EXPECT_THROW(reg.counter("1leading_digit", "help", obs::Provenance::kTiming),
+               std::invalid_argument);
+  // Every instrument must carry a justification (rendered into HELP).
+  EXPECT_THROW(reg.counter("crowdml_ok", "", obs::Provenance::kTiming),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBucketsAreCumulativeAndBounded) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("crowdml_h", "help",
+                                    obs::Provenance::kTiming, {1.0, 10.0});
+  h.observe(0.5);   // bucket le=1
+  h.observe(5.0);   // bucket le=10
+  h.observe(100.0); // +Inf tail
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 2u);
+  ASSERT_EQ(snap.buckets.size(), 3u);  // two finite + the +Inf tail
+  EXPECT_EQ(snap.buckets[0], 1);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[2], 1);
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_DOUBLE_EQ(snap.sum, 105.5);
+  EXPECT_DOUBLE_EQ(snap.mean(), 105.5 / 3.0);
+}
+
+TEST(Metrics, ConcurrentRecordingIsConsistent) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Registration races get-or-create; recording races the atomics.
+      obs::Counter& c = reg.counter("crowdml_conc_total", "concurrent hits",
+                                    obs::Provenance::kTransportEvent);
+      obs::Histogram& h =
+          reg.histogram("crowdml_conc_seconds", "concurrent obs",
+                        obs::Provenance::kTiming, {0.5});
+      for (int i = 0; i < kOps; ++i) {
+        ++c;
+        h.observe(i % 2 == 0 ? 0.1 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, kThreads * kOps);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0].data;
+  EXPECT_EQ(h.count, kThreads * kOps);
+  EXPECT_EQ(h.buckets[0] + h.buckets[1], kThreads * kOps);
+  EXPECT_EQ(h.buckets[0], kThreads * kOps / 2);
+  EXPECT_NEAR(h.sum, kThreads * (kOps / 2) * (0.1 + 1.0), 1e-6);
+}
+
+TEST(Metrics, PrometheusRenderingIsWellFormed) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("crowdml_events_total", "things that happened",
+                                obs::Provenance::kTransportEvent);
+  c += 42;
+  reg.gauge("crowdml_depth", "queue depth", obs::Provenance::kTransportEvent)
+      .set(2.5);
+  obs::Histogram& h = reg.histogram("crowdml_lat_seconds", "latency",
+                                    obs::Provenance::kTiming, {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP crowdml_events_total things that happened"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE crowdml_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("crowdml_events_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE crowdml_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE crowdml_lat_seconds histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf, _sum, _count.
+  EXPECT_NE(text.find("crowdml_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdml_lat_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdml_lat_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("crowdml_lat_seconds_count 2"), std::string::npos);
+  // Every HELP line carries the provenance justification.
+  EXPECT_NE(text.find(obs::provenance_note(obs::Provenance::kTiming)),
+            std::string::npos);
+  EXPECT_NE(text.find(obs::provenance_note(obs::Provenance::kTransportEvent)),
+            std::string::npos);
+}
+
+TEST(Metrics, ExponentialBoundsAscend) {
+  const auto b = obs::exponential_bounds(1e-6, 4.0, 13);
+  ASSERT_EQ(b.size(), 13u);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+  EXPECT_DOUBLE_EQ(b.front(), 1e-6);
+  EXPECT_THROW(
+      obs::MetricsRegistry().histogram("crowdml_bad", "help",
+                                       obs::Provenance::kTiming, {2.0, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(Profile, TimedScopeRecordsAndNests) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("crowdml_scope_seconds", "scoped",
+                                    obs::Provenance::kTiming);
+  EXPECT_EQ(obs::TimedScope::depth(), 0);
+  {
+    obs::TimedScope outer(h);
+    EXPECT_EQ(obs::TimedScope::depth(), 1);
+    {
+      obs::TimedScope inner(h);
+      EXPECT_EQ(obs::TimedScope::depth(), 2);
+      EXPECT_GE(inner.elapsed_seconds(), 0.0);
+    }
+    EXPECT_EQ(obs::TimedScope::depth(), 1);
+    EXPECT_EQ(h.count(), 1);  // inner already recorded
+  }
+  EXPECT_EQ(obs::TimedScope::depth(), 0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_GE(snap.sum, 0.0);
+}
+
+TEST(Trace, EventsAreJsonlWithMonotoneTimestamps) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  sink.event("checkout", {{"device", 7}, {"round", 3}});
+  sink.event("update_applied", {{"device", 7}, {"round", 3}, {"staleness", 0}});
+  sink.event("refusal", {{"reason", "server at capacity"}});
+  EXPECT_EQ(sink.events_written(), 3);
+
+  std::istringstream in(out.str());
+  std::string line;
+  long long prev_ts = -1;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    // Shape: {"ts_us":N,"event":"...",...}
+    ASSERT_EQ(line.front(), '{');
+    ASSERT_EQ(line.back(), '}');
+    const auto ts_pos = line.find("\"ts_us\":");
+    ASSERT_NE(ts_pos, std::string::npos);
+    const long long ts = std::stoll(line.substr(ts_pos + 8));
+    EXPECT_GE(ts, prev_ts) << "timestamps must be monotone in file order";
+    prev_ts = ts;
+    EXPECT_NE(line.find("\"event\":\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(out.str().find("\"device\":7"), std::string::npos);
+  EXPECT_NE(out.str().find("\"reason\":\"server at capacity\""),
+            std::string::npos);
+}
+
+TEST(Trace, ConcurrentEventsNeverInterleaveAndStayMonotone) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  constexpr int kThreads = 6;
+  constexpr int kEvents = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kEvents; ++i)
+        sink.event("tick", {{"thread", t}, {"i", i}});
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sink.events_written(), kThreads * kEvents);
+
+  std::istringstream in(out.str());
+  std::string line;
+  long long prev_ts = -1;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_EQ(line.front(), '{');
+    ASSERT_EQ(line.back(), '}');
+    const auto ts_pos = line.find("\"ts_us\":");
+    ASSERT_NE(ts_pos, std::string::npos);
+    const long long ts = std::stoll(line.substr(ts_pos + 8));
+    ASSERT_GE(ts, prev_ts);
+    prev_ts = ts;
+  }
+  EXPECT_EQ(lines, kThreads * kEvents);
+}
+
+TEST(Trace, JsonEscaping) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("x\n\t"), "x\\n\\t");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Trace, FileSinkWritesAndThrowsOnBadPath) {
+  EXPECT_THROW(obs::TraceSink("/nonexistent-dir/trace.jsonl"),
+               std::runtime_error);
+  const std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  {
+    obs::TraceSink sink(path);
+    sink.event("reconnect", {{"device", 1}});
+    sink.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"event\":\"reconnect\""), std::string::npos);
+}
+
+TEST(NetCountersObs, TwoCountersOnOneRegistryShareInstruments) {
+  obs::MetricsRegistry reg;
+  core::NetCounters a(&reg);
+  core::NetCounters b(&reg);
+  ++a.timeouts;
+  ++b.timeouts;
+  a.reconnects += 3;
+  EXPECT_EQ(a.timeouts.value(), 2);
+  EXPECT_EQ(&a.timeouts, &b.timeouts);
+  const auto snap = a.snapshot();
+  EXPECT_EQ(snap.timeouts, 2);
+  EXPECT_EQ(snap.reconnects, 3);
+  // The registry renders them with net names.
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("crowdml_net_timeouts_total 2"), std::string::npos);
+  EXPECT_NE(text.find("crowdml_net_reconnects_total 3"), std::string::npos);
+}
+
+TEST(NetCountersObs, DefaultConstructionOwnsPrivateRegistry) {
+  core::NetCounters a;
+  core::NetCounters b;
+  ++a.retries;
+  EXPECT_EQ(a.retries.value(), 1);
+  EXPECT_EQ(b.retries.value(), 0);  // isolated registries
+  EXPECT_NE(&a.registry(), &b.registry());
+}

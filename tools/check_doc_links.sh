@@ -1,0 +1,43 @@
+#!/bin/sh
+# Check that every intra-repo markdown link resolves to an existing file.
+#
+# Usage: check_doc_links.sh [repo_root]
+#
+# Scans *.md at the root and under docs/ for [text](target) links, skips
+# external (scheme://, mailto:) and pure-anchor (#...) targets, resolves
+# the rest relative to the containing file, and fails listing every
+# broken link. Run by ctest (docs_links) and the CI docs job.
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 2
+
+status=0
+checked=0
+
+for md in *.md docs/*.md; do
+  [ -f "$md" ] || continue
+  case "$md" in
+    SNIPPETS.md|PAPERS.md) continue ;;  # retrieval dumps, not navigable docs
+  esac
+  dir=$(dirname "$md")
+  # One target per line: grab the (...) of every [...](...) occurrence.
+  targets=$(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+            sed 's/.*](\([^)]*\))/\1/')
+  for target in $targets; do
+    case "$target" in
+      *://*|mailto:*|\#*) continue ;;  # external or same-file anchor
+    esac
+    path="${target%%#*}"               # strip #section anchors
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $md -> $target"
+      status=1
+    fi
+  done
+done
+
+echo "checked $checked intra-repo links"
+[ "$status" -eq 0 ] && echo "all links resolve"
+exit "$status"

@@ -7,6 +7,13 @@
 //       [--enroll N --keys-out keys.csv]      # pre-enroll N devices
 //       [--checkpoint state.bin]              # load + periodically save
 //       [--report-every SECONDS]              # portal report to stdout
+//       [--metrics-out metrics.prom]          # Prometheus text, rewritten
+//                                             # at every report interval
+//       [--trace-out trace.jsonl]             # protocol lifecycle events
+//
+// Everything exported via --metrics-out / --trace-out is post-sanitization
+// or transport-level (see docs/OBSERVABILITY.md) — publishing it costs no
+// extra privacy budget, same argument as the portal report.
 //
 // Device secrets are written to --keys-out as "device_id,hex_key" rows;
 // hand one row to each device (crowdml_device --key-file takes the same
@@ -22,6 +29,8 @@
 #include "core/monitor.hpp"
 #include "core/tcp_runtime.hpp"
 #include "models/logistic_regression.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/schedule.hpp"
 #include "tools/flags.hpp"
 
@@ -99,7 +108,20 @@ int main(int argc, char** argv) {
                 keys_path.c_str());
   }
 
-  core::TcpCrowdServer tcp(server, registry, port);
+  // Observability: metrics go to the process-wide registry so the
+  // exposition also carries the always-on hot-path timings (codec, frame
+  // I/O, gradient); traces stream to a JSONL file as events happen.
+  const std::string metrics_path = flags.get("metrics-out", "");
+  const std::string trace_path = flags.get("trace-out", "");
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!trace_path.empty())
+    trace = std::make_unique<obs::TraceSink>(trace_path);
+
+  core::TcpServerConfig tcp_cfg;
+  tcp_cfg.port = port;
+  tcp_cfg.metrics = &obs::default_registry();
+  tcp_cfg.trace = trace.get();
+  core::TcpCrowdServer tcp(server, registry, tcp_cfg);
   std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
               tcp.port(), dim, classes);
 
@@ -116,6 +138,8 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       last_report = now;
       if (!ckpt_path.empty()) core::checkpoint_server(server).save_file(ckpt_path);
+      if (!metrics_path.empty())
+        obs::write_metrics_file(obs::default_registry(), metrics_path);
     }
   }
 
@@ -125,5 +149,10 @@ int main(int argc, char** argv) {
   }
   std::fputs(core::portal_report(server).c_str(), stdout);
   tcp.shutdown();
+  if (!metrics_path.empty()) {
+    obs::write_metrics_file(obs::default_registry(), metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (trace) trace->flush();
   return 0;
 }
