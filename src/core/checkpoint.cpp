@@ -1,5 +1,11 @@
 #include "core/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -76,12 +82,49 @@ ServerCheckpoint ServerCheckpoint::deserialize(const net::Bytes& bytes) {
 }
 
 void ServerCheckpoint::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write checkpoint: " + path);
+  // Atomic: write to a temp file in the same directory, fsync it, then
+  // rename() into place. A crash at any point leaves either the old
+  // checkpoint or the new one — never a torn file (rename within one
+  // filesystem is atomic).
   const net::Bytes bytes = serialize();
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("short checkpoint write: " + path);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw std::runtime_error("cannot write checkpoint: " + tmp + ": " +
+                             std::strerror(errno));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw std::runtime_error("checkpoint write failed: " + tmp + ": " + err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint fsync failed: " + tmp + ": " + err);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename checkpoint into place: " + path +
+                             ": " + err);
+  }
+  // Make the rename itself durable (best-effort: the data already is).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 ServerCheckpoint ServerCheckpoint::load_file(const std::string& path) {

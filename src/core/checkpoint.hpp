@@ -31,6 +31,10 @@ struct ServerCheckpoint {
   /// Throws net::CodecError on malformed input.
   static ServerCheckpoint deserialize(const net::Bytes& bytes);
 
+  /// Atomic: writes `path`.tmp in the same directory, fsyncs, then
+  /// renames into place — a crash mid-save can never corrupt an existing
+  /// checkpoint. Throws std::runtime_error on I/O failure (the existing
+  /// file, if any, is left untouched).
   void save_file(const std::string& path) const;
   /// Throws std::runtime_error (missing file) or net::CodecError.
   static ServerCheckpoint load_file(const std::string& path);

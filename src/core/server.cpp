@@ -74,7 +74,14 @@ net::AckMessage Server::handle_checkin(const net::CheckinMessage& msg) {
 
   updater_->apply(w_, msg.g_hat);  // w = w - eta(t) g^ (+ projection)
   ++version_;
+  if (applied_hook_ && !applied_hook_(msg, version_))
+    return {false, "durability failure"};
   return {true, ""};
+}
+
+void Server::set_applied_hook(AppliedHook hook) {
+  std::lock_guard lock(mu_);
+  applied_hook_ = std::move(hook);
 }
 
 linalg::Vector Server::parameters() const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -84,6 +85,19 @@ class Server {
   void restore(const linalg::Vector& w, std::uint64_t version,
                const std::unordered_map<std::uint64_t, DeviceStats>& stats);
 
+  /// Durability hook, invoked under the state lock after every applied
+  /// checkin — in version order, with the message and the iteration it
+  /// produced — and before the ack is returned. A durability layer (see
+  /// store::DurableStore) appends the record to its write-ahead log here,
+  /// so an ack only ever leaves for a persisted update. Returning false
+  /// turns the ack into a nack ("durability failure"): the update stays
+  /// applied in memory, but the device is never told its checkin is safe
+  /// when it is not. The hook must not call back into the server and must
+  /// not throw.
+  using AppliedHook =
+      std::function<bool(const net::CheckinMessage& msg, std::uint64_t version)>;
+  void set_applied_hook(AppliedHook hook);
+
   /// Checkins rejected by validation (bad dimension / non-finite values).
   long long rejected_checkins() const;
 
@@ -109,6 +123,7 @@ class Server {
   long long rejected_ = 0;
   std::uint64_t staleness_sum_ = 0;
   std::uint64_t staleness_max_ = 0;
+  AppliedHook applied_hook_;
 };
 
 }  // namespace crowdml::core

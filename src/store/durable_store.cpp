@@ -1,0 +1,244 @@
+#include "store/durable_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "net/messages.hpp"
+#include "obs/profile.hpp"
+
+namespace crowdml::store {
+
+namespace {
+
+obs::MetricsRegistry& registry_of(const DurableStoreOptions& opts) {
+  return opts.wal.metrics ? *opts.wal.metrics : obs::default_registry();
+}
+
+/// Parse "snapshot-<version>.bin"; nullopt for anything else.
+std::optional<std::uint64_t> snapshot_version_of(const std::string& name) {
+  constexpr const char* kPrefix = "snapshot-";
+  constexpr const char* kSuffix = ".bin";
+  if (name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  const std::size_t suffix_at = name.size() - 4;
+  if (name.size() <= 9 + 4 || name.compare(suffix_at, 4, kSuffix) != 0)
+    return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 9; i < suffix_at; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return v;
+}
+
+/// All snapshots in `dir`, newest version first.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto v = snapshot_version_of(entry.path().filename().string());
+    if (v) out.emplace_back(*v, entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(std::string dir, DurableStoreOptions options)
+    : opts_(options),
+      wal_(std::move(dir), opts_.wal),
+      append_failures_(registry_of(opts_).counter(
+          "crowdml_wal_append_failures_total",
+          "Applied checkins nacked because their WAL append failed",
+          obs::Provenance::kTransportEvent)),
+      snapshots_written_(registry_of(opts_).counter(
+          "crowdml_store_snapshots_total",
+          "Atomic server-state snapshots written by compaction",
+          obs::Provenance::kTransportEvent)),
+      replayed_records_(registry_of(opts_).counter(
+          "crowdml_store_replayed_records_total",
+          "WAL records replayed into the server during recovery",
+          obs::Provenance::kTransportEvent)),
+      snapshot_seconds_(registry_of(opts_).histogram(
+          "crowdml_store_snapshot_write_seconds",
+          "One atomic snapshot write (serialize + temp file + fsync + rename)",
+          obs::Provenance::kTiming)) {
+  if (opts_.keep_snapshots < 1) opts_.keep_snapshots = 1;
+}
+
+std::string DurableStore::snapshot_path(std::uint64_t version) const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.bin",
+                static_cast<unsigned long long>(version));
+  return dir() + "/" + buf;
+}
+
+DurableStore::RecoveryInfo DurableStore::recover(core::Server& server) {
+  if (recovered_) throw WalError("recover called twice");
+  if (opts_.trace)
+    opts_.trace->event("recovery_started", {{"dir", dir()}});
+
+  // Newest snapshot that deserializes and restores cleanly wins; corrupt
+  // ones (e.g. a machine that died mid-write before this store existed)
+  // are skipped in favor of older generations. A dimension mismatch is an
+  // operator error (wrong --dim/--classes) and propagates.
+  for (const auto& [version, path] : list_snapshots(dir())) {
+    try {
+      const core::ServerCheckpoint cp = core::ServerCheckpoint::load_file(path);
+      server.restore(cp.w, cp.version, cp.device_stats);
+      info_.snapshot_loaded = true;
+      info_.snapshot_version = cp.version;
+      break;
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      ++info_.corrupt_snapshots_skipped;
+    }
+  }
+
+  // A server pre-restored from a legacy --checkpoint file may already be
+  // ahead of (or instead of) the snapshot; never replay records it holds.
+  const std::uint64_t from_seq =
+      std::max(info_.snapshot_version, server.version());
+
+  const ReplayStats replay = wal_.open_and_replay(
+      from_seq, [&](std::uint64_t seq, const net::Bytes& payload) {
+        net::CheckinMessage msg;
+        try {
+          msg = net::CheckinMessage::deserialize(payload);
+        } catch (const net::CodecError& e) {
+          // CRC passed but the body does not parse: we logged garbage.
+          throw WalError("undecodable checkin in wal record " +
+                         std::to_string(seq) + " (" + e.what() + ")");
+        }
+        const net::AckMessage ack = server.handle_checkin(msg);
+        if (!ack.ok) {
+          ++info_.records_rejected;
+          return;
+        }
+        ++replayed_records_;
+        if (server.version() != seq)
+          throw WalError("replay diverged: record " + std::to_string(seq) +
+                         " left the server at iteration " +
+                         std::to_string(server.version()));
+      });
+
+  info_.records_replayed = replay.records_applied - info_.records_rejected;
+  info_.records_skipped = replay.records_skipped;
+  info_.torn_tail_truncated = replay.torn_tail_truncated;
+  info_.torn_bytes_dropped = replay.torn_bytes_dropped;
+  info_.recovered_version = server.version();
+  recovered_ = true;
+
+  if (opts_.trace)
+    opts_.trace->event(
+        "recovery_complete",
+        {{"snapshot_version", info_.snapshot_version},
+         {"snapshot_loaded", info_.snapshot_loaded},
+         {"records_replayed", info_.records_replayed},
+         {"records_rejected", info_.records_rejected},
+         {"torn_tail_truncated", info_.torn_tail_truncated},
+         {"version", info_.recovered_version}});
+  return info_;
+}
+
+void DurableStore::drain_pending_locked() {
+  while (!pending_.empty()) {
+    wal_.append(pending_.front().first, pending_.front().second);
+    pending_.pop_front();
+  }
+}
+
+void DurableStore::attach(core::Server& server) {
+  if (!recovered_) throw WalError("attach before recover");
+  server.set_applied_hook(
+      [this](const net::CheckinMessage& msg, std::uint64_t version) {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        if (poisoned_) return false;
+        // Queue-then-drain keeps the log contiguous across transient
+        // append failures: the server's version advances even on a nack,
+        // so appending a *newer* record before the failed one would punch
+        // a hole that poisons replay. Every record here was applied in
+        // memory, so persisting it late is faithful to the state a
+        // recovery must rebuild.
+        pending_.emplace_back(version, msg.serialize());
+        try {
+          drain_pending_locked();
+          return true;
+        } catch (const WalError& e) {
+          // The update stays applied in memory, but the device gets a
+          // nack: "acked => durable" must never lie. The device treats it
+          // as a failed cycle and never replays the checkin (Remark 1).
+          ++append_failures_;
+          if (pending_.size() > kMaxPending) {
+            poisoned_ = true;
+            pending_.clear();
+            if (opts_.trace)
+              opts_.trace->event("wal_poisoned", {{"round", version}});
+          } else if (opts_.trace) {
+            opts_.trace->event("wal_append_failed",
+                               {{"round", version},
+                                {"reason", e.what()},
+                                {"queued", pending_.size()}});
+          }
+          return false;
+        }
+      });
+}
+
+void DurableStore::sync() {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    try {
+      if (!poisoned_) drain_pending_locked();
+    } catch (const WalError&) {
+      // Shutdown path: the queued records were already nacked, so losing
+      // them here breaks no promise.
+    }
+  }
+  wal_.sync();
+}
+
+bool DurableStore::compact(const core::Server& server) {
+  if (!recovered_) return false;
+  try {
+    const core::ServerCheckpoint cp = core::checkpoint_server(server);
+    {
+      obs::TimedScope timer(snapshot_seconds_);
+      cp.save_file(snapshot_path(cp.version));
+    }
+    ++snapshots_written_;
+    ++compactions_;
+
+    // Only after the new snapshot is durable: prune old snapshots, then
+    // prune WAL segments covered by the *oldest kept* snapshot — if the
+    // newest snapshot later turns out corrupt, recovery falls back to an
+    // older one and still needs the intervening records.
+    const auto snapshots = list_snapshots(dir());
+    for (std::size_t i = opts_.keep_snapshots; i < snapshots.size(); ++i)
+      std::remove(snapshots[i].second.c_str());
+    const std::uint64_t oldest_kept =
+        snapshots.empty()
+            ? cp.version
+            : snapshots[std::min(snapshots.size(), opts_.keep_snapshots) - 1]
+                  .first;
+    const std::size_t segments_removed = wal_.truncate_through(oldest_kept);
+    if (opts_.trace)
+      opts_.trace->event("compaction", {{"version", cp.version},
+                                        {"segments_removed", segments_removed}});
+    return true;
+  } catch (const std::exception& e) {
+    // A failed snapshot must not take the server down — the WAL is intact
+    // and recovery still works; the operator sees the counter and trace.
+    ++compaction_failures_;
+    if (opts_.trace)
+      opts_.trace->event("compaction_failed", {{"reason", e.what()}});
+    return false;
+  }
+}
+
+}  // namespace crowdml::store

@@ -1,0 +1,145 @@
+// Durable state store for the parameter server: atomic snapshots plus a
+// write-ahead log of applied checkins, with crash recovery.
+//
+// One directory holds everything:
+//
+//   <dir>/snapshot-<version>.bin   full ServerCheckpoint (CRC-framed,
+//                                  written atomically via temp + rename)
+//   <dir>/wal-<first_seq>.log      WAL segments (see store/wal.hpp)
+//
+// Contract: once `attach` installs the applied-checkin hook, every ack
+// the server sends is backed by a WAL record durable per the fsync
+// policy — an acked checkin survives a crash. If an append fails (disk
+// full, dead volume) the update stays applied in memory but the device
+// receives a nack, so "acked => durable" never lies; the failure is
+// counted and traced.
+//
+// Recovery loads the newest snapshot that deserializes cleanly (corrupt
+// ones are skipped in favor of older ones), then replays the WAL tail
+// through Server::handle_checkin. Replay is deterministic — validation,
+// stats accumulation, and the updater's schedule all depend only on the
+// restored state and the logged messages — so the recovered (w, t,
+// device_stats) match the pre-crash server byte-for-byte. A torn final
+// record is truncated; corruption anywhere else refuses recovery rather
+// than silently diverging.
+//
+// Privacy: snapshots and WAL records hold exactly the post-sanitization
+// data the server already held in memory (Section III-C: server-visible
+// state derives from the sanitized communications), so persisting them
+// adds no privacy loss. See docs/DURABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/server.hpp"
+#include "obs/trace.hpp"
+#include "store/wal.hpp"
+
+namespace crowdml::store {
+
+struct DurableStoreOptions {
+  WalOptions wal;
+  /// Snapshots kept after a compaction (the newest `keep_snapshots`); at
+  /// least 1. Older files are deleted once a newer snapshot is durable.
+  std::size_t keep_snapshots = 2;
+  /// Receives recovery_started / recovery_complete / wal_append_failed /
+  /// compaction events. Null disables. Must outlive the store.
+  obs::TraceSink* trace = nullptr;
+};
+
+class DurableStore {
+ public:
+  /// Creates `dir` if missing. Throws WalError when it cannot.
+  explicit DurableStore(std::string dir, DurableStoreOptions options = {});
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  struct RecoveryInfo {
+    bool snapshot_loaded = false;
+    std::uint64_t snapshot_version = 0;
+    std::size_t corrupt_snapshots_skipped = 0;
+    std::uint64_t records_replayed = 0;
+    std::uint64_t records_skipped = 0;
+    /// Replayed records the server rejected (possible when the server was
+    /// restarted with tighter stopping criteria; never on a faithful
+    /// restart).
+    std::uint64_t records_rejected = 0;
+    bool torn_tail_truncated = false;
+    std::size_t torn_bytes_dropped = 0;
+    std::uint64_t recovered_version = 0;
+  };
+
+  /// Restore `server` from the newest valid snapshot and replay the WAL
+  /// tail. Must be called exactly once, before attach() and before the
+  /// server takes traffic. Throws WalError on unrecoverable log
+  /// corruption and std::invalid_argument when a snapshot does not match
+  /// the server's configured dimensions (an operator error, not
+  /// corruption). A server already holding restored state (e.g. from a
+  /// legacy --checkpoint file) is respected: replay starts at the later
+  /// of the snapshot version and the server's current version.
+  RecoveryInfo recover(core::Server& server);
+
+  /// Install the applied-checkin hook: every applied checkin is appended
+  /// to the WAL (durable per the fsync policy) before its ack is sent.
+  /// Requires recover() first. The hook never throws into the server —
+  /// an append failure nacks the checkin and is counted here.
+  ///
+  /// Gap healing: a failed record is queued and re-appended (in version
+  /// order, ahead of newer records) on the next checkin, so a transient
+  /// disk error never leaves a hole in the log — the WAL stays contiguous
+  /// and every replayable prefix is a real server state. While records
+  /// are queued their checkins are nacked; once the disk recovers, the
+  /// queue drains and acks resume. If the queue exceeds `kMaxPending`
+  /// the log is poisoned (permanently nacking) rather than dropping a
+  /// record and corrupting recovery.
+  void attach(core::Server& server);
+
+  static constexpr std::size_t kMaxPending = 4096;
+
+  /// Write an atomic snapshot of `server`'s current state, prune WAL
+  /// segments it covers, and delete snapshots beyond keep_snapshots.
+  /// Never throws: a failed snapshot leaves the WAL intact (recovery
+  /// still works) and returns false.
+  bool compact(const core::Server& server);
+
+  /// Drain any failure-queued records, then fsync buffered WAL records
+  /// (clean-shutdown path).
+  void sync();
+
+  const std::string& dir() const { return wal_.dir(); }
+  const RecoveryInfo& recovery_info() const { return info_; }
+  WriteAheadLog& wal() { return wal_; }
+  long long append_failures() const { return append_failures_.value(); }
+  long long compactions() const { return compactions_; }
+  long long compaction_failures() const { return compaction_failures_; }
+
+ private:
+  std::string snapshot_path(std::uint64_t version) const;
+  /// Append everything in pending_, oldest first. Caller holds pending_mu_.
+  void drain_pending_locked();
+
+  DurableStoreOptions opts_;
+  WriteAheadLog wal_;
+  bool recovered_ = false;
+  RecoveryInfo info_;
+  long long compactions_ = 0;
+  long long compaction_failures_ = 0;
+
+  std::mutex pending_mu_;
+  std::deque<std::pair<std::uint64_t, net::Bytes>> pending_;
+  bool poisoned_ = false;
+
+  obs::Counter& append_failures_;
+  obs::Counter& snapshots_written_;
+  obs::Counter& replayed_records_;
+  obs::Histogram& snapshot_seconds_;
+};
+
+}  // namespace crowdml::store

@@ -1,0 +1,406 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "net/checksum.hpp"
+#include "obs/profile.hpp"
+
+namespace crowdml::store {
+
+namespace {
+
+constexpr std::uint32_t kWalMagic = 0x4C575243;  // "CRWL" little-endian
+constexpr std::size_t kWalHeaderSize = 4 + 8 + 4;  // magic + seq + len
+constexpr std::size_t kWalTrailerSize = 4;         // crc32
+
+std::uint32_t read_u32(const net::Bytes& b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(b[off + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const net::Bytes& b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(b[off + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::string segment_name(std::uint64_t first_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(first_seq));
+  return buf;
+}
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+obs::MetricsRegistry& registry_of(const WalOptions& opts) {
+  return opts.metrics ? *opts.metrics : obs::default_registry();
+}
+
+}  // namespace
+
+const char* fsync_policy_name(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kEveryN:
+      return "every-N";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+FsyncPolicy parse_fsync_policy(const std::string& spec, long long* every_n) {
+  if (spec == "always") return FsyncPolicy::kAlways;
+  if (spec == "never") return FsyncPolicy::kNever;
+  if (spec.rfind("every-", 0) == 0) {
+    const long long n = std::atoll(spec.c_str() + 6);
+    if (n >= 1) {
+      if (every_n) *every_n = n;
+      return FsyncPolicy::kEveryN;
+    }
+  }
+  throw std::invalid_argument(
+      "fsync policy must be 'always', 'never', or 'every-N' (N >= 1), got '" +
+      spec + "'");
+}
+
+net::Bytes encode_wal_record(std::uint64_t seq, const net::Bytes& payload) {
+  net::Writer w;
+  w.put_u32(kWalMagic);
+  w.put_u64(seq);
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  net::Bytes out = w.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  // CRC over seq + len + payload (everything after the magic).
+  const std::uint32_t crc = net::crc32(out.data() + 4, out.size() - 4);
+  net::Writer tail;
+  tail.put_u32(crc);
+  const net::Bytes crc_bytes = tail.take();
+  out.insert(out.end(), crc_bytes.begin(), crc_bytes.end());
+  return out;
+}
+
+WalRecord decode_wal_record(const net::Bytes& buf, std::size_t* offset) {
+  const std::size_t off = *offset;
+  if (off > buf.size()) throw WalError("wal offset out of range");
+  const std::size_t avail = buf.size() - off;
+  if (avail < kWalHeaderSize) throw WalError("wal record header truncated");
+  if (read_u32(buf, off) != kWalMagic) throw WalError("bad wal record magic");
+  const std::uint64_t seq = read_u64(buf, off + 4);
+  const std::uint32_t len = read_u32(buf, off + 12);
+  if (len > net::kMaxFieldLength) throw WalError("wal record length too large");
+  if (avail < kWalHeaderSize + len + kWalTrailerSize)
+    throw WalError("wal record body truncated");
+  const std::uint32_t stated = read_u32(buf, off + kWalHeaderSize + len);
+  const std::uint32_t computed = net::crc32(buf.data() + off + 4, 8 + 4 + len);
+  if (stated != computed) throw WalError("wal record crc mismatch");
+  WalRecord rec;
+  rec.seq = seq;
+  rec.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(off + kWalHeaderSize),
+                     buf.begin() + static_cast<std::ptrdiff_t>(off + kWalHeaderSize + len));
+  *offset = off + kWalHeaderSize + len + kWalTrailerSize;
+  return rec;
+}
+
+WriteAheadLog::WriteAheadLog(std::string dir, WalOptions options)
+    : dir_(std::move(dir)),
+      opts_(options),
+      append_seconds_(registry_of(opts_).histogram(
+          "crowdml_wal_append_seconds",
+          "One WAL append: record framing + write, including the fsync "
+          "when the policy requires one",
+          obs::Provenance::kTiming)),
+      fsync_seconds_(registry_of(opts_).histogram(
+          "crowdml_wal_fsync_seconds", "One fsync of the active WAL segment",
+          obs::Provenance::kTiming)),
+      records_total_(registry_of(opts_).counter(
+          "crowdml_wal_records_total",
+          "Sanitized checkin records appended to the write-ahead log",
+          obs::Provenance::kTransportEvent)),
+      bytes_total_(registry_of(opts_).counter(
+          "crowdml_wal_bytes_total", "Bytes appended to the write-ahead log",
+          obs::Provenance::kTransportEvent)),
+      rotations_total_(registry_of(opts_).counter(
+          "crowdml_wal_rotations_total", "WAL segment rotations",
+          obs::Provenance::kTransportEvent)),
+      torn_truncations_total_(registry_of(opts_).counter(
+          "crowdml_wal_torn_truncations_total",
+          "Torn WAL tails truncated during recovery",
+          obs::Provenance::kTransportEvent)) {
+  if (opts_.fsync_every < 1) opts_.fsync_every = 1;
+  if (opts_.segment_max_bytes == 0) opts_.segment_max_bytes = 1;
+  try {
+    std::filesystem::create_directories(dir_);
+  } catch (const std::filesystem::filesystem_error& e) {
+    throw WalError(std::string("cannot create wal directory: ") + e.what());
+  }
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+ReplayStats WriteAheadLog::open_and_replay(std::uint64_t from_seq,
+                                           const Apply& apply) {
+  std::lock_guard lock(mu_);
+  if (opened_) throw WalError("open_and_replay called twice");
+
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 4, 4, ".log") == 0)
+      files.push_back(entry.path().string());
+  }
+  // Zero-padded names sort lexically in seq order.
+  std::sort(files.begin(), files.end());
+
+  ReplayStats stats;
+  std::uint64_t prev_seq = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string& path = files[i];
+    const bool final_segment = (i + 1 == files.size());
+    net::Bytes bytes;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      if (!f) throw WalError(errno_message("cannot read wal segment " + path));
+      std::fseek(f, 0, SEEK_END);
+      const long size = std::ftell(f);
+      std::fseek(f, 0, SEEK_SET);
+      bytes.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+      if (!bytes.empty() && std::fread(bytes.data(), 1, bytes.size(), f) !=
+                                bytes.size()) {
+        std::fclose(f);
+        throw WalError("short read on wal segment " + path);
+      }
+      std::fclose(f);
+    }
+
+    std::size_t offset = 0;
+    Segment seg;
+    seg.path = path;
+    bool seg_any = false;
+    while (offset < bytes.size()) {
+      const std::size_t record_start = offset;
+      WalRecord rec;
+      try {
+        rec = decode_wal_record(bytes, &offset);
+      } catch (const WalError& e) {
+        if (!final_segment)
+          throw WalError("corrupt record in sealed wal segment " + path +
+                         " (" + e.what() + ")");
+        // Torn tail: a crash mid-append left a partial record. Truncate at
+        // the last good byte and recover cleanly.
+        if (::truncate(path.c_str(), static_cast<off_t>(record_start)) != 0)
+          throw WalError(errno_message("cannot truncate torn wal tail " + path));
+        stats.torn_tail_truncated = true;
+        stats.torn_bytes_dropped += bytes.size() - record_start;
+        ++torn_truncations_total_;
+        bytes.resize(record_start);
+        break;
+      }
+      if (have_prev && rec.seq != prev_seq + 1)
+        throw WalError("wal sequence gap: record " + std::to_string(rec.seq) +
+                       " follows " + std::to_string(prev_seq));
+      if (!have_prev && rec.seq > from_seq + 1)
+        // The oldest surviving record must continue the snapshot exactly —
+        // anything else means segments the snapshot needed were lost.
+        throw WalError("wal starts at record " + std::to_string(rec.seq) +
+                       " but the snapshot covers only " +
+                       std::to_string(from_seq));
+      if (rec.seq > from_seq) {
+        apply(rec.seq, rec.payload);
+        ++stats.records_applied;
+      } else {
+        ++stats.records_skipped;
+      }
+      prev_seq = rec.seq;
+      have_prev = true;
+      if (!seg_any) seg.first_seq = rec.seq;
+      seg.last_seq = rec.seq;
+      seg_any = true;
+    }
+    ++stats.segments_scanned;
+
+    if (!seg_any) {
+      // No valid record at all. In the final segment that is a tail torn
+      // before the first append completed — delete it so the next append
+      // can recreate a segment at the right seq. Anywhere else it is a gap.
+      if (!final_segment)
+        throw WalError("empty sealed wal segment " + path);
+      std::remove(path.c_str());
+      fsync_dir();
+      continue;
+    }
+    if (final_segment) {
+      fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+      if (fd_ < 0)
+        throw WalError(errno_message("cannot reopen wal segment " + path));
+      active_ = seg;
+      active_bytes_ = bytes.size();
+      active_has_records_ = true;
+    } else {
+      sealed_.push_back(seg);
+    }
+  }
+  stats.last_seq = prev_seq;
+  last_seq_ = prev_seq;
+  opened_ = true;
+  return stats;
+}
+
+void WriteAheadLog::open_segment_locked(std::uint64_t first_seq,
+                                        bool append_to_existing) {
+  const std::string path = dir_ + "/" + segment_name(first_seq);
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | (append_to_existing ? 0 : O_EXCL);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) throw WalError(errno_message("cannot create wal segment " + path));
+  active_ = Segment{path, first_seq, first_seq};
+  active_bytes_ = 0;
+  active_has_records_ = false;
+  fsync_dir();  // make the new file name durable
+}
+
+void WriteAheadLog::close_active_locked(bool fsync_it) {
+  if (fd_ < 0) return;
+  if (fsync_it && unsynced_ > 0) fsync_active_locked();
+  ::close(fd_);
+  fd_ = -1;
+  if (active_has_records_) sealed_.push_back(active_);
+  active_ = Segment{};
+  active_bytes_ = 0;
+  active_has_records_ = false;
+}
+
+void WriteAheadLog::write_all_locked(const net::Bytes& bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partial record is a torn tail the next recovery truncates.
+      throw WalError(errno_message("wal write failed"));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void WriteAheadLog::fsync_active_locked() {
+  obs::TimedScope timer(fsync_seconds_);
+  if (::fsync(fd_) != 0) throw WalError(errno_message("wal fsync failed"));
+  unsynced_ = 0;
+  ++fsyncs_;
+}
+
+void WriteAheadLog::fsync_dir() const {
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;  // best-effort: record data itself is fsync-governed
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+void WriteAheadLog::append(std::uint64_t seq, const net::Bytes& payload) {
+  const net::Bytes record = encode_wal_record(seq, payload);
+  obs::TimedScope timer(append_seconds_);
+  std::lock_guard lock(mu_);
+  if (!opened_) throw WalError("append before open_and_replay");
+  if (seq <= last_seq_)
+    throw WalError("non-monotonic wal seq " + std::to_string(seq) +
+                   " (last " + std::to_string(last_seq_) + ")");
+  if (fd_ >= 0 && active_bytes_ >= opts_.segment_max_bytes) {
+    close_active_locked(/*fsync_it=*/opts_.fsync != FsyncPolicy::kNever);
+    ++rotations_;
+    ++rotations_total_;
+  }
+  if (fd_ < 0) open_segment_locked(seq, /*append_to_existing=*/false);
+
+  write_all_locked(record);
+  active_bytes_ += record.size();
+  if (!active_has_records_) active_.first_seq = seq;
+  active_has_records_ = true;
+  active_.last_seq = seq;
+  last_seq_ = seq;
+  ++appended_;
+  ++unsynced_;
+  ++records_total_;
+  bytes_total_ += static_cast<long long>(record.size());
+
+  switch (opts_.fsync) {
+    case FsyncPolicy::kAlways:
+      fsync_active_locked();
+      break;
+    case FsyncPolicy::kEveryN:
+      if (unsynced_ >= opts_.fsync_every) fsync_active_locked();
+      break;
+    case FsyncPolicy::kNever:
+      break;
+  }
+}
+
+void WriteAheadLog::sync() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0 && unsynced_ > 0) fsync_active_locked();
+}
+
+std::size_t WriteAheadLog::truncate_through(std::uint64_t seq) {
+  std::lock_guard lock(mu_);
+  std::size_t removed = 0;
+  for (auto it = sealed_.begin(); it != sealed_.end();) {
+    if (it->last_seq <= seq && std::remove(it->path.c_str()) == 0) {
+      ++removed;
+      it = sealed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) fsync_dir();
+  return removed;
+}
+
+std::uint64_t WriteAheadLog::last_seq() const {
+  std::lock_guard lock(mu_);
+  return last_seq_;
+}
+
+long long WriteAheadLog::appended_records() const {
+  std::lock_guard lock(mu_);
+  return appended_;
+}
+
+long long WriteAheadLog::fsyncs() const {
+  std::lock_guard lock(mu_);
+  return fsyncs_;
+}
+
+long long WriteAheadLog::rotations() const {
+  std::lock_guard lock(mu_);
+  return rotations_;
+}
+
+std::size_t WriteAheadLog::segment_count() const {
+  std::lock_guard lock(mu_);
+  return sealed_.size() + (fd_ >= 0 ? 1u : 0u);
+}
+
+}  // namespace crowdml::store

@@ -96,6 +96,47 @@ TEST(Checkpoint, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(Checkpoint, SaveLeavesNoTempFileBehind) {
+  const auto dir = std::filesystem::temp_directory_path() / "crowdml_ckpt_atomic";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "state.bin").string();
+  Server s(config(), sgd(), rng::Engine(1));
+  populate(s);
+  core::checkpoint_server(s).save_file(path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, SaveOverwritesAtomically) {
+  const auto dir = std::filesystem::temp_directory_path() / "crowdml_ckpt_over";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "state.bin").string();
+  Server s(config(), sgd(), rng::Engine(1));
+  core::checkpoint_server(s).save_file(path);  // version 0
+  populate(s);
+  core::checkpoint_server(s).save_file(path);  // version 3 replaces it
+  EXPECT_EQ(ServerCheckpoint::load_file(path).version, 3u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, FailedSaveLeavesExistingFileIntact) {
+  const auto dir = std::filesystem::temp_directory_path() / "crowdml_ckpt_fail";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "state.bin").string();
+  Server s(config(), sgd(), rng::Engine(1));
+  populate(s);
+  core::checkpoint_server(s).save_file(path);
+
+  // A save into a directory that vanished must throw, not half-write; the
+  // original file is untouched because the temp file lives elsewhere.
+  EXPECT_THROW(core::checkpoint_server(s).save_file("/nonexistent/dir/x.bin"),
+               std::runtime_error);
+  EXPECT_EQ(ServerCheckpoint::load_file(path).version, 3u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Checkpoint, RestorePreservesLearningState) {
   Server original(config(), sgd(), rng::Engine(1));
   populate(original);

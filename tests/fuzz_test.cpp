@@ -11,6 +11,7 @@
 #include "models/logistic_regression.hpp"
 #include "opt/schedule.hpp"
 #include "rng/distributions.hpp"
+#include "store/wal.hpp"
 
 using namespace crowdml;
 
@@ -138,6 +139,54 @@ TEST(Fuzz, CheckpointDeserializerNeverCrashes) {
     try {
       (void)core::ServerCheckpoint::deserialize(b);
     } catch (const net::CodecError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, WalRecordDecoderNeverCrashesOnRandomBytes) {
+  // A crash can leave anything at the WAL tail; the decoder must reject
+  // it with WalError, never crash or loop, and never move the offset on
+  // failure (recovery truncates at exactly that byte).
+  rng::Engine eng(7);
+  int decoded = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const net::Bytes b = random_bytes(eng, 96);
+    std::size_t offset = 0;
+    try {
+      (void)store::decode_wal_record(b, &offset);
+      ++decoded;
+    } catch (const store::WalError&) {
+      EXPECT_EQ(offset, 0u);
+    }
+  }
+  // Random bytes essentially never carry the magic plus a valid CRC.
+  EXPECT_EQ(decoded, 0);
+}
+
+TEST(Fuzz, MutatedWalRecordsDetectedOrParsed) {
+  // Flip random bytes of a valid record: decode must either throw
+  // WalError or return a record — never crash. Single flips must always
+  // be caught (CRC-32 detects all 1-bit errors).
+  rng::Engine eng(8);
+  net::CheckinMessage m;
+  m.device_id = 3;
+  m.g_hat = {0.25, -0.75, 0.5};
+  m.ns = 4;
+  m.ny_hat = {2, 2};
+  const net::Bytes valid = store::encode_wal_record(17, m.serialize());
+  for (int i = 0; i < 5000; ++i) {
+    net::Bytes mutated = valid;
+    const int flips = 1 + static_cast<int>(rng::uniform_index(eng, 4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng::uniform_index(eng, mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng::uniform_index(eng, 255));
+    }
+    std::size_t offset = 0;
+    try {
+      (void)store::decode_wal_record(mutated, &offset);
+    } catch (const store::WalError&) {
     }
   }
   SUCCEED();

@@ -6,8 +6,15 @@
 //   crowdml-device --host 127.0.0.1 --port 9000 \
 //       --data samples.csv --key "17,ab34..."   # one row of keys-out
 //       [--minibatch 10] [--epsilon 10] [--passes 1] [--classes 10]
+//       [--io-deadline-ms 5000] [--connect-timeout-ms 2000]
+//       [--max-attempts 8] [--backoff-max-ms 2000]
 //
 // Features are L1-normalized on ingest (the privacy precondition).
+//
+// The connection rides core::ReconnectingDeviceSession: a dropped or
+// restarting server is retried with capped exponential backoff (checkouts
+// replayed freely, checkins abandoned — never replayed), so the device
+// survives a server crash-and-recover window without operator help.
 #include <cstdio>
 #include <sstream>
 
@@ -65,10 +72,19 @@ int main(int argc, char** argv) {
     const double eps = flags.get_double("epsilon", 10.0);
     if (eps > 0.0) dc.budget = privacy::PrivacyBudget::gradient_dominated(eps);
 
-    core::Device device(dc, *model, rng::Engine(flags.get_int("seed", 99)));
+    const long long seed = flags.get_int("seed", 99);
+    core::Device device(dc, *model, rng::Engine(seed));
     device.set_credentials(parse_key(flags.get("key", "")));
 
-    core::TcpDeviceSession session(host, port);
+    core::ReconnectPolicy rp;
+    rp.io_deadline_ms = static_cast<int>(flags.get_int("io-deadline-ms", 5000));
+    rp.connect_timeout_ms =
+        static_cast<int>(flags.get_int("connect-timeout-ms", 2000));
+    rp.max_attempts = static_cast<int>(flags.get_int("max-attempts", 8));
+    rp.backoff_max_ms = static_cast<int>(flags.get_int("backoff-max-ms", 2000));
+    core::ReconnectingDeviceSession session(
+        host, port, rp, rng::Engine(static_cast<std::uint64_t>(seed) ^ 0xD1CE),
+        /*counters=*/nullptr, /*trace=*/nullptr, device.id());
     core::DeviceClient client(device, session.as_exchange());
 
     const auto passes = flags.get_int("passes", 1);
@@ -84,6 +100,10 @@ int main(int argc, char** argv) {
     std::printf("per-sample epsilon: %.3f over %lld checkins\n",
                 device.accountant().per_sample_epsilon(),
                 device.accountant().checkins());
+    std::printf("transport: %lld reconnects, %lld retries, %lld timeouts, "
+                "%lld checkins abandoned\n",
+                session.reconnects(), session.retries(), session.timeouts(),
+                session.checkins_abandoned());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "crowdml-device: %s\n", e.what());

@@ -1,15 +1,28 @@
 // crowdml-server — a standalone Crowd-ML parameter server over TCP.
 //
 // Usage:
-//   crowdml-server --port 9000 --classes 10 --dim 50 \
+//   crowdml-server --port 9000 --classes 10 --dim 50
 //       [--lr 50] [--radius 500] [--updater sgd|adagrad|momentum|dualavg] \
 //       [--max-iterations N] [--target-error rho] \
 //       [--enroll N --keys-out keys.csv]      # pre-enroll N devices
 //       [--checkpoint state.bin]              # load + periodically save
+//       [--wal-dir DIR]                       # durable store: WAL + atomic
+//                                             # snapshots, recovered on start
+//       [--fsync always|never|every-N]        # WAL durability (default
+//                                             # every-64)
+//       [--segment-max-bytes BYTES]           # WAL segment rotation size
+//       [--force-fresh]                       # discard unreadable state
+//                                             # instead of refusing to start
 //       [--report-every SECONDS]              # portal report to stdout
 //       [--metrics-out metrics.prom]          # Prometheus text, rewritten
 //                                             # at every report interval
 //       [--trace-out trace.jsonl]             # protocol lifecycle events
+//
+// With --wal-dir, every applied checkin is appended to a write-ahead log
+// before its ack leaves, and each report interval compacts the log into
+// an atomic snapshot; after a crash the server recovers the exact
+// pre-crash state (snapshot + WAL tail replay) before accepting
+// connections. See docs/DURABILITY.md.
 //
 // Everything exported via --metrics-out / --trace-out is post-sanitization
 // or transport-level (see docs/OBSERVABILITY.md) — publishing it costs no
@@ -22,6 +35,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -32,6 +46,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "opt/schedule.hpp"
+#include "store/durable_store.hpp"
 #include "tools/flags.hpp"
 
 using namespace crowdml;
@@ -82,16 +97,34 @@ int main(int argc, char** argv) {
   core::Server server(cfg, make_updater(flags.get("updater", "sgd"), lr, radius),
                       rng::Engine(flags.get_int("seed", 1)));
 
+  // Missing state is a fresh start; *unreadable* state is refused unless
+  // the operator explicitly discards it — silent data loss must never
+  // masquerade as a fresh start.
+  const bool force_fresh = flags.get_bool("force-fresh");
   const std::string ckpt_path = flags.get("checkpoint", "");
   if (!ckpt_path.empty()) {
-    try {
-      const auto cp = core::ServerCheckpoint::load_file(ckpt_path);
-      server.restore(cp.w, cp.version, cp.device_stats);
-      std::printf("restored checkpoint %s at iteration %llu\n",
-                  ckpt_path.c_str(),
-                  static_cast<unsigned long long>(cp.version));
-    } catch (const std::exception& e) {
-      std::printf("no checkpoint loaded (%s); starting fresh\n", e.what());
+    if (!std::filesystem::exists(ckpt_path)) {
+      std::printf("no checkpoint at %s; starting fresh\n", ckpt_path.c_str());
+    } else {
+      try {
+        const auto cp = core::ServerCheckpoint::load_file(ckpt_path);
+        server.restore(cp.w, cp.version, cp.device_stats);
+        std::printf("restored checkpoint %s at iteration %llu\n",
+                    ckpt_path.c_str(),
+                    static_cast<unsigned long long>(cp.version));
+      } catch (const std::exception& e) {
+        if (!force_fresh) {
+          std::fprintf(stderr,
+                       "crowdml-server: checkpoint %s exists but cannot be "
+                       "loaded (%s); refusing to start — pass --force-fresh "
+                       "to discard it\n",
+                       ckpt_path.c_str(), e.what());
+          return 1;
+        }
+        std::printf("checkpoint %s unreadable (%s); --force-fresh set, "
+                    "starting fresh\n",
+                    ckpt_path.c_str(), e.what());
+      }
     }
   }
 
@@ -117,6 +150,66 @@ int main(int argc, char** argv) {
   if (!trace_path.empty())
     trace = std::make_unique<obs::TraceSink>(trace_path);
 
+  // Durable store: recover the exact pre-crash state (newest snapshot +
+  // WAL tail replay) and install the applied-checkin hook — both strictly
+  // before the TCP listener exists, so no device ever talks to a server
+  // that has not finished recovering.
+  std::unique_ptr<store::DurableStore> durable;
+  const std::string wal_dir = flags.get("wal-dir", "");
+  if (!wal_dir.empty()) {
+    store::DurableStoreOptions sopts;
+    try {
+      sopts.wal.fsync = store::parse_fsync_policy(
+          flags.get("fsync", "every-64"), &sopts.wal.fsync_every);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "crowdml-server: %s\n", e.what());
+      return 1;
+    }
+    sopts.wal.segment_max_bytes =
+        static_cast<std::size_t>(flags.get_int("segment-max-bytes", 4 << 20));
+    sopts.wal.metrics = &obs::default_registry();
+    sopts.trace = trace.get();
+    const auto recover_into = [&](core::Server& srv) {
+      durable = std::make_unique<store::DurableStore>(wal_dir, sopts);
+      const auto info = durable->recover(srv);
+      std::printf(
+          "recovered state: iteration %llu (snapshot v%llu%s, %llu wal "
+          "records replayed%s%s)\n",
+          static_cast<unsigned long long>(info.recovered_version),
+          static_cast<unsigned long long>(info.snapshot_version),
+          info.snapshot_loaded ? "" : " [none]",
+          static_cast<unsigned long long>(info.records_replayed),
+          info.torn_tail_truncated ? ", torn tail truncated" : "",
+          info.corrupt_snapshots_skipped > 0 ? ", corrupt snapshot skipped"
+                                             : "");
+    };
+    try {
+      recover_into(server);
+    } catch (const store::WalError& e) {
+      if (!force_fresh) {
+        std::fprintf(stderr,
+                     "crowdml-server: wal recovery from %s failed (%s); "
+                     "refusing to start — pass --force-fresh to set the "
+                     "corrupt log aside\n",
+                     wal_dir.c_str(), e.what());
+        return 1;
+      }
+      // Preserve the evidence rather than deleting it, then start over.
+      const std::string aside = wal_dir + ".corrupt";
+      std::filesystem::remove_all(aside);
+      std::filesystem::rename(wal_dir, aside);
+      std::printf("wal recovery failed (%s); --force-fresh set, corrupt "
+                  "state moved to %s\n",
+                  e.what(), aside.c_str());
+      durable.reset();
+      // The failed attempt may have replayed a prefix; wipe it before
+      // recovering into the (now empty) store.
+      server.restore(linalg::Vector(cfg.param_dim, 0.0), 0, {});
+      recover_into(server);
+    }
+    durable->attach(server);
+  }
+
   core::TcpServerConfig tcp_cfg;
   tcp_cfg.port = port;
   tcp_cfg.metrics = &obs::default_registry();
@@ -128,6 +221,17 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
+  // Persistence failures must never take a serving loop down: the WAL (if
+  // any) still guarantees recovery, so log the failure and keep serving.
+  const auto save_checkpoint = [&]() {
+    if (ckpt_path.empty()) return;
+    try {
+      core::checkpoint_server(server).save_file(ckpt_path);
+    } catch (const std::exception& e) {
+      std::printf("checkpoint save failed (%s); continuing\n", e.what());
+    }
+  };
+
   const double report_every = flags.get_double("report-every", 10.0);
   auto last_report = std::chrono::steady_clock::now();
   while (!g_stop.load() && !server.stopped()) {
@@ -137,15 +241,22 @@ int main(int argc, char** argv) {
       std::fputs(core::portal_report(server).c_str(), stdout);
       std::fflush(stdout);
       last_report = now;
-      if (!ckpt_path.empty()) core::checkpoint_server(server).save_file(ckpt_path);
+      save_checkpoint();
+      if (durable && !durable->compact(server))
+        std::printf("snapshot compaction failed; wal intact, continuing\n");
       if (!metrics_path.empty())
         obs::write_metrics_file(obs::default_registry(), metrics_path);
     }
   }
 
-  if (!ckpt_path.empty()) {
-    core::checkpoint_server(server).save_file(ckpt_path);
-    std::printf("checkpoint saved to %s\n", ckpt_path.c_str());
+  save_checkpoint();
+  if (!ckpt_path.empty()) std::printf("checkpoint saved to %s\n", ckpt_path.c_str());
+  if (durable) {
+    durable->sync();  // flush any WAL records the fsync policy buffered
+    if (durable->compact(server))
+      std::printf("durable state compacted in %s at iteration %llu\n",
+                  durable->dir().c_str(),
+                  static_cast<unsigned long long>(server.version()));
   }
   std::fputs(core::portal_report(server).c_str(), stdout);
   tcp.shutdown();
