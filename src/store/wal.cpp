@@ -51,6 +51,23 @@ obs::MetricsRegistry& registry_of(const WalOptions& opts) {
   return opts.metrics ? *opts.metrics : obs::default_registry();
 }
 
+/// True when a complete record (valid magic + CRC) decodes anywhere at or
+/// after `from`. A bad frame followed by such a record cannot be a torn
+/// tail — a crash mid-append never writes anything after the tear — so it
+/// must be treated as mid-file corruption.
+bool later_record_decodes(const net::Bytes& bytes, std::size_t from) {
+  for (std::size_t probe = from; probe + kWalHeaderSize + kWalTrailerSize <= bytes.size(); ++probe) {
+    if (read_u32(bytes, probe) != kWalMagic) continue;
+    std::size_t off = probe;
+    try {
+      (void)decode_wal_record(bytes, &off);
+      return true;
+    } catch (const WalError&) {
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* fsync_policy_name(FsyncPolicy p) {
@@ -208,6 +225,15 @@ ReplayStats WriteAheadLog::open_and_replay(std::uint64_t from_seq,
         if (!final_segment)
           throw WalError("corrupt record in sealed wal segment " + path +
                          " (" + e.what() + ")");
+        // Only a frame that extends to EOF can be a torn tail. A decodable
+        // record after the bad frame means the damage is mid-file (a bit
+        // flip, not a crash mid-append); truncating there would silently
+        // drop records that were fsynced and acked.
+        if (later_record_decodes(bytes, record_start + 1))
+          throw WalError("corrupt record mid-segment in wal segment " + path +
+                         " (" + e.what() +
+                         "); decodable records follow it, refusing to drop "
+                         "them");
         // Torn tail: a crash mid-append left a partial record. Truncate at
         // the last good byte and recover cleanly.
         if (::truncate(path.c_str(), static_cast<off_t>(record_start)) != 0)
@@ -299,8 +325,20 @@ void WriteAheadLog::write_all_locked(const net::Bytes& bytes) {
         ::write(fd_, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      // A partial record is a torn tail the next recovery truncates.
-      throw WalError(errno_message("wal write failed"));
+      const std::string reason = errno_message("wal write failed");
+      // Roll the partial record back to the pre-append size. Junk left
+      // here would sit *before* whatever a retried append (O_APPEND) puts
+      // after it, and the next recovery would then truncate at the junk —
+      // dropping fsynced, acked records that followed it.
+      if (written == 0 ||
+          ::ftruncate(fd_, static_cast<off_t>(active_bytes_)) == 0)
+        throw WalError(reason);
+      // Rollback impossible: refuse all further appends so nothing ever
+      // lands after the junk. It stays at EOF of the final segment, which
+      // the next recovery truncates as a genuine torn tail.
+      broken_ = true;
+      throw WalError(reason + "; rollback ftruncate failed (" +
+                     std::strerror(errno) + "), wal closed to appends");
     }
     written += static_cast<std::size_t>(n);
   }
@@ -325,6 +363,10 @@ void WriteAheadLog::append(std::uint64_t seq, const net::Bytes& payload) {
   obs::TimedScope timer(append_seconds_);
   std::lock_guard lock(mu_);
   if (!opened_) throw WalError("append before open_and_replay");
+  if (broken_)
+    throw WalError(
+        "wal closed to appends: an earlier partial write could not be "
+        "rolled back");
   if (seq <= last_seq_)
     throw WalError("non-monotonic wal seq " + std::to_string(seq) +
                    " (last " + std::to_string(last_seq_) + ")");

@@ -30,11 +30,17 @@
 //             process alone loses nothing, losing power may).
 //
 // Recovery (`open_and_replay`) scans segments in order and tolerates a
-// *torn tail*: the first bad CRC in the final segment truncates the file
-// at the last good record and recovery completes cleanly — exactly what a
-// crash mid-append leaves behind. A bad record anywhere else is real
-// corruption and throws WalError; refusing to guess beats silently
-// dropping applied updates.
+// *torn tail*: a bad frame in the final segment that extends to EOF —
+// exactly what a crash mid-append leaves behind — truncates the file at
+// the last good record and recovery completes cleanly. A bad record
+// anywhere else (a sealed segment, or a frame in the final segment that
+// a decodable record still follows) is real corruption and throws
+// WalError; refusing to guess beats silently dropping applied updates.
+// Appends uphold the same invariant from the other side: a failed write
+// ftruncates its partial record away so a retry can never append valid
+// records after junk, and if even that rollback fails the log refuses
+// all further appends, leaving the junk at EOF where the torn-tail rule
+// handles it.
 #pragma once
 
 #include <cstdint>
@@ -152,6 +158,7 @@ class WriteAheadLog {
 
   mutable std::mutex mu_;
   bool opened_ = false;
+  bool broken_ = false;  ///< partial write left junk we could not roll back
   int fd_ = -1;  ///< active segment, -1 until first append needs it
   Segment active_;
   std::size_t active_bytes_ = 0;

@@ -302,6 +302,67 @@ TEST(Wal, TornMidRecordTailDropsOnlyTheLastRecord) {
   EXPECT_EQ(c.stats.last_seq, 4u);
 }
 
+TEST(Wal, MidSegmentCorruptionWithRecordsAfterRefusesRecovery) {
+  TempDir dir;
+  {
+    WriteAheadLog wal(dir.path, {});
+    replay_all(wal);
+    for (std::uint64_t s = 1; s <= 5; ++s) wal.append(s, payload_for(s));
+  }
+  const auto files = segment_files(dir.path);
+  ASSERT_EQ(files.size(), 1u);
+  // A bit flip in the *middle* of the active segment is corruption, not a
+  // torn tail: records 3..5 behind it decode fine and may have been acked,
+  // so recovery must refuse rather than silently truncate them away.
+  flip_byte(files[0], 48);  // payload byte of record 2 (28-byte records)
+  WriteAheadLog wal(dir.path, {});
+  EXPECT_THROW(replay_all(wal), WalError);
+}
+
+TEST(Wal, BitFlipInFinalRecordStillTruncatesAsTornTail) {
+  TempDir dir;
+  {
+    WriteAheadLog wal(dir.path, {});
+    replay_all(wal);
+    for (std::uint64_t s = 1; s <= 5; ++s) wal.append(s, payload_for(s));
+  }
+  const auto files = segment_files(dir.path);
+  ASSERT_EQ(files.size(), 1u);
+  // Damage in the very last frame extends to EOF — indistinguishable from
+  // a crash mid-append, so the torn-tail rule applies and only the final
+  // record is lost.
+  flip_byte(files[0], std::filesystem::file_size(files[0]) - 2);
+  WriteAheadLog wal(dir.path, {});
+  const Collected c = replay_all(wal);
+  EXPECT_EQ(c.records.size(), 4u);
+  EXPECT_TRUE(c.stats.torn_tail_truncated);
+  EXPECT_EQ(c.stats.last_seq, 4u);
+}
+
+TEST(Wal, JunkBeforeLaterRecordsRefusesRecovery) {
+  TempDir dir;
+  {
+    WriteAheadLog wal(dir.path, {});
+    replay_all(wal);
+    for (std::uint64_t s = 1; s <= 2; ++s) wal.append(s, payload_for(s));
+  }
+  const auto files = segment_files(dir.path);
+  ASSERT_EQ(files.size(), 1u);
+  // The failure write_all_locked's rollback exists to prevent: a partial
+  // write left junk mid-file and a later (valid, possibly acked) record
+  // landed after it. Truncating at the junk would drop record 3 silently;
+  // recovery must refuse instead.
+  {
+    std::ofstream f(files[0], std::ios::app | std::ios::binary);
+    for (int i = 0; i < 9; ++i) f.put('\x5a');
+    const net::Bytes rec3 = store::encode_wal_record(3, payload_for(3));
+    f.write(reinterpret_cast<const char*>(rec3.data()),
+            static_cast<std::streamsize>(rec3.size()));
+  }
+  WriteAheadLog wal(dir.path, {});
+  EXPECT_THROW(replay_all(wal), WalError);
+}
+
 TEST(Wal, CorruptSealedSegmentRefusesRecovery) {
   TempDir dir;
   WalOptions opts;

@@ -37,6 +37,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <thread>
 
 #include "core/checkpoint.hpp"
@@ -102,16 +103,18 @@ int main(int argc, char** argv) {
   // masquerade as a fresh start.
   const bool force_fresh = flags.get_bool("force-fresh");
   const std::string ckpt_path = flags.get("checkpoint", "");
+  std::optional<core::ServerCheckpoint> legacy_cp;
   if (!ckpt_path.empty()) {
     if (!std::filesystem::exists(ckpt_path)) {
       std::printf("no checkpoint at %s; starting fresh\n", ckpt_path.c_str());
     } else {
       try {
-        const auto cp = core::ServerCheckpoint::load_file(ckpt_path);
-        server.restore(cp.w, cp.version, cp.device_stats);
+        legacy_cp = core::ServerCheckpoint::load_file(ckpt_path);
+        server.restore(legacy_cp->w, legacy_cp->version,
+                       legacy_cp->device_stats);
         std::printf("restored checkpoint %s at iteration %llu\n",
                     ckpt_path.c_str(),
-                    static_cast<unsigned long long>(cp.version));
+                    static_cast<unsigned long long>(legacy_cp->version));
       } catch (const std::exception& e) {
         if (!force_fresh) {
           std::fprintf(stderr,
@@ -196,16 +199,38 @@ int main(int argc, char** argv) {
       }
       // Preserve the evidence rather than deleting it, then start over.
       const std::string aside = wal_dir + ".corrupt";
-      std::filesystem::remove_all(aside);
-      std::filesystem::rename(wal_dir, aside);
+      try {
+        std::filesystem::remove_all(aside);
+        std::filesystem::rename(wal_dir, aside);
+      } catch (const std::filesystem::filesystem_error& fe) {
+        std::fprintf(stderr,
+                     "crowdml-server: cannot set corrupt wal %s aside "
+                     "(%s)\n",
+                     wal_dir.c_str(), fe.what());
+        return 1;
+      }
       std::printf("wal recovery failed (%s); --force-fresh set, corrupt "
                   "state moved to %s\n",
                   e.what(), aside.c_str());
       durable.reset();
-      // The failed attempt may have replayed a prefix; wipe it before
-      // recovering into the (now empty) store.
-      server.restore(linalg::Vector(cfg.param_dim, 0.0), 0, {});
-      recover_into(server);
+      // The failed attempt may have replayed a prefix; reset to the
+      // legacy checkpoint that loaded above (if any) before recovering
+      // into the now-empty store — only the WAL directory was corrupt,
+      // so the checkpoint's state must not be discarded with it.
+      if (legacy_cp)
+        server.restore(legacy_cp->w, legacy_cp->version,
+                       legacy_cp->device_stats);
+      else
+        server.restore(linalg::Vector(cfg.param_dim, 0.0), 0, {});
+      try {
+        recover_into(server);
+      } catch (const store::WalError& e2) {
+        std::fprintf(stderr,
+                     "crowdml-server: cannot reinitialize durable store "
+                     "in %s (%s)\n",
+                     wal_dir.c_str(), e2.what());
+        return 1;
+      }
     }
     durable->attach(server);
   }
