@@ -1,0 +1,251 @@
+// Serving-engine bench: checkout and checkin throughput vs connection
+// count, thread-per-connection runtime vs epoll engine, per-record vs
+// group-commit fsync — the numbers behind docs/SCALING.md.
+//
+// Three server modes, all with a durable store attached under
+// --fsync always semantics (every acked checkin is on the platter):
+//
+//   threads      core::TcpCrowdServer, one fsync per checkin;
+//   epoll        engine::EpollCrowdServer, still one fsync per checkin
+//                (group commit off isolates the event-loop effect);
+//   epoll+group  the full engine: batched applier, one fsync per batch.
+//
+// Clients are raw protocol loops over real localhost TCP — pre-encoded
+// checkout/checkin frames per enrolled device, so the bench measures the
+// serving path, not client-side SGD. Gradients are compact (10 classes x
+// 5 features) for the same reason: with MNIST-sized payloads the
+// apply/codec cost swamps the fsync contrast this bench exists to show
+// (bench/durability covers the payload-heavy WAL costs). For each mode and connection count
+// {16, 64, 256}: a checkout phase (all connections hammer checkouts) and
+// a checkin phase (all connections hammer checkins), aggregate ops/s.
+//
+// Scale via CROWDML_SCALE (default 0.25 => 2000 checkins per phase).
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/tcp_runtime.hpp"
+#include "engine/epoll_server.hpp"
+#include "store/durable_store.hpp"
+
+namespace {
+
+using namespace crowdml;
+
+constexpr std::size_t kClasses = 10;
+constexpr std::size_t kDim = 5;
+
+core::Server make_server() {
+  core::ServerConfig cfg;
+  cfg.param_dim = kClasses * kDim;
+  cfg.num_classes = kClasses;
+  return core::Server(cfg,
+                      std::make_unique<opt::SgdUpdater>(
+                          std::make_unique<opt::SqrtDecaySchedule>(50.0), 500.0),
+                      rng::Engine(1));
+}
+
+/// Pre-encoded request frames for one enrolled device. The checkin pins
+/// param_version=0 (staleness is free in Crowd-ML), so one signed frame
+/// can be replayed by the bench loop without client-side work.
+struct ClientFrames {
+  net::Bytes checkout;
+  net::Bytes checkin;
+};
+
+ClientFrames make_frames(const net::DeviceCredentials& creds,
+                         rng::Engine& eng) {
+  ClientFrames f;
+  net::CheckoutRequest req;
+  req.device_id = creds.device_id;
+  req.auth_tag = creds.sign(req.body());
+  f.checkout =
+      net::encode_frame(net::MessageType::kCheckoutRequest, req.serialize());
+
+  net::CheckinMessage m;
+  m.device_id = creds.device_id;
+  m.g_hat.reserve(kClasses * kDim);
+  for (std::size_t i = 0; i < kClasses * kDim; ++i)
+    m.g_hat.push_back(static_cast<double>(eng() % 2001) / 1000.0 - 1.0);
+  m.ns = 10;
+  m.ne_hat = static_cast<std::int64_t>(eng() % 3);
+  for (std::size_t i = 0; i < kClasses; ++i)
+    m.ny_hat.push_back(static_cast<std::int64_t>(eng() % 5));
+  m.auth_tag = creds.sign(m.body());
+  f.checkin = net::encode_frame(net::MessageType::kCheckin, m.serialize());
+  return f;
+}
+
+/// All connections send `frame` until `total` exchanges have completed;
+/// returns aggregate exchanges/s. The load generator multiplexes
+/// connections over at most 16 client threads (each owning a slice) and
+/// pipelines kWindow requests per connection before reading the
+/// responses: the measured quantity is concurrent *connections* and the
+/// server's capacity to serve them, and a thread per connection doing
+/// lock-step RTTs would bench the client's scheduler instead.
+constexpr long long kWindow = 8;
+
+double hammer(std::vector<net::TcpConnection>& conns,
+              const std::vector<ClientFrames>& frames, bool checkin,
+              long long total) {
+  std::atomic<long long> remaining{total};
+  std::atomic<long long> failed{0};
+  std::vector<std::thread> threads;
+  const std::size_t workers = std::min<std::size_t>(16, conns.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::size_t c = w;
+      for (;;) {
+        const long long before = remaining.fetch_sub(kWindow);
+        const long long k = std::min(kWindow, before);
+        if (k <= 0) break;
+        const net::Bytes& frame =
+            checkin ? frames[c].checkin : frames[c].checkout;
+        long long sent = 0;
+        for (long long i = 0; i < k; ++i)
+          if (conns[c].send_frame(frame)) ++sent;
+        for (long long i = 0; i < sent; ++i)
+          if (!conns[c].recv_frame()) ++failed;
+        failed += k - sent;
+        c = (c + workers < conns.size()) ? c + workers : w;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (failed.load() > 0)
+    std::printf("  !! %lld exchanges failed\n", failed.load());
+  return static_cast<double>(total) / wall;
+}
+
+struct Result {
+  double checkouts_per_s = 0.0;
+  double checkins_per_s = 0.0;
+  long long fsyncs = 0;
+  std::uint64_t version = 0;
+};
+
+enum class Mode { kThreads, kEpoll, kEpollGroup };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kThreads: return "threads";
+    case Mode::kEpoll: return "epoll";
+    case Mode::kEpollGroup: return "epoll+group";
+  }
+  return "?";
+}
+
+Result run_mode(Mode mode, std::size_t conns, long long total) {
+  Result r;
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "crowdml_serving_XXXXXX")
+          .string();
+  if (!mkdtemp(dir.data())) throw std::runtime_error("mkdtemp failed");
+  {
+    core::Server server = make_server();
+    net::AuthRegistry registry(rng::Engine(2));
+
+    store::DurableStoreOptions sopts;
+    sopts.wal.fsync = store::FsyncPolicy::kAlways;
+    store::DurableStore store(dir, sopts);
+    store.recover(server);
+    store.attach(server);
+
+    obs::MetricsRegistry metrics;  // isolate per-run engine instruments
+    std::unique_ptr<core::TcpCrowdServer> threads_srv;
+    std::unique_ptr<engine::EpollCrowdServer> epoll_srv;
+    std::uint16_t port = 0;
+    if (mode == Mode::kThreads) {
+      core::TcpServerConfig tcfg;
+      tcfg.max_connections = conns + 8;
+      threads_srv =
+          std::make_unique<core::TcpCrowdServer>(server, registry, tcfg);
+      port = threads_srv->port();
+    } else {
+      engine::EngineConfig ecfg;
+      ecfg.max_connections = conns + 8;
+      ecfg.checkin_queue_max = 4096;  // measure throughput, not shedding
+      ecfg.metrics = &metrics;
+      if (mode == Mode::kEpollGroup) {
+        store.set_group_commit(true);
+        store::DurableStore* s = &store;
+        ecfg.group_commit = [s] { return s->commit_group(); };
+      }
+      epoll_srv =
+          std::make_unique<engine::EpollCrowdServer>(server, registry, ecfg);
+      port = epoll_srv->port();
+    }
+
+    std::vector<net::TcpConnection> sockets;
+    std::vector<ClientFrames> frames;
+    rng::Engine eng(42);
+    for (std::size_t c = 0; c < conns; ++c) {
+      frames.push_back(make_frames(registry.enroll(), eng));
+      auto conn = net::TcpConnection::connect("127.0.0.1", port, 2000);
+      if (!conn) throw std::runtime_error("bench client connect failed");
+      sockets.push_back(std::move(*conn));
+    }
+
+    r.checkouts_per_s = hammer(sockets, frames, false, total);
+    r.checkins_per_s = hammer(sockets, frames, true, total);
+    r.fsyncs = store.wal().fsyncs();
+    r.version = server.version();
+
+    sockets.clear();
+    if (threads_srv) threads_srv->shutdown();
+    if (epoll_srv) epoll_srv->shutdown();
+  }
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bench::Options o = bench::options();
+  const long long total = std::max(512, static_cast<int>(8000 * o.scale));
+  bench::header("serving_engine",
+                "threads vs epoll engine: throughput vs connections, "
+                "per-record vs group-commit fsync", o);
+  std::printf("%lld exchanges per phase, %zu-double gradients, "
+              "fsync=always throughout\n\n",
+              total, kClasses * kDim);
+
+  const std::size_t conn_counts[] = {16, 64, 256};
+  const Mode modes[] = {Mode::kThreads, Mode::kEpoll, Mode::kEpollGroup};
+
+  std::printf("%-12s %6s %14s %14s %10s %14s\n", "engine", "conns",
+              "checkouts/s", "checkins/s", "fsyncs", "fsyncs/checkin");
+  double threads_256 = 0.0, epoll_group_256 = 0.0;
+  long long group_fsyncs_256 = 0;
+  for (const Mode mode : modes) {
+    for (const std::size_t conns : conn_counts) {
+      const Result r = run_mode(mode, conns, total);
+      std::printf("%-12s %6zu %14.0f %14.0f %10lld %14.3f\n", mode_name(mode),
+                  conns, r.checkouts_per_s, r.checkins_per_s, r.fsyncs,
+                  static_cast<double>(r.fsyncs) /
+                      static_cast<double>(std::max<std::uint64_t>(r.version, 1)));
+      if (conns == 256 && mode == Mode::kThreads) threads_256 = r.checkins_per_s;
+      if (conns == 256 && mode == Mode::kEpollGroup) {
+        epoll_group_256 = r.checkins_per_s;
+        group_fsyncs_256 = r.fsyncs;
+      }
+    }
+    std::printf("\n");
+  }
+
+  bench::check(epoll_group_256 >= 4.0 * threads_256,
+               "epoll+group >= 4x threads checkin throughput at 256 conns");
+  bench::check(group_fsyncs_256 < total,
+               "group commit fsyncs fewer times than it acks");
+  return 0;
+}

@@ -40,6 +40,10 @@ NetCounters::NetCounters(obs::MetricsRegistry* registry)
       reaped_workers(registry_.counter(
           "crowdml_net_reaped_workers_total",
           "Finished per-connection worker threads joined",
+          obs::Provenance::kTransportEvent)),
+      retry_after_honored(registry_.counter(
+          "crowdml_net_retry_after_honored_total",
+          "Server retry_after hints honored as the next backoff delay",
           obs::Provenance::kTransportEvent)) {}
 
 NetCountersSnapshot NetCounters::snapshot() const {
@@ -52,6 +56,7 @@ NetCountersSnapshot NetCounters::snapshot() const {
   s.refused_connections = refused_connections.value();
   s.idle_closed = idle_closed.value();
   s.reaped_workers = reaped_workers.value();
+  s.retry_after_honored = retry_after_honored.value();
   return s;
 }
 
@@ -66,6 +71,7 @@ std::string transport_report(const NetCountersSnapshot& net) {
   out << "connections refused:    " << net.refused_connections << "\n";
   out << "idle connections closed: " << net.idle_closed << "\n";
   out << "workers reaped:         " << net.reaped_workers << "\n";
+  out << "retry hints honored:    " << net.retry_after_honored << "\n";
   return out.str();
 }
 

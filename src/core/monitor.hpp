@@ -33,6 +33,7 @@ struct NetCountersSnapshot {
   long long refused_connections = 0;
   long long idle_closed = 0;
   long long reaped_workers = 0;
+  long long retry_after_honored = 0;
 };
 
 /// Shared transport-health counters. Device sessions record timeouts,
@@ -66,6 +67,9 @@ class NetCounters {
   obs::Counter& refused_connections;
   obs::Counter& idle_closed;
   obs::Counter& reaped_workers;
+  /// Nacks carrying a server retry_after hint that a device session
+  /// honored as its next backoff delay (load shedding made visible).
+  obs::Counter& retry_after_honored;
 
   /// The registry the counters live in (for rendering/exporting).
   obs::MetricsRegistry& registry() const { return registry_; }

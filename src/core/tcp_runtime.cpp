@@ -8,6 +8,28 @@
 
 namespace crowdml::core {
 
+namespace {
+
+/// retry_after hint carried by a load-shed nack frame; -1 when the frame
+/// is anything else (params, ok-ack, nack without a hint, garbage).
+int shed_hint(const net::Bytes& frame) {
+  if (frame.size() <= net::kFrameTypeOffset ||
+      frame[net::kFrameTypeOffset] !=
+          static_cast<std::uint8_t>(net::MessageType::kAck))
+    return -1;
+  try {
+    const net::Frame f = net::decode_frame(frame);
+    const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+    if (ack.ok) return -1;
+    const auto hint = net::parse_retry_after(ack.reason);
+    return hint ? *hint : -1;
+  } catch (const net::CodecError&) {
+    return -1;
+  }
+}
+
+}  // namespace
+
 TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
                                std::uint16_t port)
     : TcpCrowdServer(server, auth, TcpServerConfig{.port = port}) {}
@@ -28,6 +50,8 @@ TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
   listener_ = std::move(*listener);
   port_ = listener_.port();
   acceptor_ = std::thread([this] { accept_loop(); });
+  if (config_.reap_interval_ms > 0)
+    reaper_ = std::thread([this] { reap_loop(); });
 }
 
 TcpCrowdServer::~TcpCrowdServer() { shutdown(); }
@@ -45,7 +69,9 @@ void TcpCrowdServer::accept_loop() {
       ++counters_.refused_connections;
       if (config_.trace)
         config_.trace->event("refusal", {{"reason", "server at capacity"}});
-      const net::AckMessage nack{false, "server at capacity"};
+      const net::AckMessage nack{
+          false, net::retry_after_reason("server at capacity",
+                                         config_.capacity_retry_after_ms)};
       conn->set_deadline_ms(1000);
       conn->send_frame(
           net::encode_frame(net::MessageType::kAck, nack.serialize()));
@@ -87,6 +113,21 @@ void TcpCrowdServer::serve(const std::shared_ptr<net::TcpConnection>& conn) {
   conn->shutdown_both();
 }
 
+void TcpCrowdServer::reap_loop() {
+  // Periodic reap so an idle listener (no accepts arriving) still joins
+  // finished workers instead of holding their resources until the next
+  // connection — or forever.
+  std::unique_lock stop_lock(stop_mu_);
+  while (!stopping_.load()) {
+    stop_cv_.wait_for(stop_lock,
+                      std::chrono::milliseconds(config_.reap_interval_ms),
+                      [this] { return stopping_.load(); });
+    if (stopping_.load()) break;
+    std::lock_guard lock(workers_mu_);
+    reap_finished_locked();
+  }
+}
+
 void TcpCrowdServer::reap_finished_locked() {
   for (auto& w : workers_) {
     if (w.done->load() && w.thread.joinable()) {
@@ -103,8 +144,13 @@ void TcpCrowdServer::reap_finished_locked() {
 
 void TcpCrowdServer::shutdown() {
   if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard lock(stop_mu_);
+    stop_cv_.notify_all();
+  }
   listener_.close();
   if (acceptor_.joinable()) acceptor_.join();
+  if (reaper_.joinable()) reaper_.join();
   std::vector<Worker> workers;
   {
     std::lock_guard lock(workers_mu_);
@@ -188,6 +234,12 @@ void ReconnectingDeviceSession::backoff(int attempt) {
 
 std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
     const net::Bytes& request) {
+  // A shed checkin's hint delays the next exchange (the shed request
+  // itself is never replayed — see below).
+  if (deferred_backoff_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(deferred_backoff_ms_));
+    deferred_backoff_ms_ = 0;
+  }
   // A checkout (or any non-checkin frame) is idempotent and may be
   // replayed; a checkin must hit the wire at most once (Remark 1 — the
   // server may already have applied it, and the device's privacy
@@ -197,20 +249,42 @@ std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
       request[net::kFrameTypeOffset] !=
           static_cast<std::uint8_t>(net::MessageType::kCheckin);
 
+  int hinted_ms = -1;  // server-supplied backoff for the next attempt
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     if (attempt > 1) {
       ++retries_;
       if (counters_) ++counters_->retries;
       if (trace_)
         trace_->event("retry", {{"device", device_id_}, {"attempt", attempt}});
-      backoff(attempt);
+      if (hinted_ms >= 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(hinted_ms));
+        hinted_ms = -1;
+      } else {
+        backoff(attempt);
+      }
     }
     if (!session_ || !session_->connected()) {
       if (!try_connect()) continue;
     }
     if (!replayable) ++checkin_sends_;
     auto reply = session_->exchange(request);
-    if (reply) return reply;
+    if (reply) {
+      const int hint = shed_hint(*reply);
+      if (hint < 0) return reply;
+      // The server shed this request and told us when to come back.
+      ++retry_after_honored_;
+      if (counters_) ++counters_->retry_after_honored;
+      if (trace_)
+        trace_->event("retry_after",
+                      {{"device", device_id_}, {"delay_ms", hint}});
+      if (!replayable) {
+        // Never replay a checkin — honor the hint before the next cycle.
+        deferred_backoff_ms_ = hint;
+        return reply;
+      }
+      hinted_ms = hint;
+      continue;
+    }
     if (session_->last_error() == net::NetError::kTimeout) {
       ++timeouts_;
       if (counters_) ++counters_->timeouts;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,13 @@ struct TcpServerConfig {
   /// Concurrent-connection cap; further connections receive a
   /// "server at capacity" nack and are closed (counted as refused).
   std::size_t max_connections = 256;
+  /// retry_after_ms hint appended to the capacity nack so a refused
+  /// device backs off by what the server asked rather than guessing.
+  int capacity_retry_after_ms = 250;
+  /// Period of the background worker reaper. Without it, finished worker
+  /// threads are only joined when the next connection arrives, so an idle
+  /// listener holds dead-thread resources indefinitely. <= 0 disables.
+  int reap_interval_ms = 1000;
   /// Per-connection receive deadline. A device silent for this long has
   /// its connection closed (counted as idle_closed); devices reconnect on
   /// their next cycle. kNoDeadline disables the reaper.
@@ -90,6 +98,7 @@ class TcpCrowdServer {
   };
 
   void accept_loop();
+  void reap_loop();
   void serve(const std::shared_ptr<net::TcpConnection>& conn);
   /// Join and drop workers whose serve loop has finished. Caller holds
   /// workers_mu_.
@@ -100,9 +109,12 @@ class TcpCrowdServer {
   net::TcpListener listener_;
   std::uint16_t port_ = 0;
   std::thread acceptor_;
+  std::thread reaper_;
   std::mutex workers_mu_;
   std::vector<Worker> workers_;
   std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;  ///< wakes the reaper on shutdown
   NetCounters counters_;
   /// Whole-dispatch latency (decode + auth + server update + encode).
   obs::Histogram& handle_seconds_;
@@ -170,6 +182,11 @@ class ReconnectingDeviceSession {
   long long retries() const { return retries_; }
   long long timeouts() const { return timeouts_; }
   long long checkins_abandoned() const { return checkins_abandoned_; }
+  /// Server retry_after hints honored (load-shed nacks; see
+  /// net::parse_retry_after). A hinted checkout is retried after the
+  /// hinted delay; a hinted checkin is still never replayed — the hint
+  /// delays the *next* exchange instead.
+  long long retry_after_honored() const { return retry_after_honored_; }
   /// Checkin frames handed to the socket at least once (each at most once
   /// — never replayed), for double-apply audits in chaos tests.
   long long checkin_frames_sent() const { return checkin_sends_; }
@@ -192,6 +209,10 @@ class ReconnectingDeviceSession {
   long long timeouts_ = 0;
   long long checkins_abandoned_ = 0;
   long long checkin_sends_ = 0;
+  long long retry_after_honored_ = 0;
+  /// Hint from a shed checkin's nack: sleep this long before the next
+  /// exchange begins (the shed request itself is not replayed).
+  int deferred_backoff_ms_ = 0;
 };
 
 }  // namespace crowdml::core

@@ -1,0 +1,236 @@
+#include "engine/epoll_server.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/profile.hpp"
+
+namespace crowdml::engine {
+
+namespace {
+
+obs::MetricsRegistry& registry_of(const EngineConfig& config) {
+  return config.metrics ? *config.metrics : obs::default_registry();
+}
+
+net::Bytes make_auth_refused_frame() {
+  net::ParamsMessage refuse;
+  refuse.accepted = false;
+  return net::encode_frame(net::MessageType::kParams, refuse.serialize());
+}
+
+}  // namespace
+
+EpollCrowdServer::EpollCrowdServer(core::Server& server,
+                                   net::AuthRegistry& auth,
+                                   EngineConfig config)
+    : config_(std::move(config)),
+      server_(server),
+      auth_(auth),
+      protocol_(server, auth, config_.trace),
+      counters_(config_.metrics),
+      board_(config_.metrics),
+      queue_(config_.checkin_queue_max, config_.metrics),
+      auth_refused_frame_(make_auth_refused_frame()),
+      checkouts_served_(registry_of(config_).counter(
+          "crowdml_engine_checkouts_served_total",
+          "Checkouts answered from the snapshot board on an I/O thread",
+          obs::Provenance::kTransportEvent)),
+      commit_failures_(registry_of(config_).counter(
+          "crowdml_engine_commit_failures_total",
+          "Applier batches whose group commit failed (all acks nacked)",
+          obs::Provenance::kTransportEvent)),
+      batch_size_(registry_of(config_).histogram(
+          "crowdml_engine_batch_size",
+          "Checkins applied per applier wakeup (group-commit batch)",
+          obs::Provenance::kTransportEvent,
+          obs::exponential_bounds(1.0, 2.0, 10))),
+      handle_seconds_(registry_of(config_).histogram(
+          "crowdml_server_handle_seconds",
+          "Whole request dispatch: decode, authenticate, apply, encode",
+          obs::Provenance::kTiming)) {
+  if (config_.io_threads == 0) config_.io_threads = 1;
+  if (config_.checkin_batch_max == 0) config_.checkin_batch_max = 1;
+
+  // The board must hold a snapshot before any I/O thread can serve a
+  // checkout from it.
+  board_.publish(server_);
+
+  EventLoop::Options loop_opts;
+  loop_opts.idle_timeout_ms = config_.idle_timeout_ms;
+  loop_opts.metrics = config_.metrics;
+  loop_opts.idle_closed = &counters_.idle_closed;
+  loop_opts.trace = config_.trace;
+  loops_.reserve(config_.io_threads);
+  for (std::size_t i = 0; i < config_.io_threads; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(
+        loop_opts, [this, i](std::uint64_t conn_id, net::Bytes&& frame) {
+          on_frame(loops_[i].get(), conn_id, std::move(frame));
+        }));
+  }
+
+  auto listener = net::TcpListener::bind(config_.bind_address, config_.port);
+  if (!listener) throw std::runtime_error("EpollCrowdServer: bind failed");
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  applier_ = std::thread([this] { applier_loop(); });
+}
+
+EpollCrowdServer::~EpollCrowdServer() { shutdown(); }
+
+std::size_t EpollCrowdServer::connections() const {
+  std::size_t total = 0;
+  for (const auto& loop : loops_) total += loop->connections();
+  return total;
+}
+
+void EpollCrowdServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept();
+    if (!conn) break;  // listener closed
+    if (stopping_.load()) break;
+    if (connections() >= config_.max_connections) {
+      // Same graceful refusal as the legacy runtime: say why, with a
+      // retry hint, before hanging up.
+      ++counters_.refused_connections;
+      if (config_.trace)
+        config_.trace->event("refusal", {{"reason", "server at capacity"}});
+      const net::AckMessage nack{
+          false, net::retry_after_reason("server at capacity",
+                                         config_.capacity_retry_after_ms)};
+      conn->set_deadline_ms(1000);
+      conn->send_frame(
+          net::encode_frame(net::MessageType::kAck, nack.serialize()));
+      continue;  // conn destructs -> closed
+    }
+    ++counters_.accepted_connections;
+    if (config_.trace) config_.trace->event("accept");
+    const int fd = conn->release_fd();
+    loops_[next_loop_++ % loops_.size()]->adopt(fd);
+  }
+}
+
+void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
+                                net::Bytes&& frame) {
+  // Fast path: an authenticated checkout never touches the server — the
+  // response is the board's pre-encoded frame. Anything that is not a
+  // well-formed, auth-valid checkout (checkins, malformed frames, bad
+  // tags) takes the applier path, where ProtocolServer keeps all
+  // failure accounting in one place.
+  if (frame.size() > net::kFrameTypeOffset &&
+      frame[net::kFrameTypeOffset] ==
+          static_cast<std::uint8_t>(net::MessageType::kCheckoutRequest)) {
+    try {
+      const net::Frame f = net::decode_frame(frame);
+      const auto req = net::CheckoutRequest::deserialize(f.payload);
+      if (auth_.verify(req.device_id, req.body(), req.auth_tag)) {
+        const auto snap = board_.current();
+        ++checkouts_served_;
+        if (config_.trace)
+          config_.trace->event("checkout", {{"device", req.device_id},
+                                            {"round", snap->version},
+                                            {"accepted", snap->accepted}});
+        loop->send(conn_id, net::Bytes(snap->params_frame));
+        return;
+      }
+    } catch (const net::CodecError&) {
+      // fall through to the applier path
+    }
+  }
+
+  CheckinWork work;
+  work.conn_id = conn_id;
+  work.loop = loop;
+  work.frame = std::move(frame);
+  if (!queue_.try_push(std::move(work))) {
+    if (config_.trace)
+      config_.trace->event("shed", {{"reason", "checkin queue full"}});
+    const net::AckMessage nack{
+        false, net::retry_after_reason("checkin queue full",
+                                       config_.queue_retry_after_ms)};
+    loop->send(conn_id,
+               net::encode_frame(net::MessageType::kAck, nack.serialize()));
+  }
+}
+
+void EpollCrowdServer::applier_loop() {
+  std::vector<CheckinWork> batch;
+  std::vector<net::Bytes> responses;
+  for (;;) {
+    batch.clear();
+    responses.clear();
+    const std::size_t n = queue_.drain(batch, config_.checkin_batch_max, 100);
+    board_.refresh_age_gauge();
+    if (n == 0) {
+      if (queue_.closed()) break;
+      continue;
+    }
+
+    // Apply in arrival order — the server's update sequence is exactly
+    // the serialized order the legacy runtime would have produced.
+    responses.reserve(n);
+    for (const CheckinWork& work : batch) {
+      obs::TimedScope timer(handle_seconds_);
+      responses.push_back(protocol_.handle(work.frame));
+    }
+
+    // Group commit: one WAL fsync for the whole batch. On failure every
+    // ok-ack in the batch becomes a durability nack — the acks have not
+    // left yet, so "acked => durable" still never lies.
+    if (config_.group_commit && !config_.group_commit()) {
+      ++commit_failures_;
+      if (config_.trace)
+        config_.trace->event("group_commit_failed", {{"batch", n}});
+      const net::AckMessage nack{false, "durability failure"};
+      const net::Bytes nack_frame =
+          net::encode_frame(net::MessageType::kAck, nack.serialize());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i].frame.size() <= net::kFrameTypeOffset ||
+            batch[i].frame[net::kFrameTypeOffset] !=
+                static_cast<std::uint8_t>(net::MessageType::kCheckin))
+          continue;
+        try {
+          const net::Frame f = net::decode_frame(responses[i]);
+          if (f.type == net::MessageType::kAck &&
+              net::AckMessage::deserialize(f.payload).ok)
+            responses[i] = nack_frame;
+        } catch (const net::CodecError&) {
+          // responses we encoded ourselves always decode; keep as-is
+        }
+      }
+    }
+
+    // Publish before releasing acks: a device that sees its ack and
+    // immediately checks out gets a snapshot that includes its update.
+    board_.publish(server_);
+    batch_size_.observe(static_cast<double>(n));
+
+    // Release acks grouped per event loop: one wakeup carries the whole
+    // batch's responses instead of one post per response.
+    std::unordered_map<EventLoop*, std::vector<std::pair<std::uint64_t, net::Bytes>>>
+        by_loop;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch[i].complete)
+        batch[i].complete(std::move(responses[i]));
+      else if (batch[i].loop)
+        by_loop[batch[i].loop].emplace_back(batch[i].conn_id,
+                                            std::move(responses[i]));
+    }
+    for (auto& [loop, items] : by_loop) loop->send_many(std::move(items));
+  }
+}
+
+void EpollCrowdServer::shutdown() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Drain before stopping the loops: every admitted request still gets
+  // its response, and the applier's completions post to live loops.
+  queue_.close();
+  if (applier_.joinable()) applier_.join();
+  for (auto& loop : loops_) loop->stop();
+}
+
+}  // namespace crowdml::engine

@@ -1,0 +1,143 @@
+// Scalable serving engine: epoll event loops + snapshot checkouts +
+// batched checkin application with group commit.
+//
+// The thread-per-connection runtime (core::TcpCrowdServer) spends one OS
+// thread per device and funnels every request — reads and writes alike —
+// through the server's state lock, and with `--fsync always` pays one
+// fsync per checkin. This engine restructures the same protocol around
+// the workload's actual shape (Section IV-B: checkouts vastly outnumber
+// and out-size checkins; checkins are small but must serialize):
+//
+//   - a configurable pool of epoll EventLoops multiplexes all device
+//     connections on a few threads (nonblocking frame state machines
+//     reusing the net:: codec and deadline semantics);
+//   - checkouts are served on the I/O thread from the
+//     ModelSnapshotBoard's pre-encoded frame — no state lock, no
+//     serialization work, no contention with updates;
+//   - checkins flow through a bounded MPSC CheckinQueue to one applier
+//     thread, which applies them in arrival order (the server's update
+//     sequence stays identical to the serialized legacy order), group-
+//     commits the whole batch's WAL appends with a single fsync
+//     (store::DurableStore::commit_group), republishes the board, and
+//     only then releases the acks — acked => durable still holds;
+//   - admission control: a full queue sheds with a machine-readable
+//     "retry_after_ms" nack (net::retry_after_reason) that
+//     ReconnectingDeviceSession honors as its next delay, so overload
+//     degrades into scheduled retries instead of timeout storms.
+//
+// Observable behavior matches the legacy runtime in every ordering-
+// deterministic test: same frames, same acks, same final (w, t) for the
+// same arrival order. See docs/SCALING.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/protocol.hpp"
+#include "engine/checkin_queue.hpp"
+#include "engine/event_loop.hpp"
+#include "engine/snapshot_board.hpp"
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace crowdml::engine {
+
+struct EngineConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  /// epoll I/O threads. One is right for most deployments (the loops are
+  /// never CPU-bound before the applier is); more shards accepted
+  /// connections round-robin.
+  std::size_t io_threads = 1;
+  /// Connection cap across all loops; beyond it, connections get a
+  /// capacity nack with a retry hint and are closed.
+  std::size_t max_connections = 256;
+  int capacity_retry_after_ms = 250;
+  /// Close connections silent for this long (<= 0 disables), same
+  /// semantics as TcpServerConfig::idle_timeout_ms.
+  int idle_timeout_ms = -1;
+  /// Bounded checkin queue: when full, requests are shed with a nack
+  /// carrying this retry hint.
+  std::size_t checkin_queue_max = 1024;
+  int queue_retry_after_ms = 50;
+  /// Most checkins applied (and group-committed) per applier wakeup.
+  std::size_t checkin_batch_max = 256;
+  /// Group-commit hook, called once per drained batch after every update
+  /// applied; returning false nacks the whole batch's acks ("durability
+  /// failure"). Wire store::DurableStore::commit_group here (after
+  /// set_group_commit(true)); leave null when no durability layer is
+  /// attached (or it appends per record).
+  std::function<bool()> group_commit;
+  /// Registry for engine instruments (null = obs::default_registry()).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Lifecycle + protocol trace events. Null disables.
+  obs::TraceSink* trace = nullptr;
+};
+
+class EpollCrowdServer {
+ public:
+  /// Binds, publishes the initial snapshot, and starts the I/O loops,
+  /// acceptor, and applier. Throws std::runtime_error when the bind
+  /// fails.
+  EpollCrowdServer(core::Server& server, net::AuthRegistry& auth,
+                   EngineConfig config);
+  ~EpollCrowdServer();
+
+  EpollCrowdServer(const EpollCrowdServer&) = delete;
+  EpollCrowdServer& operator=(const EpollCrowdServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  const core::ProtocolServer& protocol() const { return protocol_; }
+  const ModelSnapshotBoard& board() const { return board_; }
+  const CheckinQueue& queue() const { return queue_; }
+  std::size_t connections() const;
+  long long checkouts_served() const { return checkouts_served_.value(); }
+  long long commit_failures() const { return commit_failures_.value(); }
+
+  const core::NetCounters& net_counters() const { return counters_; }
+  core::NetCountersSnapshot net_snapshot() const {
+    return counters_.snapshot();
+  }
+
+  /// Stop accepting, drain the queue (every admitted request still gets
+  /// its response), stop the loops, and join everything.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void applier_loop();
+  /// Frame dispatch on an I/O thread: auth-valid checkouts are answered
+  /// from the board; everything else is queued for the applier or shed.
+  void on_frame(EventLoop* loop, std::uint64_t conn_id, net::Bytes&& frame);
+
+  EngineConfig config_;
+  core::Server& server_;
+  net::AuthRegistry& auth_;
+  core::ProtocolServer protocol_;
+  core::NetCounters counters_;
+  ModelSnapshotBoard board_;
+  CheckinQueue queue_;
+  /// Pre-encoded refusal frame for checkout auth failures (constant).
+  net::Bytes auth_refused_frame_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::thread applier_;
+  std::size_t next_loop_ = 0;  ///< acceptor-thread round-robin cursor
+  std::atomic<bool> stopping_{false};
+
+  obs::Counter& checkouts_served_;
+  obs::Counter& commit_failures_;
+  obs::Histogram& batch_size_;
+  obs::Histogram& handle_seconds_;
+};
+
+}  // namespace crowdml::engine

@@ -1,0 +1,72 @@
+// Lock-free checkout serving: a versioned, atomically published model
+// snapshot.
+//
+// In the thread-per-connection runtime every checkout takes the server's
+// state lock to copy w (Server Routine 1). At scale that lock is the
+// bottleneck: checkouts are pure reads (handle_checkout mutates nothing),
+// yet they serialize against every checkin's SGD update. The board fixes
+// this with RCU-style publication: the applier thread builds a complete
+// snapshot — version, accepted flag, and the *pre-encoded* kParams
+// response frame — and publishes it with one atomic shared_ptr store.
+// I/O threads serve a checkout by loading the pointer and writing the
+// ready-made frame; they never touch the server, its lock, or the codec.
+//
+// Freshness: the applier republishes after every drained checkin batch,
+// so a served snapshot is at most one in-flight batch behind the true
+// state — the same staleness window Section IV-B3 already budgets for
+// (a device's gradient is computed against a w that aged in transit).
+// The snapshot-age gauge makes the window observable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "core/server.hpp"
+#include "net/messages.hpp"
+#include "obs/metrics.hpp"
+
+namespace crowdml::engine {
+
+/// One published model state. Immutable after construction.
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  bool accepted = true;  ///< false once the stopping criteria are met
+  /// Complete kParams response frame (encode_frame already applied), so
+  /// serving a checkout is a pointer load plus a socket write.
+  net::Bytes params_frame;
+  std::chrono::steady_clock::time_point published_at;
+};
+
+class ModelSnapshotBoard {
+ public:
+  /// `metrics` (null = obs::default_registry()) receives the publish
+  /// counter and the snapshot-age gauge. Must outlive the board.
+  explicit ModelSnapshotBoard(obs::MetricsRegistry* metrics = nullptr);
+
+  /// Snapshot `server`'s current parameters and publish atomically.
+  /// Caller contract: no checkin may be applied concurrently (the epoll
+  /// engine's single applier thread satisfies this by construction);
+  /// concurrent current() loads are always safe.
+  void publish(const core::Server& server);
+
+  /// The latest snapshot (never null after construction-time publish;
+  /// null only if publish was never called). Lock-free.
+  std::shared_ptr<const ModelSnapshot> current() const;
+
+  std::uint64_t version() const;
+  long long publishes() const { return publishes_.value(); }
+
+  /// Export seconds-since-last-publish to the snapshot-age gauge (the
+  /// applier refreshes it every drain cycle, including idle ones).
+  void refresh_age_gauge();
+  double age_seconds() const;
+
+ private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> current_{nullptr};
+  obs::Counter& publishes_;
+  obs::Gauge& age_seconds_gauge_;
+};
+
+}  // namespace crowdml::engine

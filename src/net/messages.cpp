@@ -131,6 +131,25 @@ AckMessage AckMessage::deserialize(const Bytes& payload) {
   return m;
 }
 
+std::string retry_after_reason(const std::string& what, int retry_after_ms) {
+  return what + "; retry_after_ms=" + std::to_string(retry_after_ms);
+}
+
+std::optional<int> parse_retry_after(const std::string& reason) {
+  static constexpr const char kKey[] = "retry_after_ms=";
+  const std::size_t at = reason.find(kKey);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t pos = at + sizeof(kKey) - 1;
+  if (pos >= reason.size() || reason[pos] < '0' || reason[pos] > '9')
+    return std::nullopt;
+  long long v = 0;
+  for (; pos < reason.size() && reason[pos] >= '0' && reason[pos] <= '9'; ++pos) {
+    v = v * 10 + (reason[pos] - '0');
+    if (v > 3600'000) return std::nullopt;  // an hour-plus hint is garbage
+  }
+  return static_cast<int>(v);
+}
+
 Bytes encode_frame(MessageType type, const Bytes& payload) {
   obs::TimedScope timer(encode_seconds());
   Bytes out;

@@ -69,6 +69,18 @@ struct AckMessage {
   static AckMessage deserialize(const Bytes& payload);
 };
 
+/// Overload nack reasons: a server shedding load (connection cap, full
+/// checkin queue) appends a machine-readable retry hint to the human
+/// reason — "<what>; retry_after_ms=<N>" — that
+/// ReconnectingDeviceSession honors as its next backoff delay instead of
+/// guessing. The hint rides the existing reason string, so old devices
+/// ignore it and the AckMessage wire format is unchanged.
+std::string retry_after_reason(const std::string& what, int retry_after_ms);
+
+/// Extract the retry_after_ms hint from a nack reason; nullopt when the
+/// reason carries none (or a malformed/negative value).
+std::optional<int> parse_retry_after(const std::string& reason);
+
 /// Framing.
 Bytes encode_frame(MessageType type, const Bytes& payload);
 

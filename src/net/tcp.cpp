@@ -109,6 +109,12 @@ void TcpConnection::close() {
   }
 }
 
+int TcpConnection::release_fd() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
 void TcpConnection::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }

@@ -85,6 +85,11 @@ class TcpConnection {
 
   void close();
 
+  /// Give up ownership of the socket: returns the fd (or -1) and leaves
+  /// the connection invalid without closing anything. Used by the epoll
+  /// engine to adopt accepted sockets into its nonblocking event loops.
+  int release_fd();
+
   /// Shut down both directions without closing the fd — safe to call from
   /// another thread to unblock a recv_frame in progress.
   void shutdown_both();

@@ -159,6 +159,12 @@ void DurableStore::attach(core::Server& server) {
       [this](const net::CheckinMessage& msg, std::uint64_t version) {
         std::lock_guard<std::mutex> lock(pending_mu_);
         if (poisoned_) return false;
+        if (group_commit_) {
+          // Buffer only; durability happens at commit_group(). The caller
+          // is holding this checkin's ack until then.
+          group_buf_.emplace_back(version, msg.serialize());
+          return true;
+        }
         // Queue-then-drain keeps the log contiguous across transient
         // append failures: the server's version advances even on a nack,
         // so appending a *newer* record before the failed one would punch
@@ -190,6 +196,68 @@ void DurableStore::attach(core::Server& server) {
       });
 }
 
+void DurableStore::set_group_commit(bool enabled) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  group_commit_ = enabled;
+}
+
+bool DurableStore::group_commit() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return group_commit_;
+}
+
+bool DurableStore::commit_group() {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return commit_buffers_locked();
+}
+
+bool DurableStore::commit_buffers_locked() {
+  if (poisoned_) {
+    // The callers of a poisoned store nack everything anyway; drop the
+    // buffer so it cannot grow without bound.
+    append_failures_ += static_cast<long long>(group_buf_.size());
+    group_buf_.clear();
+    return false;
+  }
+  if (pending_.empty() && group_buf_.empty()) return true;
+  std::vector<WalRecord> batch;
+  batch.reserve(pending_.size() + group_buf_.size());
+  for (const auto& [seq, payload] : pending_) batch.push_back({seq, payload});
+  for (const auto& [seq, payload] : group_buf_)
+    batch.push_back({seq, payload});
+  const std::size_t group_size = group_buf_.size();
+  try {
+    wal_.append_batch(batch);
+    pending_.clear();
+    group_buf_.clear();
+    return true;
+  } catch (const WalError& e) {
+    // Every record of this group gets nacked by the caller (pending_
+    // records were nacked when they were first queued), so nothing acked
+    // escapes undurable. Records append_batch already wrote stay in the
+    // log — nacked-but-durable is the safe direction — and must not be
+    // re-appended (the seq check would poison the log); the rest are
+    // re-queued so the log stays contiguous once the disk recovers.
+    append_failures_ += static_cast<long long>(group_size);
+    for (auto& rec : group_buf_) pending_.push_back(std::move(rec));
+    group_buf_.clear();
+    const std::uint64_t written_through = wal_.last_seq();
+    while (!pending_.empty() && pending_.front().first <= written_through)
+      pending_.pop_front();
+    if (pending_.size() > kMaxPending) {
+      poisoned_ = true;
+      pending_.clear();
+      if (opts_.trace) opts_.trace->event("wal_poisoned", {});
+    } else if (opts_.trace) {
+      opts_.trace->event("wal_append_failed",
+                         {{"reason", e.what()},
+                          {"queued", pending_.size()},
+                          {"group", group_size}});
+    }
+    return false;
+  }
+}
+
 void DurableStore::sync() {
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -199,6 +267,9 @@ void DurableStore::sync() {
       // Shutdown path: the queued records were already nacked, so losing
       // them here breaks no promise.
     }
+    // Group-buffered records were never acked (their batch never
+    // committed), so a failure here breaks no promise either.
+    if (!poisoned_ && !group_buf_.empty()) commit_buffers_locked();
   }
   wal_.sync();
 }

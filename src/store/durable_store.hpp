@@ -103,6 +103,26 @@ class DurableStore {
 
   static constexpr std::size_t kMaxPending = 4096;
 
+  /// Group-commit mode (the serving engine's applier thread). When
+  /// enabled, the applied hook *buffers* each record and returns true
+  /// instead of appending immediately; commit_group() then flushes the
+  /// whole buffer with one Wal::append_batch — under `--fsync always`
+  /// that is one fsync per batch instead of one per checkin. The
+  /// acked=>durable contract moves to the caller: acks for buffered
+  /// records must not reach the wire until commit_group() returns true,
+  /// and on false every ack in the batch must be rewritten to a nack
+  /// (engine::EpollCrowdServer does exactly this).
+  void set_group_commit(bool enabled);
+  bool group_commit() const;
+
+  /// Flush all buffered records — failure-queued ones first, then the
+  /// current group, in version order — with one batched append. Returns
+  /// true when every buffered record is durable per the fsync policy;
+  /// false on failure (all records of the group must then be nacked;
+  /// unwritten ones are re-queued so the log stays contiguous). Never
+  /// throws. True and a no-op when nothing is buffered.
+  bool commit_group();
+
   /// Write an atomic snapshot of `server`'s current state, prune WAL
   /// segments it covers, and delete snapshots beyond keep_snapshots.
   /// Never throws: a failed snapshot leaves the WAL intact (recovery
@@ -124,6 +144,8 @@ class DurableStore {
   std::string snapshot_path(std::uint64_t version) const;
   /// Append everything in pending_, oldest first. Caller holds pending_mu_.
   void drain_pending_locked();
+  /// commit_group() body. Caller holds pending_mu_.
+  bool commit_buffers_locked();
 
   DurableStoreOptions opts_;
   WriteAheadLog wal_;
@@ -132,8 +154,12 @@ class DurableStore {
   long long compactions_ = 0;
   long long compaction_failures_ = 0;
 
-  std::mutex pending_mu_;
+  mutable std::mutex pending_mu_;
   std::deque<std::pair<std::uint64_t, net::Bytes>> pending_;
+  /// Records buffered by the hook in group-commit mode, awaiting
+  /// commit_group(). Always newer than everything in pending_.
+  std::deque<std::pair<std::uint64_t, net::Bytes>> group_buf_;
+  bool group_commit_ = false;
   bool poisoned_ = false;
 
   obs::Counter& append_failures_;

@@ -126,6 +126,15 @@ class WriteAheadLog {
   /// Throws WalError on I/O failure or a non-monotonic seq.
   void append(std::uint64_t seq, const net::Bytes& payload);
 
+  /// Group commit: append every record (in order, seqs strictly
+  /// increasing), then fsync ONCE per the policy — under kAlways the
+  /// whole batch costs a single fsync, which is what makes batched
+  /// checkin application cheap (see engine::EpollCrowdServer). Throws
+  /// WalError at the first failing record: earlier records are written
+  /// (durable per policy), the failing one is rolled back, later ones are
+  /// untouched — the caller can tell them apart via last_seq().
+  void append_batch(const std::vector<WalRecord>& records);
+
   /// Force an fsync of the active segment (no-op when nothing is unsynced).
   void sync();
 
@@ -148,6 +157,11 @@ class WriteAheadLog {
   };
 
   void open_segment_locked(std::uint64_t first_seq, bool append_to_existing);
+  /// Write one record (rotating first if due) without any fsync; the
+  /// caller applies the fsync policy afterwards (per record for append,
+  /// once per batch for append_batch).
+  void append_one_locked(std::uint64_t seq, const net::Bytes& payload);
+  void policy_fsync_locked();
   void close_active_locked(bool fsync_it);
   void write_all_locked(const net::Bytes& bytes);
   void fsync_active_locked();

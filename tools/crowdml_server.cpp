@@ -13,6 +13,12 @@
 //       [--segment-max-bytes BYTES]           # WAL segment rotation size
 //       [--force-fresh]                       # discard unreadable state
 //                                             # instead of refusing to start
+//       [--engine threads|epoll]              # serving engine (default
+//                                             # threads; see docs/SCALING.md)
+//       [--io-threads N]                      # epoll engine: I/O loop pool
+//       [--checkin-queue-max N]               # epoll engine: admission bound
+//                                             # (full queue sheds with a
+//                                             # retry_after nack)
 //       [--report-every SECONDS]              # portal report to stdout
 //       [--metrics-out metrics.prom]          # Prometheus text, rewritten
 //                                             # at every report interval
@@ -43,6 +49,7 @@
 #include "core/checkpoint.hpp"
 #include "core/monitor.hpp"
 #include "core/tcp_runtime.hpp"
+#include "engine/epoll_server.hpp"
 #include "models/logistic_regression.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -235,13 +242,61 @@ int main(int argc, char** argv) {
     durable->attach(server);
   }
 
-  core::TcpServerConfig tcp_cfg;
-  tcp_cfg.port = port;
-  tcp_cfg.metrics = &obs::default_registry();
-  tcp_cfg.trace = trace.get();
-  core::TcpCrowdServer tcp(server, registry, tcp_cfg);
+  // Serving engine: the legacy thread-per-connection runtime stays the
+  // default; --engine epoll selects the event-loop engine with snapshot
+  // checkouts and group-committed checkins (docs/SCALING.md).
+  const std::string engine_kind = flags.get("engine", "threads");
+  const auto io_threads =
+      static_cast<std::size_t>(flags.get_int("io-threads", 1));
+  const auto queue_max =
+      static_cast<std::size_t>(flags.get_int("checkin-queue-max", 1024));
+  std::unique_ptr<core::TcpCrowdServer> tcp;
+  std::unique_ptr<engine::EpollCrowdServer> epoll;
+  std::uint16_t bound_port = 0;
+  if (engine_kind == "epoll") {
+    engine::EngineConfig ecfg;
+    ecfg.port = port;
+    ecfg.io_threads = io_threads;
+    ecfg.checkin_queue_max = queue_max;
+    ecfg.metrics = &obs::default_registry();
+    ecfg.trace = trace.get();
+    if (durable) {
+      // One fsync per drained batch instead of one per checkin; acks are
+      // held until the batch commit succeeds, so acked => durable holds.
+      durable->set_group_commit(true);
+      store::DurableStore* d = durable.get();
+      ecfg.group_commit = [d] { return d->commit_group(); };
+    }
+    epoll = std::make_unique<engine::EpollCrowdServer>(server, registry, ecfg);
+    bound_port = epoll->port();
+  } else if (engine_kind == "threads") {
+    core::TcpServerConfig tcp_cfg;
+    tcp_cfg.port = port;
+    tcp_cfg.metrics = &obs::default_registry();
+    tcp_cfg.trace = trace.get();
+    tcp = std::make_unique<core::TcpCrowdServer>(server, registry, tcp_cfg);
+    bound_port = tcp->port();
+  } else {
+    std::fprintf(stderr,
+                 "crowdml-server: unknown --engine %s (threads|epoll)\n",
+                 engine_kind.c_str());
+    return 1;
+  }
+  // The effective configuration, once, so a log file pins down exactly
+  // what this process is running with (flags have defaults; the port may
+  // have been ephemeral).
+  std::printf(
+      "config: engine=%s port=%u dim=%zu classes=%zu updater=%s lr=%g "
+      "radius=%g max-iterations=%lld target-error=%g wal=%s fsync=%s "
+      "io-threads=%zu checkin-queue-max=%zu report-every=%gs\n",
+      engine_kind.c_str(), bound_port, dim, classes,
+      flags.get("updater", "sgd").c_str(), lr, radius,
+      static_cast<long long>(cfg.max_iterations), cfg.target_error,
+      wal_dir.empty() ? "(none)" : wal_dir.c_str(),
+      wal_dir.empty() ? "-" : flags.get("fsync", "every-64").c_str(),
+      io_threads, queue_max, flags.get_double("report-every", 10.0));
   std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
-              tcp.port(), dim, classes);
+              bound_port, dim, classes);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -284,7 +339,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(server.version()));
   }
   std::fputs(core::portal_report(server).c_str(), stdout);
-  tcp.shutdown();
+  if (tcp) tcp->shutdown();
+  if (epoll) epoll->shutdown();
   if (!metrics_path.empty()) {
     obs::write_metrics_file(obs::default_registry(), metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());
