@@ -31,6 +31,7 @@
 #include "core/tcp_runtime.hpp"
 #include "engine/epoll_server.hpp"
 #include "store/durable_store.hpp"
+#include "tools/flags.hpp"
 
 namespace {
 
@@ -210,7 +211,16 @@ Result run_mode(Mode mode, std::size_t conns, long long total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  try {
+    const tools::Flags flags(argc, argv);
+    json_out = flags.get("json-out", "");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serving_engine: %s (only --json-out PATH)\n",
+                 e.what());
+    return 1;
+  }
   const bench::Options o = bench::options();
   const long long total = std::max(512, static_cast<int>(8000 * o.scale));
   bench::header("serving_engine",
@@ -227,9 +237,16 @@ int main() {
               "checkouts/s", "checkins/s", "fsyncs", "fsyncs/checkin");
   double threads_256 = 0.0, epoll_group_256 = 0.0;
   long long group_fsyncs_256 = 0;
+  struct Row {
+    Mode mode;
+    std::size_t conns;
+    Result r;
+  };
+  std::vector<Row> rows;
   for (const Mode mode : modes) {
     for (const std::size_t conns : conn_counts) {
       const Result r = run_mode(mode, conns, total);
+      rows.push_back({mode, conns, r});
       std::printf("%-12s %6zu %14.0f %14.0f %10lld %14.3f\n", mode_name(mode),
                   conns, r.checkouts_per_s, r.checkins_per_s, r.fsyncs,
                   static_cast<double>(r.fsyncs) /
@@ -243,9 +260,43 @@ int main() {
     std::printf("\n");
   }
 
-  bench::check(epoll_group_256 >= 4.0 * threads_256,
+  const bool speedup_ok = epoll_group_256 >= 4.0 * threads_256;
+  const bool fsync_ok = group_fsyncs_256 < total;
+  bench::check(speedup_ok,
                "epoll+group >= 4x threads checkin throughput at 256 conns");
-  bench::check(group_fsyncs_256 < total,
-               "group commit fsyncs fewer times than it acks");
+  bench::check(fsync_ok, "group commit fsyncs fewer times than it acks");
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "serving_engine: cannot write %s\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serving_engine\",\n  \"scale\": %g,\n"
+                 "  \"exchanges_per_phase\": %lld,\n  \"rows\": [\n",
+                 o.scale, total);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(
+          f,
+          "    {\"engine\": \"%s\", \"connections\": %zu, "
+          "\"checkouts_per_s\": %.0f, \"checkins_per_s\": %.0f, "
+          "\"fsyncs\": %lld, \"fsyncs_per_checkin\": %.3f}%s\n",
+          mode_name(row.mode), row.conns, row.r.checkouts_per_s,
+          row.r.checkins_per_s, row.r.fsyncs,
+          static_cast<double>(row.r.fsyncs) /
+              static_cast<double>(std::max<std::uint64_t>(row.r.version, 1)),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"checks\": {\n"
+                 "    \"epoll_group_4x_threads_at_256\": %s,\n"
+                 "    \"group_commit_batches_fsyncs\": %s\n  }\n}\n",
+                 speedup_ok ? "true" : "false", fsync_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("(json written: %s)\n", json_out.c_str());
+  }
   return 0;
 }

@@ -20,6 +20,12 @@ net::Bytes make_auth_refused_frame() {
   return net::encode_frame(net::MessageType::kParams, refuse.serialize());
 }
 
+net::Bytes make_redirect_frame(const std::string& leader_addr) {
+  if (leader_addr.empty()) return {};
+  const net::AckMessage nack{false, net::not_leader_reason(leader_addr)};
+  return net::encode_frame(net::MessageType::kAck, nack.serialize());
+}
+
 }  // namespace
 
 EpollCrowdServer::EpollCrowdServer(core::Server& server,
@@ -33,6 +39,7 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
       board_(config_.metrics),
       queue_(config_.checkin_queue_max, config_.metrics),
       auth_refused_frame_(make_auth_refused_frame()),
+      checkin_redirect_frame_(make_redirect_frame(config_.checkin_redirect)),
       checkouts_served_(registry_of(config_).counter(
           "crowdml_engine_checkouts_served_total",
           "Checkouts answered from the snapshot board on an I/O thread",
@@ -40,6 +47,10 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
       commit_failures_(registry_of(config_).counter(
           "crowdml_engine_commit_failures_total",
           "Applier batches whose group commit failed (all acks nacked)",
+          obs::Provenance::kTransportEvent)),
+      checkins_redirected_(registry_of(config_).counter(
+          "crowdml_engine_checkins_redirected_total",
+          "Checkins refused with a not-leader redirect (follower mode)",
           obs::Provenance::kTransportEvent)),
       batch_size_(registry_of(config_).histogram(
           "crowdml_engine_batch_size",
@@ -140,6 +151,21 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
     }
   }
 
+  // Follower mode: only the leader mutates the model. Checkins are
+  // refused right here on the I/O thread with a machine-readable
+  // redirect — they must never reach the applier, so a replica's state
+  // stays byte-identical to the leader's replication stream.
+  if (!checkin_redirect_frame_.empty() &&
+      frame.size() > net::kFrameTypeOffset &&
+      frame[net::kFrameTypeOffset] ==
+          static_cast<std::uint8_t>(net::MessageType::kCheckin)) {
+    ++checkins_redirected_;
+    if (config_.trace)
+      config_.trace->event("redirect", {{"leader", config_.checkin_redirect}});
+    loop->send(conn_id, net::Bytes(checkin_redirect_frame_));
+    return;
+  }
+
   CheckinWork work;
   work.conn_id = conn_id;
   work.loop = loop;
@@ -204,7 +230,10 @@ void EpollCrowdServer::applier_loop() {
 
     // Publish before releasing acks: a device that sees its ack and
     // immediately checks out gets a snapshot that includes its update.
-    board_.publish(server_);
+    // In follower mode the replication thread is the board's single
+    // publisher (via republish()); the applier only ever saw
+    // non-checkin frames, so it has nothing new to publish anyway.
+    if (config_.checkin_redirect.empty()) board_.publish(server_);
     batch_size_.observe(static_cast<double>(n));
 
     // Release acks grouped per event loop: one wakeup carries the whole
@@ -221,6 +250,8 @@ void EpollCrowdServer::applier_loop() {
     for (auto& [loop, items] : by_loop) loop->send_many(std::move(items));
   }
 }
+
+void EpollCrowdServer::republish() { board_.publish(server_); }
 
 void EpollCrowdServer::shutdown() {
   if (stopping_.exchange(true)) return;

@@ -75,6 +75,13 @@ struct EngineConfig {
   /// set_group_commit(true)); leave null when no durability layer is
   /// attached (or it appends per record).
   std::function<bool()> group_commit;
+  /// Follower mode (read replica): when set to the leader's device
+  /// address ("host:port"), checkins are refused on the I/O thread with
+  /// net::not_leader_reason(checkin_redirect) — only the leader mutates
+  /// the model — and the applier never publishes the snapshot board;
+  /// the replication thread owns publication via republish(). Empty =
+  /// normal leader behavior.
+  std::string checkin_redirect;
   /// Registry for engine instruments (null = obs::default_registry()).
   obs::MetricsRegistry* metrics = nullptr;
   /// Lifecycle + protocol trace events. Null disables.
@@ -106,6 +113,12 @@ class EpollCrowdServer {
     return counters_.snapshot();
   }
 
+  /// Re-publish the snapshot board from the server's current state.
+  /// Follower mode only: called by the replication thread after each
+  /// applied batch (the board's single-publisher contract moves to that
+  /// thread; the applier skips publication when checkin_redirect is set).
+  void republish();
+
   /// Stop accepting, drain the queue (every admitted request still gets
   /// its response), stop the loops, and join everything.
   void shutdown();
@@ -126,6 +139,9 @@ class EpollCrowdServer {
   CheckinQueue queue_;
   /// Pre-encoded refusal frame for checkout auth failures (constant).
   net::Bytes auth_refused_frame_;
+  /// Pre-encoded "not leader" nack for checkins in follower mode (empty
+  /// when checkin_redirect is unset).
+  net::Bytes checkin_redirect_frame_;
   std::vector<std::unique_ptr<EventLoop>> loops_;
   net::TcpListener listener_;
   std::uint16_t port_ = 0;
@@ -136,6 +152,7 @@ class EpollCrowdServer {
 
   obs::Counter& checkouts_served_;
   obs::Counter& commit_failures_;
+  obs::Counter& checkins_redirected_;
   obs::Histogram& batch_size_;
   obs::Histogram& handle_seconds_;
 };

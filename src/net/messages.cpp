@@ -131,21 +131,128 @@ AckMessage AckMessage::deserialize(const Bytes& payload) {
   return m;
 }
 
+Bytes ReplHelloMessage::serialize() const {
+  Writer w;
+  w.put_u64(follower_id);
+  w.put_u64(epoch);
+  w.put_u64(last_seq);
+  return w.take();
+}
+
+ReplHelloMessage ReplHelloMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ReplHelloMessage m;
+  m.follower_id = r.get_u64();
+  m.epoch = r.get_u64();
+  m.last_seq = r.get_u64();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ReplHelloMessage");
+  return m;
+}
+
+Bytes ReplSnapshotMessage::serialize() const {
+  Writer w;
+  w.put_u64(epoch);
+  w.put_u8(want_ack ? 1 : 0);
+  w.put_u64(version);
+  w.put_bytes(checkpoint);
+  return w.take();
+}
+
+ReplSnapshotMessage ReplSnapshotMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ReplSnapshotMessage m;
+  m.epoch = r.get_u64();
+  m.want_ack = r.get_u8() != 0;
+  m.version = r.get_u64();
+  m.checkpoint = r.get_bytes();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ReplSnapshotMessage");
+  return m;
+}
+
+Bytes ReplAppendMessage::serialize() const {
+  Writer w;
+  w.put_u64(epoch);
+  w.put_u8(want_ack ? 1 : 0);
+  w.put_u32(static_cast<std::uint32_t>(records.size()));
+  for (const ReplRecord& rec : records) {
+    w.put_u64(rec.seq);
+    w.put_bytes(rec.payload);
+  }
+  return w.take();
+}
+
+ReplAppendMessage ReplAppendMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ReplAppendMessage m;
+  m.epoch = r.get_u64();
+  m.want_ack = r.get_u8() != 0;
+  const std::uint32_t n = r.get_u32();
+  if (n > kMaxFieldLength) throw CodecError("absurd ReplAppend record count");
+  m.records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ReplRecord rec;
+    rec.seq = r.get_u64();
+    rec.payload = r.get_bytes();
+    m.records.push_back(std::move(rec));
+  }
+  if (!r.exhausted()) throw CodecError("trailing bytes in ReplAppendMessage");
+  return m;
+}
+
+Bytes ReplAckMessage::serialize() const {
+  Writer w;
+  w.put_u64(epoch);
+  w.put_u64(durable_seq);
+  return w.take();
+}
+
+ReplAckMessage ReplAckMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ReplAckMessage m;
+  m.epoch = r.get_u64();
+  m.durable_seq = r.get_u64();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ReplAckMessage");
+  return m;
+}
+
+namespace {
+constexpr const char kNotLeaderPrefix[] = "not leader; leader=";
+}
+
+std::string not_leader_reason(const std::string& leader_addr) {
+  return kNotLeaderPrefix + leader_addr;
+}
+
+std::optional<std::string> parse_leader_redirect(const std::string& reason) {
+  const std::size_t prefix_len = sizeof(kNotLeaderPrefix) - 1;
+  if (reason.rfind(kNotLeaderPrefix, 0) != 0 || reason.size() <= prefix_len)
+    return std::nullopt;
+  return reason.substr(prefix_len);
+}
+
 std::string retry_after_reason(const std::string& what, int retry_after_ms) {
   return what + "; retry_after_ms=" + std::to_string(retry_after_ms);
 }
 
 std::optional<int> parse_retry_after(const std::string& reason) {
   static constexpr const char kKey[] = "retry_after_ms=";
-  const std::size_t at = reason.find(kKey);
+  const std::size_t at = reason.rfind(kKey);
   if (at == std::string::npos) return std::nullopt;
-  std::size_t pos = at + sizeof(kKey) - 1;
-  if (pos >= reason.size() || reason[pos] < '0' || reason[pos] > '9')
+  // The hint must be a whole, final token: the key either starts the
+  // reason or follows the "; " separator retry_after_reason writes
+  // ("xretry_after_ms=5" is not a hint), and the digits must run to the
+  // end of the string ("retry_after_ms=12ms" must not parse as 12).
+  if (at != 0 && (at < 2 || reason[at - 1] != ' ' || reason[at - 2] != ';'))
     return std::nullopt;
+  std::size_t pos = at + sizeof(kKey) - 1;
+  if (pos >= reason.size()) return std::nullopt;
   long long v = 0;
-  for (; pos < reason.size() && reason[pos] >= '0' && reason[pos] <= '9'; ++pos) {
+  for (; pos < reason.size(); ++pos) {
+    if (reason[pos] < '0' || reason[pos] > '9') return std::nullopt;
     v = v * 10 + (reason[pos] - '0');
-    if (v > 3600'000) return std::nullopt;  // an hour-plus hint is garbage
+    // An hour-plus hint is garbage; rejecting here also stops overflow
+    // past int from wrapping into a small "valid" delay.
+    if (v > 3600'000) return std::nullopt;
   }
   return static_cast<int>(v);
 }
@@ -189,7 +296,7 @@ Frame decode_frame(const Bytes& buffer) {
 
   Frame f;
   const std::uint8_t type = buffer[4];
-  if (type < 1 || type > 4) throw CodecError("unknown frame type");
+  if (type < 1 || type > kMaxMessageType) throw CodecError("unknown frame type");
   f.type = static_cast<MessageType>(type);
   f.payload.assign(buffer.begin() + kFrameHeaderSize,
                    buffer.begin() + static_cast<std::ptrdiff_t>(crc_off));

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/codec.hpp"
 #include "net/sha256.hpp"
@@ -27,7 +28,16 @@ enum class MessageType : std::uint8_t {
   kParams = 2,
   kCheckin = 3,
   kAck = 4,
+  // Replication plane (leader <-> follower WAL shipping, same framing;
+  // see src/replica/ and docs/REPLICATION.md). Types 5-8 never appear on
+  // the device-facing port.
+  kReplHello = 5,
+  kReplSnapshot = 6,
+  kReplAppend = 7,
+  kReplAck = 8,
 };
+
+inline constexpr std::uint8_t kMaxMessageType = 8;
 
 struct CheckoutRequest {
   std::uint64_t device_id = 0;
@@ -69,6 +79,73 @@ struct AckMessage {
   static AckMessage deserialize(const Bytes& payload);
 };
 
+/// Replication handshake (follower -> leader), sent once per connection:
+/// who the follower is, the highest epoch it has promised to, and the
+/// last WAL seq it holds *durably*. The leader resumes shipping at
+/// last_seq + 1 — or answers with a ReplSnapshot when compaction already
+/// pruned those records. A hello whose epoch exceeds the leader's fences
+/// the leader (it has been superseded; see docs/REPLICATION.md).
+struct ReplHelloMessage {
+  std::uint64_t follower_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t last_seq = 0;
+
+  Bytes serialize() const;
+  static ReplHelloMessage deserialize(const Bytes& payload);
+};
+
+/// Full-state catch-up (leader -> follower): a serialized
+/// core::ServerCheckpoint at `version`. The follower replaces its store
+/// wholesale and resumes streaming from version + 1.
+struct ReplSnapshotMessage {
+  std::uint64_t epoch = 0;
+  bool want_ack = true;  ///< leader expects a ReplAck after install
+  std::uint64_t version = 0;
+  Bytes checkpoint;
+
+  Bytes serialize() const;
+  static ReplSnapshotMessage deserialize(const Bytes& payload);
+};
+
+/// One shipped WAL record: the exact payload bytes the leader logged
+/// (a serialized CheckinMessage), so the follower's log stays
+/// byte-identical to the leader's at equal offsets.
+struct ReplRecord {
+  std::uint64_t seq = 0;
+  Bytes payload;
+};
+
+/// A batch of contiguous WAL records (leader -> follower).
+struct ReplAppendMessage {
+  std::uint64_t epoch = 0;
+  bool want_ack = true;
+  std::vector<ReplRecord> records;
+
+  Bytes serialize() const;
+  static ReplAppendMessage deserialize(const Bytes& payload);
+};
+
+/// Follower -> leader: "I hold everything through durable_seq on disk",
+/// stamped with the follower's current epoch so a promoted follower
+/// fences its old leader on the ack path too.
+struct ReplAckMessage {
+  std::uint64_t epoch = 0;
+  std::uint64_t durable_seq = 0;
+
+  Bytes serialize() const;
+  static ReplAckMessage deserialize(const Bytes& payload);
+};
+
+/// Checkin refusal from a read replica: "not leader; leader=<addr>".
+/// Devices (or operators reading logs) can re-point at the leader; the
+/// reason rides the normal AckMessage, so old devices just see a failed
+/// cycle.
+std::string not_leader_reason(const std::string& leader_addr);
+
+/// Extract the leader address from a not_leader_reason; nullopt when the
+/// reason is anything else.
+std::optional<std::string> parse_leader_redirect(const std::string& reason);
+
 /// Overload nack reasons: a server shedding load (connection cap, full
 /// checkin queue) appends a machine-readable retry hint to the human
 /// reason — "<what>; retry_after_ms=<N>" — that
@@ -77,8 +154,11 @@ struct AckMessage {
 /// ignore it and the AckMessage wire format is unchanged.
 std::string retry_after_reason(const std::string& what, int retry_after_ms);
 
-/// Extract the retry_after_ms hint from a nack reason; nullopt when the
-/// reason carries none (or a malformed/negative value).
+/// Extract the retry_after_ms hint from a nack reason. Strict: the hint
+/// must be the final "; retry_after_ms=<digits>" token — a key buried
+/// mid-token, trailing non-digits, a negative value, or a value past an
+/// hour (3'600'000 ms) all yield nullopt rather than a wrapped or
+/// truncated delay a hostile server could choose.
 std::optional<int> parse_retry_after(const std::string& reason);
 
 /// Framing.

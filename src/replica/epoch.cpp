@@ -1,0 +1,105 @@
+#include "replica/epoch.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "net/checksum.hpp"
+#include "net/codec.hpp"
+
+namespace crowdml::replica {
+
+namespace {
+
+constexpr std::uint32_t kEpochMagic = 0x50455243;  // "CREP" little-endian
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+EpochStore::EpochStore(std::string dir) : dir_(std::move(dir)) {
+  try {
+    std::filesystem::create_directories(dir_);
+  } catch (const std::filesystem::filesystem_error& e) {
+    throw EpochError(std::string("cannot create epoch directory: ") + e.what());
+  }
+}
+
+std::string EpochStore::path() const { return dir_ + "/epoch"; }
+
+std::uint64_t EpochStore::load() const {
+  std::FILE* f = std::fopen(path().c_str(), "rb");
+  if (!f) return 0;  // never stored
+  net::Bytes bytes(16);
+  const std::size_t n = std::fread(bytes.data(), 1, bytes.size() + 1, f);
+  std::fclose(f);
+  if (n != bytes.size())
+    throw EpochError("epoch file " + path() + " has the wrong size");
+  net::Reader r(bytes);
+  const std::uint32_t magic = r.get_u32();
+  const std::uint64_t epoch = r.get_u64();
+  const std::uint32_t stated = r.get_u32();
+  if (magic != kEpochMagic)
+    throw EpochError("epoch file " + path() + " has a bad magic");
+  if (stated != net::crc32(bytes.data(), 12))
+    throw EpochError("epoch file " + path() + " fails its checksum");
+  return epoch;
+}
+
+void EpochStore::store(std::uint64_t epoch) {
+  const std::uint64_t current = load();
+  if (epoch < current)
+    throw EpochError("refusing to move epoch backwards (" +
+                     std::to_string(epoch) + " < " + std::to_string(current) +
+                     ")");
+  net::Writer w;
+  w.put_u32(kEpochMagic);
+  w.put_u64(epoch);
+  net::Bytes bytes = w.take();
+  net::Writer tail;
+  tail.put_u32(net::crc32(bytes.data(), bytes.size()));
+  const net::Bytes crc = tail.take();
+  bytes.insert(bytes.end(), crc.begin(), crc.end());
+
+  const std::string tmp = path() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw EpochError(errno_message("cannot create " + tmp));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string reason = errno_message("cannot write " + tmp);
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw EpochError(reason);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string reason = errno_message("cannot fsync " + tmp);
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw EpochError(reason);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path().c_str()) != 0) {
+    const std::string reason = errno_message("cannot rename " + tmp);
+    std::remove(tmp.c_str());
+    throw EpochError(reason);
+  }
+  // Make the rename itself durable.
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace crowdml::replica

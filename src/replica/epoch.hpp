@@ -1,0 +1,49 @@
+// Fencing epochs for replication failover.
+//
+// An epoch is a monotonically increasing term number stamped into every
+// replication frame. Promotion (crowdml-server --promote-on-start, or a
+// test constructing a new LogShipper) bumps it; a follower that has seen
+// epoch e refuses every frame from an epoch < e and a leader that sees a
+// hello or ack from an epoch above its own knows it has been superseded
+// and stops acknowledging writes. Because the register below is durable
+// *before* the promise is acted on, a crashed node can never come back
+// believing in a lower term than it already honored — the property that
+// makes split-brain impossible (docs/REPLICATION.md#epoch-fencing).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace crowdml::replica {
+
+class EpochError : public std::runtime_error {
+ public:
+  explicit EpochError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Durable epoch register: one CRC-framed file, written atomically
+/// (temp + fsync + rename + directory fsync) so a crash mid-write leaves
+/// either the old term or the new one, never garbage.
+class EpochStore {
+ public:
+  /// Creates `dir` if missing. Throws EpochError when it cannot.
+  explicit EpochStore(std::string dir);
+
+  /// The stored epoch; 0 when none was ever stored. Throws EpochError
+  /// when the file exists but does not verify — a term must never be
+  /// guessed.
+  std::uint64_t load() const;
+
+  /// Persist `epoch` durably. Throws EpochError on I/O failure or an
+  /// attempt to move the register backwards (equal is an idempotent
+  /// rewrite).
+  void store(std::uint64_t epoch);
+
+  std::string path() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace crowdml::replica

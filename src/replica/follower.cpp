@@ -1,0 +1,310 @@
+#include "replica/follower.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "net/messages.hpp"
+#include "obs/profile.hpp"
+
+namespace crowdml::replica {
+
+namespace {
+
+obs::MetricsRegistry& registry_of(const FollowerOptions& opts) {
+  return opts.metrics ? *opts.metrics : obs::default_registry();
+}
+
+}  // namespace
+
+Follower::Follower(core::Server& server, std::string dir,
+                   FollowerOptions options)
+    : server_(server),
+      dir_(std::move(dir)),
+      opts_(std::move(options)),
+      epoch_store_(opts_.epoch_dir.empty() ? dir_ : opts_.epoch_dir),
+      records_applied_(registry_of(opts_).counter(
+          "crowdml_repl_records_applied_total",
+          "Shipped WAL records applied and made durable on this follower",
+          obs::Provenance::kTransportEvent)),
+      stale_frames_refused_(registry_of(opts_).counter(
+          "crowdml_repl_stale_frames_refused_total",
+          "Replication frames refused because their epoch predates the "
+          "follower's promised epoch",
+          obs::Provenance::kTransportEvent)),
+      snapshots_installed_(registry_of(opts_).counter(
+          "crowdml_repl_snapshots_installed_total",
+          "Full-state snapshots installed to catch up past pruned history",
+          obs::Provenance::kTransportEvent)),
+      reconnects_(registry_of(opts_).counter(
+          "crowdml_repl_reconnects_total",
+          "Attempts to (re)connect to the leader's replication port",
+          obs::Provenance::kTransportEvent)),
+      epoch_gauge_(registry_of(opts_).gauge(
+          "crowdml_repl_epoch",
+          "Highest replication epoch this node has durably promised to",
+          obs::Provenance::kTransportEvent)),
+      apply_seconds_(registry_of(opts_).histogram(
+          "crowdml_repl_apply_seconds",
+          "One shipped batch: deterministic replay + WAL append + fsync",
+          obs::Provenance::kTiming)) {
+  epoch_.store(epoch_store_.load());
+  epoch_gauge_.set(static_cast<double>(epoch_.load()));
+  store_ = std::make_unique<store::DurableStore>(dir_, opts_.store);
+  recovery_ = store_->recover(server_);
+}
+
+Follower::~Follower() { shutdown(); }
+
+void Follower::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Follower::shutdown() {
+  if (stopping_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (live_conn_) live_conn_->shutdown_both();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t Follower::durable_position() const {
+  return std::max(recovery_.recovered_version, store_->wal().last_seq());
+}
+
+void Follower::set_fatal(const std::string& reason) {
+  fatal_.store(true);
+  if (opts_.trace)
+    opts_.trace->event("repl_follower_fatal", {{"reason", reason}});
+}
+
+bool Follower::accept_epoch(std::uint64_t frame_epoch) {
+  const std::uint64_t promised = epoch_.load();
+  if (frame_epoch < promised) {
+    ++stale_frames_refused_;
+    if (opts_.trace)
+      opts_.trace->event("repl_stale_frame_refused",
+                         {{"frame_epoch", frame_epoch},
+                          {"promised_epoch", promised}});
+    return false;
+  }
+  if (frame_epoch > promised) {
+    // Durable before honored: a crash after this point must still refuse
+    // the old term on restart.
+    try {
+      epoch_store_.store(frame_epoch);
+    } catch (const EpochError& e) {
+      if (opts_.trace)
+        opts_.trace->event("repl_epoch_store_failed", {{"reason", e.what()}});
+      return false;  // drop the connection; retry later
+    }
+    epoch_.store(frame_epoch);
+    epoch_gauge_.set(static_cast<double>(frame_epoch));
+    if (opts_.trace)
+      opts_.trace->event("repl_epoch_adopted", {{"epoch", frame_epoch}});
+  }
+  return true;
+}
+
+void Follower::run() {
+  int backoff = opts_.reconnect_backoff_ms;
+  while (!stopping_.load() && !fatal_.load()) {
+    ++reconnects_;
+    auto conn = net::TcpConnection::connect(
+        opts_.leader_host, opts_.leader_port, opts_.connect_timeout_ms);
+    if (!conn) {
+      // Interruptible backoff, capped.
+      for (int slept = 0; slept < backoff && !stopping_.load(); slept += 20)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      backoff = std::min(backoff * 2, opts_.reconnect_backoff_max_ms);
+      continue;
+    }
+    backoff = opts_.reconnect_backoff_ms;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      live_conn_ = &*conn;
+    }
+    if (stopping_.load()) {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      live_conn_ = nullptr;
+      break;
+    }
+    const bool keep_going = serve_connection(*conn);
+    connected_.store(false);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      live_conn_ = nullptr;
+    }
+    if (!keep_going) break;
+  }
+}
+
+bool Follower::serve_connection(net::TcpConnection& conn) {
+  net::ReplHelloMessage hello;
+  hello.follower_id = opts_.follower_id;
+  hello.epoch = epoch_.load();
+  hello.last_seq = durable_position();
+  conn.set_deadline_ms(opts_.io_deadline_ms);
+  if (!conn.send_frame(net::encode_frame(net::MessageType::kReplHello,
+                                         hello.serialize())))
+    return true;
+  connected_.store(true);
+  if (opts_.trace)
+    opts_.trace->event("repl_connected", {{"last_seq", hello.last_seq},
+                                          {"epoch", hello.epoch}});
+
+  while (!stopping_.load()) {
+    // Block indefinitely waiting for the next batch (shutdown_both
+    // unblocks this); individual sends get the I/O deadline back.
+    conn.set_deadline_ms(net::TcpConnection::kNoDeadline);
+    auto frame = conn.recv_frame();
+    if (!frame) return true;
+    conn.set_deadline_ms(opts_.io_deadline_ms);
+
+    net::Frame f;
+    try {
+      f = net::decode_frame(*frame);
+    } catch (const net::CodecError&) {
+      return true;  // corrupt frame: drop the connection, reconnect
+    }
+
+    bool want_ack = false;
+    if (f.type == net::MessageType::kReplAppend) {
+      net::ReplAppendMessage append;
+      try {
+        append = net::ReplAppendMessage::deserialize(f.payload);
+      } catch (const net::CodecError&) {
+        return true;
+      }
+      if (!accept_epoch(append.epoch)) return true;
+      {
+        obs::TimedScope timer(apply_seconds_);
+        if (!apply_records(append.records)) return false;  // fatal
+      }
+      want_ack = append.want_ack;
+    } else if (f.type == net::MessageType::kReplSnapshot) {
+      net::ReplSnapshotMessage snap;
+      try {
+        snap = net::ReplSnapshotMessage::deserialize(f.payload);
+      } catch (const net::CodecError&) {
+        return true;
+      }
+      if (!accept_epoch(snap.epoch)) return true;
+      if (!install_snapshot(snap)) return false;  // fatal
+      want_ack = snap.want_ack;
+    } else {
+      return true;  // protocol abuse; drop the connection
+    }
+
+    if (opts_.on_applied) opts_.on_applied();
+    if (want_ack) {
+      net::ReplAckMessage ack;
+      ack.epoch = epoch_.load();
+      ack.durable_seq = durable_position();
+      if (!conn.send_frame(net::encode_frame(net::MessageType::kReplAck,
+                                             ack.serialize())))
+        return true;
+    }
+  }
+  return true;
+}
+
+bool Follower::apply_records(const std::vector<net::ReplRecord>& records) {
+  const std::uint64_t durable = durable_position();
+  std::vector<store::WalRecord> to_append;
+  to_append.reserve(records.size());
+  for (const auto& rec : records) {
+    if (rec.seq <= durable) continue;  // already held durably; idempotent
+    if (rec.seq <= server_.version()) {
+      // Applied in memory on a previous connection but its append never
+      // completed: persist without re-applying, closing the hole.
+      to_append.push_back({rec.seq, rec.payload});
+      continue;
+    }
+    if (rec.seq != server_.version() + 1) {
+      set_fatal("replication gap: got seq " + std::to_string(rec.seq) +
+                " at version " + std::to_string(server_.version()));
+      return false;
+    }
+    net::CheckinMessage msg;
+    try {
+      msg = net::CheckinMessage::deserialize(rec.payload);
+    } catch (const net::CodecError& e) {
+      set_fatal("undecodable shipped record " + std::to_string(rec.seq) +
+                " (" + e.what() + ")");
+      return false;
+    }
+    const net::AckMessage ack = server_.handle_checkin(msg);
+    if (!ack.ok || server_.version() != rec.seq) {
+      // The leader applied this record; a faithful replica must too. A
+      // rejection here means configs diverge — refuse to guess.
+      set_fatal("replay diverged at seq " + std::to_string(rec.seq) +
+                (ack.ok ? "" : (": " + ack.reason)));
+      return false;
+    }
+    to_append.push_back({rec.seq, rec.payload});
+  }
+  if (!to_append.empty()) {
+    try {
+      store_->wal().append_batch(to_append);
+      store_->wal().sync();
+    } catch (const store::WalError& e) {
+      // Acking would claim durability we do not have.
+      set_fatal(std::string("follower wal append failed: ") + e.what());
+      return false;
+    }
+    records_applied_ += static_cast<long long>(to_append.size());
+  }
+  return true;
+}
+
+bool Follower::compact() {
+  std::lock_guard<std::mutex> store_lock(store_mu_);
+  if (!store_ || fatal_.load()) return false;
+  return store_->compact(server_);
+}
+
+bool Follower::install_snapshot(const net::ReplSnapshotMessage& snap) {
+  if (snap.version <= durable_position()) return true;  // stale; just ack
+  core::ServerCheckpoint cp;
+  try {
+    cp = core::ServerCheckpoint::deserialize(snap.checkpoint);
+  } catch (const net::CodecError& e) {
+    set_fatal(std::string("undecodable shipped snapshot: ") + e.what());
+    return false;
+  }
+  std::lock_guard<std::mutex> store_lock(store_mu_);
+  try {
+    // Replace local history wholesale: drop the store handle, clear the
+    // old log (its records are all below the snapshot), write the
+    // shipped checkpoint as a normal snapshot file, and recover from it
+    // through the standard path.
+    store_.reset();
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("wal-", 0) == 0) std::filesystem::remove(entry.path());
+    }
+    cp.save_file(dir_ + "/" +
+                 store::DurableStore::snapshot_filename(cp.version));
+    store_ = std::make_unique<store::DurableStore>(dir_, opts_.store);
+    recovery_ = store_->recover(server_);
+  } catch (const std::exception& e) {
+    set_fatal(std::string("snapshot install failed: ") + e.what());
+    return false;
+  }
+  if (server_.version() != snap.version) {
+    set_fatal("snapshot version mismatch: installed " +
+              std::to_string(server_.version()) + ", shipped " +
+              std::to_string(snap.version));
+    return false;
+  }
+  ++snapshots_installed_;
+  if (opts_.trace)
+    opts_.trace->event("repl_snapshot_installed", {{"version", snap.version}});
+  return true;
+}
+
+}  // namespace crowdml::replica

@@ -1,0 +1,134 @@
+// Follower side of WAL shipping: connects to the leader's replication
+// port, announces its durable position, and applies every shipped record
+// through the same deterministic Server::handle_checkin path recovery
+// uses — so leader and follower are byte-identical at equal log offsets
+// (state, WAL bytes, and encoded parameter frames alike). Applied
+// records are appended to the follower's own WAL and fsynced before the
+// ack goes back: a ReplAck is a durability claim, which is what lets a
+// quorum leader promise acked => replicated.
+//
+// Epoch fencing: frames below the follower's promised epoch are refused
+// and the connection dropped (a deposed leader cannot feed us); frames
+// above it are adopted — durably, via EpochStore, *before* any record of
+// the new term is applied. See docs/REPLICATION.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/server.hpp"
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "replica/epoch.hpp"
+#include "store/durable_store.hpp"
+
+namespace crowdml::replica {
+
+struct FollowerOptions {
+  std::string leader_host = "127.0.0.1";
+  std::uint16_t leader_port = 0;
+  std::uint64_t follower_id = 0;
+  store::DurableStoreOptions store;
+  /// Directory for the epoch register; "" = the store directory.
+  std::string epoch_dir;
+  int reconnect_backoff_ms = 200;
+  int reconnect_backoff_max_ms = 2000;
+  int io_deadline_ms = 10'000;
+  int connect_timeout_ms = 2000;
+  /// Called (from the replication thread) after each applied batch or
+  /// installed snapshot — the serving engine republishes its snapshot
+  /// board here so checkouts see the new parameters.
+  std::function<void()> on_applied;
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = default_registry()
+  obs::TraceSink* trace = nullptr;          ///< null disables
+};
+
+class Follower {
+ public:
+  /// Builds the durable store in `dir`, recovers `server` from it, and
+  /// loads the promised epoch — but does not connect until start().
+  /// Throws (WalError, EpochError) on unrecoverable local state.
+  Follower(core::Server& server, std::string dir, FollowerOptions options);
+  ~Follower();
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  void start();
+  void shutdown();
+
+  std::uint64_t epoch() const { return epoch_.load(); }
+  /// Highest WAL seq applied to the server (== the server's iteration).
+  std::uint64_t applied_seq() const { return server_.version(); }
+  bool connected() const { return connected_.load(); }
+  /// A local divergence or disk failure stopped replication; the process
+  /// must be restarted (recovery re-derives a consistent state).
+  bool fatal() const { return fatal_.load(); }
+  long long stale_frames_refused() const {
+    return stale_frames_refused_.value();
+  }
+  long long snapshots_installed() const {
+    return snapshots_installed_.value();
+  }
+  long long records_applied() const { return records_applied_.value(); }
+
+  /// Compact the replica's store (snapshot + prune shipped history),
+  /// from any thread; excluded against a concurrent snapshot install.
+  /// False when compaction failed (the WAL stays intact).
+  bool compact();
+
+  /// The replica's store. Unsynchronized: only safe while the follower
+  /// is not running (before start() / after shutdown()); while running,
+  /// use compact() and the counters instead.
+  store::DurableStore& store() { return *store_; }
+  const store::DurableStore::RecoveryInfo& recovery_info() const {
+    return recovery_;
+  }
+
+ private:
+  void run();
+  bool serve_connection(net::TcpConnection& conn);
+  /// Apply one shipped batch; false => fatal_ was set.
+  bool apply_records(const std::vector<net::ReplRecord>& records);
+  bool install_snapshot(const net::ReplSnapshotMessage& snap);
+  /// Highest seq this follower holds durably (what hello and acks claim).
+  std::uint64_t durable_position() const;
+  /// Adopt a frame's epoch: refuse stale (returns false, caller drops the
+  /// connection), durably store newer before proceeding.
+  bool accept_epoch(std::uint64_t frame_epoch);
+  void set_fatal(const std::string& reason);
+
+  core::Server& server_;
+  std::string dir_;
+  FollowerOptions opts_;
+  EpochStore epoch_store_;
+  std::unique_ptr<store::DurableStore> store_;
+  store::DurableStore::RecoveryInfo recovery_;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> fatal_{false};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  std::mutex conn_mu_;
+  net::TcpConnection* live_conn_ = nullptr;
+
+  /// Serializes store_ replacement (snapshot install) against compact().
+  std::mutex store_mu_;
+
+  obs::Counter& records_applied_;
+  obs::Counter& stale_frames_refused_;
+  obs::Counter& snapshots_installed_;
+  obs::Counter& reconnects_;
+  obs::Gauge& epoch_gauge_;
+  obs::Histogram& apply_seconds_;
+};
+
+}  // namespace crowdml::replica

@@ -1,0 +1,276 @@
+#include "replica/log_shipper.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/checkpoint.hpp"
+#include "net/messages.hpp"
+
+namespace crowdml::replica {
+
+namespace {
+
+obs::MetricsRegistry& registry_of(const ShipperOptions& opts) {
+  return opts.metrics ? *opts.metrics : obs::default_registry();
+}
+
+}  // namespace
+
+std::size_t quorum_follower_acks_for(std::size_t followers) {
+  return (followers + 1) / 2;
+}
+
+LogShipper::LogShipper(core::Server& server, store::DurableStore& store,
+                       std::uint64_t epoch, ShipperOptions options)
+    : server_(server),
+      store_(store),
+      epoch_(epoch),
+      opts_(options),
+      lag_records_(registry_of(opts_).gauge(
+          "crowdml_repl_lag_records",
+          "WAL records the laggiest connected follower is behind the "
+          "leader's committed tail (0 when no follower is connected)",
+          obs::Provenance::kTransportEvent)),
+      ship_seconds_(registry_of(opts_).histogram(
+          "crowdml_repl_ship_seconds",
+          "One replication batch: send + follower durable-append + ack",
+          obs::Provenance::kTiming)),
+      records_shipped_(registry_of(opts_).counter(
+          "crowdml_repl_records_shipped_total",
+          "WAL records streamed to followers (counted per session)",
+          obs::Provenance::kTransportEvent)),
+      snapshots_shipped_(registry_of(opts_).counter(
+          "crowdml_repl_snapshots_shipped_total",
+          "Full-state snapshots shipped because compaction outran a "
+          "follower's cursor",
+          obs::Provenance::kTransportEvent)),
+      fenced_hellos_(registry_of(opts_).counter(
+          "crowdml_repl_fenced_hellos_total",
+          "Replication frames refused because the peer held a newer epoch",
+          obs::Provenance::kTransportEvent)),
+      quorum_timeouts_(registry_of(opts_).counter(
+          "crowdml_repl_quorum_timeouts_total",
+          "Checkin batches nacked because the follower quorum did not ack "
+          "in time",
+          obs::Provenance::kTransportEvent)),
+      followers_connected_(registry_of(opts_).counter(
+          "crowdml_repl_followers_connected_total",
+          "Follower replication sessions accepted",
+          obs::Provenance::kTransportEvent)) {
+  auto listener = net::TcpListener::bind(opts_.bind_address, opts_.port);
+  if (!listener)
+    throw std::runtime_error("cannot bind replication port " +
+                             opts_.bind_address + ":" +
+                             std::to_string(opts_.port));
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  watermark_ = store_.wal().last_seq();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+LogShipper::~LogShipper() { shutdown(); }
+
+void LogShipper::notify_committed() {
+  {
+    std::lock_guard<std::mutex> lock(watermark_mu_);
+    watermark_ = store_.wal().last_seq();
+  }
+  watermark_cv_.notify_all();
+}
+
+bool LogShipper::await_quorum(std::uint64_t seq) {
+  if (opts_.ack_mode != ReplAckMode::kQuorum) return true;
+  if (fenced_.load() || stopping_.load()) return false;
+  const bool ok = tracker_.await(
+      seq, opts_.quorum_follower_acks, opts_.quorum_timeout_ms,
+      [this] { return fenced_.load() || stopping_.load(); });
+  if (!ok && !fenced_.load() && !stopping_.load()) ++quorum_timeouts_;
+  return ok;
+}
+
+void LogShipper::fence(std::uint64_t observed_epoch) {
+  fenced_.store(true);
+  ++fenced_hellos_;
+  if (opts_.trace)
+    opts_.trace->event("repl_fenced", {{"epoch", epoch_},
+                                       {"observed_epoch", observed_epoch}});
+  tracker_.wake();
+  watermark_cv_.notify_all();
+}
+
+void LogShipper::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept();
+    if (!conn) break;  // listener closed
+    conn->set_deadline_ms(opts_.io_deadline_ms);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (stopping_.load()) break;
+    const std::uint64_t id = next_session_id_++;
+    session_threads_.emplace_back(
+        [this, id, c = std::move(*conn)]() mutable {
+          session_loop(id, std::move(c));
+        });
+  }
+}
+
+void LogShipper::session_loop(std::uint64_t session_id,
+                              net::TcpConnection conn) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    live_conns_[session_id] = &conn;
+  }
+  const bool want_ack = opts_.ack_mode != ReplAckMode::kNone;
+  bool joined = false;
+  std::uint64_t follower_id = 0;
+
+  // One follower session: hello, then stream batches (or a snapshot when
+  // compaction pruned the follower's resume point) until disconnect.
+  do {
+    auto hello_frame = conn.recv_frame();
+    if (!hello_frame) break;
+    net::ReplHelloMessage hello;
+    try {
+      const net::Frame f = net::decode_frame(*hello_frame);
+      if (f.type != net::MessageType::kReplHello) break;
+      hello = net::ReplHelloMessage::deserialize(f.payload);
+    } catch (const net::CodecError&) {
+      break;
+    }
+    if (hello.epoch > epoch_) {
+      fence(hello.epoch);
+      break;
+    }
+    follower_id = hello.follower_id;
+    ++followers_connected_;
+    tracker_.join(session_id);
+    joined = true;
+    // The follower already durably holds everything through its hello
+    // position, so it counts toward quorums immediately.
+    tracker_.ack(session_id, hello.last_seq);
+    if (opts_.trace)
+      opts_.trace->event("repl_follower_connected",
+                         {{"follower_id", follower_id},
+                          {"last_seq", hello.last_seq},
+                          {"epoch", hello.epoch}});
+
+    std::uint64_t cursor = hello.last_seq;
+    bool alive = true;
+    while (alive && !stopping_.load()) {
+      std::uint64_t watermark;
+      {
+        std::lock_guard<std::mutex> lock(watermark_mu_);
+        watermark = watermark_;
+      }
+      const ShipBatch batch =
+          next_ship_batch(store_.dir(), cursor, watermark,
+                          opts_.batch_max_records, opts_.batch_max_bytes);
+
+      if (batch.gap) {
+        // Compaction already pruned cursor+1: ship the full state and
+        // resume streaming above the snapshot's version. The snapshot may
+        // run ahead of the committed watermark (records applied in memory
+        // but still pending durability ride along); that is the
+        // nacked-but-durable-on-the-follower direction, which breaks no
+        // promise.
+        const core::ServerCheckpoint cp = core::checkpoint_server(server_);
+        net::ReplSnapshotMessage snap;
+        snap.epoch = epoch_;
+        snap.want_ack = want_ack;
+        snap.version = cp.version;
+        snap.checkpoint = cp.serialize();
+        if (!conn.send_frame(net::encode_frame(net::MessageType::kReplSnapshot,
+                                               snap.serialize())))
+          break;
+        ++snapshots_shipped_;
+        if (opts_.trace)
+          opts_.trace->event("repl_snapshot_shipped",
+                             {{"follower_id", follower_id},
+                              {"version", cp.version}});
+        cursor = cp.version;
+      } else if (batch.records.empty()) {
+        // Caught up: sleep until the next commit (or shutdown/fencing).
+        std::unique_lock<std::mutex> lock(watermark_mu_);
+        watermark_cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
+          return stopping_.load() || watermark_ > cursor;
+        });
+        continue;
+      } else {
+        const auto started = std::chrono::steady_clock::now();
+        net::ReplAppendMessage append;
+        append.epoch = epoch_;
+        append.want_ack = want_ack;
+        append.records.reserve(batch.records.size());
+        for (const auto& rec : batch.records)
+          append.records.push_back({rec.seq, rec.payload});
+        if (!conn.send_frame(net::encode_frame(net::MessageType::kReplAppend,
+                                               append.serialize())))
+          break;
+        cursor = batch.records.back().seq;
+        records_shipped_ += static_cast<long long>(batch.records.size());
+        if (want_ack) {
+          auto ack_frame = conn.recv_frame();
+          if (!ack_frame) break;
+          try {
+            const net::Frame f = net::decode_frame(*ack_frame);
+            if (f.type != net::MessageType::kReplAck) break;
+            const auto ack = net::ReplAckMessage::deserialize(f.payload);
+            if (ack.epoch > epoch_) {
+              fence(ack.epoch);
+              alive = false;
+              break;
+            }
+            tracker_.ack(session_id, ack.durable_seq);
+          } catch (const net::CodecError&) {
+            break;
+          }
+          ship_seconds_.observe(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            started)
+                  .count());
+        } else {
+          // kNone: record the shipped position so lag is still reported;
+          // this is *not* a durability claim and kNone never gates acks.
+          tracker_.ack(session_id, cursor);
+        }
+      }
+
+      // Lag = committed tail minus the laggiest live follower.
+      std::uint64_t tail;
+      {
+        std::lock_guard<std::mutex> lock(watermark_mu_);
+        tail = watermark_;
+      }
+      const std::uint64_t floor = tracker_.min_acked();
+      lag_records_.set(tail > floor ? static_cast<double>(tail - floor) : 0.0);
+    }
+  } while (false);
+
+  if (joined) {
+    tracker_.leave(session_id);
+    if (tracker_.sessions() == 0) lag_records_.set(0.0);
+    if (opts_.trace)
+      opts_.trace->event("repl_follower_disconnected",
+                         {{"follower_id", follower_id}});
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    live_conns_.erase(session_id);
+  }
+}
+
+void LogShipper::shutdown() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [_, conn] : live_conns_) conn->shutdown_both();
+  }
+  watermark_cv_.notify_all();
+  tracker_.wake();
+  for (auto& t : session_threads_)
+    if (t.joinable()) t.join();
+  session_threads_.clear();
+}
+
+}  // namespace crowdml::replica

@@ -1,0 +1,122 @@
+// Leader side of WAL shipping: accepts follower connections on a
+// dedicated replication port and streams the durable store's log to each
+// of them — segments first (the disk is the replication buffer; there is
+// no in-memory queue to overflow), then the live tail as group commits
+// land. Every frame carries the leader's epoch; a hello or ack bearing a
+// higher epoch means this leader has been superseded and it fences
+// itself: no further quorum waits succeed, so no checkin acked here can
+// contradict the new leader's history. See docs/REPLICATION.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/server.hpp"
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "replica/repl_session.hpp"
+#include "store/durable_store.hpp"
+
+namespace crowdml::replica {
+
+struct ShipperOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see LogShipper::port()
+  ReplAckMode ack_mode = ReplAckMode::kAsync;
+  /// Follower acks required before await_quorum() releases a checkin;
+  /// see quorum_follower_acks_for. Only meaningful under kQuorum.
+  std::size_t quorum_follower_acks = 1;
+  int quorum_timeout_ms = 5000;
+  std::size_t batch_max_records = 256;
+  std::size_t batch_max_bytes = 1u << 20;
+  /// Deadline for each replication-socket send/recv. Followers that stall
+  /// past it are disconnected (and simply reconnect later).
+  int io_deadline_ms = 10'000;
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = default_registry()
+  obs::TraceSink* trace = nullptr;          ///< null disables
+};
+
+/// Majority of `followers` configured replicas: floor((F + 1) / 2), so
+/// leader + that many followers is a strict majority of the F + 1 nodes.
+std::size_t quorum_follower_acks_for(std::size_t followers);
+
+class LogShipper {
+ public:
+  /// Starts the acceptor immediately. `server` and `store` must outlive
+  /// the shipper; `epoch` is the leader's already-durable term. Throws
+  /// std::runtime_error when the replication port cannot be bound.
+  LogShipper(core::Server& server, store::DurableStore& store,
+             std::uint64_t epoch, ShipperOptions options = {});
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Advance the shipping watermark to the WAL's committed tail and wake
+  /// idle sessions. Call after every successful commit_group().
+  void notify_committed();
+
+  /// Block until `quorum_follower_acks` followers durably hold `seq`
+  /// (true), or the quorum times out / the leader is fenced / shutdown
+  /// begins (false). Immediately true under kNone/kAsync.
+  bool await_quorum(std::uint64_t seq);
+
+  /// True once a follower presented a higher epoch: this leader is stale
+  /// and must stop acking (quorum waits fail fast from then on).
+  bool fenced() const { return fenced_.load(); }
+
+  std::size_t follower_sessions() const { return tracker_.sessions(); }
+
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void session_loop(std::uint64_t session_id, net::TcpConnection conn);
+  void fence(std::uint64_t observed_epoch);
+
+  core::Server& server_;
+  store::DurableStore& store_;
+  const std::uint64_t epoch_;
+  ShipperOptions opts_;
+
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> fenced_{false};
+
+  AckTracker tracker_;
+
+  // Committed watermark: sessions ship only through it, and sleep on the
+  // condvar when caught up until notify_committed() moves it.
+  std::mutex watermark_mu_;
+  std::condition_variable watermark_cv_;
+  std::uint64_t watermark_ = 0;
+
+  // Live sessions, for shutdown_both() at shutdown; threads are joined.
+  std::mutex sessions_mu_;
+  std::map<std::uint64_t, net::TcpConnection*> live_conns_;
+  std::vector<std::thread> session_threads_;
+  std::uint64_t next_session_id_ = 1;
+
+  obs::Gauge& lag_records_;
+  obs::Histogram& ship_seconds_;
+  obs::Counter& records_shipped_;
+  obs::Counter& snapshots_shipped_;
+  obs::Counter& fenced_hellos_;
+  obs::Counter& quorum_timeouts_;
+  obs::Counter& followers_connected_;
+};
+
+}  // namespace crowdml::replica

@@ -1,0 +1,123 @@
+#include "replica/repl_session.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace crowdml::replica {
+
+const char* repl_ack_mode_name(ReplAckMode mode) {
+  switch (mode) {
+    case ReplAckMode::kNone:
+      return "none";
+    case ReplAckMode::kAsync:
+      return "async";
+    case ReplAckMode::kQuorum:
+      return "quorum";
+  }
+  return "?";
+}
+
+std::optional<ReplAckMode> parse_repl_ack_mode(const std::string& name) {
+  if (name == "none") return ReplAckMode::kNone;
+  if (name == "async") return ReplAckMode::kAsync;
+  if (name == "quorum") return ReplAckMode::kQuorum;
+  return std::nullopt;
+}
+
+ShipBatch next_ship_batch(const std::string& wal_dir, std::uint64_t cursor,
+                          std::uint64_t watermark, std::size_t max_records,
+                          std::size_t max_bytes) {
+  ShipBatch batch;
+  if (cursor >= watermark) return batch;
+  bool gap = false;
+  std::vector<store::WalRecord> records =
+      store::read_wal_records(wal_dir, cursor, max_records, &gap);
+  batch.gap = gap;
+  if (gap) return batch;
+  std::size_t bytes = 0;
+  for (auto& rec : records) {
+    if (rec.seq > watermark) break;  // possibly mid-commit; not ours yet
+    bytes += rec.payload.size();
+    if (!batch.records.empty() && bytes > max_bytes) break;
+    batch.records.push_back(std::move(rec));
+  }
+  return batch;
+}
+
+void AckTracker::join(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  acked_.emplace(session, 0);
+}
+
+void AckTracker::leave(std::uint64_t session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    acked_.erase(session);
+  }
+  // A departure can only shrink the quorum; waiters re-check so a
+  // now-unreachable quorum times out against `abort` instead of hanging
+  // on a count that can no longer be met.
+  cv_.notify_all();
+}
+
+void AckTracker::ack(std::uint64_t session, std::uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = acked_.find(session);
+    if (it == acked_.end() || it->second >= seq) return;
+    it->second = seq;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AckTracker::sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acked_.size();
+}
+
+std::uint64_t AckTracker::max_acked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t best = 0;
+  for (const auto& [_, seq] : acked_) best = std::max(best, seq);
+  return best;
+}
+
+std::uint64_t AckTracker::min_acked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (acked_.empty()) return 0;
+  std::uint64_t worst = UINT64_MAX;
+  for (const auto& [_, seq] : acked_) worst = std::min(worst, seq);
+  return worst;
+}
+
+std::uint64_t AckTracker::quorum_acked_locked(std::size_t k) const {
+  if (k == 0 || acked_.size() < k) return 0;
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(acked_.size());
+  for (const auto& [_, seq] : acked_) seqs.push_back(seq);
+  std::nth_element(seqs.begin(), seqs.begin() + (k - 1), seqs.end(),
+                   std::greater<std::uint64_t>());
+  return seqs[k - 1];
+}
+
+std::uint64_t AckTracker::quorum_acked(std::size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quorum_acked_locked(k);
+}
+
+bool AckTracker::await(std::uint64_t seq, std::size_t k, int timeout_ms,
+                       const std::function<bool()>& abort) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (quorum_acked_locked(k) < seq) {
+    if (abort && abort()) return false;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      return quorum_acked_locked(k) >= seq;
+  }
+  return true;
+}
+
+void AckTracker::wake() { cv_.notify_all(); }
+
+}  // namespace crowdml::replica

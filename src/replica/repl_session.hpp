@@ -1,0 +1,85 @@
+// Shared pieces of the replication plane: ack-mode parsing, the
+// shipper's batch reader over the WAL, and the per-follower ack tracker
+// that backs quorum waits. See docs/REPLICATION.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/wal.hpp"
+
+namespace crowdml::replica {
+
+/// What an acked checkin promises about replication (--repl-ack):
+///   kNone   - followers replicate asynchronously; acks never wait.
+///   kAsync  - same wire behavior as kNone today, but followers send acks
+///             so the leader can report replication lag truthfully.
+///   kQuorum - a checkin's ack is held until a majority of configured
+///             followers durably appended its WAL record (acked =>
+///             replicated). See LogShipper::await_quorum.
+enum class ReplAckMode { kNone, kAsync, kQuorum };
+
+const char* repl_ack_mode_name(ReplAckMode mode);
+std::optional<ReplAckMode> parse_repl_ack_mode(const std::string& name);
+
+/// One shipper read: WAL records after the follower's cursor, or the
+/// discovery that the cursor predates the oldest surviving record
+/// (compaction pruned it) and a snapshot must be sent instead.
+struct ShipBatch {
+  std::vector<store::WalRecord> records;
+  bool gap = false;
+};
+
+/// Read the next batch to ship from `wal_dir`: records with
+/// cursor < seq <= watermark, at most `max_records` of them and stopping
+/// at the first record that would push the batch past `max_bytes`
+/// (always keeping at least one so progress is guaranteed). The
+/// watermark is the leader's committed position — records past it may
+/// still be mid-group-commit and must not ship yet.
+ShipBatch next_ship_batch(const std::string& wal_dir, std::uint64_t cursor,
+                          std::uint64_t watermark, std::size_t max_records,
+                          std::size_t max_bytes);
+
+/// Tracks each live follower session's durably-acked WAL position and
+/// lets the applier thread block until a quorum of them passes a seq.
+/// Thread-safe; sessions call ack(), the applier calls await().
+class AckTracker {
+ public:
+  void join(std::uint64_t session);
+  void leave(std::uint64_t session);
+  /// Record that `session` durably holds everything through `seq`
+  /// (monotonic per session; stale regressions are ignored).
+  void ack(std::uint64_t session, std::uint64_t seq);
+
+  std::size_t sessions() const;
+  /// Highest / lowest acked position among live sessions (0 when none).
+  std::uint64_t max_acked() const;
+  std::uint64_t min_acked() const;
+  /// The position at least `k` live sessions have acked: the k-th
+  /// largest acked seq, or 0 when fewer than k sessions are connected.
+  std::uint64_t quorum_acked(std::size_t k) const;
+
+  /// Block until quorum_acked(k) >= seq, `timeout_ms` elapses, or
+  /// `abort` returns true (checked on every wake). Returns whether the
+  /// quorum was reached.
+  bool await(std::uint64_t seq, std::size_t k, int timeout_ms,
+             const std::function<bool()>& abort);
+  /// Wake all await() callers so they re-check `abort` (shutdown,
+  /// fencing).
+  void wake();
+
+ private:
+  std::uint64_t quorum_acked_locked(std::size_t k) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::uint64_t> acked_;
+};
+
+}  // namespace crowdml::replica

@@ -70,11 +70,15 @@ DurableStore::DurableStore(std::string dir, DurableStoreOptions options)
   if (opts_.keep_snapshots < 1) opts_.keep_snapshots = 1;
 }
 
-std::string DurableStore::snapshot_path(std::uint64_t version) const {
+std::string DurableStore::snapshot_filename(std::uint64_t version) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "snapshot-%020llu.bin",
                 static_cast<unsigned long long>(version));
-  return dir() + "/" + buf;
+  return buf;
+}
+
+std::string DurableStore::snapshot_path(std::uint64_t version) const {
+  return dir() + "/" + snapshot_filename(version);
 }
 
 DurableStore::RecoveryInfo DurableStore::recover(core::Server& server) {

@@ -133,6 +133,11 @@ class DurableStore {
   /// (clean-shutdown path).
   void sync();
 
+  /// "snapshot-<version>.bin" (zero-padded). Exposed so the replication
+  /// follower can install a shipped checkpoint directly into a store
+  /// directory before recovering from it.
+  static std::string snapshot_filename(std::uint64_t version);
+
   const std::string& dir() const { return wal_.dir(); }
   const RecoveryInfo& recovery_info() const { return info_; }
   WriteAheadLog& wal() { return wal_; }

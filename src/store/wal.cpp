@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 
@@ -133,6 +134,76 @@ WalRecord decode_wal_record(const net::Bytes& buf, std::size_t* offset) {
                      buf.begin() + static_cast<std::ptrdiff_t>(off + kWalHeaderSize + len));
   *offset = off + kWalHeaderSize + len + kWalTrailerSize;
   return rec;
+}
+
+std::vector<WalRecord> read_wal_records(const std::string& dir,
+                                        std::uint64_t from_seq,
+                                        std::size_t max_records, bool* gap) {
+  if (gap) *gap = false;
+  std::vector<WalRecord> out;
+  if (max_records == 0) return out;
+
+  std::vector<std::string> files;
+  {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec), end;
+    if (ec) return out;
+    for (; it != end; it.increment(ec)) {
+      if (ec) return out;
+      const std::string name = it->path().filename().string();
+      if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+          name.compare(name.size() - 4, 4, ".log") == 0)
+        files.push_back(it->path().string());
+    }
+  }
+  // Zero-padded names sort lexically in seq order, and each name carries
+  // its segment's first seq — whole segments at or below the cursor are
+  // skipped without reading them.
+  std::sort(files.begin(), files.end());
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    const std::string name = std::filesystem::path(files[i]).filename().string();
+    const std::uint64_t first =
+        std::strtoull(name.c_str() + 4, nullptr, 10);
+    if (first <= from_seq + 1) start = i;
+  }
+
+  bool decoded_any = false;
+  for (std::size_t i = start; i < files.size(); ++i) {
+    const std::string& path = files[i];
+    net::Bytes bytes;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      if (!f) continue;  // compacted away between listing and open
+      std::fseek(f, 0, SEEK_END);
+      const long size = std::ftell(f);
+      std::fseek(f, 0, SEEK_SET);
+      bytes.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+      if (!bytes.empty() &&
+          std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        return out;
+      }
+      std::fclose(f);
+    }
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      WalRecord rec;
+      try {
+        rec = decode_wal_record(bytes, &offset);
+      } catch (const WalError&) {
+        return out;  // a write in progress (or a torn tail): stop here
+      }
+      if (!decoded_any) {
+        decoded_any = true;
+        if (gap && rec.seq > from_seq + 1) *gap = true;
+      }
+      if (rec.seq <= from_seq) continue;
+      out.push_back(std::move(rec));
+      if (out.size() >= max_records) return out;
+    }
+  }
+  return out;
 }
 
 WriteAheadLog::WriteAheadLog(std::string dir, WalOptions options)

@@ -91,6 +91,20 @@ net::Bytes encode_wal_record(std::uint64_t seq, const net::Bytes& payload);
 /// knows the exact byte where the log stopped being believable.
 WalRecord decode_wal_record(const net::Bytes& buf, std::size_t* offset);
 
+/// Stateless read of up to `max_records` records with seq > from_seq from
+/// the segment files in `dir`, in seq order — the replication shipper's
+/// view of the log (the disk IS the replication buffer; nothing is queued
+/// in memory for slow followers). Safe to call while another thread
+/// appends: a partial record at the tail (an append in progress, or a
+/// torn tail recovery has not yet trimmed) ends the scan instead of
+/// throwing. Sets `*gap` (may be null) when the oldest surviving record
+/// already exceeds from_seq + 1 — compaction pruned history the caller
+/// needs, so it must catch up from a snapshot instead.
+std::vector<WalRecord> read_wal_records(const std::string& dir,
+                                        std::uint64_t from_seq,
+                                        std::size_t max_records,
+                                        bool* gap = nullptr);
+
 struct ReplayStats {
   std::uint64_t records_applied = 0;
   std::uint64_t records_skipped = 0;  ///< seq <= from_seq (snapshot covers)

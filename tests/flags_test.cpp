@@ -71,3 +71,122 @@ TEST(Flags, EmptyValueViaEquals) {
   EXPECT_TRUE(f.has("name"));
   EXPECT_EQ(f.get("name", "x"), "");
 }
+
+// --------------------------------------------- replication flag bundle
+
+using crowdml::tools::ReplicaFlags;
+using crowdml::tools::parse_replica_flags;
+
+namespace {
+
+ReplicaFlags replica(std::vector<std::string> args) {
+  return parse_replica_flags(parse(std::move(args)));
+}
+
+}  // namespace
+
+TEST(ReplicaFlags, LeaderDefaultsToNoReplication) {
+  const ReplicaFlags r = replica({});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.role, "leader");
+  EXPECT_FALSE(r.repl_enabled);
+}
+
+TEST(ReplicaFlags, LeaderQuorumSetup) {
+  const ReplicaFlags r =
+      replica({"--engine=epoll", "--wal-dir=wal", "--repl-ack=quorum",
+               "--repl-followers=3", "--repl-port=7000"});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.repl_enabled);
+  EXPECT_EQ(r.ack_mode, "quorum");
+  EXPECT_EQ(r.followers, 3);
+  EXPECT_EQ(r.repl_port, 7000);
+}
+
+TEST(ReplicaFlags, FollowerParsesLeaderAddr) {
+  const ReplicaFlags r =
+      replica({"--role=follower", "--leader-addr=10.1.2.3:9100",
+               "--engine=epoll", "--wal-dir=replica"});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.leader_host, "10.1.2.3");
+  EXPECT_EQ(r.leader_port, 9100);
+  EXPECT_EQ(r.leader_addr, "10.1.2.3:9100");
+}
+
+TEST(ReplicaFlags, FollowerWithoutLeaderAddrRejected) {
+  const ReplicaFlags r =
+      replica({"--role=follower", "--engine=epoll", "--wal-dir=replica"});
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("--leader-addr"), std::string::npos) << r.error;
+}
+
+TEST(ReplicaFlags, FollowerLeaderAddrMalformedRejected) {
+  for (const char* addr : {"nohost", "host:", ":9100", "host:0",
+                           "host:65536", "host:abc", "host:-1"}) {
+    const ReplicaFlags r =
+        replica({"--role=follower", std::string("--leader-addr=") + addr,
+                 "--engine=epoll", "--wal-dir=replica"});
+    EXPECT_FALSE(r.error.empty()) << addr;
+  }
+  // IPv6-ish / multi-colon hosts split on the LAST colon.
+  const ReplicaFlags r =
+      replica({"--role=follower", "--leader-addr=fe80::1:9100",
+               "--engine=epoll", "--wal-dir=replica"});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.leader_host, "fe80::1");
+  EXPECT_EQ(r.leader_port, 9100);
+}
+
+TEST(ReplicaFlags, FollowerRequiresWalDirAndEpollEngine) {
+  EXPECT_FALSE(replica({"--role=follower", "--leader-addr=h:1",
+                        "--engine=epoll"})
+                   .error.empty());
+  EXPECT_FALSE(replica({"--role=follower", "--leader-addr=h:1",
+                        "--wal-dir=replica"})
+                   .error.empty());
+  EXPECT_FALSE(replica({"--role=follower", "--leader-addr=h:1",
+                        "--engine=threads", "--wal-dir=replica"})
+                   .error.empty());
+}
+
+TEST(ReplicaFlags, FollowerRejectsLeaderOnlyFlags) {
+  for (const char* flag : {"--repl-ack=async", "--repl-port=7000",
+                           "--repl-followers=2", "--promote-on-start"}) {
+    const ReplicaFlags r =
+        replica({"--role=follower", "--leader-addr=h:1", "--engine=epoll",
+                 "--wal-dir=replica", flag});
+    EXPECT_FALSE(r.error.empty()) << flag;
+  }
+}
+
+TEST(ReplicaFlags, LeaderRejectsLeaderAddr) {
+  const ReplicaFlags r = replica({"--leader-addr=h:1"});
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ReplicaFlags, ReplicationRequiresWalDirAndEpoll) {
+  EXPECT_FALSE(replica({"--repl-ack=async", "--engine=epoll"}).error.empty());
+  EXPECT_FALSE(
+      replica({"--repl-ack=async", "--wal-dir=wal"}).error.empty());
+  EXPECT_FALSE(replica({"--repl-ack=async", "--wal-dir=wal",
+                        "--engine=threads"})
+                   .error.empty());
+}
+
+TEST(ReplicaFlags, PromoteOnStartEnablesReplication) {
+  const ReplicaFlags r =
+      replica({"--promote-on-start", "--wal-dir=wal", "--engine=epoll"});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_TRUE(r.repl_enabled);
+  EXPECT_TRUE(r.promote_on_start);
+}
+
+TEST(ReplicaFlags, UnknownRoleAndAckModeRejected) {
+  EXPECT_FALSE(replica({"--role=observer"}).error.empty());
+  EXPECT_FALSE(replica({"--repl-ack=sync", "--wal-dir=wal",
+                        "--engine=epoll"})
+                   .error.empty());
+  EXPECT_FALSE(replica({"--repl-ack=quorum", "--repl-followers=0",
+                        "--wal-dir=wal", "--engine=epoll"})
+                   .error.empty());
+}

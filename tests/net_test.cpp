@@ -405,3 +405,45 @@ TEST(Tcp, ConnectToClosedPortFails) {
   listener->close();
   EXPECT_FALSE(TcpConnection::connect("127.0.0.1", port).has_value());
 }
+
+// ------------------------------------------- retry_after hint hardening
+// The hint drives client sleep times, so a malformed or hostile reason
+// must never yield a wrapped, truncated, or negative delay.
+
+TEST(RetryAfterHint, RejectsNegativeValues) {
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=-1"));
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=-250"));
+}
+
+TEST(RetryAfterHint, RejectsNonNumericSuffix) {
+  // Digits must run to the end of the string: "12ms" is not 12.
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=12ms"));
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=250 "));
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=2.5"));
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=+5"));
+}
+
+TEST(RetryAfterHint, RejectsOverflowPastInt) {
+  // 2^31 and beyond used to wrap through long-long arithmetic into a
+  // small "valid" int delay; out-of-range now rejects instead.
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=2147483648"));
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=9223372036854775808"));
+  EXPECT_FALSE(
+      parse_retry_after("busy; retry_after_ms=99999999999999999999999"));
+  // The cap itself (an hour) is the largest accepted hint.
+  const auto hour = parse_retry_after("busy; retry_after_ms=3600000");
+  ASSERT_TRUE(hour.has_value());
+  EXPECT_EQ(*hour, 3'600'000);
+  EXPECT_FALSE(parse_retry_after("busy; retry_after_ms=3600001"));
+}
+
+TEST(RetryAfterHint, RejectsKeyBuriedMidToken) {
+  // The key must be a whole token: either the start of the reason or
+  // preceded by the "; " separator retry_after_reason writes.
+  EXPECT_FALSE(parse_retry_after("xretry_after_ms=5"));
+  EXPECT_FALSE(parse_retry_after("no_retry_after_ms=5"));
+  EXPECT_FALSE(parse_retry_after("busy;retry_after_ms=5"));
+  EXPECT_FALSE(parse_retry_after("busy retry_after_ms=5"));
+  EXPECT_TRUE(parse_retry_after("retry_after_ms=5"));
+  EXPECT_TRUE(parse_retry_after("busy; retry_after_ms=5"));
+}

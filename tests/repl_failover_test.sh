@@ -1,0 +1,155 @@
+#!/bin/sh
+# Replication failover integration test, with real processes and SIGKILL:
+#   (1) leader (quorum acks, 1 follower) + follower + devices train;
+#   (2) SIGKILL the leader mid-run;
+#   (3) promote the follower (--promote-on-start) and assert no checkin
+#       whose ack reached a device was lost — the quorum invariant;
+#   (4) devices train against the promoted leader (epoch 2);
+#   (5) the deposed leader restarts at its stale epoch and is fenced the
+#       moment an epoch-2 follower says hello: no split-brain.
+# Run by ctest with the build directory as argument.
+set -eu
+BUILD_DIR="$1"
+WORK=$(mktemp -d)
+PIDS=""
+trap 'kill -9 $PIDS 2>/dev/null || true; rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$BUILD_DIR/tools/crowdml-make-dataset" --kind mnist --scale 0.05 --shards 2 \
+    --shard-prefix dev_ --seed 42
+
+SERVER="$BUILD_DIR/tools/crowdml-server"
+COMMON="--classes 10 --dim 50 --auth-seed 7 --enroll 2 --engine epoll \
+        --fsync always --report-every 0.2 --max-iterations 100000"
+
+wait_line() {  # wait_line LOG SED_PATTERN TRIES -> prints first capture
+  _out=""
+  for _i in $(seq 1 "$3"); do
+    _out=$(sed -n "$2" "$1" | head -1)
+    [ -n "$_out" ] && break
+    sleep 0.1
+  done
+  [ -n "$_out" ] || { echo "timed out waiting for $2 in $1" >&2; cat "$1" >&2; exit 1; }
+  echo "$_out"
+}
+
+# --- (1) Leader with quorum acks sized for one follower.
+# shellcheck disable=SC2086
+$SERVER --port 0 $COMMON --keys-out keys.csv --wal-dir lwal \
+    --repl-ack quorum --repl-followers 1 >> leader1.log 2>&1 &
+LEADER_PID=$!
+PIDS="$PIDS $LEADER_PID"
+PORT=$(wait_line leader1.log 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' 50)
+RPORT=$(wait_line leader1.log \
+    's/^replication: shipping on 127.0.0.1:\([0-9]*\).*/\1/p' 50)
+grep -q "ack=quorum, quorum=1 of 1" leader1.log || {
+  echo "leader did not size the quorum"; cat leader1.log; exit 1; }
+
+# shellcheck disable=SC2086
+$SERVER --port 0 $COMMON --keys-out fkeys.csv --wal-dir fwal \
+    --role follower --leader-addr "127.0.0.1:$RPORT" >> follower1.log 2>&1 &
+FOLLOWER_PID=$!
+PIDS="$PIDS $FOLLOWER_PID"
+wait_line follower1.log 's/.*\(connected=1\).*/\1/p' 100 > /dev/null
+cmp -s keys.csv fkeys.csv || {
+  echo "leader and follower enrolled different keys"; exit 1; }
+
+# Devices: quorum acks flow only once the follower appends durably, so
+# every successful checkin below is, by contract, on the follower's disk.
+KEY1=$(sed -n 1p keys.csv)
+KEY2=$(sed -n 2p keys.csv)
+run_device() {
+  "$BUILD_DIR/tools/crowdml-device" --host 127.0.0.1 --port "$1" \
+      --data "$2" --key "$3" --minibatch 10 --epsilon 50 --passes "$4" \
+      --classes 10 --max-attempts 60 --backoff-max-ms 500 \
+      --connect-timeout-ms 1000 > "$5" 2>&1 &
+}
+run_device "$PORT" dev_0.csv "$KEY1" 4 dev1.log
+DEV1=$!
+run_device "$PORT" dev_1.csv "$KEY2" 4 dev2.log
+DEV2=$!
+wait $DEV1 || { echo "phase-1 device 1 failed"; cat dev1.log; exit 1; }
+wait $DEV2 || { echo "phase-1 device 2 failed"; cat dev2.log; exit 1; }
+ACKED=$(sed -n 's/.*passes, \([0-9]*\) checkins.*/\1/p' dev1.log dev2.log |
+    awk '{s+=$1} END {print s+0}')
+[ "$ACKED" -ge 20 ] || { echo "too few acked checkins ($ACKED)"; exit 1; }
+
+# --- (2) Pull the plug on the leader. No sync, no compaction.
+kill -9 $LEADER_PID
+wait $LEADER_PID 2>/dev/null || true
+
+# --- (3) Promote the follower over its own replica data.
+kill -TERM $FOLLOWER_PID
+wait $FOLLOWER_PID 2>/dev/null || true
+grep -q "at shutdown" follower1.log || {
+  echo "follower did not shut down cleanly"; cat follower1.log; exit 1; }
+
+# shellcheck disable=SC2086
+$SERVER --port 0 $COMMON --keys-out keys2.csv --wal-dir fwal \
+    --repl-ack async --promote-on-start >> leader2.log 2>&1 &
+LEADER2_PID=$!
+PIDS="$PIDS $LEADER2_PID"
+PORT2=$(wait_line leader2.log 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' 50)
+RPORT2=$(wait_line leader2.log \
+    's/^replication: shipping on 127.0.0.1:\([0-9]*\).*/\1/p' 50)
+grep -q "shipping on 127.0.0.1:$RPORT2 (epoch 2," leader2.log || {
+  echo "promotion did not bump the epoch"; cat leader2.log; exit 1; }
+
+RECOVERED=$(wait_line leader2.log \
+    's/^recovered state: iteration \([0-9]*\).*/\1/p' 50)
+# The quorum invariant: every acked checkin was follower-durable before
+# its ack left the old leader, so the promoted state holds all of them
+# (one iteration per applied checkin).
+[ "$RECOVERED" -ge "$ACKED" ] || {
+  echo "acked checkin lost: recovered iteration $RECOVERED < $ACKED acked"
+  cat leader2.log; exit 1; }
+
+# --- (4) Training continues against the promoted leader.
+run_device "$PORT2" dev_0.csv "$KEY1" 2 dev3.log
+DEV3=$!
+wait $DEV3 || { echo "phase-2 device failed"; cat dev3.log; exit 1; }
+ACKED2=$(sed -n 's/.*passes, \([0-9]*\) checkins.*/\1/p' dev3.log)
+[ "${ACKED2:-0}" -ge 1 ] || { echo "promoted leader acked nothing"; cat dev3.log; exit 1; }
+
+# A fresh follower syncs from the promoted leader and durably adopts
+# epoch 2 (it will be our fencing probe).
+# shellcheck disable=SC2086
+$SERVER --port 0 $COMMON --keys-out f2keys.csv --wal-dir f2wal \
+    --role follower --leader-addr "127.0.0.1:$RPORT2" >> follower2.log 2>&1 &
+F2_PID=$!
+PIDS="$PIDS $F2_PID"
+wait_line follower2.log \
+    's/^replicated through seq [0-9]* (epoch \(2\), connected=1.*/\1/p' 100 \
+    > /dev/null
+kill -TERM $F2_PID
+wait $F2_PID 2>/dev/null || true
+
+# --- (5) The deposed leader comes back at its stale epoch...
+# shellcheck disable=SC2086
+$SERVER --port 0 $COMMON --keys-out keys3.csv --wal-dir lwal \
+    --repl-ack async >> leader3.log 2>&1 &
+LEADER3_PID=$!
+PIDS="$PIDS $LEADER3_PID"
+RPORT3=$(wait_line leader3.log \
+    's/^replication: shipping on 127.0.0.1:\([0-9]*\).*/\1/p' 50)
+grep -q "shipping on 127.0.0.1:$RPORT3 (epoch 1," leader3.log || {
+  echo "stale leader should still be at epoch 1"; cat leader3.log; exit 1; }
+
+# ...and the epoch-2 probe fences it on hello.
+# shellcheck disable=SC2086
+$SERVER --port 0 $COMMON --keys-out f3keys.csv --wal-dir f2wal \
+    --role follower --leader-addr "127.0.0.1:$RPORT3" >> follower3.log 2>&1 &
+F3_PID=$!
+PIDS="$PIDS $F3_PID"
+wait_line leader3.log 's/.*\(FENCED: a newer leader exists\).*/\1/p' 100 \
+    > /dev/null
+# The probe never accepted anything from the stale term.
+if grep -q "stale frames refused [1-9]" follower3.log; then
+  : # also acceptable: the stale leader shipped and was refused
+fi
+
+kill -TERM $F3_PID $LEADER3_PID $LEADER2_PID 2>/dev/null || true
+wait $F3_PID $LEADER3_PID $LEADER2_PID 2>/dev/null || true
+
+echo "repl-failover OK ($ACKED acked before the crash, recovered at" \
+     "$RECOVERED, $ACKED2 acked after promotion, stale leader fenced)"

@@ -19,6 +19,19 @@
 //       [--checkin-queue-max N]               # epoll engine: admission bound
 //                                             # (full queue sheds with a
 //                                             # retry_after nack)
+//       [--role leader|follower]              # replication role (default
+//                                             # leader; docs/REPLICATION.md)
+//       [--leader-addr host:port]             # follower: the leader's
+//                                             # replication port
+//       [--repl-port N]                       # leader: replication listener
+//       [--repl-ack none|async|quorum]        # leader: what an ack promises
+//       [--repl-followers N]                  # leader: configured replicas
+//                                             # (sizes the quorum)
+//       [--epoch-dir DIR]                     # fencing epoch register
+//                                             # (default: the wal dir)
+//       [--promote-on-start]                  # leader: bump the epoch
+//                                             # (failover promotion)
+//       [--follower-id N]                     # follower: id in leader traces
 //       [--report-every SECONDS]              # portal report to stdout
 //       [--metrics-out metrics.prom]          # Prometheus text, rewritten
 //                                             # at every report interval
@@ -54,6 +67,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "opt/schedule.hpp"
+#include "replica/epoch.hpp"
+#include "replica/follower.hpp"
+#include "replica/log_shipper.hpp"
 #include "store/durable_store.hpp"
 #include "tools/flags.hpp"
 
@@ -90,6 +106,12 @@ std::string hex_key(const net::SecretKey& key) {
 
 int main(int argc, char** argv) {
   tools::Flags flags(argc, argv);
+  const tools::ReplicaFlags repl = tools::parse_replica_flags(flags);
+  if (!repl.error.empty()) {
+    std::fprintf(stderr, "crowdml-server: %s\n", repl.error.c_str());
+    return 1;
+  }
+  const bool is_follower = repl.role == "follower";
   const auto port = static_cast<std::uint16_t>(flags.get_int("port", 0));
   const auto classes = static_cast<std::size_t>(flags.get_int("classes", 10));
   const auto dim = static_cast<std::size_t>(flags.get_int("dim", 50));
@@ -166,19 +188,21 @@ int main(int argc, char** argv) {
   // that has not finished recovering.
   std::unique_ptr<store::DurableStore> durable;
   const std::string wal_dir = flags.get("wal-dir", "");
-  if (!wal_dir.empty()) {
-    store::DurableStoreOptions sopts;
-    try {
-      sopts.wal.fsync = store::parse_fsync_policy(
-          flags.get("fsync", "every-64"), &sopts.wal.fsync_every);
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "crowdml-server: %s\n", e.what());
-      return 1;
-    }
-    sopts.wal.segment_max_bytes =
-        static_cast<std::size_t>(flags.get_int("segment-max-bytes", 4 << 20));
-    sopts.wal.metrics = &obs::default_registry();
-    sopts.trace = trace.get();
+  store::DurableStoreOptions sopts;
+  try {
+    sopts.wal.fsync = store::parse_fsync_policy(
+        flags.get("fsync", "every-64"), &sopts.wal.fsync_every);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "crowdml-server: %s\n", e.what());
+    return 1;
+  }
+  sopts.wal.segment_max_bytes =
+      static_cast<std::size_t>(flags.get_int("segment-max-bytes", 4 << 20));
+  sopts.wal.metrics = &obs::default_registry();
+  sopts.trace = trace.get();
+  // A follower's store is owned by replica::Follower below (it recovers,
+  // applies, and compacts through it); the leader path owns it here.
+  if (!wal_dir.empty() && !is_follower) {
     const auto recover_into = [&](core::Server& srv) {
       durable = std::make_unique<store::DurableStore>(wal_dir, sopts);
       const auto info = durable->recover(srv);
@@ -242,6 +266,61 @@ int main(int argc, char** argv) {
     durable->attach(server);
   }
 
+  // Replication plane (docs/REPLICATION.md). A follower recovers from its
+  // local replica store, then streams the leader's WAL; the serving
+  // engine below redirects checkins to the leader. A replicating leader
+  // durably loads/bumps its fencing epoch and ships its WAL on a
+  // dedicated port. The engine handles are declared here because the
+  // follower's on_applied republishes the epoll snapshot board.
+  std::unique_ptr<core::TcpCrowdServer> tcp;
+  std::unique_ptr<engine::EpollCrowdServer> epoll;
+  std::unique_ptr<replica::Follower> follower;
+  std::unique_ptr<replica::LogShipper> shipper;
+  std::uint64_t repl_epoch = 0;
+  if (is_follower) {
+    replica::FollowerOptions fopts;
+    fopts.leader_host = repl.leader_host;
+    fopts.leader_port = repl.leader_port;
+    fopts.follower_id =
+        static_cast<std::uint64_t>(flags.get_int("follower-id", 1));
+    fopts.store = sopts;
+    fopts.epoch_dir = repl.epoch_dir;
+    fopts.trace = trace.get();
+    fopts.on_applied = [&epoll] {
+      if (epoll) epoll->republish();
+    };
+    try {
+      follower = std::make_unique<replica::Follower>(server, wal_dir, fopts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "crowdml-server: follower init failed: %s\n",
+                   e.what());
+      return 1;
+    }
+    repl_epoch = follower->epoch();
+    const auto& info = follower->recovery_info();
+    std::printf(
+        "recovered state: iteration %llu (snapshot v%llu%s, %llu wal "
+        "records replayed)\n",
+        static_cast<unsigned long long>(info.recovered_version),
+        static_cast<unsigned long long>(info.snapshot_version),
+        info.snapshot_loaded ? "" : " [none]",
+        static_cast<unsigned long long>(info.records_replayed));
+  } else if (repl.repl_enabled) {
+    try {
+      replica::EpochStore estore(repl.epoch_dir.empty() ? wal_dir
+                                                        : repl.epoch_dir);
+      repl_epoch = estore.load();
+      // First boot starts at epoch 1; promotion bumps whatever was
+      // promised before. Durable before the shipper exists: a frame
+      // stamped with this epoch must survive our own crash.
+      if (repl.promote_on_start || repl_epoch == 0) ++repl_epoch;
+      estore.store(repl_epoch);
+    } catch (const replica::EpochError& e) {
+      std::fprintf(stderr, "crowdml-server: %s\n", e.what());
+      return 1;
+    }
+  }
+
   // Serving engine: the legacy thread-per-connection runtime stays the
   // default; --engine epoll selects the event-loop engine with snapshot
   // checkouts and group-committed checkins (docs/SCALING.md).
@@ -250,25 +329,53 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("io-threads", 1));
   const auto queue_max =
       static_cast<std::size_t>(flags.get_int("checkin-queue-max", 1024));
-  std::unique_ptr<core::TcpCrowdServer> tcp;
-  std::unique_ptr<engine::EpollCrowdServer> epoll;
   std::uint16_t bound_port = 0;
   if (engine_kind == "epoll") {
+    if (repl.repl_enabled) {
+      replica::ShipperOptions shopts;
+      shopts.port = repl.repl_port;
+      shopts.ack_mode = *replica::parse_repl_ack_mode(repl.ack_mode);
+      shopts.quorum_follower_acks = replica::quorum_follower_acks_for(
+          static_cast<std::size_t>(repl.followers));
+      shopts.trace = trace.get();
+      try {
+        shipper = std::make_unique<replica::LogShipper>(server, *durable,
+                                                        repl_epoch, shopts);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "crowdml-server: %s\n", e.what());
+        return 1;
+      }
+      std::printf(
+          "replication: shipping on 127.0.0.1:%u (epoch %llu, ack=%s, "
+          "quorum=%zu of %lld followers)\n",
+          shipper->port(), static_cast<unsigned long long>(repl_epoch),
+          repl.ack_mode.c_str(), shopts.quorum_follower_acks, repl.followers);
+    }
     engine::EngineConfig ecfg;
     ecfg.port = port;
     ecfg.io_threads = io_threads;
     ecfg.checkin_queue_max = queue_max;
     ecfg.metrics = &obs::default_registry();
     ecfg.trace = trace.get();
+    if (is_follower) ecfg.checkin_redirect = repl.leader_addr;
     if (durable) {
       // One fsync per drained batch instead of one per checkin; acks are
       // held until the batch commit succeeds, so acked => durable holds.
+      // With a quorum shipper, acks additionally wait for a majority of
+      // followers to durably append the batch (acked => replicated).
       durable->set_group_commit(true);
       store::DurableStore* d = durable.get();
-      ecfg.group_commit = [d] { return d->commit_group(); };
+      replica::LogShipper* s = shipper.get();
+      ecfg.group_commit = [d, s] {
+        if (!d->commit_group()) return false;
+        if (!s) return true;
+        s->notify_committed();
+        return s->await_quorum(d->wal().last_seq());
+      };
     }
     epoll = std::make_unique<engine::EpollCrowdServer>(server, registry, ecfg);
     bound_port = epoll->port();
+    if (follower) follower->start();
   } else if (engine_kind == "threads") {
     core::TcpServerConfig tcp_cfg;
     tcp_cfg.port = port;
@@ -286,10 +393,10 @@ int main(int argc, char** argv) {
   // what this process is running with (flags have defaults; the port may
   // have been ephemeral).
   std::printf(
-      "config: engine=%s port=%u dim=%zu classes=%zu updater=%s lr=%g "
+      "config: engine=%s role=%s port=%u dim=%zu classes=%zu updater=%s lr=%g "
       "radius=%g max-iterations=%lld target-error=%g wal=%s fsync=%s "
       "io-threads=%zu checkin-queue-max=%zu report-every=%gs\n",
-      engine_kind.c_str(), bound_port, dim, classes,
+      engine_kind.c_str(), repl.role.c_str(), bound_port, dim, classes,
       flags.get("updater", "sgd").c_str(), lr, radius,
       static_cast<long long>(cfg.max_iterations), cfg.target_error,
       wal_dir.empty() ? "(none)" : wal_dir.c_str(),
@@ -315,14 +422,36 @@ int main(int argc, char** argv) {
   const double report_every = flags.get_double("report-every", 10.0);
   auto last_report = std::chrono::steady_clock::now();
   while (!g_stop.load() && !server.stopped()) {
+    if (follower && follower->fatal()) {
+      std::fprintf(stderr,
+                   "crowdml-server: follower replication hit a fatal local "
+                   "error; restart to re-recover\n");
+      break;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const auto now = std::chrono::steady_clock::now();
     if (std::chrono::duration<double>(now - last_report).count() >= report_every) {
       std::fputs(core::portal_report(server).c_str(), stdout);
+      if (follower)
+        std::printf(
+            "replicated through seq %llu (epoch %llu, connected=%d, stale "
+            "frames refused %lld, snapshots installed %lld)\n",
+            static_cast<unsigned long long>(follower->applied_seq()),
+            static_cast<unsigned long long>(follower->epoch()),
+            follower->connected() ? 1 : 0, follower->stale_frames_refused(),
+            follower->snapshots_installed());
+      if (shipper)
+        std::printf("replication: %zu follower session(s), epoch %llu%s\n",
+                    shipper->follower_sessions(),
+                    static_cast<unsigned long long>(shipper->epoch()),
+                    shipper->fenced() ? " [FENCED: a newer leader exists]"
+                                      : "");
       std::fflush(stdout);
       last_report = now;
       save_checkpoint();
       if (durable && !durable->compact(server))
+        std::printf("snapshot compaction failed; wal intact, continuing\n");
+      if (follower && !follower->compact())
         std::printf("snapshot compaction failed; wal intact, continuing\n");
       if (!metrics_path.empty())
         obs::write_metrics_file(obs::default_registry(), metrics_path);
@@ -338,9 +467,22 @@ int main(int argc, char** argv) {
                   durable->dir().c_str(),
                   static_cast<unsigned long long>(server.version()));
   }
+  if (follower) {
+    // Stop replicating before the engine goes away (on_applied
+    // republishes its board), then leave a fresh snapshot behind so the
+    // next start — possibly a promotion — recovers instantly.
+    follower->shutdown();
+    follower->compact();
+    std::printf("replicated through seq %llu (epoch %llu) at shutdown\n",
+                static_cast<unsigned long long>(follower->applied_seq()),
+                static_cast<unsigned long long>(follower->epoch()));
+  }
   std::fputs(core::portal_report(server).c_str(), stdout);
   if (tcp) tcp->shutdown();
   if (epoll) epoll->shutdown();
+  // After the applier is drained: no more quorum waits, safe to drop the
+  // shipping plane.
+  if (shipper) shipper->shutdown();
   if (!metrics_path.empty()) {
     obs::write_metrics_file(obs::default_registry(), metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());

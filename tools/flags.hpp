@@ -2,6 +2,7 @@
 // Supports --name=value and --name value forms plus boolean --name.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <stdexcept>
@@ -55,5 +56,117 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Replication role flags for crowdml-server, validated as a unit (the
+/// combinations are easy to get wrong; see docs/REPLICATION.md):
+///   --role leader|follower          (default leader)
+///   --leader-addr host:port         (follower only; required there)
+///   --repl-ack none|async|quorum    (leader only)
+///   --repl-port N                   (leader only; 0 = ephemeral)
+///   --repl-followers N              (leader; sizes the quorum)
+///   --epoch-dir DIR                 (default: the wal dir)
+///   --promote-on-start              (leader only; bump the epoch)
+/// `error` is non-empty when the combination is invalid.
+struct ReplicaFlags {
+  std::string role = "leader";
+  std::string leader_host;
+  std::uint16_t leader_port = 0;
+  std::string leader_addr;  ///< the raw host:port, for redirect nacks
+  std::string ack_mode = "none";
+  std::string epoch_dir;
+  long long followers = 2;
+  bool promote_on_start = false;
+  /// True when this leader runs a replication plane at all (a
+  /// --repl-port was given or an ack mode other than none requested).
+  bool repl_enabled = false;
+  std::uint16_t repl_port = 0;
+  std::string error;
+};
+
+inline ReplicaFlags parse_replica_flags(const Flags& flags) {
+  ReplicaFlags r;
+  r.role = flags.get("role", "leader");
+  r.ack_mode = flags.get("repl-ack", "none");
+  r.epoch_dir = flags.get("epoch-dir", "");
+  r.followers = flags.get_int("repl-followers", 2);
+  r.promote_on_start = flags.get_bool("promote-on-start");
+  r.repl_port = static_cast<std::uint16_t>(flags.get_int("repl-port", 0));
+  r.leader_addr = flags.get("leader-addr", "");
+  const std::string wal_dir = flags.get("wal-dir", "");
+  const std::string engine = flags.get("engine", "threads");
+
+  if (r.role != "leader" && r.role != "follower") {
+    r.error = "unknown --role " + r.role + " (leader|follower)";
+    return r;
+  }
+  if (r.ack_mode != "none" && r.ack_mode != "async" && r.ack_mode != "quorum") {
+    r.error = "unknown --repl-ack " + r.ack_mode + " (none|async|quorum)";
+    return r;
+  }
+
+  if (r.role == "follower") {
+    if (r.leader_addr.empty()) {
+      r.error = "--role follower requires --leader-addr host:port";
+      return r;
+    }
+    const auto colon = r.leader_addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= r.leader_addr.size()) {
+      r.error = "--leader-addr must be host:port, got " + r.leader_addr;
+      return r;
+    }
+    r.leader_host = r.leader_addr.substr(0, colon);
+    long long port = 0;
+    try {
+      port = std::stoll(r.leader_addr.substr(colon + 1));
+    } catch (const std::exception&) {
+      port = 0;
+    }
+    if (port < 1 || port > 65535) {
+      r.error = "--leader-addr port out of range in " + r.leader_addr;
+      return r;
+    }
+    r.leader_port = static_cast<std::uint16_t>(port);
+    if (wal_dir.empty()) {
+      r.error = "--role follower requires --wal-dir (the replica's log)";
+      return r;
+    }
+    if (engine != "epoll") {
+      r.error = "--role follower requires --engine epoll (snapshot-board "
+                "checkouts)";
+      return r;
+    }
+    if (flags.has("repl-ack") || flags.has("repl-port") ||
+        flags.has("promote-on-start") || flags.has("repl-followers")) {
+      r.error = "--repl-ack/--repl-port/--repl-followers/--promote-on-start "
+                "are leader flags; a follower learns them from its leader";
+      return r;
+    }
+    return r;
+  }
+
+  // Leader.
+  if (!r.leader_addr.empty()) {
+    r.error = "--leader-addr is a follower flag (this node IS the leader)";
+    return r;
+  }
+  r.repl_enabled = flags.has("repl-port") || r.ack_mode != "none" ||
+                   r.promote_on_start;
+  if (r.repl_enabled && wal_dir.empty()) {
+    r.error = "replication requires --wal-dir (the WAL is the shipping "
+              "buffer)";
+    return r;
+  }
+  if (r.repl_enabled && engine != "epoll") {
+    r.error = "replication requires --engine epoll (the shipping watermark "
+              "advances on the group-commit path)";
+    return r;
+  }
+  if (r.ack_mode == "quorum" && r.followers < 1) {
+    r.error = "--repl-ack quorum requires --repl-followers >= 1";
+    return r;
+  }
+  return r;
+}
 
 }  // namespace crowdml::tools
