@@ -14,10 +14,17 @@
 //       starts when the leader's group commit makes a seq durable and
 //       stops when a follower has applied (and fsynced) it. Reported as
 //       percentiles per follower.
+//   (c) Failover — repeated trials of the full automatic-failover arc:
+//       the leader dies abruptly, the candidate follower's failure
+//       detector trips (100-200ms fuse), it wins the elector's vote,
+//       self-promotes through the same handoff crowdml-server performs,
+//       and quorum-acks its first checkin. Reported as the
+//       death-to-first-ack wall time (median/p99), detection included.
 //
 // Scale via CROWDML_SCALE (default 0.25 => 2000 checkouts per node
-// phase, 1000 lag-timed checkins). --json-out PATH writes the table
-// (see EXPERIMENTS.md; BENCH_replication.json at the repo root).
+// phase, 1000 lag-timed checkins, 5 failover trials). --json-out PATH
+// writes the table (see EXPERIMENTS.md; BENCH_replication.json at the
+// repo root).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -30,6 +37,7 @@
 
 #include "bench/common.hpp"
 #include "engine/epoll_server.hpp"
+#include "replica/failure_detector.hpp"
 #include "replica/follower.hpp"
 #include "replica/log_shipper.hpp"
 #include "store/durable_store.hpp"
@@ -356,6 +364,134 @@ int main(int argc, char** argv) {
   std::printf("%-30s %14.0f  (same host, shared cores)\n",
               "leader + 2 followers (conc.)", same_host);
 
+  // --- (c) Failover: abrupt leader death -> detector trip -> election
+  // -> self-promotion handoff -> first quorum-acked checkin, end to end.
+  // Each trial is a fresh miniature cluster so the clock always starts
+  // from a healthy steady state.
+  const int trials = std::max(5, static_cast<int>(20 * o.scale));
+  std::vector<double> failover_ms;
+  bool failover_acked = true;
+  for (int t = 0; t < trials; ++t) {
+    TempDir tl, tf1, tf2;
+    core::Server lsrv = make_server();
+    store::DurableStore lst(tl.path, sopts);
+    lst.recover(lsrv);
+    lst.attach(lsrv);
+    lst.set_group_commit(true);
+    replica::ShipperOptions sh;
+    sh.ack_mode = replica::ReplAckMode::kQuorum;
+    sh.quorum_follower_acks = 1;
+    sh.heartbeat_interval_ms = 20;  // lease defaults to 60ms
+    auto ship = std::make_unique<replica::LogShipper>(lsrv, lst, 1, sh);
+
+    net::AuthRegistry lauth{rng::Engine(2)};
+    engine::EngineConfig lec;
+    lec.group_commit = [&] {
+      if (!lst.commit_group()) return false;
+      ship->notify_committed();
+      return ship->await_quorum(lst.wal().last_seq());
+    };
+    auto leng = std::make_unique<engine::EpollCrowdServer>(lsrv, lauth, lec);
+
+    // Elector first (long fuse: never campaigns), so the candidate can
+    // name its vote endpoint; then the 100-200ms-fused candidate.
+    core::Server s2 = make_server();
+    replica::FollowerOptions o2;
+    o2.leader_port = ship->port();
+    o2.follower_id = 2;
+    o2.reconnect_backoff_ms = 10;
+    o2.detector.election_timeout_min_ms = 60'000;
+    auto f2 = std::make_unique<replica::Follower>(s2, tf2.path, o2);
+    f2->start();
+    while (f2->vote_port() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    core::Server s1 = make_server();
+    replica::FollowerOptions o1;
+    o1.leader_port = ship->port();
+    o1.follower_id = 1;
+    o1.reconnect_backoff_ms = 10;
+    o1.detector.election_timeout_min_ms = 100;
+    o1.detector.election_timeout_max_ms = 200;
+    o1.peers = replica::parse_peer_list("127.0.0.1:" +
+                                        std::to_string(f2->vote_port()));
+    o1.rng_seed = static_cast<std::uint64_t>(t) + 1;
+    auto f1 = std::make_unique<replica::Follower>(s1, tf1.path, o1);
+    f1->start();
+
+    // Warm: one quorum-acked checkin, both replicas caught up.
+    const auto creds = lauth.enroll();
+    const ClientFrames cf = make_frames(creds, eng);
+    auto warm = net::TcpConnection::connect("127.0.0.1", leng->port(), 2000);
+    if (!warm) throw std::runtime_error("failover warm connect failed");
+    warm->set_deadline_ms(10'000);
+    warm->send_frame(cf.checkin);
+    warm->recv_frame();
+    while (f1->applied_seq() < lsrv.version() ||
+           f2->applied_seq() < lsrv.version())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    const auto death = std::chrono::steady_clock::now();
+    leng->shutdown();  // the leader dies mid-deployment, no goodbye
+    ship->shutdown();
+    while (!f1->promoted())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // The crowdml-server promotion handoff, same ordering: replication
+    // thread down before its store joins the serving path; republish
+    // before checkins; shipper on the just-freed vote port the elector
+    // was retargeted to when it granted.
+    const std::uint64_t won = f1->epoch();
+    const std::uint16_t rport = f1->vote_port();
+    f1->shutdown();
+    store::DurableStore& fs = f1->store();
+    fs.set_group_commit(true);
+    fs.attach(s1);
+    replica::ShipperOptions sh2;
+    sh2.port = rport;
+    sh2.ack_mode = replica::ReplAckMode::kQuorum;
+    sh2.quorum_follower_acks = 1;
+    sh2.heartbeat_interval_ms = 20;
+    auto ship2 = std::make_unique<replica::LogShipper>(s1, fs, won, sh2);
+    net::AuthRegistry nauth{rng::Engine(2)};  // same seed => same keys
+    nauth.enroll();
+    engine::EngineConfig nec;
+    nec.group_commit = [&] {
+      if (!fs.commit_group()) return false;
+      ship2->notify_committed();
+      return ship2->await_quorum(fs.wal().last_seq());
+    };
+    auto neng = std::make_unique<engine::EpollCrowdServer>(s1, nauth, nec);
+
+    // First checkin on the new leader: the ack waits for the elector to
+    // rejoin the winner and durably append — the full regime, restored.
+    auto conn = net::TcpConnection::connect("127.0.0.1", neng->port(), 2000);
+    if (!conn) throw std::runtime_error("failover checkin connect failed");
+    conn->set_deadline_ms(10'000);
+    conn->send_frame(cf.checkin);
+    const auto reply = conn->recv_frame();
+    const auto first_ack = std::chrono::steady_clock::now();
+    const bool ok =
+        reply &&
+        net::AckMessage::deserialize(net::decode_frame(*reply).payload).ok;
+    failover_acked = failover_acked && ok;
+    failover_ms.push_back(
+        std::chrono::duration<double, std::milli>(first_ack - death).count());
+
+    f2->shutdown();
+    neng->shutdown();
+    ship2->shutdown();
+  }
+  const double fo_p50 = percentile(failover_ms, 0.50);
+  const double fo_p99 = percentile(failover_ms, 0.99);
+  const double fo_max =
+      failover_ms.empty()
+          ? 0.0
+          : *std::max_element(failover_ms.begin(), failover_ms.end());
+  std::printf("\nfailover (%d trials, 100-200ms detection fuse): "
+              "death-to-first-ack p50 %.0fms  p99 %.0fms  max %.0fms\n",
+              trials, fo_p50, fo_p99, fo_max);
+
   // Near-linear: every follower serves reads about as fast as the
   // leader, so 3 serving nodes project to ~3x one.
   bool followers_match = true;
@@ -363,11 +499,17 @@ int main(int argc, char** argv) {
     followers_match = followers_match && solo[i + 1] >= 0.7 * solo[0];
   const bool scale_ok = followers_match && scaling >= 2.4;
   const bool lag_ok = !lag_pcts.empty() && lag_pcts[0][2] < 1000.0;
+  // With a 100-200ms fuse, detection dominates; anything near a second
+  // of median means promotion or the elector's rejoin is dragging.
+  const bool failover_ok = failover_acked && fo_p50 < 1500.0;
   bench::check(followers_match,
                "each follower serves checkouts >= 0.7x the leader's rate");
   bench::check(scale_ok,
                "2 followers project aggregate checkout throughput >= 2.4x");
   bench::check(lag_ok, "p99 commit-to-applied lag under a second");
+  bench::check(failover_ok,
+               "every trial's first post-failover checkin acked, median "
+               "death-to-first-ack under 1.5s");
 
   if (!json_out.empty()) {
     std::FILE* f = std::fopen(json_out.c_str(), "w");
@@ -396,12 +538,22 @@ int main(int argc, char** argv) {
                    i + 1, lag_pcts[i][0], lag_pcts[i][1], lag_pcts[i][2],
                    lag_pcts[i][3], i + 1 < lag_pcts.size() ? "," : "");
     std::fprintf(f,
-                 "  ],\n  \"checks\": {\n"
+                 "  ],\n  \"failover\": {\n"
+                 "    \"trials\": %d,\n"
+                 "    \"detection_fuse_ms\": [100, 200],\n"
+                 "    \"death_to_first_ack_ms\": "
+                 "{\"p50\": %.1f, \"p99\": %.1f, \"max\": %.1f},\n"
+                 "    \"all_first_checkins_acked\": %s\n  },\n",
+                 trials, fo_p50, fo_p99, fo_max,
+                 failover_acked ? "true" : "false");
+    std::fprintf(f,
+                 "  \"checks\": {\n"
                  "    \"followers_serve_0_7x_leader\": %s,\n"
                  "    \"projected_scaling_2_4x\": %s,\n"
-                 "    \"p99_lag_under_1s\": %s\n  }\n}\n",
+                 "    \"p99_lag_under_1s\": %s,\n"
+                 "    \"failover_median_under_1_5s\": %s\n  }\n}\n",
                  followers_match ? "true" : "false", scale_ok ? "true" : "false",
-                 lag_ok ? "true" : "false");
+                 lag_ok ? "true" : "false", failover_ok ? "true" : "false");
     std::fclose(f);
     std::printf("(json written: %s)\n", json_out.c_str());
   }

@@ -44,6 +44,10 @@ NetCounters::NetCounters(obs::MetricsRegistry* registry)
       retry_after_honored(registry_.counter(
           "crowdml_net_retry_after_honored_total",
           "Server retry_after hints honored as the next backoff delay",
+          obs::Provenance::kTransportEvent)),
+      redirects_followed(registry_.counter(
+          "crowdml_net_redirects_followed_total",
+          "Not-leader nacks followed to the advertised leader",
           obs::Provenance::kTransportEvent)) {}
 
 NetCountersSnapshot NetCounters::snapshot() const {
@@ -57,6 +61,7 @@ NetCountersSnapshot NetCounters::snapshot() const {
   s.idle_closed = idle_closed.value();
   s.reaped_workers = reaped_workers.value();
   s.retry_after_honored = retry_after_honored.value();
+  s.redirects_followed = redirects_followed.value();
   return s;
 }
 
@@ -72,6 +77,7 @@ std::string transport_report(const NetCountersSnapshot& net) {
   out << "idle connections closed: " << net.idle_closed << "\n";
   out << "workers reaped:         " << net.reaped_workers << "\n";
   out << "retry hints honored:    " << net.retry_after_honored << "\n";
+  out << "redirects followed:     " << net.redirects_followed << "\n";
   return out.str();
 }
 

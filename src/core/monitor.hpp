@@ -34,6 +34,7 @@ struct NetCountersSnapshot {
   long long idle_closed = 0;
   long long reaped_workers = 0;
   long long retry_after_honored = 0;
+  long long redirects_followed = 0;
 };
 
 /// Shared transport-health counters. Device sessions record timeouts,
@@ -70,6 +71,9 @@ class NetCounters {
   /// Nacks carrying a server retry_after hint that a device session
   /// honored as its next backoff delay (load shedding made visible).
   obs::Counter& retry_after_honored;
+  /// "not leader" nacks a device session followed to the advertised
+  /// leader (failover made visible from the client side).
+  obs::Counter& redirects_followed;
 
   /// The registry the counters live in (for rendering/exporting).
   obs::MetricsRegistry& registry() const { return registry_; }

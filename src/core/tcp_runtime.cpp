@@ -28,6 +28,23 @@ int shed_hint(const net::Bytes& frame) {
   }
 }
 
+/// Leader address carried by a "not leader" nack frame; nullopt when the
+/// frame is anything else.
+std::optional<std::string> redirect_target(const net::Bytes& frame) {
+  if (frame.size() <= net::kFrameTypeOffset ||
+      frame[net::kFrameTypeOffset] !=
+          static_cast<std::uint8_t>(net::MessageType::kAck))
+    return std::nullopt;
+  try {
+    const net::Frame f = net::decode_frame(frame);
+    const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+    if (ack.ok) return std::nullopt;
+    return net::parse_leader_redirect(ack.reason);
+  } catch (const net::CodecError&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
@@ -197,6 +214,8 @@ ReconnectingDeviceSession::ReconnectingDeviceSession(
     std::uint64_t device_id)
     : host_(std::move(host)),
       port_(port),
+      home_host_(host_),
+      home_port_(port_),
       policy_(policy),
       eng_(eng),
       counters_(counters),
@@ -249,14 +268,18 @@ std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
       request[net::kFrameTypeOffset] !=
           static_cast<std::uint8_t>(net::MessageType::kCheckin);
 
-  int hinted_ms = -1;  // server-supplied backoff for the next attempt
+  int hinted_ms = -1;   // server-supplied backoff for the next attempt
+  int redirect_hops = 0;  // not-leader hops followed this exchange
+  bool skip_backoff = false;  // a redirect replays immediately
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     if (attempt > 1) {
       ++retries_;
       if (counters_) ++counters_->retries;
       if (trace_)
         trace_->event("retry", {{"device", device_id_}, {"attempt", attempt}});
-      if (hinted_ms >= 0) {
+      if (skip_backoff) {
+        skip_backoff = false;
+      } else if (hinted_ms >= 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(hinted_ms));
         hinted_ms = -1;
       } else {
@@ -264,11 +287,43 @@ std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
       }
     }
     if (!session_ || !session_->connected()) {
-      if (!try_connect()) continue;
+      if (!try_connect()) {
+        // A redirect target that never answers must not strand the
+        // device: fall back to home, whose next leader will redirect us
+        // correctly again.
+        if (host_ != home_host_ || port_ != home_port_) {
+          host_ = home_host_;
+          port_ = home_port_;
+          if (trace_)
+            trace_->event("redirect_fallback_home", {{"device", device_id_}});
+        }
+        continue;
+      }
     }
     if (!replayable) ++checkin_sends_;
     auto reply = session_->exchange(request);
     if (reply) {
+      // Follow "not leader" before anything else: the nack was issued
+      // before application, so replaying there is safe for every frame
+      // type, checkins included.
+      if (const auto leader = redirect_target(*reply)) {
+        const auto hp = net::split_host_port(*leader);
+        if (hp && redirect_hops < policy_.max_redirect_hops) {
+          ++redirect_hops;
+          ++redirects_followed_;
+          if (counters_) ++counters_->redirects_followed;
+          if (trace_)
+            trace_->event("redirect_followed",
+                          {{"device", device_id_}, {"leader", *leader}});
+          host_ = hp->first;
+          port_ = hp->second;
+          session_->close();
+          session_.reset();
+          skip_backoff = true;
+          continue;
+        }
+        return reply;  // hop cap hit or unparseable: surface the nack
+      }
       const int hint = shed_hint(*reply);
       if (hint < 0) return reply;
       // The server shed this request and told us when to come back.

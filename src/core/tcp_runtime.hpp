@@ -156,12 +156,24 @@ struct ReconnectPolicy {
   int backoff_base_ms = 10;
   int backoff_max_ms = 2000;
   double jitter = 0.5;
+  /// "not leader" redirects followed within one exchange() before the
+  /// nack is surfaced as-is (a loop of confused replicas must not trap
+  /// the device). 0 disables following entirely.
+  int max_redirect_hops = 4;
 };
 
 /// TcpDeviceSession wrapper that survives connection loss: it connects
 /// lazily, re-establishes dropped connections with capped exponential
 /// backoff + jitter, and replays failed requests — except checkins, which
 /// are abandoned once their send has begun (see the header comment).
+///
+/// Failover: a "not leader; leader=<addr>" nack retargets the session at
+/// the advertised leader and replays the request there — checkins
+/// included, because the replica refuses them *before* application, so
+/// the nacked frame was provably never applied (the one exception to
+/// never-replay-a-checkin). If the redirect target cannot be reached the
+/// session falls back to its home address (where a future leader's
+/// redirect will point it again).
 class ReconnectingDeviceSession {
  public:
   /// `counters`, when non-null, receives timeout/retry/reconnect events
@@ -188,8 +200,14 @@ class ReconnectingDeviceSession {
   /// delays the *next* exchange instead.
   long long retry_after_honored() const { return retry_after_honored_; }
   /// Checkin frames handed to the socket at least once (each at most once
-  /// — never replayed), for double-apply audits in chaos tests.
+  /// — never replayed), for double-apply audits in chaos tests. A checkin
+  /// replayed after a pre-application "not leader" nack counts again.
   long long checkin_frames_sent() const { return checkin_sends_; }
+  /// Not-leader redirects followed to the advertised leader.
+  long long redirects_followed() const { return redirects_followed_; }
+  /// The address currently targeted (the home address until a redirect).
+  const std::string& current_host() const { return host_; }
+  std::uint16_t current_port() const { return port_; }
 
  private:
   bool try_connect();
@@ -197,6 +215,8 @@ class ReconnectingDeviceSession {
 
   std::string host_;
   std::uint16_t port_;
+  std::string home_host_;
+  std::uint16_t home_port_;
   ReconnectPolicy policy_;
   rng::Engine eng_;
   NetCounters* counters_;
@@ -210,6 +230,7 @@ class ReconnectingDeviceSession {
   long long checkins_abandoned_ = 0;
   long long checkin_sends_ = 0;
   long long retry_after_honored_ = 0;
+  long long redirects_followed_ = 0;
   /// Hint from a shed checkin's nack: sleep this long before the next
   /// exchange begins (the shed request itself is not replayed).
   int deferred_backoff_ms_ = 0;

@@ -39,7 +39,6 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
       board_(config_.metrics),
       queue_(config_.checkin_queue_max, config_.metrics),
       auth_refused_frame_(make_auth_refused_frame()),
-      checkin_redirect_frame_(make_redirect_frame(config_.checkin_redirect)),
       checkouts_served_(registry_of(config_).counter(
           "crowdml_engine_checkouts_served_total",
           "Checkouts answered from the snapshot board on an I/O thread",
@@ -52,6 +51,11 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
           "crowdml_engine_checkins_redirected_total",
           "Checkins refused with a not-leader redirect (follower mode)",
           obs::Provenance::kTransportEvent)),
+      stale_checkouts_refused_(registry_of(config_).counter(
+          "crowdml_engine_stale_checkouts_refused_total",
+          "Checkouts nacked because the replica's applied position lagged "
+          "the leader's committed watermark past --max-read-lag",
+          obs::Provenance::kTransportEvent)),
       batch_size_(registry_of(config_).histogram(
           "crowdml_engine_batch_size",
           "Checkins applied per applier wakeup (group-commit batch)",
@@ -63,6 +67,8 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
           obs::Provenance::kTiming)) {
   if (config_.io_threads == 0) config_.io_threads = 1;
   if (config_.checkin_batch_max == 0) config_.checkin_batch_max = 1;
+  group_commit_ = std::move(config_.group_commit);
+  set_checkin_redirect(config_.checkin_redirect);
 
   // The board must hold a snapshot before any I/O thread can serve a
   // checkout from it.
@@ -137,6 +143,28 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
       const net::Frame f = net::decode_frame(frame);
       const auto req = net::CheckoutRequest::deserialize(f.payload);
       if (auth_.verify(req.device_id, req.body(), req.auth_tag)) {
+        // Bounded-staleness replica reads: refuse (with a machine-
+        // readable retry hint) rather than serve parameters that lag the
+        // leader's committed watermark past the configured bound.
+        if (config_.read_lag && config_.max_read_lag > 0) {
+          const std::uint64_t lag = config_.read_lag();
+          if (lag > config_.max_read_lag) {
+            ++stale_checkouts_refused_;
+            if (config_.trace)
+              config_.trace->event("stale_checkout_refused",
+                                   {{"device", req.device_id},
+                                    {"lag_records", lag},
+                                    {"max_read_lag", config_.max_read_lag}});
+            const net::AckMessage nack{
+                false, net::retry_after_reason(
+                           "replica lagging " + std::to_string(lag) +
+                               " records",
+                           config_.stale_retry_after_ms)};
+            loop->send(conn_id, net::encode_frame(net::MessageType::kAck,
+                                                  nack.serialize()));
+            return;
+          }
+        }
         const auto snap = board_.current();
         ++checkouts_served_;
         if (config_.trace)
@@ -154,16 +182,26 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
   // Follower mode: only the leader mutates the model. Checkins are
   // refused right here on the I/O thread with a machine-readable
   // redirect — they must never reach the applier, so a replica's state
-  // stays byte-identical to the leader's replication stream.
-  if (!checkin_redirect_frame_.empty() &&
+  // stays byte-identical to the leader's replication stream. The nack is
+  // issued *before* any application, which is what makes it safe for the
+  // device to replay the same checkin at the redirect target.
+  if (redirect_active_.load(std::memory_order_acquire) &&
       frame.size() > net::kFrameTypeOffset &&
       frame[net::kFrameTypeOffset] ==
           static_cast<std::uint8_t>(net::MessageType::kCheckin)) {
-    ++checkins_redirected_;
-    if (config_.trace)
-      config_.trace->event("redirect", {{"leader", config_.checkin_redirect}});
-    loop->send(conn_id, net::Bytes(checkin_redirect_frame_));
-    return;
+    net::Bytes redirect;
+    std::string leader;
+    {
+      std::lock_guard<std::mutex> lock(redirect_mu_);
+      redirect = checkin_redirect_frame_;
+      leader = checkin_redirect_;
+    }
+    if (!redirect.empty()) {
+      ++checkins_redirected_;
+      if (config_.trace) config_.trace->event("redirect", {{"leader", leader}});
+      loop->send(conn_id, std::move(redirect));
+      return;
+    }
   }
 
   CheckinWork work;
@@ -204,8 +242,15 @@ void EpollCrowdServer::applier_loop() {
 
     // Group commit: one WAL fsync for the whole batch. On failure every
     // ok-ack in the batch becomes a durability nack — the acks have not
-    // left yet, so "acked => durable" still never lies.
-    if (config_.group_commit && !config_.group_commit()) {
+    // left yet, so "acked => durable" still never lies. The hook is
+    // copied under its lock each batch so promotion can swap it in
+    // between commits.
+    std::function<bool()> commit;
+    {
+      std::lock_guard<std::mutex> lock(gc_mu_);
+      commit = group_commit_;
+    }
+    if (commit && !commit()) {
       ++commit_failures_;
       if (config_.trace)
         config_.trace->event("group_commit_failed", {{"batch", n}});
@@ -233,7 +278,8 @@ void EpollCrowdServer::applier_loop() {
     // In follower mode the replication thread is the board's single
     // publisher (via republish()); the applier only ever saw
     // non-checkin frames, so it has nothing new to publish anyway.
-    if (config_.checkin_redirect.empty()) board_.publish(server_);
+    if (!redirect_active_.load(std::memory_order_acquire))
+      board_.publish(server_);
     batch_size_.observe(static_cast<double>(n));
 
     // Release acks grouped per event loop: one wakeup carries the whole
@@ -252,6 +298,22 @@ void EpollCrowdServer::applier_loop() {
 }
 
 void EpollCrowdServer::republish() { board_.publish(server_); }
+
+void EpollCrowdServer::set_checkin_redirect(const std::string& leader_addr) {
+  {
+    std::lock_guard<std::mutex> lock(redirect_mu_);
+    checkin_redirect_ = leader_addr;
+    checkin_redirect_frame_ = make_redirect_frame(leader_addr);
+  }
+  // Release so an I/O thread that sees the flag also sees the frame it
+  // guards (and, on promotion, a publisher handoff already completed).
+  redirect_active_.store(!leader_addr.empty(), std::memory_order_release);
+}
+
+void EpollCrowdServer::set_group_commit(std::function<bool()> hook) {
+  std::lock_guard<std::mutex> lock(gc_mu_);
+  group_commit_ = std::move(hook);
+}
 
 void EpollCrowdServer::shutdown() {
   if (stopping_.exchange(true)) return;

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -80,8 +81,17 @@ struct EngineConfig {
   /// net::not_leader_reason(checkin_redirect) — only the leader mutates
   /// the model — and the applier never publishes the snapshot board;
   /// the replication thread owns publication via republish(). Empty =
-  /// normal leader behavior.
+  /// normal leader behavior. Changeable at runtime via
+  /// set_checkin_redirect (failover retargeting / promotion).
   std::string checkin_redirect;
+  /// Bounded-staleness follower reads: when set, called on the I/O
+  /// thread per checkout for the replica's applied-seq lag behind the
+  /// leader's committed watermark; a lag above max_read_lag nacks the
+  /// checkout with a parseable retry hint instead of serving arbitrarily
+  /// stale parameters. Null or max_read_lag == 0 disables the check.
+  std::function<std::uint64_t()> read_lag;
+  std::uint64_t max_read_lag = 0;
+  int stale_retry_after_ms = 100;
   /// Registry for engine instruments (null = obs::default_registry()).
   obs::MetricsRegistry* metrics = nullptr;
   /// Lifecycle + protocol trace events. Null disables.
@@ -107,6 +117,9 @@ class EpollCrowdServer {
   std::size_t connections() const;
   long long checkouts_served() const { return checkouts_served_.value(); }
   long long commit_failures() const { return commit_failures_.value(); }
+  long long stale_checkouts_refused() const {
+    return stale_checkouts_refused_.value();
+  }
 
   const core::NetCounters& net_counters() const { return counters_; }
   core::NetCountersSnapshot net_snapshot() const {
@@ -116,8 +129,22 @@ class EpollCrowdServer {
   /// Re-publish the snapshot board from the server's current state.
   /// Follower mode only: called by the replication thread after each
   /// applied batch (the board's single-publisher contract moves to that
-  /// thread; the applier skips publication when checkin_redirect is set).
+  /// thread; the applier skips publication while a redirect is active).
   void republish();
+
+  /// Retarget (or clear) the follower-mode checkin redirect at runtime.
+  /// Non-empty: checkins nack with not_leader_reason(addr). Empty: this
+  /// node accepts checkins and the applier resumes board publication —
+  /// promotion must call republish() *before* clearing the redirect so
+  /// the publisher handoff never has two concurrent publishers.
+  void set_checkin_redirect(const std::string& leader_addr);
+  bool redirect_active() const {
+    return redirect_active_.load(std::memory_order_acquire);
+  }
+
+  /// Swap the group-commit hook (promotion wires the ex-follower's store
+  /// and new shipper in). Takes effect from the next drained batch.
+  void set_group_commit(std::function<bool()> hook);
 
   /// Stop accepting, drain the queue (every admitted request still gets
   /// its response), stop the loops, and join everything.
@@ -139,9 +166,16 @@ class EpollCrowdServer {
   CheckinQueue queue_;
   /// Pre-encoded refusal frame for checkout auth failures (constant).
   net::Bytes auth_refused_frame_;
-  /// Pre-encoded "not leader" nack for checkins in follower mode (empty
-  /// when checkin_redirect is unset).
+  /// Pre-encoded "not leader" nack for checkins in follower mode. The
+  /// atomic flag gates the hot path; the frame itself (rebuilt by
+  /// set_checkin_redirect) is read under redirect_mu_.
+  std::atomic<bool> redirect_active_{false};
+  mutable std::mutex redirect_mu_;
+  std::string checkin_redirect_;
   net::Bytes checkin_redirect_frame_;
+  /// Group-commit hook; swappable at runtime (promotion).
+  std::mutex gc_mu_;
+  std::function<bool()> group_commit_;
   std::vector<std::unique_ptr<EventLoop>> loops_;
   net::TcpListener listener_;
   std::uint16_t port_ = 0;
@@ -153,6 +187,7 @@ class EpollCrowdServer {
   obs::Counter& checkouts_served_;
   obs::Counter& commit_failures_;
   obs::Counter& checkins_redirected_;
+  obs::Counter& stale_checkouts_refused_;
   obs::Histogram& batch_size_;
   obs::Histogram& handle_seconds_;
 };

@@ -136,6 +136,8 @@ Bytes ReplHelloMessage::serialize() const {
   w.put_u64(follower_id);
   w.put_u64(epoch);
   w.put_u64(last_seq);
+  w.put_u64(snapshot_version);
+  w.put_u64(snapshot_offset);
   return w.take();
 }
 
@@ -145,6 +147,8 @@ ReplHelloMessage ReplHelloMessage::deserialize(const Bytes& payload) {
   m.follower_id = r.get_u64();
   m.epoch = r.get_u64();
   m.last_seq = r.get_u64();
+  m.snapshot_version = r.get_u64();
+  m.snapshot_offset = r.get_u64();
   if (!r.exhausted()) throw CodecError("trailing bytes in ReplHelloMessage");
   return m;
 }
@@ -154,6 +158,8 @@ Bytes ReplSnapshotMessage::serialize() const {
   w.put_u64(epoch);
   w.put_u8(want_ack ? 1 : 0);
   w.put_u64(version);
+  w.put_u64(total_bytes);
+  w.put_u64(offset);
   w.put_bytes(checkpoint);
   return w.take();
 }
@@ -164,7 +170,12 @@ ReplSnapshotMessage ReplSnapshotMessage::deserialize(const Bytes& payload) {
   m.epoch = r.get_u64();
   m.want_ack = r.get_u8() != 0;
   m.version = r.get_u64();
+  m.total_bytes = r.get_u64();
+  m.offset = r.get_u64();
   m.checkpoint = r.get_bytes();
+  if (m.offset > m.total_bytes ||
+      m.checkpoint.size() > m.total_bytes - m.offset)
+    throw CodecError("ReplSnapshot chunk overruns its stated total");
   if (!r.exhausted()) throw CodecError("trailing bytes in ReplSnapshotMessage");
   return m;
 }
@@ -215,6 +226,52 @@ ReplAckMessage ReplAckMessage::deserialize(const Bytes& payload) {
   return m;
 }
 
+Bytes ReplHeartbeatMessage::serialize() const {
+  Writer w;
+  w.put_u64(epoch);
+  w.put_u64(committed_seq);
+  w.put_u32(lease_ms);
+  w.put_string(leader_addr);
+  return w.take();
+}
+
+ReplHeartbeatMessage ReplHeartbeatMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ReplHeartbeatMessage m;
+  m.epoch = r.get_u64();
+  m.committed_seq = r.get_u64();
+  m.lease_ms = r.get_u32();
+  m.leader_addr = r.get_string();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ReplHeartbeatMessage");
+  return m;
+}
+
+Bytes ReplVoteMessage::serialize() const {
+  Writer w;
+  w.put_u8(request ? 1 : 0);
+  w.put_u8(granted ? 1 : 0);
+  w.put_u64(epoch);
+  w.put_u64(candidate_id);
+  w.put_u64(last_seq);
+  w.put_string(device_addr);
+  w.put_string(repl_addr);
+  return w.take();
+}
+
+ReplVoteMessage ReplVoteMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ReplVoteMessage m;
+  m.request = r.get_u8() != 0;
+  m.granted = r.get_u8() != 0;
+  m.epoch = r.get_u64();
+  m.candidate_id = r.get_u64();
+  m.last_seq = r.get_u64();
+  m.device_addr = r.get_string();
+  m.repl_addr = r.get_string();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ReplVoteMessage");
+  return m;
+}
+
 namespace {
 constexpr const char kNotLeaderPrefix[] = "not leader; leader=";
 }
@@ -228,6 +285,22 @@ std::optional<std::string> parse_leader_redirect(const std::string& reason) {
   if (reason.rfind(kNotLeaderPrefix, 0) != 0 || reason.size() <= prefix_len)
     return std::nullopt;
   return reason.substr(prefix_len);
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> split_host_port(
+    const std::string& addr) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= addr.size())
+    return std::nullopt;
+  long long port = 0;
+  for (std::size_t i = colon + 1; i < addr.size(); ++i) {
+    if (addr[i] < '0' || addr[i] > '9') return std::nullopt;
+    port = port * 10 + (addr[i] - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port < 1) return std::nullopt;
+  return std::make_pair(addr.substr(0, colon),
+                        static_cast<std::uint16_t>(port));
 }
 
 std::string retry_after_reason(const std::string& what, int retry_after_ms) {

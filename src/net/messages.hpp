@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/codec.hpp"
@@ -29,15 +30,19 @@ enum class MessageType : std::uint8_t {
   kCheckin = 3,
   kAck = 4,
   // Replication plane (leader <-> follower WAL shipping, same framing;
-  // see src/replica/ and docs/REPLICATION.md). Types 5-8 never appear on
-  // the device-facing port.
+  // see src/replica/ and docs/REPLICATION.md). Types 5-10 never appear
+  // on the device-facing port.
   kReplHello = 5,
   kReplSnapshot = 6,
   kReplAppend = 7,
   kReplAck = 8,
+  // Automatic failover (lease heartbeats + leader election; see
+  // docs/REPLICATION.md "Automatic failover semantics").
+  kReplHeartbeat = 9,
+  kReplVote = 10,
 };
 
-inline constexpr std::uint8_t kMaxMessageType = 8;
+inline constexpr std::uint8_t kMaxMessageType = 10;
 
 struct CheckoutRequest {
   std::uint64_t device_id = 0;
@@ -89,19 +94,35 @@ struct ReplHelloMessage {
   std::uint64_t follower_id = 0;
   std::uint64_t epoch = 0;
   std::uint64_t last_seq = 0;
+  /// Partial chunked snapshot held from a previous connection: the
+  /// version being transferred and the next byte offset wanted. The
+  /// leader resumes the transfer mid-stream when it still has that
+  /// serialized snapshot cached; 0/0 = no partial transfer.
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t snapshot_offset = 0;
 
   Bytes serialize() const;
   static ReplHelloMessage deserialize(const Bytes& payload);
 };
 
-/// Full-state catch-up (leader -> follower): a serialized
-/// core::ServerCheckpoint at `version`. The follower replaces its store
-/// wholesale and resumes streaming from version + 1.
+/// Full-state catch-up (leader -> follower): one bounded chunk of a
+/// serialized core::ServerCheckpoint at `version`. The checkpoint is
+/// split into frames of at most the shipper's snapshot_chunk_bytes —
+/// a multi-GB state can neither stall the shipper loop nor exceed the
+/// frame-size cap — and offsets are resumable: a follower that
+/// disconnects mid-transfer announces (version, next offset) in its
+/// next hello. The chunk whose offset + size == total_bytes completes
+/// the transfer; the follower then replaces its store wholesale and
+/// resumes streaming from version + 1.
 struct ReplSnapshotMessage {
   std::uint64_t epoch = 0;
-  bool want_ack = true;  ///< leader expects a ReplAck after install
+  bool want_ack = true;  ///< leader expects a ReplAck after this chunk
   std::uint64_t version = 0;
-  Bytes checkpoint;
+  std::uint64_t total_bytes = 0;  ///< full serialized checkpoint size
+  std::uint64_t offset = 0;       ///< this chunk's position in the whole
+  Bytes checkpoint;               ///< the chunk bytes at `offset`
+
+  bool last_chunk() const { return offset + checkpoint.size() >= total_bytes; }
 
   Bytes serialize() const;
   static ReplSnapshotMessage deserialize(const Bytes& payload);
@@ -136,6 +157,48 @@ struct ReplAckMessage {
   static ReplAckMessage deserialize(const Bytes& payload);
 };
 
+/// Leader -> follower lease grant, sent on the replication stream at
+/// least every heartbeat interval: "I am leader of `epoch`; treat me as
+/// alive for lease_ms from receipt". Carries the committed watermark so
+/// followers can bound read staleness, and the leader's device-facing
+/// address so replicas keep their checkin redirects current. Never
+/// acked — silence, not nacks, is what expires a lease.
+struct ReplHeartbeatMessage {
+  std::uint64_t epoch = 0;
+  std::uint64_t committed_seq = 0;
+  std::uint32_t lease_ms = 0;
+  std::string leader_addr;  ///< device-facing host:port ("" = unchanged)
+
+  Bytes serialize() const;
+  static ReplHeartbeatMessage deserialize(const Bytes& payload);
+};
+
+/// Leader election (follower <-> follower, and candidate -> old leader).
+/// As a request (`request` = true): "grant me leadership at `epoch`; my
+/// durable log reaches `last_seq`". As a response: `granted` says
+/// whether the responder durably promised `epoch` to this candidate;
+/// its own epoch/last_seq ride along so a losing candidate learns how
+/// far behind it is. Granting requires epoch > the responder's promised
+/// epoch — at most one candidate can win a given epoch — and
+/// last_seq >= the responder's durable position, so only a
+/// most-caught-up candidate can assemble a majority.
+struct ReplVoteMessage {
+  bool request = true;
+  bool granted = false;  ///< response only
+  std::uint64_t epoch = 0;
+  std::uint64_t candidate_id = 0;
+  std::uint64_t last_seq = 0;
+  /// Request only: where the candidate will serve if it wins, so
+  /// granters retarget without operator help. device_addr is the
+  /// device-facing host:port (new checkin redirect target); repl_addr
+  /// is the replication/election endpoint (new shipping source).
+  std::string device_addr;
+  std::string repl_addr;
+
+  Bytes serialize() const;
+  static ReplVoteMessage deserialize(const Bytes& payload);
+};
+
 /// Checkin refusal from a read replica: "not leader; leader=<addr>".
 /// Devices (or operators reading logs) can re-point at the leader; the
 /// reason rides the normal AckMessage, so old devices just see a failed
@@ -145,6 +208,11 @@ std::string not_leader_reason(const std::string& leader_addr);
 /// Extract the leader address from a not_leader_reason; nullopt when the
 /// reason is anything else.
 std::optional<std::string> parse_leader_redirect(const std::string& reason);
+
+/// Split "host:port" at the last colon. nullopt when there is no colon,
+/// the host part is empty, or the port is not a number in [1, 65535].
+std::optional<std::pair<std::string, std::uint16_t>> split_host_port(
+    const std::string& addr);
 
 /// Overload nack reasons: a server shedding load (connection cap, full
 /// checkin queue) appends a machine-readable retry hint to the human

@@ -1,0 +1,200 @@
+#include "replica/failure_detector.hpp"
+
+#include <algorithm>
+
+namespace crowdml::replica {
+
+FailureDetector::FailureDetector(FailureDetectorConfig cfg, rng::Engine rng)
+    : cfg_(cfg), rng_(rng) {
+  if (cfg_.election_timeout_max_ms <= 0)
+    cfg_.election_timeout_max_ms = 2 * cfg_.election_timeout_min_ms;
+  cfg_.election_timeout_max_ms =
+      std::max(cfg_.election_timeout_max_ms, cfg_.election_timeout_min_ms);
+}
+
+int FailureDetector::draw_timeout_ms() {
+  const int lo = cfg_.election_timeout_min_ms;
+  const int hi = cfg_.election_timeout_max_ms;
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+  return lo + static_cast<int>(rng_() % span);
+}
+
+void FailureDetector::arm(Clock::time_point now) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  timeout_ms_ = draw_timeout_ms();
+  deadline_ = now + std::chrono::milliseconds(timeout_ms_);
+  armed_ = true;
+}
+
+void FailureDetector::observe(Clock::time_point now) { arm(now); }
+
+bool FailureDetector::due(Clock::time_point now) const {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_ && now >= deadline_;
+}
+
+int FailureDetector::current_timeout_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeout_ms_;
+}
+
+std::vector<PeerAddr> parse_peer_list(const std::string& csv,
+                                      std::string* error) {
+  std::vector<PeerAddr> peers;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    if (start == csv.size()) break;
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string entry = csv.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;  // tolerate "a:1,,b:2" and trailing commas
+    const auto hp = net::split_host_port(entry);
+    if (!hp) {
+      if (error) *error = "peer must be host:port, got '" + entry + "'";
+      return {};
+    }
+    peers.push_back({hp->first, hp->second, entry});
+  }
+  return peers;
+}
+
+std::size_t election_majority(std::size_t electorate) {
+  return electorate / 2 + 1;
+}
+
+ElectionResult run_election(const ElectionOptions& opts) {
+  ElectionResult result;
+  result.electorate = opts.peers.size() + 1;
+  result.grants = 1;  // the candidate votes for itself (already durable)
+  const std::size_t needed = election_majority(result.electorate);
+
+  net::ReplVoteMessage req;
+  req.request = true;
+  req.epoch = opts.epoch;
+  req.candidate_id = opts.candidate_id;
+  req.last_seq = opts.last_seq;
+  req.device_addr = opts.device_addr;
+  req.repl_addr = opts.repl_addr;
+  const net::Bytes frame =
+      net::encode_frame(net::MessageType::kReplVote,
+                        seal_repl_payload(opts.key, net::MessageType::kReplVote,
+                                          req.serialize()));
+
+  for (const PeerAddr& peer : opts.peers) {
+    auto conn = net::TcpConnection::connect(peer.host, peer.port,
+                                            opts.connect_timeout_ms);
+    if (!conn) {
+      if (opts.trace)
+        opts.trace->event("election_peer_unreachable", {{"peer", peer.raw}});
+      continue;
+    }
+    conn->set_deadline_ms(opts.io_deadline_ms);
+    if (!conn->send_frame(frame)) continue;
+    const auto raw = conn->recv_frame();
+    if (!raw) continue;
+    net::ReplVoteMessage resp;
+    try {
+      const net::Frame f = net::decode_frame(*raw);
+      if (f.type != net::MessageType::kReplVote) continue;
+      const auto body =
+          open_repl_payload(opts.key, net::MessageType::kReplVote, f.payload);
+      if (!body) continue;
+      resp = net::ReplVoteMessage::deserialize(*body);
+    } catch (const net::CodecError&) {
+      continue;
+    }
+    if (resp.request) continue;  // protocol abuse: a request is not a ballot
+    if (resp.granted) {
+      ++result.grants;
+    } else if (resp.epoch > opts.epoch) {
+      result.higher_epoch_seen =
+          std::max(result.higher_epoch_seen, resp.epoch);
+    }
+    if (opts.trace)
+      opts.trace->event("election_vote",
+                        {{"peer", peer.raw},
+                         {"granted", resp.granted},
+                         {"peer_epoch", resp.epoch},
+                         {"peer_last_seq", resp.last_seq}});
+    if (result.grants >= needed) break;  // majority in hand; stop asking
+  }
+  result.won = result.grants >= needed;
+  return result;
+}
+
+namespace {
+
+obs::MetricsRegistry& registry_of(const VoteListener::Options& opts) {
+  return opts.metrics ? *opts.metrics : obs::default_registry();
+}
+
+}  // namespace
+
+VoteListener::VoteListener(Options opts, Handler handler)
+    : opts_(std::move(opts)),
+      handler_(std::move(handler)),
+      auth_failed_(registry_of(opts_).counter(
+          "crowdml_repl_auth_failed_total",
+          "Replication-plane frames dropped for a missing or invalid "
+          "HMAC tag",
+          obs::Provenance::kTransportEvent)) {}
+
+VoteListener::~VoteListener() { shutdown(); }
+
+bool VoteListener::start() {
+  if (thread_.joinable()) return true;
+  auto listener = net::TcpListener::bind(opts_.port);
+  if (!listener) return false;
+  listener_ = std::move(*listener);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void VoteListener::shutdown() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  listener_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void VoteListener::accept_loop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.accept();
+    if (!conn) break;  // listener closed
+    conn->set_deadline_ms(opts_.io_deadline_ms);
+    const auto raw = conn->recv_frame();
+    if (!raw) continue;
+    net::ReplVoteMessage req;
+    try {
+      const net::Frame f = net::decode_frame(*raw);
+      if (f.type != net::MessageType::kReplVote) continue;
+      const auto body =
+          open_repl_payload(opts_.key, net::MessageType::kReplVote, f.payload);
+      if (!body) {
+        ++auth_failed_;
+        if (opts_.trace)
+          opts_.trace->event("repl_auth_failed", {{"where", "vote_listener"}});
+        continue;
+      }
+      req = net::ReplVoteMessage::deserialize(*body);
+    } catch (const net::CodecError&) {
+      continue;
+    }
+    if (!req.request) continue;
+    net::ReplVoteMessage resp = handler_(req);
+    resp.request = false;
+    ++votes_served_;
+    conn->send_frame(net::encode_frame(
+        net::MessageType::kReplVote,
+        seal_repl_payload(opts_.key, net::MessageType::kReplVote,
+                          resp.serialize())));
+  }
+}
+
+}  // namespace crowdml::replica

@@ -1,0 +1,176 @@
+// Failure detection and leader election for automatic failover.
+//
+// Detection: each follower arms a jittered deadline drawn uniformly from
+// [election_timeout_min_ms, election_timeout_max_ms]; any authenticated
+// leader frame re-arms it with a fresh draw. The jitter keeps detectors
+// from firing in lockstep, so elections rarely collide even when every
+// follower loses the same leader at the same instant.
+//
+// Election: a candidate that saw its deadline pass durably promises
+// epoch+1 to itself (EpochStore — "durable before solicited"), then asks
+// every peer follower for a vote. A peer grants iff the proposed epoch
+// exceeds the highest it has promised AND the candidate's durable log is
+// at least as long as its own; the grant is itself a durable epoch bump,
+// so each epoch elects at most one winner. A majority of the electorate
+// (the followers; see election_majority) always intersects the quorum
+// that acked any committed checkin, so the winner holds every acked
+// record — the safety argument in docs/REPLICATION.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "replica/repl_session.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::replica {
+
+struct FailureDetectorConfig {
+  /// 0 disables detection entirely (the pre-failover manual mode).
+  int election_timeout_min_ms = 0;
+  /// 0 = 2 * min. Must be >= min when both are set.
+  int election_timeout_max_ms = 0;
+};
+
+/// The per-follower missed-heartbeat deadline. Thread-safe: the
+/// replication thread observes, any thread may poll due().
+class FailureDetector {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  FailureDetector(FailureDetectorConfig cfg, rng::Engine rng);
+
+  bool enabled() const { return cfg_.election_timeout_min_ms > 0; }
+
+  /// (Re)start the deadline with a fresh jittered timeout. Called at
+  /// startup (a leader that never appears is as dead as one that
+  /// crashed) and after a lost election (so the next try de-synchronizes
+  /// from the collider's).
+  void arm(Clock::time_point now = Clock::now());
+
+  /// Leader liveness observed (heartbeat / append / snapshot): push the
+  /// deadline out by a fresh jittered timeout.
+  void observe(Clock::time_point now = Clock::now());
+
+  /// Deadline passed with no liveness in between — time to campaign.
+  /// Always false when disabled.
+  bool due(Clock::time_point now = Clock::now()) const;
+
+  /// The jittered timeout of the current arming (ms); 0 before arm().
+  int current_timeout_ms() const;
+
+ private:
+  int draw_timeout_ms();
+
+  FailureDetectorConfig cfg_;
+  rng::Engine rng_;
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  int timeout_ms_ = 0;
+  Clock::time_point deadline_{};
+};
+
+/// One fellow follower's vote endpoint.
+struct PeerAddr {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string raw;  ///< the original host:port, for logs
+};
+
+/// Parse a comma-separated --peers list ("h1:p1,h2:p2"). On a malformed
+/// entry returns the empty list and writes a reason to `error` when
+/// non-null. An empty string parses to an empty list (single-follower
+/// deployments: the electorate is just this node).
+std::vector<PeerAddr> parse_peer_list(const std::string& csv,
+                                      std::string* error = nullptr);
+
+/// Votes needed to win over an electorate of `n` followers (candidate
+/// included): floor(n/2) + 1. With quorum acks requiring
+/// (followers+1)/2 durable followers, any majority of followers
+/// intersects every ack quorum — see the header comment.
+std::size_t election_majority(std::size_t electorate);
+
+struct ElectionOptions {
+  /// The proposed epoch. The caller must have durably promised it to
+  /// itself (EpochStore) before calling run_election.
+  std::uint64_t epoch = 0;
+  std::uint64_t candidate_id = 0;
+  std::uint64_t last_seq = 0;  ///< candidate's durable log position
+  std::string device_addr;     ///< where devices checkout/checkin if we win
+  std::string repl_addr;       ///< where followers replicate from if we win
+  std::vector<PeerAddr> peers;
+  int connect_timeout_ms = 500;
+  int io_deadline_ms = 1000;
+  ReplKey key;
+  obs::TraceSink* trace = nullptr;
+};
+
+struct ElectionResult {
+  bool won = false;
+  std::size_t grants = 0;      ///< granted votes, candidate's own included
+  std::size_t electorate = 0;  ///< peers + self
+  /// Highest epoch observed in any refusal above the proposed one
+  /// (0 = none). The losing candidate adopts it before retrying so its
+  /// next proposal is not dead on arrival.
+  std::uint64_t higher_epoch_seen = 0;
+};
+
+/// Campaign for `opts.epoch`: one vote request per peer, sequentially
+/// (elections are rare and peers few; jittered timeouts do the
+/// de-synchronizing). Unreachable peers simply do not vote.
+ElectionResult run_election(const ElectionOptions& opts);
+
+/// Serves vote requests on a dedicated listener port (every follower
+/// runs one). Each connection carries exactly one sealed kReplVote
+/// request; the handler decides the grant — and must make any epoch
+/// promise durable before returning granted=true. Unauthenticated or
+/// malformed frames are dropped (repl_auth_failed), never granted and
+/// never fenced on.
+class VoteListener {
+ public:
+  using Handler =
+      std::function<net::ReplVoteMessage(const net::ReplVoteMessage&)>;
+
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral; see port()
+    int io_deadline_ms = 2000;
+    ReplKey key;
+    obs::MetricsRegistry* metrics = nullptr;  ///< null = default_registry()
+    obs::TraceSink* trace = nullptr;          ///< null disables
+  };
+
+  VoteListener(Options opts, Handler handler);
+  ~VoteListener();
+
+  VoteListener(const VoteListener&) = delete;
+  VoteListener& operator=(const VoteListener&) = delete;
+
+  /// Bind and spawn the accept thread. False when the port is taken.
+  bool start();
+  void shutdown();
+
+  std::uint16_t port() const { return listener_.port(); }
+  long long votes_served() const { return votes_served_.load(); }
+
+ private:
+  void accept_loop();
+
+  Options opts_;
+  Handler handler_;
+  net::TcpListener listener_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<long long> votes_served_{0};
+  obs::Counter& auth_failed_;
+};
+
+}  // namespace crowdml::replica

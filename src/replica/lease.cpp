@@ -1,0 +1,50 @@
+#include "replica/lease.hpp"
+
+#include <algorithm>
+
+namespace crowdml::replica {
+
+void Lease::renew(std::uint64_t epoch, std::uint64_t committed_seq,
+                  std::uint32_t lease_ms, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (granted_ && epoch < epoch_) return;  // deposed leader's straggler
+  const Clock::time_point deadline = now + std::chrono::milliseconds(lease_ms);
+  if (!granted_ || epoch > epoch_) {
+    // A new term starts a fresh lease; its deadline stands on its own.
+    deadline_ = deadline;
+  } else {
+    deadline_ = std::max(deadline_, deadline);
+  }
+  granted_ = true;
+  epoch_ = epoch;
+  committed_seq_ = std::max(committed_seq_, committed_seq);
+}
+
+bool Lease::held(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return granted_ && now < deadline_;
+}
+
+bool Lease::expired(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return granted_ && now >= deadline_;
+}
+
+long long Lease::remaining_ms(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!granted_ || now >= deadline_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+      .count();
+}
+
+std::uint64_t Lease::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+std::uint64_t Lease::committed_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_seq_;
+}
+
+}  // namespace crowdml::replica

@@ -1,0 +1,56 @@
+// Leader leases: the follower-side record of "the leader was alive and
+// leading epoch E as of time T, for lease_ms". A lease is renewed by any
+// authenticated leader frame (heartbeats in the steady state, appends and
+// snapshots while catching up) and is never revoked explicitly — silence
+// is the only failure signal, which is what makes the failover window a
+// pure function of the timing parameters (docs/REPLICATION.md "Automatic
+// failover semantics").
+//
+// Thread-safe: the replication thread renews while the main thread (or a
+// test) polls held()/remaining_ms().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace crowdml::replica {
+
+class Lease {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Record a grant from the leader of `epoch`: alive for `lease_ms`
+  /// from `now`, committed through `committed_seq`. Grants from an epoch
+  /// below the last one seen are ignored (a deposed leader's straggler
+  /// heartbeat must not extend its own lease); a deadline is never moved
+  /// backwards.
+  void renew(std::uint64_t epoch, std::uint64_t committed_seq,
+             std::uint32_t lease_ms, Clock::time_point now = Clock::now());
+
+  /// True when a grant exists and has not expired at `now`.
+  bool held(Clock::time_point now = Clock::now()) const;
+
+  /// True when a grant existed and its deadline has passed — the signal
+  /// the failure detector turns into an election. Never true before the
+  /// first grant: a follower that has not yet reached its leader has
+  /// nothing to detect the failure of (the detector's own arm() deadline
+  /// covers that window).
+  bool expired(Clock::time_point now = Clock::now()) const;
+
+  /// Milliseconds of lease left (0 when expired or never granted).
+  long long remaining_ms(Clock::time_point now = Clock::now()) const;
+
+  /// Epoch / committed watermark of the most recent grant (0 when none).
+  std::uint64_t epoch() const;
+  std::uint64_t committed_seq() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool granted_ = false;
+  Clock::time_point deadline_{};
+  std::uint64_t epoch_ = 0;
+  std::uint64_t committed_seq_ = 0;
+};
+
+}  // namespace crowdml::replica

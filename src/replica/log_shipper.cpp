@@ -56,6 +56,15 @@ LogShipper::LogShipper(core::Server& server, store::DurableStore& store,
       followers_connected_(registry_of(opts_).counter(
           "crowdml_repl_followers_connected_total",
           "Follower replication sessions accepted",
+          obs::Provenance::kTransportEvent)),
+      heartbeats_sent_(registry_of(opts_).counter(
+          "crowdml_repl_heartbeats_sent_total",
+          "Lease heartbeats sent to follower sessions",
+          obs::Provenance::kTransportEvent)),
+      auth_failed_(registry_of(opts_).counter(
+          "crowdml_repl_auth_failed_total",
+          "Replication-plane frames dropped for a missing or invalid "
+          "HMAC tag",
           obs::Provenance::kTransportEvent)) {
   auto listener = net::TcpListener::bind(opts_.bind_address, opts_.port);
   if (!listener)
@@ -113,6 +122,83 @@ void LogShipper::accept_loop() {
   }
 }
 
+bool LogShipper::ship_snapshot_chunks(net::TcpConnection& conn,
+                                      std::uint64_t session_id,
+                                      std::uint64_t version,
+                                      const net::Bytes& blob,
+                                      std::uint64_t offset, bool want_ack,
+                                      bool* fenced_session) {
+  const auto total = static_cast<std::uint64_t>(blob.size());
+  const std::size_t chunk_max = std::max<std::size_t>(
+      1, std::min(opts_.snapshot_chunk_bytes,
+                  static_cast<std::size_t>(net::kMaxFieldLength / 2)));
+  const auto throttle_start = std::chrono::steady_clock::now();
+  std::uint64_t throttled_bytes = 0;
+  std::uint64_t off = offset;
+  do {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_max, total - off));
+    net::ReplSnapshotMessage snap;
+    snap.epoch = epoch_;
+    snap.want_ack = want_ack;
+    snap.version = version;
+    snap.total_bytes = total;
+    snap.offset = off;
+    snap.checkpoint.assign(blob.begin() + static_cast<std::ptrdiff_t>(off),
+                           blob.begin() + static_cast<std::ptrdiff_t>(off + n));
+    if (!conn.send_frame(net::encode_frame(
+            net::MessageType::kReplSnapshot,
+            seal_repl_payload(opts_.key, net::MessageType::kReplSnapshot,
+                              snap.serialize()))))
+      return false;
+    off += n;
+    if (want_ack) {
+      auto ack_frame = conn.recv_frame();
+      if (!ack_frame) return false;
+      try {
+        const net::Frame f = net::decode_frame(*ack_frame);
+        if (f.type != net::MessageType::kReplAck) return false;
+        const auto body =
+            open_repl_payload(opts_.key, net::MessageType::kReplAck, f.payload);
+        if (!body) {
+          ++auth_failed_;
+          if (opts_.trace)
+            opts_.trace->event("repl_auth_failed", {{"where", "snapshot_ack"}});
+          return false;
+        }
+        const auto ack = net::ReplAckMessage::deserialize(*body);
+        if (ack.epoch > epoch_) {
+          fence(ack.epoch);
+          if (fenced_session) *fenced_session = true;
+          return false;
+        }
+        tracker_.ack(session_id, ack.durable_seq);
+      } catch (const net::CodecError&) {
+        return false;
+      }
+    }
+    // Rate limit: never run ahead of max_bytes_per_sec averaged over the
+    // transfer, sleeping in slices so shutdown stays responsive.
+    if (opts_.snapshot_max_bytes_per_sec > 0 && off < total) {
+      throttled_bytes += n;
+      const double due_s = static_cast<double>(throttled_bytes) /
+                           static_cast<double>(opts_.snapshot_max_bytes_per_sec);
+      for (;;) {
+        if (stopping_.load()) return false;
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          throttle_start)
+                .count();
+        if (elapsed_s >= due_s) break;
+        const double wait_s = std::min(0.02, due_s - elapsed_s);
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+      }
+    }
+    if (stopping_.load()) return false;
+  } while (off < total);
+  return true;
+}
+
 void LogShipper::session_loop(std::uint64_t session_id,
                               net::TcpConnection conn) {
   {
@@ -123,8 +209,44 @@ void LogShipper::session_loop(std::uint64_t session_id,
   bool joined = false;
   std::uint64_t follower_id = 0;
 
-  // One follower session: hello, then stream batches (or a snapshot when
-  // compaction pruned the follower's resume point) until disconnect.
+  // Heartbeats grant the lease followers' failure detectors watch. One
+  // goes out right after the hello (the lease starts with the session),
+  // then at least every heartbeat_interval_ms.
+  auto last_heartbeat = std::chrono::steady_clock::time_point::min();
+  const auto maybe_heartbeat = [&]() -> bool {
+    if (opts_.heartbeat_interval_ms <= 0) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (last_heartbeat != std::chrono::steady_clock::time_point::min() &&
+        now - last_heartbeat <
+            std::chrono::milliseconds(opts_.heartbeat_interval_ms))
+      return true;
+    net::ReplHeartbeatMessage hb;
+    hb.epoch = epoch_;
+    {
+      std::lock_guard<std::mutex> lock(watermark_mu_);
+      hb.committed_seq = watermark_;
+    }
+    hb.lease_ms = opts_.lease_ms != 0
+                      ? opts_.lease_ms
+                      : static_cast<std::uint32_t>(
+                            3 * opts_.heartbeat_interval_ms);
+    {
+      std::lock_guard<std::mutex> lock(advertise_mu_);
+      hb.leader_addr = opts_.advertise_leader_addr;
+    }
+    if (!conn.send_frame(net::encode_frame(
+            net::MessageType::kReplHeartbeat,
+            seal_repl_payload(opts_.key, net::MessageType::kReplHeartbeat,
+                              hb.serialize()))))
+      return false;
+    ++heartbeats_sent_;
+    last_heartbeat = now;
+    return true;
+  };
+
+  // One follower session: hello, then stream batches (or a chunked
+  // snapshot when compaction pruned the follower's resume point) until
+  // disconnect, with heartbeats interleaved throughout.
   do {
     auto hello_frame = conn.recv_frame();
     if (!hello_frame) break;
@@ -132,7 +254,17 @@ void LogShipper::session_loop(std::uint64_t session_id,
     try {
       const net::Frame f = net::decode_frame(*hello_frame);
       if (f.type != net::MessageType::kReplHello) break;
-      hello = net::ReplHelloMessage::deserialize(f.payload);
+      const auto body =
+          open_repl_payload(opts_.key, net::MessageType::kReplHello, f.payload);
+      if (!body) {
+        // Dropped, NOT fenced: without the key this hello proves
+        // nothing about epochs.
+        ++auth_failed_;
+        if (opts_.trace)
+          opts_.trace->event("repl_auth_failed", {{"where", "hello"}});
+        break;
+      }
+      hello = net::ReplHelloMessage::deserialize(*body);
     } catch (const net::CodecError&) {
       break;
     }
@@ -155,7 +287,38 @@ void LogShipper::session_loop(std::uint64_t session_id,
 
     std::uint64_t cursor = hello.last_seq;
     bool alive = true;
+    if (!maybe_heartbeat()) break;
+
+    // Resume a chunked snapshot the follower held partially from a
+    // previous connection — but only when the cache still has that exact
+    // serialization (offsets into a different serialization of the same
+    // version would corrupt the reassembly).
+    if (hello.snapshot_version != 0) {
+      std::shared_ptr<const net::Bytes> blob;
+      {
+        std::lock_guard<std::mutex> lock(snap_cache_mu_);
+        if (snap_cache_ && snap_cache_version_ == hello.snapshot_version &&
+            hello.snapshot_offset < snap_cache_->size())
+          blob = snap_cache_;
+      }
+      if (blob && hello.snapshot_version > cursor) {
+        bool fenced_session = false;
+        if (opts_.trace)
+          opts_.trace->event("repl_snapshot_resumed",
+                             {{"follower_id", follower_id},
+                              {"version", hello.snapshot_version},
+                              {"offset", hello.snapshot_offset}});
+        if (!ship_snapshot_chunks(conn, session_id, hello.snapshot_version,
+                                  *blob, hello.snapshot_offset, want_ack,
+                                  &fenced_session))
+          break;
+        ++snapshots_shipped_;
+        cursor = hello.snapshot_version;
+      }
+    }
+
     while (alive && !stopping_.load()) {
+      if (!maybe_heartbeat()) break;
       std::uint64_t watermark;
       {
         std::lock_guard<std::mutex> lock(watermark_mu_);
@@ -166,29 +329,35 @@ void LogShipper::session_loop(std::uint64_t session_id,
                           opts_.batch_max_records, opts_.batch_max_bytes);
 
       if (batch.gap) {
-        // Compaction already pruned cursor+1: ship the full state and
-        // resume streaming above the snapshot's version. The snapshot may
-        // run ahead of the committed watermark (records applied in memory
-        // but still pending durability ride along); that is the
-        // nacked-but-durable-on-the-follower direction, which breaks no
-        // promise.
+        // Compaction already pruned cursor+1: ship the full state in
+        // bounded chunks and resume streaming above the snapshot's
+        // version. The snapshot may run ahead of the committed watermark
+        // (records applied in memory but still pending durability ride
+        // along); that is the nacked-but-durable-on-the-follower
+        // direction, which breaks no promise.
         const core::ServerCheckpoint cp = core::checkpoint_server(server_);
-        net::ReplSnapshotMessage snap;
-        snap.epoch = epoch_;
-        snap.want_ack = want_ack;
-        snap.version = cp.version;
-        snap.checkpoint = cp.serialize();
-        if (!conn.send_frame(net::encode_frame(net::MessageType::kReplSnapshot,
-                                               snap.serialize())))
+        auto blob = std::make_shared<const net::Bytes>(cp.serialize());
+        {
+          std::lock_guard<std::mutex> lock(snap_cache_mu_);
+          snap_cache_version_ = cp.version;
+          snap_cache_ = blob;
+        }
+        bool fenced_session = false;
+        if (!ship_snapshot_chunks(conn, session_id, cp.version, *blob, 0,
+                                  want_ack, &fenced_session)) {
+          if (fenced_session) alive = false;
           break;
+        }
         ++snapshots_shipped_;
         if (opts_.trace)
           opts_.trace->event("repl_snapshot_shipped",
                              {{"follower_id", follower_id},
-                              {"version", cp.version}});
+                              {"version", cp.version},
+                              {"bytes", blob->size()}});
         cursor = cp.version;
       } else if (batch.records.empty()) {
-        // Caught up: sleep until the next commit (or shutdown/fencing).
+        // Caught up: sleep until the next commit (or shutdown/fencing),
+        // waking often enough that heartbeats never miss their interval.
         std::unique_lock<std::mutex> lock(watermark_mu_);
         watermark_cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
           return stopping_.load() || watermark_ > cursor;
@@ -202,8 +371,10 @@ void LogShipper::session_loop(std::uint64_t session_id,
         append.records.reserve(batch.records.size());
         for (const auto& rec : batch.records)
           append.records.push_back({rec.seq, rec.payload});
-        if (!conn.send_frame(net::encode_frame(net::MessageType::kReplAppend,
-                                               append.serialize())))
+        if (!conn.send_frame(net::encode_frame(
+                net::MessageType::kReplAppend,
+                seal_repl_payload(opts_.key, net::MessageType::kReplAppend,
+                                  append.serialize()))))
           break;
         cursor = batch.records.back().seq;
         records_shipped_ += static_cast<long long>(batch.records.size());
@@ -213,7 +384,15 @@ void LogShipper::session_loop(std::uint64_t session_id,
           try {
             const net::Frame f = net::decode_frame(*ack_frame);
             if (f.type != net::MessageType::kReplAck) break;
-            const auto ack = net::ReplAckMessage::deserialize(f.payload);
+            const auto body = open_repl_payload(
+                opts_.key, net::MessageType::kReplAck, f.payload);
+            if (!body) {
+              ++auth_failed_;
+              if (opts_.trace)
+                opts_.trace->event("repl_auth_failed", {{"where", "ack"}});
+              break;
+            }
+            const auto ack = net::ReplAckMessage::deserialize(*body);
             if (ack.epoch > epoch_) {
               fence(ack.epoch);
               alive = false;
@@ -256,6 +435,11 @@ void LogShipper::session_loop(std::uint64_t session_id,
     std::lock_guard<std::mutex> lock(sessions_mu_);
     live_conns_.erase(session_id);
   }
+}
+
+void LogShipper::set_advertise_leader_addr(const std::string& addr) {
+  std::lock_guard<std::mutex> lock(advertise_mu_);
+  opts_.advertise_leader_addr = addr;
 }
 
 void LogShipper::shutdown() {

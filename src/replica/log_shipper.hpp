@@ -40,6 +40,23 @@ struct ShipperOptions {
   /// Deadline for each replication-socket send/recv. Followers that stall
   /// past it are disconnected (and simply reconnect later).
   int io_deadline_ms = 10'000;
+  /// Lease heartbeats: when > 0, every session sends a kReplHeartbeat at
+  /// least this often (and immediately after the hello), granting
+  /// lease_ms of leader liveness. 0 disables (pre-failover behavior).
+  int heartbeat_interval_ms = 0;
+  /// Lease granted per heartbeat; 0 = 3 * heartbeat_interval_ms.
+  std::uint32_t lease_ms = 0;
+  /// Device-facing host:port advertised in heartbeats so replicas keep
+  /// their checkin redirects pointed at the live leader ("" = omit).
+  std::string advertise_leader_addr;
+  /// Chunked snapshot transfer: at most this many checkpoint bytes per
+  /// kReplSnapshot frame (a multi-GB state can neither stall the session
+  /// loop nor exceed the frame-size cap), throttled to at most
+  /// snapshot_max_bytes_per_sec (0 = unthrottled).
+  std::size_t snapshot_chunk_bytes = 1u << 20;
+  std::size_t snapshot_max_bytes_per_sec = 0;
+  /// Shared HMAC key for all Repl* frames (empty = unauthenticated).
+  ReplKey key;
   obs::MetricsRegistry* metrics = nullptr;  ///< null = default_registry()
   obs::TraceSink* trace = nullptr;          ///< null disables
 };
@@ -76,7 +93,15 @@ class LogShipper {
   /// and must stop acking (quorum waits fail fast from then on).
   bool fenced() const { return fenced_.load(); }
 
+  /// Update the device-facing address heartbeats advertise. Exists
+  /// because the serving engine usually binds (and learns its ephemeral
+  /// port) only after the shipper is constructed; the next heartbeat on
+  /// every session picks the new address up.
+  void set_advertise_leader_addr(const std::string& addr);
+
   std::size_t follower_sessions() const { return tracker_.sessions(); }
+  long long heartbeats_sent() const { return heartbeats_sent_.value(); }
+  long long auth_failures() const { return auth_failed_.value(); }
 
   void shutdown();
 
@@ -84,6 +109,14 @@ class LogShipper {
   void accept_loop();
   void session_loop(std::uint64_t session_id, net::TcpConnection conn);
   void fence(std::uint64_t observed_epoch);
+  /// Stream `blob` (a serialized checkpoint at `version`) in bounded,
+  /// rate-limited chunks starting at `offset`. Under want_ack modes each
+  /// chunk waits for the follower's ack (fencing on a higher epoch, in
+  /// which case `fenced_session` is set). False on any failure.
+  bool ship_snapshot_chunks(net::TcpConnection& conn, std::uint64_t session_id,
+                            std::uint64_t version, const net::Bytes& blob,
+                            std::uint64_t offset, bool want_ack,
+                            bool* fenced_session);
 
   core::Server& server_;
   store::DurableStore& store_;
@@ -110,6 +143,18 @@ class LogShipper {
   std::vector<std::thread> session_threads_;
   std::uint64_t next_session_id_ = 1;
 
+  // Guards opts_.advertise_leader_addr: set_advertise_leader_addr races
+  // with heartbeats on live sessions.
+  mutable std::mutex advertise_mu_;
+
+  // Serialized-snapshot cache for resumable chunked transfers: a
+  // follower that disconnected mid-transfer announces (version, offset)
+  // in its next hello and resumes when the cache still holds that
+  // version's exact bytes.
+  std::mutex snap_cache_mu_;
+  std::uint64_t snap_cache_version_ = 0;
+  std::shared_ptr<const net::Bytes> snap_cache_;
+
   obs::Gauge& lag_records_;
   obs::Histogram& ship_seconds_;
   obs::Counter& records_shipped_;
@@ -117,6 +162,8 @@ class LogShipper {
   obs::Counter& fenced_hellos_;
   obs::Counter& quorum_timeouts_;
   obs::Counter& followers_connected_;
+  obs::Counter& heartbeats_sent_;
+  obs::Counter& auth_failed_;
 };
 
 }  // namespace crowdml::replica

@@ -2,8 +2,80 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <stdexcept>
+
+#include "net/sha256.hpp"
 
 namespace crowdml::replica {
+
+namespace {
+
+net::Digest repl_tag(const ReplKey& key, net::MessageType type,
+                     const net::Bytes& payload) {
+  net::Bytes mac_input;
+  mac_input.reserve(payload.size() + 1);
+  mac_input.push_back(static_cast<std::uint8_t>(type));
+  mac_input.insert(mac_input.end(), payload.begin(), payload.end());
+  return net::hmac_sha256(key, mac_input);
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+net::Bytes seal_repl_payload(const ReplKey& key, net::MessageType type,
+                             const net::Bytes& payload) {
+  if (key.empty()) return payload;
+  const net::Digest tag = repl_tag(key, type, payload);
+  net::Bytes out = payload;
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<net::Bytes> open_repl_payload(const ReplKey& key,
+                                            net::MessageType type,
+                                            const net::Bytes& payload) {
+  if (key.empty()) return payload;
+  if (payload.size() < kReplTagSize) return std::nullopt;
+  const net::Bytes body(payload.begin(),
+                        payload.end() - static_cast<long>(kReplTagSize));
+  net::Digest stated{};
+  std::copy(payload.end() - static_cast<long>(kReplTagSize), payload.end(),
+            stated.begin());
+  if (!net::digest_equal(stated, repl_tag(key, type, body)))
+    return std::nullopt;
+  return body;
+}
+
+ReplKey load_repl_key_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open repl key file: " + path);
+  std::string hex;
+  char c;
+  while (in.get(c)) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') continue;
+    hex.push_back(c);
+  }
+  if (hex.empty() || hex.size() % 2 != 0)
+    throw std::runtime_error("repl key file must hold even-length hex: " +
+                             path);
+  ReplKey key;
+  key.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0)
+      throw std::runtime_error("non-hex byte in repl key file: " + path);
+    key.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return key;
+}
 
 const char* repl_ack_mode_name(ReplAckMode mode) {
   switch (mode) {
@@ -91,7 +163,11 @@ std::uint64_t AckTracker::min_acked() const {
 }
 
 std::uint64_t AckTracker::quorum_acked_locked(std::size_t k) const {
-  if (k == 0 || acked_.size() < k) return 0;
+  // k == 0 means no follower acks are required (a majority of zero
+  // configured peers — e.g. a promoted leader whose electorate was just
+  // itself), so every position is trivially quorum-acked.
+  if (k == 0) return UINT64_MAX;
+  if (acked_.size() < k) return 0;
   std::vector<std::uint64_t> seqs;
   seqs.reserve(acked_.size());
   for (const auto& [_, seq] : acked_) seqs.push_back(seq);

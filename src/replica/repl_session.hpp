@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "net/messages.hpp"
 #include "store/wal.hpp"
 
 namespace crowdml::replica {
@@ -27,6 +28,33 @@ enum class ReplAckMode { kNone, kAsync, kQuorum };
 
 const char* repl_ack_mode_name(ReplAckMode mode);
 std::optional<ReplAckMode> parse_repl_ack_mode(const std::string& name);
+
+/// Shared-secret authentication for the replication plane (--repl-key-file).
+/// Every Repl* payload is sealed as payload || HMAC-SHA256(key,
+/// type_byte || payload): binding the frame type into the tag stops a
+/// captured heartbeat from being replayed as a vote. An empty key
+/// disables sealing (single-operator deployments on a trusted network) —
+/// both sides must agree, since a sealed payload does not parse unsealed.
+using ReplKey = std::vector<std::uint8_t>;
+
+/// Number of tag bytes a sealed payload carries.
+inline constexpr std::size_t kReplTagSize = 32;
+
+/// Append the authentication tag (no-op when `key` is empty).
+net::Bytes seal_repl_payload(const ReplKey& key, net::MessageType type,
+                             const net::Bytes& payload);
+
+/// Verify and strip the tag. nullopt when the tag is missing or wrong —
+/// the caller must drop the frame (never fence on it: an attacker who
+/// can forge epochs without the key could otherwise depose a leader).
+/// No-op pass-through when `key` is empty.
+std::optional<net::Bytes> open_repl_payload(const ReplKey& key,
+                                            net::MessageType type,
+                                            const net::Bytes& payload);
+
+/// Load a shared key from a file of hex digits (whitespace ignored).
+/// Throws std::runtime_error on a missing file or malformed hex.
+ReplKey load_repl_key_file(const std::string& path);
 
 /// One shipper read: WAL records after the follower's cursor, or the
 /// discovery that the cursor predates the oldest surviving record
@@ -63,6 +91,7 @@ class AckTracker {
   std::uint64_t min_acked() const;
   /// The position at least `k` live sessions have acked: the k-th
   /// largest acked seq, or 0 when fewer than k sessions are connected.
+  /// k == 0 (no acks required) returns UINT64_MAX — trivially satisfied.
   std::uint64_t quorum_acked(std::size_t k) const;
 
   /// Block until quorum_acked(k) >= seq, `timeout_ms` elapses, or

@@ -1,0 +1,354 @@
+// Network-partition chaos tests for automatic failover, built on
+// net::FaultProxy. Two halves of the safety story:
+//
+//  1. A follower partitioned away from a live leader campaigns — and
+//     must LOSE, because its log is behind the elector's. A blackholed
+//     minority cannot depose a healthy leader (adopt-on-grant-only:
+//     refusals carry epochs but never bump them).
+//
+//  2. A leader partitioned away from every follower keeps running — and
+//     must never ack another checkin, because quorum acks are
+//     unreachable. The caught-up follower promotes itself on the other
+//     side; at no instant do two epochs both ack (no dual-leader acks),
+//     and the winner holds every checkin acked before the partition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/epoll_server.hpp"
+#include "net/auth.hpp"
+#include "net/fault_proxy.hpp"
+#include "net/tcp.hpp"
+#include "opt/schedule.hpp"
+#include "replica/epoch.hpp"
+#include "replica/follower.hpp"
+#include "replica/log_shipper.hpp"
+#include "store/durable_store.hpp"
+
+using namespace crowdml;
+using replica::Follower;
+using replica::FollowerOptions;
+using replica::LogShipper;
+using replica::ReplAckMode;
+using replica::ShipperOptions;
+
+namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "crowdml_part_XXXXXX")
+            .string();
+    if (!mkdtemp(tmpl.data())) throw std::runtime_error("mkdtemp failed");
+    path = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+core::ServerConfig config() {
+  core::ServerConfig c;
+  c.param_dim = 4;
+  c.num_classes = 3;
+  return c;
+}
+
+std::unique_ptr<opt::Updater> sgd() {
+  return std::make_unique<opt::SgdUpdater>(
+      std::make_unique<opt::SqrtDecaySchedule>(1.0), 100.0);
+}
+
+net::CheckinMessage random_checkin(rng::Engine& eng, std::uint64_t device) {
+  net::CheckinMessage m;
+  m.device_id = device;
+  for (int i = 0; i < 4; ++i)
+    m.g_hat.push_back(static_cast<double>(eng() % 2001) / 1000.0 - 1.0);
+  m.ns = 1 + static_cast<std::int64_t>(eng() % 10);
+  m.ne_hat = static_cast<std::int64_t>(eng() % 3);
+  for (int i = 0; i < 3; ++i)
+    m.ny_hat.push_back(static_cast<std::int64_t>(eng() % 5));
+  return m;
+}
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Send `count` signed checkins on one connection, counting acks and
+/// nacks separately (a partitioned leader must produce only the latter).
+void drive_checkins(std::uint16_t port, const net::DeviceCredentials& creds,
+                    std::uint32_t seed, int count, long long* acked,
+                    long long* nacked) {
+  auto conn = net::TcpConnection::connect("127.0.0.1", port, 2000);
+  ASSERT_TRUE(conn);
+  conn->set_deadline_ms(20'000);
+  rng::Engine eng(seed);
+  for (int i = 0; i < count; ++i) {
+    net::CheckinMessage m = random_checkin(eng, creds.device_id);
+    m.auth_tag = creds.sign(m.body());
+    if (!conn->send_frame(
+            net::encode_frame(net::MessageType::kCheckin, m.serialize())))
+      return;
+    const auto reply = conn->recv_frame();
+    if (!reply) return;
+    const auto ack =
+        net::AckMessage::deserialize(net::decode_frame(*reply).payload);
+    ++(ack.ok ? *acked : *nacked);
+  }
+}
+
+}  // namespace
+
+// A follower that can talk TO the leader but hears nothing back (its
+// inbound direction blackholed) starves, campaigns — and loses every
+// election, because the connected elector's log outruns it. The live
+// leader is never fenced and never stops acking.
+TEST(ReplPartition, BlackholedFollowerCannotDeposeLiveLeader) {
+  obs::MetricsRegistry reg;
+
+  TempDir ldir;
+  core::Server leader(config(), sgd(), rng::Engine(1));
+  store::DurableStoreOptions so;
+  so.wal.metrics = &reg;
+  auto lstore = std::make_unique<store::DurableStore>(ldir.path, so);
+  lstore->recover(leader);
+  lstore->attach(leader);
+  lstore->set_group_commit(true);
+
+  ShipperOptions shopts;
+  shopts.ack_mode = ReplAckMode::kQuorum;
+  shopts.quorum_follower_acks = 1;
+  shopts.quorum_timeout_ms = 3000;
+  shopts.heartbeat_interval_ms = 40;
+  shopts.metrics = &reg;
+  auto shipper = std::make_unique<LogShipper>(leader, *lstore, 1, shopts);
+
+  net::AuthRegistry auth{rng::Engine(2)};
+  engine::EngineConfig ecfg;
+  ecfg.metrics = &reg;
+  ecfg.group_commit = [&] {
+    if (!lstore->commit_group()) return false;
+    shipper->notify_committed();
+    return shipper->await_quorum(lstore->wal().last_seq());
+  };
+  auto engine = std::make_unique<engine::EpollCrowdServer>(leader, auth, ecfg);
+
+  // Healthy elector f2: direct connection, long election fuse.
+  TempDir f2dir;
+  core::Server srv2(config(), sgd(), rng::Engine(1));
+  FollowerOptions fo2;
+  fo2.leader_port = shipper->port();
+  fo2.follower_id = 2;
+  fo2.store.wal.metrics = &reg;
+  fo2.metrics = &reg;
+  fo2.reconnect_backoff_ms = 20;
+  fo2.detector.election_timeout_min_ms = 60'000;
+  fo2.rng_seed = 2;
+  auto f2 = std::make_unique<Follower>(srv2, f2dir.path, fo2);
+  f2->start();
+  ASSERT_TRUE(wait_until([&] { return f2->vote_port() != 0; }));
+
+  // Seed the log BEFORE the starved follower exists: its durable
+  // position will trail f2's from the first ballot.
+  const auto creds = auth.enroll();
+  long long acked = 0, nacked = 0;
+  drive_checkins(engine->port(), creds, 7, 30, &acked, &nacked);
+  ASSERT_EQ(acked, 30);
+  ASSERT_TRUE(wait_until([&] { return f2->applied_seq() >= 30; }));
+
+  // Starved candidate f1: every leader->follower byte swallowed, so it
+  // sees a leader that accepts its hello and then never speaks.
+  net::FaultPolicy blackhole;
+  blackhole.blackhole_prob = 1.0;
+  net::FaultProxy proxy("127.0.0.1", shipper->port(), blackhole,
+                        rng::Engine(3));
+  TempDir f1dir;
+  core::Server srv1(config(), sgd(), rng::Engine(1));
+  FollowerOptions fo1;
+  fo1.leader_port = proxy.port();
+  fo1.follower_id = 1;
+  fo1.store.wal.metrics = &reg;
+  fo1.metrics = &reg;
+  fo1.reconnect_backoff_ms = 20;
+  fo1.detector.election_timeout_min_ms = 150;
+  fo1.detector.election_timeout_max_ms = 250;
+  fo1.peers = replica::parse_peer_list(
+      "127.0.0.1:" + std::to_string(f2->vote_port()));
+  fo1.rng_seed = 1;
+  auto f1 = std::make_unique<Follower>(srv1, f1dir.path, fo1);
+  f1->start();
+
+  ASSERT_TRUE(wait_until([&] { return f1->elections_lost() >= 2; }))
+      << "the starved follower never campaigned (or, worse, won)";
+  EXPECT_EQ(f1->elections_won(), 0)
+      << "a behind-the-log candidate must never win";
+  EXPECT_FALSE(f1->promoted());
+  EXPECT_EQ(f1->applied_seq(), 0u);
+
+  // Adopt-on-grant-only: f2 refused those ballots without bumping its
+  // own epoch, so the live leader was never cascade-fenced.
+  EXPECT_EQ(f2->epoch(), 1u);
+  EXPECT_FALSE(shipper->fenced());
+
+  // The leader still quorum-acks through the partition: zero dual-epoch
+  // acks because there is exactly one acking epoch — the old one.
+  long long acked2 = 0, nacked2 = 0;
+  drive_checkins(engine->port(), creds, 8, 20, &acked2, &nacked2);
+  EXPECT_EQ(acked2, 20);
+  EXPECT_EQ(nacked2, 0);
+  EXPECT_GT(proxy.counts().blackholed, 0);
+
+  f1->shutdown();
+  f2->shutdown();
+  engine->shutdown();
+  shipper->shutdown();
+  proxy.shutdown();
+}
+
+// Both followers reach the leader only through one proxy; killing the
+// proxy isolates the (still-running) leader. The caught-up candidate
+// wins the election on the majority side, and the deposed leader — still
+// serving devices — can never ack again: every post-partition checkin is
+// nacked because its ack quorum is unreachable, and the first epoch-2
+// hello it hears fences it for good.
+TEST(ReplPartition, IsolatedLeaderNacksEverythingWhileMajorityPromotes) {
+  obs::MetricsRegistry reg;
+
+  TempDir ldir;
+  core::Server leader(config(), sgd(), rng::Engine(1));
+  store::DurableStoreOptions so;
+  so.wal.metrics = &reg;
+  auto lstore = std::make_unique<store::DurableStore>(ldir.path, so);
+  lstore->recover(leader);
+  lstore->attach(leader);
+  lstore->set_group_commit(true);
+
+  ShipperOptions shopts;
+  shopts.ack_mode = ReplAckMode::kQuorum;
+  shopts.quorum_follower_acks = 1;
+  shopts.quorum_timeout_ms = 400;  // fast nacks once partitioned
+  shopts.heartbeat_interval_ms = 40;
+  shopts.metrics = &reg;
+  auto shipper = std::make_unique<LogShipper>(leader, *lstore, 1, shopts);
+
+  // The partition switch: both followers relay through this proxy.
+  net::FaultProxy proxy("127.0.0.1", shipper->port(), net::FaultPolicy{},
+                        rng::Engine(3));
+
+  net::AuthRegistry auth{rng::Engine(2)};
+  engine::EngineConfig ecfg;
+  ecfg.metrics = &reg;
+  ecfg.group_commit = [&] {
+    if (!lstore->commit_group()) return false;
+    shipper->notify_committed();
+    return shipper->await_quorum(lstore->wal().last_seq());
+  };
+  auto engine = std::make_unique<engine::EpollCrowdServer>(leader, auth, ecfg);
+
+  // Elector f2 (long fuse) first, then candidate f1 (short fuse).
+  TempDir f2dir;
+  core::Server srv2(config(), sgd(), rng::Engine(1));
+  FollowerOptions fo2;
+  fo2.leader_port = proxy.port();
+  fo2.follower_id = 2;
+  fo2.store.wal.metrics = &reg;
+  fo2.metrics = &reg;
+  fo2.reconnect_backoff_ms = 20;
+  fo2.detector.election_timeout_min_ms = 60'000;
+  fo2.rng_seed = 2;
+  auto f2 = std::make_unique<Follower>(srv2, f2dir.path, fo2);
+  f2->start();
+  ASSERT_TRUE(wait_until([&] { return f2->vote_port() != 0; }));
+
+  TempDir f1dir;
+  core::Server srv1(config(), sgd(), rng::Engine(1));
+  FollowerOptions fo1;
+  fo1.leader_port = proxy.port();
+  fo1.follower_id = 1;
+  fo1.store.wal.metrics = &reg;
+  fo1.metrics = &reg;
+  fo1.reconnect_backoff_ms = 20;
+  fo1.detector.election_timeout_min_ms = 200;
+  fo1.detector.election_timeout_max_ms = 350;
+  fo1.peers = replica::parse_peer_list(
+      "127.0.0.1:" + std::to_string(f2->vote_port()));
+  fo1.rng_seed = 1;
+  auto f1 = std::make_unique<Follower>(srv1, f1dir.path, fo1);
+  f1->start();
+  ASSERT_TRUE(wait_until([&] { return f1->connected() && f2->connected(); }));
+
+  // Phase 1: quorum-acked traffic, then let both replicas drain fully
+  // (equal logs keep the election outcome deterministic).
+  const auto creds = auth.enroll();
+  long long acked = 0, nacked = 0;
+  drive_checkins(engine->port(), creds, 7, 40, &acked, &nacked);
+  ASSERT_EQ(acked, 40);
+  ASSERT_TRUE(wait_until([&] {
+    return f1->applied_seq() == leader.version() &&
+           f2->applied_seq() == leader.version();
+  }));
+  ASSERT_EQ(f1->elections_started(), 0);
+
+  // Partition: sever both follower links. The leader process is alive
+  // and devices still reach it — only its replication plane is gone.
+  proxy.shutdown();
+
+  ASSERT_TRUE(wait_until([&] { return f1->promoted(); }))
+      << "the majority side never elected a new leader";
+  EXPECT_EQ(f1->epoch(), 2u);
+  ASSERT_TRUE(wait_until([&] { return f2->epoch() == 2u; }));
+  // Zero acked-checkin loss across the failover.
+  EXPECT_GE(static_cast<long long>(f1->applied_seq()), acked);
+
+  // Phase 2: the deposed leader takes checkins but can never ack one —
+  // its quorum is on the other side of the partition. Every reply is a
+  // nack, so the "two leaders" moment has exactly one acking epoch.
+  long long acked2 = 0, nacked2 = 0;
+  drive_checkins(engine->port(), creds, 8, 3, &acked2, &nacked2);
+  EXPECT_EQ(acked2, 0) << "a partitioned leader released a quorum ack";
+  EXPECT_EQ(nacked2, 3);
+  EXPECT_GE(lstore->wal().last_seq(), static_cast<std::uint64_t>(acked))
+      << "nacked checkins may be logged, but acked ones must all predate "
+         "the partition";
+
+  // Heal the partition the dangerous way: an epoch-2 replica dials the
+  // deposed leader directly. One hello fences it permanently.
+  f2->shutdown();
+  f2.reset();  // release the store so the dir can be reopened
+  FollowerOptions fo3;
+  fo3.leader_port = shipper->port();  // no proxy: straight at the ghost
+  fo3.follower_id = 9;
+  fo3.store.wal.metrics = &reg;
+  fo3.metrics = &reg;
+  fo3.reconnect_backoff_ms = 20;
+  auto probe = std::make_unique<Follower>(srv2, f2dir.path, fo3);
+  EXPECT_EQ(probe->epoch(), 2u) << "the granted epoch must have been durable";
+  probe->start();
+  ASSERT_TRUE(wait_until([&] { return shipper->fenced(); }));
+  EXPECT_FALSE(shipper->await_quorum(lstore->wal().last_seq()));
+  // The probe still holds exactly the pre-partition history: the fenced
+  // leader must not have fed it the nacked (epoch-1, post-partition)
+  // records.
+  EXPECT_EQ(probe->applied_seq(), static_cast<std::uint64_t>(acked))
+      << "the fenced leader fed the probe post-partition records";
+
+  probe->shutdown();
+  f1->shutdown();
+  engine->shutdown();
+  shipper->shutdown();
+}

@@ -202,10 +202,20 @@ TEST(ReplMessages, SnapshotAndAckRoundTrip) {
   s.epoch = 4;
   s.want_ack = true;
   s.version = 99;
+  s.total_bytes = 8;
+  s.offset = 3;
   s.checkpoint = {1, 2, 3, 4, 5};
   const auto sb = net::ReplSnapshotMessage::deserialize(s.serialize());
   EXPECT_EQ(sb.version, 99u);
+  EXPECT_EQ(sb.total_bytes, 8u);
+  EXPECT_EQ(sb.offset, 3u);
+  EXPECT_TRUE(sb.last_chunk());
   EXPECT_EQ(sb.checkpoint, s.checkpoint);
+  // A chunk claiming more bytes than its stated total is wire abuse.
+  s.total_bytes = 4;
+  s.offset = 0;
+  EXPECT_THROW(net::ReplSnapshotMessage::deserialize(s.serialize()),
+               net::CodecError);
 
   net::ReplAckMessage a;
   a.epoch = 4;
@@ -225,13 +235,13 @@ TEST(ReplMessages, TrailingBytesRejected) {
 }
 
 TEST(ReplMessages, FrameTypeBoundsEnforced) {
-  // Types 5-8 frame fine; anything past kMaxMessageType is refused.
+  // Types 5-10 frame fine; anything past kMaxMessageType is refused.
   const net::Bytes ok =
       net::encode_frame(net::MessageType::kReplAck,
                         net::ReplAckMessage{}.serialize());
   EXPECT_EQ(net::decode_frame(ok).type, net::MessageType::kReplAck);
   const net::Bytes bad =
-      net::encode_frame(static_cast<net::MessageType>(9), {});
+      net::encode_frame(static_cast<net::MessageType>(11), {});
   EXPECT_THROW(net::decode_frame(bad), net::CodecError);
 }
 
@@ -344,6 +354,18 @@ TEST(ReplAckTracker, QuorumIsKthLargestAmongLiveSessions) {
   EXPECT_EQ(t.quorum_acked(2), 20u);
   t.leave(3);
   EXPECT_EQ(t.quorum_acked(2), 10u);
+}
+
+TEST(ReplAckTracker, ZeroRequiredAcksIsTriviallySatisfied) {
+  // A promoted leader with no peers (electorate of one) needs zero
+  // follower acks; its checkins must not wait out the quorum timeout.
+  AckTracker t;
+  EXPECT_EQ(t.quorum_acked(0), UINT64_MAX);
+  EXPECT_TRUE(t.await(100, 0, 1, nullptr));
+  t.join(1);
+  t.ack(1, 5);
+  EXPECT_EQ(t.quorum_acked(0), UINT64_MAX);
+  EXPECT_TRUE(t.await(1000, 0, 1, nullptr));
 }
 
 TEST(ReplAckTracker, AwaitBlocksUntilQuorumOrTimeout) {

@@ -30,7 +30,18 @@
 //       [--epoch-dir DIR]                     # fencing epoch register
 //                                             # (default: the wal dir)
 //       [--promote-on-start]                  # leader: bump the epoch
-//                                             # (failover promotion)
+//                                             # (manual promotion;
+//                                             # break-glass only)
+//       [--lease-ms N]                        # leader: heartbeat lease
+//       [--election-timeout-ms N]             # follower: failure detector
+//                                             # (0 = manual failover only)
+//       [--peers h1:p1,h2:p2]                 # follower: fellow followers'
+//                                             # vote endpoints
+//       [--vote-port N]                       # follower: vote listener
+//       [--max-read-lag N]                    # follower: nack checkouts
+//                                             # lagging > N records
+//       [--repl-key-file PATH]                # hex HMAC key authenticating
+//                                             # all Repl* frames
 //       [--follower-id N]                     # follower: id in leader traces
 //       [--report-every SECONDS]              # portal report to stdout
 //       [--metrics-out metrics.prom]          # Prometheus text, rewritten
@@ -277,6 +288,26 @@ int main(int argc, char** argv) {
   std::unique_ptr<replica::Follower> follower;
   std::unique_ptr<replica::LogShipper> shipper;
   std::uint64_t repl_epoch = 0;
+
+  // Shared replication-plane HMAC key (empty = unauthenticated).
+  replica::ReplKey repl_key;
+  if (!repl.repl_key_file.empty()) {
+    try {
+      repl_key = replica::load_repl_key_file(repl.repl_key_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "crowdml-server: %s\n", e.what());
+      return 1;
+    }
+  }
+  std::string peers_error;
+  const std::vector<replica::PeerAddr> peers =
+      replica::parse_peer_list(repl.peers, &peers_error);
+  if (!peers_error.empty()) {
+    std::fprintf(stderr, "crowdml-server: --peers: %s\n",
+                 peers_error.c_str());
+    return 1;
+  }
+
   if (is_follower) {
     replica::FollowerOptions fopts;
     fopts.leader_host = repl.leader_host;
@@ -288,6 +319,15 @@ int main(int argc, char** argv) {
     fopts.trace = trace.get();
     fopts.on_applied = [&epoll] {
       if (epoll) epoll->republish();
+    };
+    fopts.detector.election_timeout_min_ms =
+        static_cast<int>(repl.election_timeout_ms);
+    fopts.vote_port = repl.vote_port;
+    fopts.peers = peers;
+    fopts.key = repl_key;
+    fopts.rng_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    fopts.on_leader_changed = [&epoll](const std::string& addr) {
+      if (epoll) epoll->set_checkin_redirect(addr);
     };
     try {
       follower = std::make_unique<replica::Follower>(server, wal_dir, fopts);
@@ -338,6 +378,14 @@ int main(int argc, char** argv) {
       shopts.quorum_follower_acks = replica::quorum_follower_acks_for(
           static_cast<std::size_t>(repl.followers));
       shopts.trace = trace.get();
+      shopts.key = repl_key;
+      // Leases: heartbeat at a third of the lease so one lost frame
+      // never looks like a dead leader. The advertised redirect target
+      // needs the device port, known only post-bind — it is injected
+      // below via set_advertise_leader_addr once the engine is up.
+      shopts.lease_ms = static_cast<std::uint32_t>(repl.lease_ms);
+      shopts.heartbeat_interval_ms =
+          std::max(1, static_cast<int>(repl.lease_ms / 3));
       try {
         shipper = std::make_unique<replica::LogShipper>(server, *durable,
                                                         repl_epoch, shopts);
@@ -357,7 +405,17 @@ int main(int argc, char** argv) {
     ecfg.checkin_queue_max = queue_max;
     ecfg.metrics = &obs::default_registry();
     ecfg.trace = trace.get();
-    if (is_follower) ecfg.checkin_redirect = repl.leader_addr;
+    if (is_follower) {
+      ecfg.checkin_redirect = repl.leader_addr;
+      if (repl.max_read_lag > 0) {
+        // Bounded-staleness reads: checkouts on a replica lagging more
+        // than this many records behind the leader's committed watermark
+        // are nacked with a retry hint instead of served stale.
+        replica::Follower* f = follower.get();
+        ecfg.read_lag = [f] { return f->read_lag(); };
+        ecfg.max_read_lag = static_cast<std::uint64_t>(repl.max_read_lag);
+      }
+    }
     if (durable) {
       // One fsync per drained batch instead of one per checkin; acks are
       // held until the batch commit succeeds, so acked => durable holds.
@@ -375,7 +433,18 @@ int main(int argc, char** argv) {
     }
     epoll = std::make_unique<engine::EpollCrowdServer>(server, registry, ecfg);
     bound_port = epoll->port();
-    if (follower) follower->start();
+    if (shipper)
+      shipper->set_advertise_leader_addr("127.0.0.1:" +
+                                         std::to_string(bound_port));
+    if (follower) {
+      follower->set_device_addr("127.0.0.1:" + std::to_string(bound_port));
+      follower->start();
+      if (repl.election_timeout_ms > 0)
+        std::printf(
+            "failover: election timeout %lldms, vote listener on "
+            "127.0.0.1:%u, %zu peer(s)\n",
+            repl.election_timeout_ms, follower->vote_port(), peers.size());
+    }
   } else if (engine_kind == "threads") {
     core::TcpServerConfig tcp_cfg;
     tcp_cfg.port = port;
@@ -421,12 +490,69 @@ int main(int argc, char** argv) {
 
   const double report_every = flags.get_double("report-every", 10.0);
   auto last_report = std::chrono::steady_clock::now();
+  bool promotion_done = false;
   while (!g_stop.load() && !server.stopped()) {
     if (follower && follower->fatal()) {
       std::fprintf(stderr,
                    "crowdml-server: follower replication hit a fatal local "
                    "error; restart to re-recover\n");
       break;
+    }
+    if (follower && follower->promoted() && !promotion_done) {
+      // Leader-role handoff, zero-operator. Ordering matters at every
+      // step: the replication thread must be gone before its store is
+      // attached to the serving path; the board must be republished by
+      // the applier's new owner *before* checkins are admitted (single-
+      // publisher contract); and the shipper binds the just-freed vote
+      // port — the address peers were told to replicate from when they
+      // granted their votes.
+      promotion_done = true;
+      const std::uint64_t won_epoch = follower->epoch();
+      const std::uint16_t new_repl_port = follower->vote_port();
+      follower->shutdown();
+      store::DurableStore& fstore = follower->store();
+      fstore.set_group_commit(true);
+      fstore.attach(server);
+      replica::ShipperOptions shopts;
+      shopts.port = new_repl_port;
+      shopts.ack_mode = replica::ReplAckMode::kQuorum;
+      shopts.quorum_follower_acks =
+          replica::quorum_follower_acks_for(peers.size());
+      shopts.trace = trace.get();
+      shopts.key = repl_key;
+      // The ex-followers' detectors still run on --election-timeout-ms;
+      // heartbeat well inside it so the new regime is stable.
+      shopts.lease_ms = static_cast<std::uint32_t>(
+          std::max<long long>(1, repl.election_timeout_ms / 2));
+      shopts.heartbeat_interval_ms = std::max(
+          1, static_cast<int>(repl.election_timeout_ms / 6));
+      shopts.advertise_leader_addr =
+          "127.0.0.1:" + std::to_string(bound_port);
+      try {
+        shipper = std::make_unique<replica::LogShipper>(server, fstore,
+                                                        won_epoch, shopts);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "crowdml-server: promotion failed binding replication "
+                     "port %u: %s\n",
+                     new_repl_port, e.what());
+        break;
+      }
+      store::DurableStore* fs = &fstore;
+      replica::LogShipper* ns = shipper.get();
+      epoll->set_group_commit([fs, ns] {
+        if (!fs->commit_group()) return false;
+        ns->notify_committed();
+        return ns->await_quorum(fs->wal().last_seq());
+      });
+      epoll->republish();
+      epoll->set_checkin_redirect("");
+      std::printf(
+          "election won: serving as leader (epoch %llu, replication on "
+          "127.0.0.1:%u, quorum=%zu of %zu peers)\n",
+          static_cast<unsigned long long>(won_epoch), shipper->port(),
+          shopts.quorum_follower_acks, peers.size());
+      std::fflush(stdout);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const auto now = std::chrono::steady_clock::now();

@@ -65,7 +65,15 @@ class Flags {
 ///   --repl-port N                   (leader only; 0 = ephemeral)
 ///   --repl-followers N              (leader; sizes the quorum)
 ///   --epoch-dir DIR                 (default: the wal dir)
-///   --promote-on-start              (leader only; bump the epoch)
+///   --promote-on-start              (leader only; bump the epoch —
+///                                    break-glass; elections supersede it)
+/// Automatic failover (see docs/REPLICATION.md "Automatic failover"):
+///   --lease-ms N                    (leader; heartbeat lease, default 1000)
+///   --election-timeout-ms N         (follower; 0 = manual failover only)
+///   --peers h1:p1,h2:p2             (follower; fellow vote endpoints)
+///   --vote-port N                   (follower; 0 = ephemeral)
+///   --max-read-lag N                (follower; stale-checkout gate, 0 = off)
+///   --repl-key-file PATH            (both; hex HMAC key for Repl* frames)
 /// `error` is non-empty when the combination is invalid.
 struct ReplicaFlags {
   std::string role = "leader";
@@ -80,6 +88,12 @@ struct ReplicaFlags {
   /// --repl-port was given or an ack mode other than none requested).
   bool repl_enabled = false;
   std::uint16_t repl_port = 0;
+  long long lease_ms = 1000;
+  long long election_timeout_ms = 0;
+  std::string peers;
+  std::uint16_t vote_port = 0;
+  long long max_read_lag = 0;
+  std::string repl_key_file;
   std::string error;
 };
 
@@ -92,6 +106,12 @@ inline ReplicaFlags parse_replica_flags(const Flags& flags) {
   r.promote_on_start = flags.get_bool("promote-on-start");
   r.repl_port = static_cast<std::uint16_t>(flags.get_int("repl-port", 0));
   r.leader_addr = flags.get("leader-addr", "");
+  r.lease_ms = flags.get_int("lease-ms", 1000);
+  r.election_timeout_ms = flags.get_int("election-timeout-ms", 0);
+  r.peers = flags.get("peers", "");
+  r.vote_port = static_cast<std::uint16_t>(flags.get_int("vote-port", 0));
+  r.max_read_lag = flags.get_int("max-read-lag", 0);
+  r.repl_key_file = flags.get("repl-key-file", "");
   const std::string wal_dir = flags.get("wal-dir", "");
   const std::string engine = flags.get("engine", "threads");
 
@@ -142,12 +162,48 @@ inline ReplicaFlags parse_replica_flags(const Flags& flags) {
                 "are leader flags; a follower learns them from its leader";
       return r;
     }
+    if (flags.has("lease-ms")) {
+      r.error = "--lease-ms is a leader flag; a follower's deadline comes "
+                "from --election-timeout-ms";
+      return r;
+    }
+    if (r.election_timeout_ms < 0) {
+      r.error = "--election-timeout-ms must be >= 0";
+      return r;
+    }
+    if (r.max_read_lag < 0) {
+      r.error = "--max-read-lag must be >= 0";
+      return r;
+    }
+    if ((flags.has("peers") || flags.has("vote-port")) &&
+        r.election_timeout_ms == 0) {
+      r.error = "--peers/--vote-port require --election-timeout-ms > 0 "
+                "(they only matter to an elector)";
+      return r;
+    }
     return r;
   }
 
   // Leader.
   if (!r.leader_addr.empty()) {
     r.error = "--leader-addr is a follower flag (this node IS the leader)";
+    return r;
+  }
+  if (flags.has("election-timeout-ms") || flags.has("peers") ||
+      flags.has("vote-port") || flags.has("max-read-lag")) {
+    r.error = "--election-timeout-ms/--peers/--vote-port/--max-read-lag are "
+              "follower flags (the leader grants leases, it does not watch "
+              "them)";
+    return r;
+  }
+  if (r.lease_ms < 1) {
+    r.error = "--lease-ms must be >= 1";
+    return r;
+  }
+  if (flags.has("lease-ms") && !flags.has("repl-port") &&
+      r.ack_mode == "none" && !r.promote_on_start) {
+    r.error = "--lease-ms requires a replication plane (--repl-port or "
+              "--repl-ack)";
     return r;
   }
   r.repl_enabled = flags.has("repl-port") || r.ack_mode != "none" ||
