@@ -253,6 +253,7 @@ Bytes ReplVoteMessage::serialize() const {
   w.put_u64(epoch);
   w.put_u64(candidate_id);
   w.put_u64(last_seq);
+  w.put_u64(nonce);
   w.put_string(device_addr);
   w.put_string(repl_addr);
   return w.take();
@@ -266,6 +267,7 @@ ReplVoteMessage ReplVoteMessage::deserialize(const Bytes& payload) {
   m.epoch = r.get_u64();
   m.candidate_id = r.get_u64();
   m.last_seq = r.get_u64();
+  m.nonce = r.get_u64();
   m.device_addr = r.get_string();
   m.repl_addr = r.get_string();
   if (!r.exhausted()) throw CodecError("trailing bytes in ReplVoteMessage");

@@ -188,6 +188,11 @@ struct ReplVoteMessage {
   std::uint64_t epoch = 0;
   std::uint64_t candidate_id = 0;
   std::uint64_t last_seq = 0;
+  /// Per-request random value the responder must echo. Sealed into the
+  /// HMAC tag along with candidate_id, it binds a grant to one request
+  /// from one candidate: a captured grant cannot be replayed into a
+  /// concurrent candidate's election for the same epoch.
+  std::uint64_t nonce = 0;
   /// Request only: where the candidate will serve if it wins, so
   /// granters retarget without operator help. device_addr is the
   /// device-facing host:port (new checkin redirect target); repl_addr

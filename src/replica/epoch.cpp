@@ -23,7 +23,8 @@ std::string errno_message(const std::string& what) {
 
 }  // namespace
 
-EpochStore::EpochStore(std::string dir) : dir_(std::move(dir)) {
+EpochStore::EpochStore(std::string dir, std::string name)
+    : dir_(std::move(dir)), name_(std::move(name)) {
   try {
     std::filesystem::create_directories(dir_);
   } catch (const std::filesystem::filesystem_error& e) {
@@ -31,7 +32,7 @@ EpochStore::EpochStore(std::string dir) : dir_(std::move(dir)) {
   }
 }
 
-std::string EpochStore::path() const { return dir_ + "/epoch"; }
+std::string EpochStore::path() const { return dir_ + "/" + name_; }
 
 std::uint64_t EpochStore::load() const {
   std::FILE* f = std::fopen(path().c_str(), "rb");

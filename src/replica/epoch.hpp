@@ -28,7 +28,10 @@ class EpochError : public std::runtime_error {
 class EpochStore {
  public:
   /// Creates `dir` if missing. Throws EpochError when it cannot.
-  explicit EpochStore(std::string dir);
+  /// `name` selects the register file inside `dir`, so one directory can
+  /// hold several independent registers (the follower keeps its promised
+  /// and witnessed epochs apart — see docs/REPLICATION.md#epoch-fencing).
+  explicit EpochStore(std::string dir, std::string name = "epoch");
 
   /// The stored epoch; 0 when none was ever stored. Throws EpochError
   /// when the file exists but does not verify — a term must never be
@@ -44,6 +47,7 @@ class EpochStore {
 
  private:
   std::string dir_;
+  std::string name_;
 };
 
 }  // namespace crowdml::replica

@@ -77,6 +77,7 @@ ElectionResult run_election(const ElectionOptions& opts) {
   req.epoch = opts.epoch;
   req.candidate_id = opts.candidate_id;
   req.last_seq = opts.last_seq;
+  req.nonce = opts.nonce;
   req.device_addr = opts.device_addr;
   req.repl_addr = opts.repl_addr;
   const net::Bytes frame =
@@ -108,9 +109,18 @@ ElectionResult run_election(const ElectionOptions& opts) {
       continue;
     }
     if (resp.request) continue;  // protocol abuse: a request is not a ballot
-    if (resp.granted) {
+    // A ballot must echo this campaign's identity. A grant sealed for a
+    // different candidate (or a different request — the nonce) could
+    // otherwise be replayed here, letting two candidates each assemble
+    // a "majority" for one epoch.
+    if (resp.candidate_id != opts.candidate_id || resp.nonce != opts.nonce) {
+      if (opts.trace)
+        opts.trace->event("election_ballot_unbound", {{"peer", peer.raw}});
+      continue;
+    }
+    if (resp.granted && resp.epoch == opts.epoch) {
       ++result.grants;
-    } else if (resp.epoch > opts.epoch) {
+    } else if (!resp.granted && resp.epoch > opts.epoch) {
       result.higher_epoch_seen =
           std::max(result.higher_epoch_seen, resp.epoch);
     }

@@ -105,6 +105,10 @@ struct ElectionOptions {
   std::uint64_t epoch = 0;
   std::uint64_t candidate_id = 0;
   std::uint64_t last_seq = 0;  ///< candidate's durable log position
+  /// Fresh random value per campaign; voters echo it (sealed), and
+  /// run_election only counts ballots that echo it back. See
+  /// ReplVoteMessage::nonce.
+  std::uint64_t nonce = 0;
   std::string device_addr;     ///< where devices checkout/checkin if we win
   std::string repl_addr;       ///< where followers replicate from if we win
   std::vector<PeerAddr> peers;

@@ -24,9 +24,13 @@ Follower::Follower(core::Server& server, std::string dir,
       dir_(std::move(dir)),
       opts_(std::move(options)),
       epoch_store_(opts_.epoch_dir.empty() ? dir_ : opts_.epoch_dir),
+      witnessed_store_(opts_.epoch_dir.empty() ? dir_ : opts_.epoch_dir,
+                       "witnessed-epoch"),
       detector_(opts_.detector,
                 rng::Engine(opts_.rng_seed ^
                             (opts_.follower_id * 0x9E3779B97F4A7C15ULL + 1))),
+      nonce_rng_(opts_.rng_seed ^
+                 (opts_.follower_id * 0x9E3779B97F4A7C15ULL + 2)),
       records_applied_(registry_of(opts_).counter(
           "crowdml_repl_records_applied_total",
           "Shipped WAL records applied and made durable on this follower",
@@ -78,10 +82,14 @@ Follower::Follower(core::Server& server, std::string dir,
   leader_host_ = opts_.leader_host;
   leader_port_ = opts_.leader_port;
   epoch_.store(epoch_store_.load());
-  // Conservative restart: the durable register does not distinguish a
-  // witnessed epoch from a merely promised one, so reload both as the
-  // same value (a restarted granter must still fence its old leader).
-  witnessed_epoch_.store(epoch_.load());
+  // The witness reloads from its own register, never from the promise: a
+  // failed candidacy inflates the promise, and a restart must not turn
+  // that into a hello that fences the live leader. (A restarted granter
+  // still fences its deposed leader — via the refusal ack its stale
+  // frames draw, not via the hello.) Clamped for the invariant; a
+  // pre-upgrade directory simply has no witnessed register yet and
+  // under-advertises at 0, which is always safe.
+  witnessed_epoch_.store(std::min(epoch_.load(), witnessed_store_.load()));
   epoch_gauge_.set(static_cast<double>(epoch_.load()));
   store_ = std::make_unique<store::DurableStore>(dir_, opts_.store);
   recovery_ = store_->recover(server_);
@@ -188,9 +196,35 @@ bool Follower::accept_epoch(std::uint64_t frame_epoch) {
       opts_.trace->event("repl_epoch_adopted", {{"epoch", frame_epoch}});
   }
   // An accepted frame is proof some leader speaks this epoch — the only
-  // kind of epoch the hello may fence a leader with.
-  witnessed_epoch_.store(frame_epoch);
+  // kind of epoch the hello may fence a leader with. Persisted to its
+  // own register (best-effort: the witness is an advertisement floor,
+  // not a safety promise — an unwritable register just means a restart
+  // under-advertises, which can never fence anyone wrongly).
+  if (frame_epoch > witnessed_epoch_.load()) {
+    try {
+      witnessed_store_.store(frame_epoch);
+    } catch (const EpochError& e) {
+      if (opts_.trace)
+        opts_.trace->event("repl_witnessed_store_failed",
+                           {{"reason", e.what()}});
+    }
+    witnessed_epoch_.store(frame_epoch);
+  }
   return true;
+}
+
+void Follower::send_refusal_ack(net::TcpConnection& conn) {
+  net::ReplAckMessage ack;
+  // The promise, not the witness: this is the step-down signal. A leader
+  // whose epoch is below it learns it was deposed, fences, and stops
+  // heartbeating — which is what lets its healthy followers elect a
+  // successor instead of nacking writes behind a zombie's leases.
+  ack.epoch = epoch_.load();
+  ack.durable_seq = durable_position();
+  conn.send_frame(net::encode_frame(
+      net::MessageType::kReplAck,
+      seal_repl_payload(opts_.key, net::MessageType::kReplAck,
+                        ack.serialize())));
 }
 
 void Follower::run() {
@@ -306,7 +340,10 @@ Follower::ServeResult Follower::serve_connection(net::TcpConnection& conn) {
       } catch (const net::CodecError&) {
         return ServeResult::kReconnect;
       }
-      if (!accept_epoch(hb.epoch)) return ServeResult::kReconnect;
+      if (!accept_epoch(hb.epoch)) {
+        send_refusal_ack(conn);
+        return ServeResult::kReconnect;
+      }
       lease_.renew(hb.epoch, hb.committed_seq, hb.lease_ms);
       std::uint64_t seen = leader_committed_.load();
       while (seen < hb.committed_seq &&
@@ -331,7 +368,10 @@ Follower::ServeResult Follower::serve_connection(net::TcpConnection& conn) {
       } catch (const net::CodecError&) {
         return ServeResult::kReconnect;
       }
-      if (!accept_epoch(append.epoch)) return ServeResult::kReconnect;
+      if (!accept_epoch(append.epoch)) {
+        send_refusal_ack(conn);
+        return ServeResult::kReconnect;
+      }
       detector_.observe();  // any authed leader frame is liveness
       {
         obs::TimedScope timer(apply_seconds_);
@@ -345,7 +385,10 @@ Follower::ServeResult Follower::serve_connection(net::TcpConnection& conn) {
       } catch (const net::CodecError&) {
         return ServeResult::kReconnect;
       }
-      if (!accept_epoch(snap.epoch)) return ServeResult::kReconnect;
+      if (!accept_epoch(snap.epoch)) {
+        send_refusal_ack(conn);
+        return ServeResult::kReconnect;
+      }
       detector_.observe();
       const ServeResult chunk = handle_snapshot_chunk(snap);
       if (chunk != ServeResult::kContinue) return chunk;
@@ -505,12 +548,32 @@ bool Follower::install_snapshot(std::uint64_t version,
 net::ReplVoteMessage Follower::grant_vote(const net::ReplVoteMessage& req) {
   net::ReplVoteMessage resp;
   resp.request = false;
-  resp.candidate_id = opts_.follower_id;
+  // Echo the campaign's identity: a ballot is bound to one request from
+  // one candidate, so a captured grant cannot be replayed into a
+  // concurrent candidate's election (see ReplVoteMessage::nonce).
+  resp.candidate_id = req.candidate_id;
+  resp.nonce = req.nonce;
 
   std::lock_guard<std::mutex> epoch_lock(epoch_mu_);
   const std::uint64_t promised = epoch_.load();
   const std::uint64_t mine = durable_position();
   resp.last_seq = mine;
+
+  // A live lease means our leader is demonstrably alive: refuse without
+  // adopting the proposed epoch, so one follower's spurious detector (a
+  // blip on just its link) cannot assemble a majority against a healthy
+  // leader. A candidate only wins once a majority has actually watched
+  // the leader go silent — the check-quorum/pre-vote discipline.
+  if (lease_.held()) {
+    resp.granted = false;
+    resp.epoch = promised;
+    if (opts_.trace)
+      opts_.trace->event("election_vote_refused_lease_held",
+                         {{"epoch", req.epoch},
+                          {"candidate_id", req.candidate_id},
+                          {"lease_remaining_ms", lease_.remaining_ms()}});
+    return resp;
+  }
 
   // Grant iff the proposed term is news AND the candidate's durable log
   // is at least as long as ours — the Raft voting rule, which keeps any
@@ -577,6 +640,17 @@ net::ReplVoteMessage Follower::grant_vote(const net::ReplVoteMessage& req) {
 }
 
 void Follower::try_elect() {
+  if (lease_.held()) {
+    // The detector fired but the lease says the leader is still alive
+    // (possible when the lease outlasts the election timeout). Trust the
+    // lease — the same rule electors apply to us — rather than inflate
+    // the promised epoch with a campaign nobody may grant.
+    if (opts_.trace)
+      opts_.trace->event("election_suppressed_lease_held",
+                         {{"lease_remaining_ms", lease_.remaining_ms()}});
+    detector_.arm();
+    return;
+  }
   if (lease_.expired()) {
     ++lease_expirations_;
     if (opts_.trace)
@@ -610,6 +684,7 @@ void Follower::try_elect() {
   eo.epoch = proposed;
   eo.candidate_id = opts_.follower_id;
   eo.last_seq = durable_position();
+  eo.nonce = nonce_rng_();
   eo.device_addr = opts_.device_addr;
   eo.repl_addr = opts_.advertise_host + ":" + std::to_string(vote_port());
   eo.peers = opts_.peers;

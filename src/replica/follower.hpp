@@ -183,6 +183,11 @@ class Follower {
   /// Adopt a frame's epoch: refuse stale (returns false, caller drops the
   /// connection), durably store newer before proceeding.
   bool accept_epoch(std::uint64_t frame_epoch);
+  /// Best-effort reply sent before dropping a connection whose frame was
+  /// refused as stale: a ReplAck carrying the promised epoch, so a
+  /// deposed leader that can still reach us fences itself and steps down
+  /// instead of heartbeating old-epoch leases forever.
+  void send_refusal_ack(net::TcpConnection& conn);
   /// Vote-listener handler: grant iff the candidate's term is news and
   /// its log is at least as long as ours; a grant durably bumps the
   /// promised epoch, retargets replication at the winner, and severs the
@@ -196,6 +201,13 @@ class Follower {
   std::string dir_;
   FollowerOptions opts_;
   EpochStore epoch_store_;
+  /// Separate durable register for the witnessed epoch (file
+  /// "witnessed-epoch" beside the promised one). Kept apart so a restart
+  /// cannot conflate a failed candidacy's promise with proof of a leader:
+  /// reloading the promise as the witness would make the hello fence a
+  /// perfectly live leader. Invariant: witnessed register <= promised
+  /// register (a witness is always adopted as a promise first).
+  EpochStore witnessed_store_;
   std::unique_ptr<store::DurableStore> store_;
   store::DurableStore::RecoveryInfo recovery_;
 
@@ -206,11 +218,12 @@ class Follower {
   std::atomic<bool> promoted_{false};
   std::atomic<std::uint64_t> epoch_{0};
   /// Highest epoch a leader has demonstrably *led* — the epoch of some
-  /// frame this follower accepted (or the durable promise reloaded at
+  /// frame this follower accepted (reloaded from witnessed_store_ at
   /// startup). The hello advertises this, not epoch_: a failed candidacy
-  /// inflates the promised epoch, and advertising that would let one
-  /// starved follower fence a perfectly live leader (the pre-vote
-  /// disruption). Invariant: witnessed_epoch_ <= epoch_.
+  /// inflates the promised epoch, and advertising that — live or after a
+  /// restart — would let one starved follower fence a perfectly live
+  /// leader (the pre-vote disruption). Invariant: witnessed_epoch_ <=
+  /// epoch_.
   std::atomic<std::uint64_t> witnessed_epoch_{0};
   std::atomic<std::uint64_t> leader_committed_{0};
 
@@ -233,6 +246,8 @@ class Follower {
 
   Lease lease_;
   FailureDetector detector_;
+  /// Nonce draws for this node's own campaigns (replication thread only).
+  rng::Engine nonce_rng_;
   std::unique_ptr<VoteListener> votes_;
 
   /// Chunked-snapshot reassembly buffer (replication thread only). The

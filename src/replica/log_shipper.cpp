@@ -127,7 +127,8 @@ bool LogShipper::ship_snapshot_chunks(net::TcpConnection& conn,
                                       std::uint64_t version,
                                       const net::Bytes& blob,
                                       std::uint64_t offset, bool want_ack,
-                                      bool* fenced_session) {
+                                      bool* fenced_session,
+                                      const std::function<bool()>& heartbeat) {
   const auto total = static_cast<std::uint64_t>(blob.size());
   const std::size_t chunk_max = std::max<std::size_t>(
       1, std::min(opts_.snapshot_chunk_bytes,
@@ -177,6 +178,11 @@ bool LogShipper::ship_snapshot_chunks(net::TcpConnection& conn,
         return false;
       }
     }
+    // A heartbeat between chunks bounds the inter-frame gap to the
+    // heartbeat interval regardless of how slow the throttle runs —
+    // otherwise a long transfer reads as leader death and the receiver
+    // abandons it for a doomed election.
+    if (!heartbeat()) return false;
     // Rate limit: never run ahead of max_bytes_per_sec averaged over the
     // transfer, sleeping in slices so shutdown stays responsive.
     if (opts_.snapshot_max_bytes_per_sec > 0 && off < total) {
@@ -185,6 +191,7 @@ bool LogShipper::ship_snapshot_chunks(net::TcpConnection& conn,
                            static_cast<double>(opts_.snapshot_max_bytes_per_sec);
       for (;;) {
         if (stopping_.load()) return false;
+        if (!heartbeat()) return false;
         const double elapsed_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           throttle_start)
@@ -214,6 +221,9 @@ void LogShipper::session_loop(std::uint64_t session_id,
   // then at least every heartbeat_interval_ms.
   auto last_heartbeat = std::chrono::steady_clock::time_point::min();
   const auto maybe_heartbeat = [&]() -> bool {
+    // A fenced leader grants no leases: its heartbeats would suppress
+    // the very elections that replace it.
+    if (fenced_.load()) return false;
     if (opts_.heartbeat_interval_ms <= 0) return true;
     const auto now = std::chrono::steady_clock::now();
     if (last_heartbeat != std::chrono::steady_clock::time_point::min() &&
@@ -242,6 +252,46 @@ void LogShipper::session_loop(std::uint64_t session_id,
     ++heartbeats_sent_;
     last_heartbeat = now;
     return true;
+  };
+
+  // A follower that refused one of our frames as stale replies with an
+  // unsolicited ReplAck carrying its (higher) promised epoch before
+  // hanging up — the step-down signal. Every solicited ack is consumed
+  // synchronously, so anything found by this short poll is that signal
+  // (or a harmless duplicate). True = nothing pending, session fine;
+  // false = session over (fenced, peer gone, or garbage).
+  const auto drain_acks = [&](int deadline_ms) -> bool {
+    conn.set_deadline_ms(deadline_ms);
+    bool ok = false;
+    for (;;) {
+      auto frame = conn.recv_frame();
+      if (!frame) {
+        ok = conn.last_error() == net::NetError::kTimeout;
+        break;
+      }
+      try {
+        const net::Frame f = net::decode_frame(*frame);
+        if (f.type != net::MessageType::kReplAck) break;
+        const auto body =
+            open_repl_payload(opts_.key, net::MessageType::kReplAck, f.payload);
+        if (!body) {
+          ++auth_failed_;
+          if (opts_.trace)
+            opts_.trace->event("repl_auth_failed", {{"where", "ack_drain"}});
+          break;
+        }
+        const auto ack = net::ReplAckMessage::deserialize(*body);
+        if (ack.epoch > epoch_) {
+          fence(ack.epoch);
+          break;
+        }
+        tracker_.ack(session_id, ack.durable_seq);
+      } catch (const net::CodecError&) {
+        break;
+      }
+    }
+    conn.set_deadline_ms(opts_.io_deadline_ms);
+    return ok;
   };
 
   // One follower session: hello, then stream batches (or a chunked
@@ -310,14 +360,14 @@ void LogShipper::session_loop(std::uint64_t session_id,
                               {"offset", hello.snapshot_offset}});
         if (!ship_snapshot_chunks(conn, session_id, hello.snapshot_version,
                                   *blob, hello.snapshot_offset, want_ack,
-                                  &fenced_session))
+                                  &fenced_session, maybe_heartbeat))
           break;
         ++snapshots_shipped_;
         cursor = hello.snapshot_version;
       }
     }
 
-    while (alive && !stopping_.load()) {
+    while (alive && !stopping_.load() && !fenced_.load()) {
       if (!maybe_heartbeat()) break;
       std::uint64_t watermark;
       {
@@ -344,7 +394,8 @@ void LogShipper::session_loop(std::uint64_t session_id,
         }
         bool fenced_session = false;
         if (!ship_snapshot_chunks(conn, session_id, cp.version, *blob, 0,
-                                  want_ack, &fenced_session)) {
+                                  want_ack, &fenced_session,
+                                  maybe_heartbeat)) {
           if (fenced_session) alive = false;
           break;
         }
@@ -356,8 +407,12 @@ void LogShipper::session_loop(std::uint64_t session_id,
                               {"bytes", blob->size()}});
         cursor = cp.version;
       } else if (batch.records.empty()) {
-        // Caught up: sleep until the next commit (or shutdown/fencing),
-        // waking often enough that heartbeats never miss their interval.
+        // Caught up: first a short socket poll for the refusal ack a
+        // deposed leader would otherwise never read (nothing solicited
+        // is in flight here), then sleep until the next commit (or
+        // shutdown/fencing), waking often enough that heartbeats never
+        // miss their interval.
+        if (!drain_acks(1)) break;
         std::unique_lock<std::mutex> lock(watermark_mu_);
         watermark_cv_.wait_for(lock, std::chrono::milliseconds(20), [&] {
           return stopping_.load() || watermark_ > cursor;
@@ -422,6 +477,12 @@ void LogShipper::session_loop(std::uint64_t session_id,
       const std::uint64_t floor = tracker_.min_acked();
       lag_records_.set(tail > floor ? static_cast<double>(tail - floor) : 0.0);
     }
+    // The session usually ends because a send failed — and a follower
+    // that refused us hangs up right after its refusal ack, so that ack
+    // may still be sitting in the receive buffer. Read it out; without
+    // this a deposed leader under continuous traffic reconnects forever
+    // instead of stepping down.
+    if (alive && !stopping_.load() && !fenced_.load()) drain_acks(50);
   } while (false);
 
   if (joined) {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -112,11 +113,15 @@ class LogShipper {
   /// Stream `blob` (a serialized checkpoint at `version`) in bounded,
   /// rate-limited chunks starting at `offset`. Under want_ack modes each
   /// chunk waits for the follower's ack (fencing on a higher epoch, in
-  /// which case `fenced_session` is set). False on any failure.
+  /// which case `fenced_session` is set). `heartbeat` is invoked between
+  /// chunks and inside throttle waits so the receiver's lease keeps
+  /// renewing however slow the transfer runs (a throttled snapshot must
+  /// not read as a dead leader). False on any failure.
   bool ship_snapshot_chunks(net::TcpConnection& conn, std::uint64_t session_id,
                             std::uint64_t version, const net::Bytes& blob,
                             std::uint64_t offset, bool want_ack,
-                            bool* fenced_session);
+                            bool* fenced_session,
+                            const std::function<bool()>& heartbeat);
 
   core::Server& server_;
   store::DurableStore& store_;

@@ -181,6 +181,29 @@ TEST(ReplicaFlags, PromoteOnStartEnablesReplication) {
   EXPECT_TRUE(r.promote_on_start);
 }
 
+TEST(ReplicaFlags, AdvertiseHostDefaultsAndValidation) {
+  // Default suits single-host tests; multi-host deployments override it
+  // so redirects and vote repl_addrs point somewhere reachable.
+  EXPECT_EQ(replica({}).advertise_host, "127.0.0.1");
+  const ReplicaFlags r =
+      replica({"--advertise-host=10.0.0.7", "--repl-ack=async",
+               "--wal-dir=wal", "--engine=epoll"});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.advertise_host, "10.0.0.7");
+
+  // A bare host only: the advertised ports are the bound ones, so a
+  // host:port here would silently double up.
+  EXPECT_FALSE(replica({"--advertise-host=10.0.0.7:9100"}).error.empty());
+  EXPECT_FALSE(replica({"--advertise-host="}).error.empty());
+
+  // Valid for both roles.
+  const ReplicaFlags f =
+      replica({"--role=follower", "--leader-addr=h:1", "--engine=epoll",
+               "--wal-dir=replica", "--advertise-host=replica-b"});
+  EXPECT_TRUE(f.error.empty()) << f.error;
+  EXPECT_EQ(f.advertise_host, "replica-b");
+}
+
 TEST(ReplicaFlags, UnknownRoleAndAckModeRejected) {
   EXPECT_FALSE(replica({"--role=observer"}).error.empty());
   EXPECT_FALSE(replica({"--repl-ack=sync", "--wal-dir=wal",

@@ -310,6 +310,7 @@ TEST(Election, VoteCodecRoundTrip) {
   v.epoch = 9;
   v.candidate_id = 3;
   v.last_seq = 777;
+  v.nonce = 0xFEEDFACECAFEF00DULL;
   v.device_addr = "127.0.0.1:6000";
   v.repl_addr = "127.0.0.1:6001";
   const auto back = net::ReplVoteMessage::deserialize(v.serialize());
@@ -318,6 +319,7 @@ TEST(Election, VoteCodecRoundTrip) {
   EXPECT_EQ(back.epoch, 9u);
   EXPECT_EQ(back.candidate_id, 3u);
   EXPECT_EQ(back.last_seq, 777u);
+  EXPECT_EQ(back.nonce, 0xFEEDFACECAFEF00DULL);
   EXPECT_EQ(back.device_addr, "127.0.0.1:6000");
   EXPECT_EQ(back.repl_addr, "127.0.0.1:6001");
 
@@ -351,6 +353,9 @@ TEST(Election, CandidateWinsWithOneGrant) {
     resp.granted = req.epoch > 1 && req.last_seq >= 5;
     resp.epoch = resp.granted ? req.epoch : 1;
     resp.last_seq = 5;
+    // A ballot is bound to the request it answers: echo or be discarded.
+    resp.candidate_id = req.candidate_id;
+    resp.nonce = req.nonce;
     if (resp.granted) ++grants_issued;
     return resp;
   });
@@ -383,7 +388,8 @@ TEST(Election, ShorterLogLosesAndLearnsHigherEpoch) {
     resp.granted = false;
     resp.epoch = 42;
     resp.last_seq = 100;
-    (void)req;
+    resp.candidate_id = req.candidate_id;
+    resp.nonce = req.nonce;
     return resp;
   });
   ASSERT_TRUE(elector.start());
@@ -401,6 +407,122 @@ TEST(Election, ShorterLogLosesAndLearnsHigherEpoch) {
   // is not dead on arrival.
   EXPECT_EQ(res.higher_epoch_seen, 42u);
   elector.shutdown();
+}
+
+TEST(Election, UnboundBallotsAreDiscarded) {
+  // A ballot that does not echo the candidate id and nonce of the
+  // request it answers is noise — a replayed grant from an earlier
+  // campaign, a confused voter, or a forgery inside the key domain.
+  // None of them may count toward a majority, and an unbound refusal
+  // may not steer the loser's next proposal either.
+  std::atomic<int> mode{0};
+  obs::MetricsRegistry reg;
+  VoteListener::Options lo;
+  lo.metrics = &reg;
+  VoteListener elector(lo, [&](const net::ReplVoteMessage& req) {
+    net::ReplVoteMessage resp;
+    resp.request = false;
+    resp.candidate_id = req.candidate_id;
+    resp.nonce = req.nonce;
+    switch (mode.load()) {
+      case 0:  // grant replayed from some other campaign: stale nonce
+        resp.granted = true;
+        resp.epoch = req.epoch;
+        resp.nonce = req.nonce ^ 1;
+        break;
+      case 1:  // grant addressed to a different candidate
+        resp.granted = true;
+        resp.epoch = req.epoch;
+        resp.candidate_id = req.candidate_id + 1;
+        break;
+      case 2:  // bound, but granting a different epoch than proposed
+        resp.granted = true;
+        resp.epoch = req.epoch + 1;
+        break;
+      default:  // unbound refusal advertising a scary-high epoch
+        resp.granted = false;
+        resp.epoch = 99;
+        resp.nonce = req.nonce ^ 1;
+        break;
+    }
+    return resp;
+  });
+  ASSERT_TRUE(elector.start());
+
+  for (int m = 0; m < 4; ++m) {
+    mode.store(m);
+    ElectionOptions eo;
+    eo.epoch = 7;
+    eo.candidate_id = 1;
+    eo.last_seq = 5;
+    eo.nonce = 1000 + static_cast<std::uint64_t>(m);
+    eo.peers = replica::parse_peer_list(
+        "127.0.0.1:" + std::to_string(elector.port()));
+    const auto res = replica::run_election(eo);
+    EXPECT_FALSE(res.won) << "mode " << m;
+    EXPECT_EQ(res.grants, 1u) << "mode " << m;  // own vote only
+    EXPECT_EQ(res.higher_epoch_seen, 0u) << "mode " << m;
+  }
+  elector.shutdown();
+}
+
+TEST(Election, LiveLeaseGatesVoteGrants) {
+  // Check-quorum at the voter: while this follower's lease from the
+  // current leader is live, the leader is demonstrably fine, so any
+  // candidacy is disruption (an isolated node's fuse firing). Refuse
+  // WITHOUT adopting the proposed epoch — adopting would fence the
+  // healthy leader on the next hello.
+  obs::MetricsRegistry reg;
+  TempDir ldir;
+  core::Server leader(config(), sgd(), rng::Engine(1));
+  store::DurableStoreOptions so;
+  so.wal.metrics = &reg;
+  auto lstore = std::make_unique<store::DurableStore>(ldir.path, so);
+  lstore->recover(leader);
+  lstore->attach(leader);
+  ShipperOptions shopts;
+  shopts.ack_mode = ReplAckMode::kAsync;
+  shopts.heartbeat_interval_ms = 40;  // lease defaults to 120ms
+  shopts.metrics = &reg;
+  auto shipper = std::make_unique<LogShipper>(leader, *lstore, 1, shopts);
+
+  TempDir fdir;
+  core::Server srv(config(), sgd(), rng::Engine(1));
+  obs::MetricsRegistry freg;
+  FollowerOptions fo;
+  fo.leader_port = shipper->port();
+  fo.follower_id = 1;
+  fo.store.wal.metrics = &freg;
+  fo.metrics = &freg;
+  fo.reconnect_backoff_ms = 20;
+  fo.detector.election_timeout_min_ms = 60'000;  // voter, never a candidate
+  fo.rng_seed = 1;
+  auto f = std::make_unique<Follower>(srv, fdir.path, fo);
+  f->start();
+  ASSERT_TRUE(wait_until([&] { return f->vote_port() != 0; }));
+  ASSERT_TRUE(wait_until([&] { return f->connected() && f->lease().held(); }));
+
+  ElectionOptions eo;
+  eo.epoch = 5;
+  eo.candidate_id = 9;
+  eo.last_seq = 1'000'000;  // longer log than anyone: grantable on merit
+  eo.nonce = 42;
+  eo.peers = replica::parse_peer_list(
+      "127.0.0.1:" + std::to_string(f->vote_port()));
+  const auto refused = replica::run_election(eo);
+  EXPECT_FALSE(refused.won);
+  EXPECT_EQ(refused.grants, 1u);  // own vote only
+  EXPECT_EQ(f->epoch(), 1u)
+      << "a lease-gated refusal must not adopt the proposed epoch";
+
+  // The leader dies; the lease lapses; the same candidacy now succeeds.
+  shipper->shutdown();
+  ASSERT_TRUE(wait_until([&] { return !f->lease().held(); }));
+  const auto granted = replica::run_election(eo);
+  EXPECT_TRUE(granted.won);
+  EXPECT_EQ(granted.grants, 2u);
+  ASSERT_TRUE(wait_until([&] { return f->epoch() == 5u; }));
+  f->shutdown();
 }
 
 TEST(Election, UnreachablePeerSimplyDoesNotVote) {

@@ -458,7 +458,8 @@ struct LeaderRig {
 
   explicit LeaderRig(ReplAckMode mode, std::uint64_t epoch = 1,
                      std::size_t segment_max_bytes = 4u << 20,
-                     int quorum_timeout_ms = 400)
+                     int quorum_timeout_ms = 400,
+                     const std::function<void(ShipperOptions&)>& tweak = {})
       : server(config(), sgd(), rng::Engine(1)) {
     store::DurableStoreOptions so;
     so.wal.metrics = &reg;
@@ -471,6 +472,7 @@ struct LeaderRig {
     shopts.quorum_follower_acks = 1;
     shopts.quorum_timeout_ms = quorum_timeout_ms;
     shopts.metrics = &reg;
+    if (tweak) tweak(shopts);
     shipper = std::make_unique<LogShipper>(server, *store, epoch, shopts);
   }
 
@@ -625,6 +627,9 @@ TEST(ReplFencing, FollowerRefusesStaleFramesAndAdoptsNewer) {
 
   FollowerRig f(listener->port());
   EpochStore(f.dir.path).store(3);
+  // A leader of epoch 3 actually spoke to this follower (not just a
+  // promise): witnessed too, so the hello may advertise it.
+  EpochStore(f.dir.path, "witnessed-epoch").store(3);
   // Re-create so the follower loads the promised epoch (the rig already
   // built one against epoch 0).
   f.follower = nullptr;
@@ -652,6 +657,14 @@ TEST(ReplFencing, FollowerRefusesStaleFramesAndAdoptsNewer) {
     stale.epoch = 1;
     ASSERT_TRUE(conn->send_frame(net::encode_frame(
         net::MessageType::kReplAppend, stale.serialize())));
+    // The refusal is not silent: an unsolicited ack carries the promised
+    // epoch so the deposed sender fences itself (leader step-down)...
+    auto refusal_frame = conn->recv_frame();
+    ASSERT_TRUE(refusal_frame.has_value());
+    const auto refusal = net::ReplAckMessage::deserialize(
+        net::decode_frame(*refusal_frame).payload);
+    EXPECT_EQ(refusal.epoch, 3u);
+    // ...and then the follower hangs up.
     EXPECT_FALSE(conn->recv_frame().has_value()) << "follower hangs up";
   }
   ASSERT_TRUE(
@@ -685,5 +698,139 @@ TEST(ReplFencing, FollowerRefusesStaleFramesAndAdoptsNewer) {
   f.follower->shutdown();
   // The adopted epoch survived durably: a restart still refuses epoch < 5.
   EXPECT_EQ(EpochStore(f.dir.path).load(), 5u);
+  // And it was witnessed (a leader spoke it), so a restarted hello may
+  // advertise it.
+  EXPECT_EQ(EpochStore(f.dir.path, "witnessed-epoch").load(), 5u);
   listener->close();
+}
+
+TEST(ReplFencing, RestartAdvertisesWitnessedNotPromisedEpoch) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.has_value());
+
+  // The aftermath of failed candidacies: promises climbed to 5 with no
+  // epoch-5 leader ever heard; the last leader that actually spoke to
+  // this node led epoch 1.
+  FollowerRig f(listener->port());
+  EpochStore(f.dir.path).store(5);
+  EpochStore(f.dir.path, "witnessed-epoch").store(1);
+  f.follower = nullptr;
+  FollowerOptions fo;
+  fo.leader_port = listener->port();
+  fo.follower_id = 3;
+  fo.store.wal.metrics = &f.reg;
+  fo.metrics = &f.reg;
+  fo.reconnect_backoff_ms = 20;
+  f.follower = std::make_unique<Follower>(f.server, f.dir.path, fo);
+  EXPECT_EQ(f.follower->epoch(), 5u);
+  EXPECT_EQ(f.follower->witnessed_epoch(), 1u);
+  f.follower->start();
+
+  // The restarted hello advertises the witness, not the promise: were it
+  // the promise, this one starved node would fence the live epoch-1
+  // leader it is reconnecting to.
+  auto conn = listener->accept();
+  ASSERT_TRUE(conn.has_value());
+  conn->set_deadline_ms(2000);
+  auto hello_frame = conn->recv_frame();
+  ASSERT_TRUE(hello_frame.has_value());
+  const auto hello = net::ReplHelloMessage::deserialize(
+      net::decode_frame(*hello_frame).payload);
+  EXPECT_EQ(hello.epoch, 1u);
+
+  f.follower->shutdown();
+  listener->close();
+}
+
+TEST(ReplFencing, RefusalAckStepsDownHeartbeatingLeader) {
+  // A deposed leader that never ships records (devices keep checking in,
+  // but its followers all refuse) must still learn of its deposition:
+  // the refusal ack is the step-down signal.
+  LeaderRig leader(
+      ReplAckMode::kQuorum, /*epoch=*/1, 4u << 20, 400,
+      [](ShipperOptions& o) { o.heartbeat_interval_ms = 20; });
+  auto conn =
+      net::TcpConnection::connect("127.0.0.1", leader.shipper->port(), 2000);
+  ASSERT_TRUE(conn.has_value());
+  conn->set_deadline_ms(5000);
+  net::ReplHelloMessage hello;
+  hello.follower_id = 7;
+  hello.epoch = 1;  // matches: the session is accepted
+  ASSERT_TRUE(conn->send_frame(
+      net::encode_frame(net::MessageType::kReplHello, hello.serialize())));
+  auto first = conn->recv_frame();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(net::decode_frame(*first).type, net::MessageType::kReplHeartbeat);
+
+  // The unsolicited ack a real follower sends after refusing a stale
+  // frame: "my promise is 3; you are deposed".
+  net::ReplAckMessage refusal;
+  refusal.epoch = 3;
+  ASSERT_TRUE(conn->send_frame(
+      net::encode_frame(net::MessageType::kReplAck, refusal.serialize())));
+  ASSERT_TRUE(wait_until([&] { return leader.shipper->fenced(); }))
+      << "an unsolicited higher-epoch ack must fence the leader";
+
+  // Fenced: the session ends (in-flight heartbeats drain to EOF), no new
+  // leases go out, and quorum acks are refused — the write outage is
+  // over as soon as the real followers elect a successor.
+  conn->set_deadline_ms(2000);
+  while (conn->recv_frame().has_value()) {
+  }
+  EXPECT_NE(conn->last_error(), net::NetError::kTimeout)
+      << "a fenced leader must hang up, not keep heartbeating";
+  EXPECT_FALSE(leader.shipper->await_quorum(1));
+  leader.shipper->shutdown();
+}
+
+TEST(Replication, SnapshotTransferHeartbeatsThroughThrottle) {
+  // A throttled snapshot must not read as leader death: heartbeats
+  // interleave with the chunks, so the receiver's detector keeps getting
+  // re-armed however slow the transfer runs.
+  LeaderRig leader(ReplAckMode::kNone, 1, /*segment_max_bytes=*/256, 400,
+                   [](ShipperOptions& o) {
+                     o.heartbeat_interval_ms = 20;
+                     o.snapshot_chunk_bytes = 64;
+                     o.snapshot_max_bytes_per_sec = 1000;
+                   });
+  rng::Engine eng(6);
+  leader.drive(eng, 30);
+  ASSERT_TRUE(leader.store->compact(leader.server));
+
+  // Scripted follower with cursor 0 (inside the compacted gap): count
+  // what arrives between the first and last snapshot chunk.
+  auto conn =
+      net::TcpConnection::connect("127.0.0.1", leader.shipper->port(), 2000);
+  ASSERT_TRUE(conn.has_value());
+  conn->set_deadline_ms(10'000);
+  net::ReplHelloMessage hello;
+  hello.follower_id = 4;
+  hello.epoch = 1;
+  ASSERT_TRUE(conn->send_frame(
+      net::encode_frame(net::MessageType::kReplHello, hello.serialize())));
+
+  int heartbeats_mid_transfer = 0;
+  int chunks = 0;
+  std::uint64_t got_bytes = 0;
+  for (;;) {
+    auto frame = conn->recv_frame();
+    ASSERT_TRUE(frame.has_value()) << "transfer died mid-snapshot";
+    const net::Frame f = net::decode_frame(*frame);
+    if (f.type == net::MessageType::kReplHeartbeat) {
+      if (chunks > 0) ++heartbeats_mid_transfer;
+      continue;
+    }
+    ASSERT_EQ(f.type, net::MessageType::kReplSnapshot);
+    const auto snap = net::ReplSnapshotMessage::deserialize(f.payload);
+    ++chunks;
+    got_bytes += snap.checkpoint.size();
+    if (snap.last_chunk()) {
+      EXPECT_EQ(got_bytes, snap.total_bytes);
+      break;
+    }
+  }
+  EXPECT_GT(chunks, 1) << "want a genuinely chunked transfer";
+  EXPECT_GE(heartbeats_mid_transfer, 1)
+      << "the throttle ran the transfer long but no heartbeat interleaved";
+  leader.shipper->shutdown();
 }

@@ -42,6 +42,10 @@
 //                                             # lagging > N records
 //       [--repl-key-file PATH]                # hex HMAC key authenticating
 //                                             # all Repl* frames
+//       [--advertise-host HOST]               # host peers/devices reach
+//                                             # this node on (redirects,
+//                                             # vote repl_addr); default
+//                                             # 127.0.0.1
 //       [--follower-id N]                     # follower: id in leader traces
 //       [--report-every SECONDS]              # portal report to stdout
 //       [--metrics-out metrics.prom]          # Prometheus text, rewritten
@@ -324,6 +328,7 @@ int main(int argc, char** argv) {
         static_cast<int>(repl.election_timeout_ms);
     fopts.vote_port = repl.vote_port;
     fopts.peers = peers;
+    fopts.advertise_host = repl.advertise_host;
     fopts.key = repl_key;
     fopts.rng_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     fopts.on_leader_changed = [&epoll](const std::string& addr) {
@@ -434,10 +439,11 @@ int main(int argc, char** argv) {
     epoll = std::make_unique<engine::EpollCrowdServer>(server, registry, ecfg);
     bound_port = epoll->port();
     if (shipper)
-      shipper->set_advertise_leader_addr("127.0.0.1:" +
+      shipper->set_advertise_leader_addr(repl.advertise_host + ":" +
                                          std::to_string(bound_port));
     if (follower) {
-      follower->set_device_addr("127.0.0.1:" + std::to_string(bound_port));
+      follower->set_device_addr(repl.advertise_host + ":" +
+                                std::to_string(bound_port));
       follower->start();
       if (repl.election_timeout_ms > 0)
         std::printf(
@@ -527,7 +533,7 @@ int main(int argc, char** argv) {
       shopts.heartbeat_interval_ms = std::max(
           1, static_cast<int>(repl.election_timeout_ms / 6));
       shopts.advertise_leader_addr =
-          "127.0.0.1:" + std::to_string(bound_port);
+          repl.advertise_host + ":" + std::to_string(bound_port);
       try {
         shipper = std::make_unique<replica::LogShipper>(server, fstore,
                                                         won_epoch, shopts);

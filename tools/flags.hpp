@@ -74,6 +74,11 @@ class Flags {
 ///   --vote-port N                   (follower; 0 = ephemeral)
 ///   --max-read-lag N                (follower; stale-checkout gate, 0 = off)
 ///   --repl-key-file PATH            (both; hex HMAC key for Repl* frames)
+///   --advertise-host HOST           (both; the host peers and devices
+///                                    reach this node on — redirect
+///                                    targets, vote repl_addr; default
+///                                    127.0.0.1 suits single-host tests
+///                                    only)
 /// `error` is non-empty when the combination is invalid.
 struct ReplicaFlags {
   std::string role = "leader";
@@ -94,6 +99,7 @@ struct ReplicaFlags {
   std::uint16_t vote_port = 0;
   long long max_read_lag = 0;
   std::string repl_key_file;
+  std::string advertise_host = "127.0.0.1";
   std::string error;
 };
 
@@ -112,6 +118,7 @@ inline ReplicaFlags parse_replica_flags(const Flags& flags) {
   r.vote_port = static_cast<std::uint16_t>(flags.get_int("vote-port", 0));
   r.max_read_lag = flags.get_int("max-read-lag", 0);
   r.repl_key_file = flags.get("repl-key-file", "");
+  r.advertise_host = flags.get("advertise-host", "127.0.0.1");
   const std::string wal_dir = flags.get("wal-dir", "");
   const std::string engine = flags.get("engine", "threads");
 
@@ -121,6 +128,12 @@ inline ReplicaFlags parse_replica_flags(const Flags& flags) {
   }
   if (r.ack_mode != "none" && r.ack_mode != "async" && r.ack_mode != "quorum") {
     r.error = "unknown --repl-ack " + r.ack_mode + " (none|async|quorum)";
+    return r;
+  }
+  if (r.advertise_host.empty() ||
+      r.advertise_host.find(':') != std::string::npos) {
+    r.error = "--advertise-host takes a bare host (ports are the bound "
+              "ones), got '" + r.advertise_host + "'";
     return r;
   }
 
