@@ -168,6 +168,16 @@ void Server::restore(const linalg::Vector& w, std::uint64_t version,
   updater_->restore_steps(static_cast<long long>(version));
 }
 
+std::uint64_t Server::overwrite_parameters(const linalg::Vector& w) {
+  std::lock_guard lock(mu_);
+  if (w.size() != config_.param_dim)
+    throw std::invalid_argument("overwrite parameter dimension mismatch");
+  w_ = w;
+  ++version_;
+  updater_->restore_steps(static_cast<long long>(version_));
+  return version_;
+}
+
 DeviceStats Server::device_stats(std::uint64_t device_id) const {
   std::lock_guard lock(mu_);
   const auto it = stats_.find(device_id);

@@ -85,6 +85,17 @@ class Server {
   void restore(const linalg::Vector& w, std::uint64_t version,
                const std::unordered_map<std::uint64_t, DeviceStats>& stats);
 
+  /// Draw-and-discard discard step (multimodel::ModelInstancePool):
+  /// replace w wholesale with another instance's parameters. Counts as
+  /// one model update — the version and the updater's step clock both
+  /// advance, so `steps == version` (what checkpoint restore assumes)
+  /// stays an invariant and WAL replay of an overwrite record lands on
+  /// the same schedule state as the never-crashed instance. Device stats
+  /// are untouched: they account sanitized *observations*, not the model
+  /// lineage. Returns the new version. Throws std::invalid_argument on a
+  /// dimension mismatch.
+  std::uint64_t overwrite_parameters(const linalg::Vector& w);
+
   /// Durability hook, invoked under the state lock after every applied
   /// checkin — in version order, with the message and the iteration it
   /// produced — and before the ack is returned. A durability layer (see

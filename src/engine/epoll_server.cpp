@@ -165,7 +165,8 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
             return;
           }
         }
-        const auto snap = board_.current();
+        const auto snap =
+            config_.draw_snapshot ? config_.draw_snapshot() : board_.current();
         ++checkouts_served_;
         if (config_.trace)
           config_.trace->event("checkout", {{"device", req.device_id},
@@ -208,7 +209,10 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
   work.conn_id = conn_id;
   work.loop = loop;
   work.frame = std::move(frame);
-  if (!queue_.try_push(std::move(work))) {
+  const bool admitted = config_.route_checkin
+                            ? config_.route_checkin(std::move(work))
+                            : queue_.try_push(std::move(work));
+  if (!admitted) {
     if (config_.trace)
       config_.trace->event("shed", {{"reason", "checkin queue full"}});
     const net::AckMessage nack{
@@ -323,6 +327,9 @@ void EpollCrowdServer::shutdown() {
   // its response, and the applier's completions post to live loops.
   queue_.close();
   if (applier_.joinable()) applier_.join();
+  // Multimodel: the pool's per-instance appliers drain here, while the
+  // loops are still alive to carry their responses.
+  if (config_.shutdown_drain) config_.shutdown_drain();
   for (auto& loop : loops_) loop->stop();
 }
 

@@ -92,6 +92,23 @@ struct EngineConfig {
   std::function<std::uint64_t()> read_lag;
   std::uint64_t max_read_lag = 0;
   int stale_retry_after_ms = 100;
+  /// Multimodel serving (draw-and-discard; src/multimodel/). When set,
+  /// an authenticated checkout is answered from the snapshot this hook
+  /// returns — a uniformly drawn instance's board — instead of the
+  /// engine's own board. Called on I/O threads; must be lock-free-cheap
+  /// and never null-return.
+  std::function<std::shared_ptr<const ModelSnapshot>()> draw_snapshot;
+  /// Multimodel routing: when set, every non-checkout frame is handed
+  /// here (a uniformly drawn instance's CheckinQueue) instead of the
+  /// engine's own queue; false means every instance refused it and the
+  /// I/O thread sheds with the usual retry_after nack. The engine's own
+  /// applier then never sees traffic — the pool's per-instance appliers
+  /// own application, group commit, and board publication.
+  std::function<bool(CheckinWork&&)> route_checkin;
+  /// Called during shutdown() after the engine's own queue is drained
+  /// and before the event loops stop — the pool drains its per-instance
+  /// queues here so every admitted request still answers on a live loop.
+  std::function<void()> shutdown_drain;
   /// Registry for engine instruments (null = obs::default_registry()).
   obs::MetricsRegistry* metrics = nullptr;
   /// Lifecycle + protocol trace events. Null disables.

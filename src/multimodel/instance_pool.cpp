@@ -1,0 +1,395 @@
+#include "multimodel/instance_pool.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/profile.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::multimodel {
+
+namespace {
+
+obs::MetricsRegistry& registry_of(const PoolOptions& opts) {
+  return opts.metrics ? *opts.metrics : obs::default_registry();
+}
+
+/// SplitMix64 finalizer (same mixing as rng::splitmix64, but over a value
+/// already advanced atomically — the atomic fetch_add *is* the state
+/// step, so concurrent I/O threads each get a distinct, well-mixed draw).
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kStreamStep = 0x9E3779B97F4A7C15ULL;
+/// Overwrite-record kind tag inside the opaque envelope.
+constexpr std::uint32_t kOverwriteKind = 1;
+/// Commit an overwrite-only batch once this many overwrite records sit
+/// uncommitted — bounds the unflushed WAL tail (and the replication lag)
+/// on an instance that keeps losing draws without winning any routes.
+constexpr std::size_t kLazyOverwriteFlush = 64;
+
+}  // namespace
+
+net::Bytes OverwriteRecord::serialize() const {
+  net::Writer wr;
+  wr.put_u32(store::kOpaqueRecordMagic);
+  wr.put_u32(kOverwriteKind);
+  wr.put_u64(source_instance);
+  wr.put_vector(w);
+  return wr.take();
+}
+
+OverwriteRecord OverwriteRecord::deserialize(const net::Bytes& payload) {
+  net::Reader r(payload);
+  if (r.get_u32() != store::kOpaqueRecordMagic)
+    throw net::CodecError("not an opaque record");
+  if (r.get_u32() != kOverwriteKind)
+    throw net::CodecError("unknown opaque record kind");
+  OverwriteRecord rec;
+  rec.source_instance = r.get_u64();
+  rec.w = r.get_vector();
+  if (!r.exhausted())
+    throw net::CodecError("trailing bytes after overwrite record");
+  return rec;
+}
+
+ModelInstancePool::Slot::Slot(std::size_t idx,
+                              std::unique_ptr<core::Server> srv,
+                              net::AuthRegistry& auth,
+                              const PoolOptions& opts)
+    : index(idx),
+      server(std::move(srv)),
+      board(opts.metrics),
+      queue(opts.checkin_queue_max, opts.metrics) {
+  protocol =
+      std::make_unique<core::ProtocolServer>(*server, auth, opts.trace);
+  // Deterministic per-instance discard stream, keyed by index so the
+  // stream does not depend on construction order.
+  discard_state = opts.seed ^ (kStreamStep * (idx + 1));
+}
+
+ModelInstancePool::ModelInstancePool(net::AuthRegistry& auth,
+                                     const ServerFactory& factory,
+                                     PoolOptions options)
+    : opts_(std::move(options)),
+      overwrites_applied_(registry_of(opts_).counter(
+          "crowdml_multimodel_overwrites_applied_total",
+          "Draw-and-discard parameter overwrites applied to victim "
+          "instances",
+          obs::Provenance::kTransportEvent)),
+      overwrites_dropped_(registry_of(opts_).counter(
+          "crowdml_multimodel_overwrites_dropped_total",
+          "Discard overwrites shed because the victim instance's queue "
+          "was full (the update survives one extra round instead)",
+          obs::Provenance::kTransportEvent)),
+      checkins_applied_(registry_of(opts_).counter(
+          "crowdml_multimodel_checkins_applied_total",
+          "Checkins applied across all pool instances",
+          obs::Provenance::kTransportEvent)),
+      handle_seconds_(registry_of(opts_).histogram(
+          "crowdml_server_handle_seconds",
+          "Whole request dispatch: decode, authenticate, apply, encode",
+          obs::Provenance::kTiming)) {
+  if (opts_.instances == 0) opts_.instances = 1;
+  if (opts_.checkin_batch_max == 0) opts_.checkin_batch_max = 1;
+
+  // Independent draw/route streams, both derived from the pool seed.
+  std::uint64_t seed_state = opts_.seed;
+  draw_state_.store(rng::splitmix64(seed_state));
+  route_state_.store(rng::splitmix64(seed_state));
+
+  slots_.reserve(opts_.instances);
+  for (std::size_t i = 0; i < opts_.instances; ++i) {
+    auto slot = std::make_unique<Slot>(i, factory(i), auth, opts_);
+    if (!opts_.wal_dir.empty()) {
+      store::DurableStoreOptions sopts = opts_.store;
+      install_overwrite_replay(sopts);
+      slot->store = std::make_unique<store::DurableStore>(
+          store::DurableStore::instance_dir(opts_.wal_dir, i,
+                                            opts_.instances),
+          std::move(sopts));
+      slot->store->recover(*slot->server);
+      slot->store->attach(*slot->server);
+      slot->store->set_group_commit(true);
+    }
+    // Valid snapshot before any checkout can draw this instance.
+    slot->board.publish(*slot->server);
+    slots_.push_back(std::move(slot));
+  }
+}
+
+ModelInstancePool::~ModelInstancePool() { shutdown(); }
+
+void ModelInstancePool::start() {
+  if (started_.exchange(true)) return;
+  for (auto& slot : slots_) {
+    Slot* s = slot.get();
+    s->applier = std::thread([this, s] { applier_loop(*s); });
+  }
+}
+
+void ModelInstancePool::shutdown() {
+  if (stopped_.exchange(true)) return;
+  for (auto& slot : slots_) slot->queue.close();
+  for (auto& slot : slots_)
+    if (slot->applier.joinable()) slot->applier.join();
+  for (auto& slot : slots_)
+    if (slot->store) slot->store->sync();
+}
+
+std::size_t ModelInstancePool::draw_index(std::atomic<std::uint64_t>& state) {
+  const std::uint64_t z =
+      state.fetch_add(kStreamStep, std::memory_order_relaxed) + kStreamStep;
+  return static_cast<std::size_t>(mix64(z) % slots_.size());
+}
+
+std::shared_ptr<const engine::ModelSnapshot> ModelInstancePool::draw_snapshot() {
+  const std::size_t i = slots_.size() == 1 ? 0 : draw_index(draw_state_);
+  slots_[i]->draws.fetch_add(1, std::memory_order_relaxed);
+  return slots_[i]->board.current();
+}
+
+bool ModelInstancePool::route_checkin(engine::CheckinWork&& work) {
+  const std::size_t i = slots_.size() == 1 ? 0 : draw_index(route_state_);
+  if (!slots_[i]->queue.try_push(std::move(work))) return false;
+  slots_[i]->routes.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t ModelInstancePool::total_version() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) total += slot->server->version();
+  return total;
+}
+
+bool ModelInstancePool::stopped() const {
+  for (const auto& slot : slots_)
+    if (!slot->server->stopped()) return false;
+  return true;
+}
+
+std::vector<long long> ModelInstancePool::draw_counts() const {
+  std::vector<long long> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) out.push_back(slot->draws.load());
+  return out;
+}
+
+std::vector<long long> ModelInstancePool::route_counts() const {
+  std::vector<long long> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) out.push_back(slot->routes.load());
+  return out;
+}
+
+std::vector<long long> ModelInstancePool::discard_counts() const {
+  std::vector<long long> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) out.push_back(slot->discards.load());
+  return out;
+}
+
+void ModelInstancePool::applier_loop(Slot& slot) {
+  const std::size_t k = slots_.size();
+  std::vector<engine::CheckinWork> batch;
+  std::vector<net::Bytes> responses;
+  // Distinct discard victims drawn this batch (coalesced: one overwrite
+  // per victim carrying the batch-final parameters).
+  std::vector<bool> victim(k, false);
+  for (;;) {
+    batch.clear();
+    responses.clear();
+    const std::size_t n =
+        slot.queue.drain(batch, opts_.checkin_batch_max, 100);
+    slot.board.refresh_age_gauge();
+    if (n == 0) {
+      // Idle flush: overwrite records deferred by the lazy-commit rule
+      // below would otherwise sit uncommitted indefinitely on a quiet
+      // instance. No client ack waits on them, but the replication
+      // stream does — followers only see committed records — so flush
+      // once the queue goes quiet (one drain timeout bounds the lag).
+      // A failed flush just leaves them for the next pass.
+      if (slot.lazy_records > 0 && slot.store && slot.store->commit_group()) {
+        slot.lazy_records = 0;
+        if (opts_.on_commit) opts_.on_commit(slot.index);
+      }
+      if (slot.queue.closed()) break;
+      continue;
+    }
+
+    // Apply in arrival order. Two item kinds flow through one queue:
+    // protocol frames (checkins etc.) handled by this instance's
+    // ProtocolServer, and overwrite records (draw-and-discard victims)
+    // distinguishable by their opaque first word. Routing overwrites
+    // through the victim's own queue is what serializes *every* mutation
+    // of this instance onto this thread — and into this WAL, in apply
+    // order, which per-instance recovery replays bit-for-bit.
+    responses.reserve(n);
+    std::size_t applied_checkins = 0;
+    std::size_t client_frames = 0;
+    for (const engine::CheckinWork& work : batch) {
+      if (store::is_opaque_record(work.frame)) {
+        try {
+          const auto rec = OverwriteRecord::deserialize(work.frame);
+          const std::uint64_t v =
+              slot.server->overwrite_parameters(rec.w);
+          if (slot.store) {
+            slot.store->log_record(v, work.frame);
+            ++slot.lazy_records;
+          }
+          ++overwrites_applied_;
+          if (opts_.trace)
+            opts_.trace->event("overwrite_applied",
+                               {{"instance", slot.index},
+                                {"source", rec.source_instance},
+                                {"version", v}});
+        } catch (const std::exception&) {
+          // A malformed or mis-sized overwrite never reaches here from
+          // our own appliers; drop rather than poison the instance.
+          ++overwrites_dropped_;
+        }
+        responses.emplace_back();
+        continue;
+      }
+      ++client_frames;
+      obs::TimedScope timer(handle_seconds_);
+      responses.push_back(slot.protocol->handle(work.frame));
+      // An applied checkin (ok-ack) triggers one discard draw —
+      // per-update uniform over the k instances, from this instance's
+      // deterministic stream.
+      if (is_ok_checkin(batch[responses.size() - 1].frame,
+                        responses.back())) {
+        ++applied_checkins;
+        ++checkins_applied_;
+        const std::size_t v = static_cast<std::size_t>(
+            rng::splitmix64(slot.discard_state) % k);
+        slots_[v]->discards.fetch_add(1, std::memory_order_relaxed);
+        victim[v] = true;
+      }
+    }
+
+    // Group commit: one WAL fsync covers the batch's checkin records plus
+    // any overwrite records still buffered from earlier batches. An
+    // overwrite-only batch defers its commit instead (up to
+    // kLazyOverwriteFlush records): overwrites carry no client ack, so
+    // they owe no fsync of their own — deferring keeps the pool's fsync
+    // rate at one per *acked* batch, which is what lets k per-instance
+    // commit clocks overlap their fsync stalls instead of doubling them.
+    // A crash can lose an uncommitted overwrite tail; recovery still
+    // replays a clean WAL prefix, and no ack ever covered those records.
+    // On commit failure every ok-ack becomes a durability nack before
+    // release — acked => durable never lies (the store requeues unwritten
+    // records, so the log stays contiguous).
+    const bool must_commit =
+        client_frames > 0 || slot.lazy_records >= kLazyOverwriteFlush;
+    bool committed = true;
+    if (must_commit) {
+      if (slot.store) committed = slot.store->commit_group();
+      if (committed) slot.lazy_records = 0;
+      if (committed && opts_.on_commit)
+        committed = opts_.on_commit(slot.index);
+    }
+    if (!committed) {
+      const net::AckMessage nack{false, "durability failure"};
+      const net::Bytes nack_frame =
+          net::encode_frame(net::MessageType::kAck, nack.serialize());
+      for (std::size_t i = 0; i < n; ++i)
+        if (is_ok_checkin(batch[i].frame, responses[i]))
+          responses[i] = nack_frame;
+    }
+
+    // Discard step: ship this instance's batch-final parameters to each
+    // distinct victim drawn above (self-draws are the no-op of replacing
+    // an instance with itself — with k = 1 that is every draw, so the
+    // single-instance pool never enqueues or logs an overwrite). A full
+    // victim queue sheds the overwrite: the victim's parameters simply
+    // survive one extra round, which biases nothing.
+    if (applied_checkins > 0 && k > 1) {
+      OverwriteRecord rec;
+      rec.source_instance = slot.index;
+      rec.w = slot.server->parameters();
+      const net::Bytes payload = rec.serialize();
+      for (std::size_t v = 0; v < k; ++v) {
+        if (!victim[v]) continue;
+        victim[v] = false;
+        if (v == slot.index) continue;
+        engine::CheckinWork ow;
+        ow.frame = payload;
+        if (!slots_[v]->queue.try_push(std::move(ow)))
+          ++overwrites_dropped_;
+      }
+    } else {
+      for (std::size_t v = 0; v < k; ++v) victim[v] = false;
+    }
+
+    // Publish before releasing acks: a device that sees its ack and
+    // immediately checks out can draw this instance and find its update.
+    slot.board.publish(*slot.server);
+
+    // Release responses grouped per event loop (overwrite items carry no
+    // destination and fall through). Single-item batches — the norm at
+    // commit-per-update cadence — skip the grouping map.
+    if (n == 1) {
+      if (batch[0].complete) {
+        batch[0].complete(std::move(responses[0]));
+      } else if (batch[0].loop) {
+        std::vector<std::pair<std::uint64_t, net::Bytes>> one;
+        one.emplace_back(batch[0].conn_id, std::move(responses[0]));
+        batch[0].loop->send_many(std::move(one));
+      }
+    } else {
+      std::unordered_map<engine::EventLoop*,
+                         std::vector<std::pair<std::uint64_t, net::Bytes>>>
+          by_loop;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i].complete)
+          batch[i].complete(std::move(responses[i]));
+        else if (batch[i].loop)
+          by_loop[batch[i].loop].emplace_back(batch[i].conn_id,
+                                              std::move(responses[i]));
+      }
+      for (auto& [loop, items] : by_loop) loop->send_many(std::move(items));
+    }
+  }
+}
+
+bool ModelInstancePool::is_ok_checkin(const net::Bytes& frame,
+                                      const net::Bytes& response) {
+  if (frame.size() <= net::kFrameTypeOffset ||
+      frame[net::kFrameTypeOffset] !=
+          static_cast<std::uint8_t>(net::MessageType::kCheckin))
+    return false;
+  try {
+    const net::Frame f = net::decode_frame(response);
+    return f.type == net::MessageType::kAck &&
+           net::AckMessage::deserialize(f.payload).ok;
+  } catch (const net::CodecError&) {
+    return false;
+  }
+}
+
+void install_overwrite_replay(store::DurableStoreOptions& opts) {
+  opts.opaque_replay = [](core::Server& server, std::uint64_t seq,
+                          const net::Bytes& payload) {
+    const auto rec = OverwriteRecord::deserialize(payload);
+    const std::uint64_t v = server.overwrite_parameters(rec.w);
+    if (v != seq)
+      throw store::WalError("overwrite replay produced version " +
+                            std::to_string(v) + ", record says " +
+                            std::to_string(seq));
+  };
+}
+
+void wire_engine(ModelInstancePool& pool, engine::EngineConfig& config) {
+  config.draw_snapshot = [&pool] { return pool.draw_snapshot(); };
+  config.route_checkin = [&pool](engine::CheckinWork&& work) {
+    return pool.route_checkin(std::move(work));
+  };
+  config.shutdown_drain = [&pool] { pool.shutdown(); };
+}
+
+}  // namespace crowdml::multimodel

@@ -138,6 +138,7 @@ Bytes ReplHelloMessage::serialize() const {
   w.put_u64(last_seq);
   w.put_u64(snapshot_version);
   w.put_u64(snapshot_offset);
+  w.put_u64(instance_id);
   return w.take();
 }
 
@@ -149,6 +150,7 @@ ReplHelloMessage ReplHelloMessage::deserialize(const Bytes& payload) {
   m.last_seq = r.get_u64();
   m.snapshot_version = r.get_u64();
   m.snapshot_offset = r.get_u64();
+  m.instance_id = r.get_u64();
   if (!r.exhausted()) throw CodecError("trailing bytes in ReplHelloMessage");
   return m;
 }
@@ -184,6 +186,7 @@ Bytes ReplAppendMessage::serialize() const {
   Writer w;
   w.put_u64(epoch);
   w.put_u8(want_ack ? 1 : 0);
+  w.put_u64(instance_id);
   w.put_u32(static_cast<std::uint32_t>(records.size()));
   for (const ReplRecord& rec : records) {
     w.put_u64(rec.seq);
@@ -197,6 +200,7 @@ ReplAppendMessage ReplAppendMessage::deserialize(const Bytes& payload) {
   ReplAppendMessage m;
   m.epoch = r.get_u64();
   m.want_ack = r.get_u8() != 0;
+  m.instance_id = r.get_u64();
   const std::uint32_t n = r.get_u32();
   if (n > kMaxFieldLength) throw CodecError("absurd ReplAppend record count");
   m.records.reserve(n);

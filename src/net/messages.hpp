@@ -100,6 +100,12 @@ struct ReplHelloMessage {
   /// serialized snapshot cached; 0/0 = no partial transfer.
   std::uint64_t snapshot_version = 0;
   std::uint64_t snapshot_offset = 0;
+  /// Multimodel pool instance this stream replicates (draw-and-discard;
+  /// src/multimodel/). Each of the k per-instance WAL streams ships on
+  /// its own connection, and both ends verify the tag so instance j's
+  /// records can never land in instance i's log. 0 for single-model
+  /// deployments and for pool instance 0.
+  std::uint64_t instance_id = 0;
 
   Bytes serialize() const;
   static ReplHelloMessage deserialize(const Bytes& payload);
@@ -140,6 +146,10 @@ struct ReplRecord {
 struct ReplAppendMessage {
   std::uint64_t epoch = 0;
   bool want_ack = true;
+  /// Pool instance whose WAL these records belong to (see
+  /// ReplHelloMessage::instance_id). A follower drops the connection on
+  /// a batch whose tag differs from its hello.
+  std::uint64_t instance_id = 0;
   std::vector<ReplRecord> records;
 
   Bytes serialize() const;

@@ -287,6 +287,7 @@ Follower::ServeResult Follower::serve_connection(net::TcpConnection& conn) {
   // Resume an interrupted chunked snapshot at its first missing byte.
   hello.snapshot_version = pending_snap_version_;
   hello.snapshot_offset = static_cast<std::uint64_t>(pending_snap_.size());
+  hello.instance_id = opts_.instance_id;
   conn.set_deadline_ms(opts_.io_deadline_ms);
   if (!conn.send_frame(net::encode_frame(
           net::MessageType::kReplHello,
@@ -372,6 +373,16 @@ Follower::ServeResult Follower::serve_connection(net::TcpConnection& conn) {
         send_refusal_ack(conn);
         return ServeResult::kReconnect;
       }
+      // Crossed multimodel streams: records tagged for another pool
+      // instance must never enter this log. Drop and reconnect (the
+      // operator wired a port wrong; backoff keeps the spin bounded).
+      if (append.instance_id != opts_.instance_id) {
+        if (opts_.trace)
+          opts_.trace->event("repl_instance_mismatch",
+                             {{"batch_instance", append.instance_id},
+                              {"follower_instance", opts_.instance_id}});
+        return ServeResult::kReconnect;
+      }
       detector_.observe();  // any authed leader frame is liveness
       {
         obs::TimedScope timer(apply_seconds_);
@@ -428,6 +439,30 @@ bool Follower::apply_records(const std::vector<net::ReplRecord>& records) {
       set_fatal("replication gap: got seq " + std::to_string(rec.seq) +
                 " at version " + std::to_string(server_.version()));
       return false;
+    }
+    if (store::is_opaque_record(rec.payload)) {
+      // Multimodel overwrite record: apply through the same hook
+      // recovery uses, so the live-replication path and the
+      // crash-recovery path produce identical state.
+      if (!opts_.store.opaque_replay) {
+        set_fatal("opaque record " + std::to_string(rec.seq) +
+                  " shipped to a follower with no opaque_replay handler "
+                  "(multimodel stream into a single-model follower?)");
+        return false;
+      }
+      try {
+        opts_.store.opaque_replay(server_, rec.seq, rec.payload);
+      } catch (const std::exception& e) {
+        set_fatal("opaque record " + std::to_string(rec.seq) +
+                  " failed to apply (" + e.what() + ")");
+        return false;
+      }
+      if (server_.version() != rec.seq) {
+        set_fatal("opaque replay diverged at seq " + std::to_string(rec.seq));
+        return false;
+      }
+      to_append.push_back({rec.seq, rec.payload});
+      continue;
     }
     net::CheckinMessage msg;
     try {

@@ -322,6 +322,17 @@ void LogShipper::session_loop(std::uint64_t session_id,
       fence(hello.epoch);
       break;
     }
+    // Multimodel: a follower replicating a different pool instance is a
+    // wiring error (ports crossed); drop it before any record crosses
+    // streams. Not a fencing event — the epochs may be perfectly valid.
+    if (hello.instance_id != opts_.instance_id) {
+      if (opts_.trace)
+        opts_.trace->event("repl_instance_mismatch",
+                           {{"follower_id", hello.follower_id},
+                            {"hello_instance", hello.instance_id},
+                            {"shipper_instance", opts_.instance_id}});
+      break;
+    }
     follower_id = hello.follower_id;
     ++followers_connected_;
     tracker_.join(session_id);
@@ -423,6 +434,7 @@ void LogShipper::session_loop(std::uint64_t session_id,
         net::ReplAppendMessage append;
         append.epoch = epoch_;
         append.want_ack = want_ack;
+        append.instance_id = opts_.instance_id;
         append.records.reserve(batch.records.size());
         for (const auto& rec : batch.records)
           append.records.push_back({rec.seq, rec.payload});

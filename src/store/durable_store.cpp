@@ -48,6 +48,12 @@ std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
 
 }  // namespace
 
+bool is_opaque_record(const net::Bytes& payload) {
+  if (payload.size() < 4) return false;
+  return payload[0] == 0xFF && payload[1] == 0xFF && payload[2] == 0xFF &&
+         payload[3] == 0xFF;
+}
+
 DurableStore::DurableStore(std::string dir, DurableStoreOptions options)
     : opts_(options),
       wal_(std::move(dir), opts_.wal),
@@ -111,6 +117,20 @@ DurableStore::RecoveryInfo DurableStore::recover(core::Server& server) {
 
   const ReplayStats replay = wal_.open_and_replay(
       from_seq, [&](std::uint64_t seq, const net::Bytes& payload) {
+        if (is_opaque_record(payload)) {
+          if (!opts_.opaque_replay)
+            throw WalError("opaque record " + std::to_string(seq) +
+                           " in a store with no opaque_replay handler "
+                           "(multimodel log opened as single-model?)");
+          opts_.opaque_replay(server, seq, payload);
+          ++replayed_records_;
+          if (server.version() != seq)
+            throw WalError("replay diverged: opaque record " +
+                           std::to_string(seq) +
+                           " left the server at iteration " +
+                           std::to_string(server.version()));
+          return;
+        }
         net::CheckinMessage msg;
         try {
           msg = net::CheckinMessage::deserialize(payload);
@@ -198,6 +218,43 @@ void DurableStore::attach(core::Server& server) {
           return false;
         }
       });
+}
+
+bool DurableStore::log_record(std::uint64_t seq, net::Bytes payload) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (poisoned_) return false;
+  if (group_commit_) {
+    group_buf_.emplace_back(seq, std::move(payload));
+    return true;
+  }
+  // Same queue-then-drain discipline as the applied-checkin hook: a
+  // transient failure leaves the record in version order ahead of newer
+  // ones, so the log can never hole.
+  pending_.emplace_back(seq, std::move(payload));
+  try {
+    drain_pending_locked();
+    return true;
+  } catch (const WalError& e) {
+    ++append_failures_;
+    if (pending_.size() > kMaxPending) {
+      poisoned_ = true;
+      pending_.clear();
+      if (opts_.trace) opts_.trace->event("wal_poisoned", {{"round", seq}});
+    } else if (opts_.trace) {
+      opts_.trace->event("wal_append_failed", {{"round", seq},
+                                               {"reason", e.what()},
+                                               {"queued", pending_.size()}});
+    }
+    return false;
+  }
+}
+
+std::string DurableStore::instance_dir(const std::string& base, std::size_t i,
+                                       std::size_t k) {
+  if (k <= 1) return base;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/instance-%03zu", i);
+  return base + buf;
 }
 
 void DurableStore::set_group_commit(bool enabled) {

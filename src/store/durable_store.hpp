@@ -43,11 +43,32 @@
 
 namespace crowdml::store {
 
+/// First four payload bytes of an opaque (non-checkin) WAL record. A
+/// checkin record's payload starts with a u32 body-length prefix, and
+/// net::codec caps field lengths well below 0xFFFFFFFF, so this value can
+/// never open a valid CheckinMessage — the two record kinds are
+/// distinguishable from their first word alone. Multimodel overwrite
+/// records (draw-and-discard; see src/multimodel/) use this envelope.
+inline constexpr std::uint32_t kOpaqueRecordMagic = 0xFFFFFFFFu;
+
+/// True when `payload` carries an opaque record (see kOpaqueRecordMagic).
+bool is_opaque_record(const net::Bytes& payload);
+
 struct DurableStoreOptions {
   WalOptions wal;
   /// Snapshots kept after a compaction (the newest `keep_snapshots`); at
   /// least 1. Older files are deleted once a newer snapshot is durable.
   std::size_t keep_snapshots = 2;
+  /// Replay handler for opaque records (payloads opening with
+  /// kOpaqueRecordMagic; everything else replays as a CheckinMessage
+  /// through Server::handle_checkin). Must apply the record and leave
+  /// server.version() == seq, exactly like a checkin replay. Recovery of
+  /// a log holding opaque records with no handler installed throws
+  /// WalError — a single-model store must refuse a multimodel log rather
+  /// than skip updates silently.
+  std::function<void(core::Server&, std::uint64_t seq,
+                     const net::Bytes& payload)>
+      opaque_replay;
   /// Receives recovery_started / recovery_complete / wal_append_failed /
   /// compaction events. Null disables. Must outlive the store.
   obs::TraceSink* trace = nullptr;
@@ -122,6 +143,23 @@ class DurableStore {
   /// unwritten ones are re-queued so the log stays contiguous). Never
   /// throws. True and a no-op when nothing is buffered.
   bool commit_group();
+
+  /// Append an opaque record (kOpaqueRecordMagic payload — e.g. a
+  /// multimodel parameter overwrite) at `seq`, which must be the server
+  /// version the record produced. Follows the same durability contract
+  /// as the applied-checkin hook: in group-commit mode the record is
+  /// buffered for the next commit_group(); otherwise it is appended (and
+  /// fsynced per policy) before returning. False on failure, after which
+  /// the record sits in the gap-healing queue like any failed checkin
+  /// append — the log never holes.
+  bool log_record(std::uint64_t seq, net::Bytes payload);
+
+  /// WAL namespace of instance `i` in a pool of `k` under `base`:
+  /// k == 1 is `base` itself (byte-identical to the single-model layout,
+  /// so `--model-instances 1` recovers and produces exactly the files the
+  /// single-applier path does), otherwise `base`/instance-<i, 3 digits>.
+  static std::string instance_dir(const std::string& base, std::size_t i,
+                                  std::size_t k);
 
   /// Write an atomic snapshot of `server`'s current state, prune WAL
   /// segments it covers, and delete snapshots beyond keep_snapshots.

@@ -1,12 +1,15 @@
 #!/bin/sh
-# Check that every intra-repo markdown link resolves to an existing file.
+# Check the repo's markdown docs: every intra-repo link resolves to an
+# existing file, every #anchor resolves to a real heading in its target
+# (GitHub slug rules), no doc under docs/ is orphaned (unreachable from
+# any other scanned doc), and code fences are balanced.
 #
 # Usage: check_doc_links.sh [repo_root]
 #
 # Scans *.md at the root and under docs/ for [text](target) links, skips
-# external (scheme://, mailto:) and pure-anchor (#...) targets, resolves
-# the rest relative to the containing file, and fails listing every
-# broken link. Run by ctest (docs_links) and the CI docs job.
+# external (scheme://, mailto:) targets, resolves the rest relative to
+# the containing file, and fails listing every finding. Run by ctest
+# (docs_links) and the CI docs job.
 set -u
 
 root="${1:-.}"
@@ -14,6 +17,35 @@ cd "$root" || exit 2
 
 status=0
 checked=0
+anchors_checked=0
+
+# GitHub-style heading slugs of a markdown file, one per line: lowercase,
+# formatting backticks stripped, punctuation removed (alnum/space/-/_
+# kept), spaces to hyphens, duplicates suffixed -1, -2, ... Headings
+# inside fenced code blocks (shell comments, C++ includes) don't count.
+slugs_of() {
+  awk '
+    /^(```|~~~)/ { fence = !fence; next }
+    fence { next }
+    /^#/ {
+      s = $0
+      sub(/^#+[ \t]*/, "", s)
+      gsub(/`/, "", s)
+      s = tolower(s)
+      gsub(/[^a-z0-9 _-]/, "", s)
+      gsub(/ /, "-", s)
+      n = seen[s]++
+      if (n) print s "-" n; else print s
+    }
+  ' "$1"
+}
+
+has_anchor() {  # file anchor -> 0 iff some heading slugifies to anchor
+  slugs_of "$1" | grep -qx "$2"
+}
+
+# Every successfully resolved target path, for orphan detection.
+linked=""
 
 for md in *.md docs/*.md; do
   [ -f "$md" ] || continue
@@ -21,23 +53,72 @@ for md in *.md docs/*.md; do
     SNIPPETS.md|PAPERS.md) continue ;;  # retrieval dumps, not navigable docs
   esac
   dir=$(dirname "$md")
+
+  # Lint: a file must close every code fence it opens, or everything
+  # after the dangling fence renders as code (and hides headings from
+  # the anchor check above).
+  fences=$(grep -c '^```' "$md")
+  if [ $((fences % 2)) -ne 0 ]; then
+    echo "UNBALANCED FENCES: $md has $fences \`\`\` lines"
+    status=1
+  fi
+
   # One target per line: grab the (...) of every [...](...) occurrence.
   targets=$(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
             sed 's/.*](\([^)]*\))/\1/')
   for target in $targets; do
     case "$target" in
-      *://*|mailto:*|\#*) continue ;;  # external or same-file anchor
+      *://*|mailto:*) continue ;;  # external
     esac
-    path="${target%%#*}"               # strip #section anchors
-    [ -n "$path" ] || continue
-    checked=$((checked + 1))
-    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+    path="${target%%#*}"
+    anchor=""
+    case "$target" in
+      *\#*) anchor="${target#*#}" ;;
+    esac
+
+    # Resolve the file part ("" = same file).
+    if [ -z "$path" ]; then
+      resolved="$md"
+    elif [ -e "$dir/$path" ]; then
+      resolved="$dir/$path"
+    elif [ -e "$path" ]; then
+      resolved="$path"
+    else
       echo "BROKEN: $md -> $target"
       status=1
+      continue
+    fi
+    checked=$((checked + 1))
+    case "$resolved" in
+      ./*) resolved="${resolved#./}" ;;
+    esac
+    linked="$linked $resolved"
+
+    # Anchor part, for markdown targets only.
+    if [ -n "$anchor" ]; then
+      case "$resolved" in
+        *.md)
+          anchors_checked=$((anchors_checked + 1))
+          if ! has_anchor "$resolved" "$anchor"; then
+            echo "BROKEN ANCHOR: $md -> $target (no heading slugs to '#$anchor' in $resolved)"
+            status=1
+          fi ;;
+      esac
     fi
   done
 done
 
-echo "checked $checked intra-repo links"
-[ "$status" -eq 0 ] && echo "all links resolve"
+# Orphan detection: every doc under docs/ must be reachable from some
+# other scanned doc (README or a sibling), or no reader ever finds it.
+for doc in docs/*.md; do
+  [ -f "$doc" ] || continue
+  case " $linked " in
+    *" $doc "*) ;;
+    *) echo "ORPHANED: $doc is linked from no other doc"
+       status=1 ;;
+  esac
+done
+
+echo "checked $checked intra-repo links ($anchors_checked with anchors)"
+[ "$status" -eq 0 ] && echo "all links, anchors, fences, and doc reachability ok"
 exit "$status"

@@ -15,6 +15,12 @@
 //                                             # instead of refusing to start
 //       [--engine threads|epoll]              # serving engine (default
 //                                             # threads; see docs/SCALING.md)
+//       [--model-instances K]                 # draw-and-discard pool of K
+//                                             # model instances, each with
+//                                             # its own applier + WAL stream
+//                                             # (epoll only; K=1 is byte-
+//                                             # identical to the single-
+//                                             # applier path; docs/SCALING.md)
 //       [--io-threads N]                      # epoll engine: I/O loop pool
 //       [--checkin-queue-max N]               # epoll engine: admission bound
 //                                             # (full queue sheds with a
@@ -79,6 +85,8 @@
 #include "core/tcp_runtime.hpp"
 #include "engine/epoll_server.hpp"
 #include "models/logistic_regression.hpp"
+#include "multimodel/instance_pool.hpp"
+#include "multimodel/pool_replication.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "opt/schedule.hpp"
@@ -127,11 +135,42 @@ int main(int argc, char** argv) {
     return 1;
   }
   const bool is_follower = repl.role == "follower";
+  const auto model_instances = static_cast<std::size_t>(
+      std::max<long long>(1, flags.get_int("model-instances", 1)));
+  const bool pooled = model_instances > 1;
   const auto port = static_cast<std::uint16_t>(flags.get_int("port", 0));
   const auto classes = static_cast<std::size_t>(flags.get_int("classes", 10));
   const auto dim = static_cast<std::size_t>(flags.get_int("dim", 50));
   const double lr = flags.get_double("lr", 50.0);
   const double radius = flags.get_double("radius", 500.0);
+
+  // Draw-and-discard pool constraints (docs/SCALING.md): the pool rides
+  // the epoll engine's hooks, a follower replicates per-instance streams
+  // via PoolFollowerSet (not yet wired into this binary; see ROADMAP.md),
+  // and the legacy single-model --checkpoint format cannot describe k
+  // instances (per-instance state lives in the WAL namespaces instead).
+  if (pooled) {
+    if (flags.get("engine", "threads") != "epoll") {
+      std::fprintf(stderr,
+                   "crowdml-server: --model-instances %zu requires --engine "
+                   "epoll\n",
+                   model_instances);
+      return 1;
+    }
+    if (is_follower) {
+      std::fprintf(stderr,
+                   "crowdml-server: --model-instances > 1 with --role "
+                   "follower is not supported yet (pool failover is a "
+                   "coordinated-election problem; see ROADMAP.md)\n");
+      return 1;
+    }
+    if (!flags.get("checkpoint", "").empty()) {
+      std::fprintf(stderr,
+                   "crowdml-server: --checkpoint is single-model; use "
+                   "--wal-dir for a --model-instances pool\n");
+      return 1;
+    }
+  }
 
   core::ServerConfig cfg;
   cfg.param_dim = classes >= 2 ? classes * dim : dim;
@@ -216,8 +255,9 @@ int main(int argc, char** argv) {
   sopts.wal.metrics = &obs::default_registry();
   sopts.trace = trace.get();
   // A follower's store is owned by replica::Follower below (it recovers,
-  // applies, and compacts through it); the leader path owns it here.
-  if (!wal_dir.empty() && !is_follower) {
+  // applies, and compacts through it); the leader path owns it here. A
+  // pool owns k per-instance stores inside ModelInstancePool instead.
+  if (!wal_dir.empty() && !is_follower && !pooled) {
     const auto recover_into = [&](core::Server& srv) {
       durable = std::make_unique<store::DurableStore>(wal_dir, sopts);
       const auto info = durable->recover(srv);
@@ -291,6 +331,8 @@ int main(int argc, char** argv) {
   std::unique_ptr<engine::EpollCrowdServer> epoll;
   std::unique_ptr<replica::Follower> follower;
   std::unique_ptr<replica::LogShipper> shipper;
+  std::unique_ptr<multimodel::ModelInstancePool> pool;
+  std::unique_ptr<multimodel::PoolShipperSet> shipper_set;
   std::uint64_t repl_epoch = 0;
 
   // Shared replication-plane HMAC key (empty = unauthenticated).
@@ -376,7 +418,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("checkin-queue-max", 1024));
   std::uint16_t bound_port = 0;
   if (engine_kind == "epoll") {
-    if (repl.repl_enabled) {
+    if (repl.repl_enabled && !pooled) {
       replica::ShipperOptions shopts;
       shopts.port = repl.repl_port;
       shopts.ack_mode = *replica::parse_repl_ack_mode(repl.ack_mode);
@@ -404,12 +446,83 @@ int main(int argc, char** argv) {
           shipper->port(), static_cast<unsigned long long>(repl_epoch),
           repl.ack_mode.c_str(), shopts.quorum_follower_acks, repl.followers);
     }
+    if (pooled) {
+      // Draw-and-discard pool: k servers, k appliers, k WAL namespaces
+      // under --wal-dir. Construction recovers every instance before the
+      // engine binds — same no-traffic-before-recovery rule as above.
+      const auto updater_kind = flags.get("updater", "sgd");
+      const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+      const auto factory = [&](std::size_t i) {
+        return std::make_unique<core::Server>(
+            cfg, make_updater(updater_kind, lr, radius),
+            rng::Engine(seed).split(i));
+      };
+      multimodel::PoolOptions popts;
+      popts.instances = model_instances;
+      popts.seed = seed;
+      popts.checkin_queue_max = queue_max;
+      popts.wal_dir = wal_dir;
+      popts.store = sopts;
+      popts.metrics = &obs::default_registry();
+      popts.trace = trace.get();
+      try {
+        pool = std::make_unique<multimodel::ModelInstancePool>(
+            registry, factory, popts);
+      } catch (const store::WalError& e) {
+        std::fprintf(stderr,
+                     "crowdml-server: pool recovery from %s failed (%s); "
+                     "set the corrupt instance directory aside and "
+                     "restart\n",
+                     wal_dir.c_str(), e.what());
+        return 1;
+      }
+      if (!wal_dir.empty())
+        for (std::size_t i = 0; i < pool->instances(); ++i)
+          std::printf(
+              "instance %zu: recovered iteration %llu (%llu wal records "
+              "replayed)\n",
+              i,
+              static_cast<unsigned long long>(pool->server(i).version()),
+              static_cast<unsigned long long>(
+                  pool->store(i)->recovery_info().records_replayed));
+      if (repl.repl_enabled) {
+        replica::ShipperOptions shopts;
+        shopts.port = repl.repl_port;
+        shopts.ack_mode = *replica::parse_repl_ack_mode(repl.ack_mode);
+        shopts.quorum_follower_acks = replica::quorum_follower_acks_for(
+            static_cast<std::size_t>(repl.followers));
+        shopts.trace = trace.get();
+        shopts.key = repl_key;
+        shopts.lease_ms = static_cast<std::uint32_t>(repl.lease_ms);
+        shopts.heartbeat_interval_ms =
+            std::max(1, static_cast<int>(repl.lease_ms / 3));
+        try {
+          // One stream per instance on repl_port..repl_port+k-1, each
+          // tagged with its instance id; installs the pool's on_commit
+          // notify/quorum chain, so it must precede pool->start().
+          shipper_set = std::make_unique<multimodel::PoolShipperSet>(
+              *pool, repl_epoch, shopts);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "crowdml-server: %s\n", e.what());
+          return 1;
+        }
+        std::printf(
+            "replication: shipping %zu instance streams on "
+            "127.0.0.1:%u..%u (epoch %llu, ack=%s)\n",
+            pool->instances(), shipper_set->port(0),
+            shipper_set->port(pool->instances() - 1),
+            static_cast<unsigned long long>(repl_epoch),
+            repl.ack_mode.c_str());
+      }
+      pool->start();
+    }
     engine::EngineConfig ecfg;
     ecfg.port = port;
     ecfg.io_threads = io_threads;
     ecfg.checkin_queue_max = queue_max;
     ecfg.metrics = &obs::default_registry();
     ecfg.trace = trace.get();
+    if (pool) multimodel::wire_engine(*pool, ecfg);
     if (is_follower) {
       ecfg.checkin_redirect = repl.leader_addr;
       if (repl.max_read_lag > 0) {
@@ -436,11 +549,19 @@ int main(int argc, char** argv) {
         return s->await_quorum(d->wal().last_seq());
       };
     }
-    epoll = std::make_unique<engine::EpollCrowdServer>(server, registry, ecfg);
+    // A pool's engine still needs a core::Server for its (idle) board;
+    // instance 0 stands in — checkouts and checkins never touch it once
+    // the pool hooks are wired.
+    epoll = std::make_unique<engine::EpollCrowdServer>(
+        pool ? pool->server(0) : server, registry, ecfg);
     bound_port = epoll->port();
     if (shipper)
       shipper->set_advertise_leader_addr(repl.advertise_host + ":" +
                                          std::to_string(bound_port));
+    if (shipper_set)
+      for (std::size_t i = 0; i < shipper_set->size(); ++i)
+        shipper_set->shipper(i).set_advertise_leader_addr(
+            repl.advertise_host + ":" + std::to_string(bound_port));
     if (follower) {
       follower->set_device_addr(repl.advertise_host + ":" +
                                 std::to_string(bound_port));
@@ -470,13 +591,15 @@ int main(int argc, char** argv) {
   std::printf(
       "config: engine=%s role=%s port=%u dim=%zu classes=%zu updater=%s lr=%g "
       "radius=%g max-iterations=%lld target-error=%g wal=%s fsync=%s "
-      "io-threads=%zu checkin-queue-max=%zu report-every=%gs\n",
+      "io-threads=%zu checkin-queue-max=%zu model-instances=%zu "
+      "report-every=%gs\n",
       engine_kind.c_str(), repl.role.c_str(), bound_port, dim, classes,
       flags.get("updater", "sgd").c_str(), lr, radius,
       static_cast<long long>(cfg.max_iterations), cfg.target_error,
       wal_dir.empty() ? "(none)" : wal_dir.c_str(),
       wal_dir.empty() ? "-" : flags.get("fsync", "every-64").c_str(),
-      io_threads, queue_max, flags.get_double("report-every", 10.0));
+      io_threads, queue_max, model_instances,
+      flags.get_double("report-every", 10.0));
   std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
               bound_port, dim, classes);
 
@@ -497,7 +620,7 @@ int main(int argc, char** argv) {
   const double report_every = flags.get_double("report-every", 10.0);
   auto last_report = std::chrono::steady_clock::now();
   bool promotion_done = false;
-  while (!g_stop.load() && !server.stopped()) {
+  while (!g_stop.load() && !(pool ? pool->stopped() : server.stopped())) {
     if (follower && follower->fatal()) {
       std::fprintf(stderr,
                    "crowdml-server: follower replication hit a fatal local "
@@ -563,7 +686,17 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const auto now = std::chrono::steady_clock::now();
     if (std::chrono::duration<double>(now - last_report).count() >= report_every) {
-      std::fputs(core::portal_report(server).c_str(), stdout);
+      if (pool) {
+        std::printf("pool: %zu instances, total iteration %llu "
+                    "(overwrites applied %lld, dropped %lld)\n",
+                    pool->instances(),
+                    static_cast<unsigned long long>(pool->total_version()),
+                    pool->overwrites_applied(), pool->overwrites_dropped());
+        for (std::size_t i = 0; i < pool->instances(); ++i)
+          std::fputs(core::portal_report(pool->server(i)).c_str(), stdout);
+      } else {
+        std::fputs(core::portal_report(server).c_str(), stdout);
+      }
       if (follower)
         std::printf(
             "replicated through seq %llu (epoch %llu, connected=%d, stale "
@@ -583,6 +716,12 @@ int main(int argc, char** argv) {
       save_checkpoint();
       if (durable && !durable->compact(server))
         std::printf("snapshot compaction failed; wal intact, continuing\n");
+      if (pool && !wal_dir.empty())
+        for (std::size_t i = 0; i < pool->instances(); ++i)
+          if (!pool->store(i)->compact(pool->server(i)))
+            std::printf("instance %zu compaction failed; wal intact, "
+                        "continuing\n",
+                        i);
       if (follower && !follower->compact())
         std::printf("snapshot compaction failed; wal intact, continuing\n");
       if (!metrics_path.empty())
@@ -609,12 +748,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(follower->applied_seq()),
                 static_cast<unsigned long long>(follower->epoch()));
   }
-  std::fputs(core::portal_report(server).c_str(), stdout);
+  if (!pool) std::fputs(core::portal_report(server).c_str(), stdout);
   if (tcp) tcp->shutdown();
+  // For a pool the engine's shutdown_drain drains every instance queue
+  // while the event loops are still alive, then pool appliers join.
   if (epoll) epoll->shutdown();
-  // After the applier is drained: no more quorum waits, safe to drop the
-  // shipping plane.
+  if (pool) {
+    for (std::size_t i = 0; i < pool->instances(); ++i) {
+      if (!wal_dir.empty() && pool->store(i)->compact(pool->server(i)))
+        std::printf("instance %zu compacted at iteration %llu\n", i,
+                    static_cast<unsigned long long>(
+                        pool->server(i).version()));
+      std::fputs(core::portal_report(pool->server(i)).c_str(), stdout);
+    }
+    std::printf("pool total iteration %llu (overwrites applied %lld, "
+                "dropped %lld)\n",
+                static_cast<unsigned long long>(pool->total_version()),
+                pool->overwrites_applied(), pool->overwrites_dropped());
+  }
+  // After the appliers are drained: no more quorum waits, safe to drop
+  // the shipping plane.
   if (shipper) shipper->shutdown();
+  if (shipper_set) shipper_set->shutdown();
   if (!metrics_path.empty()) {
     obs::write_metrics_file(obs::default_registry(), metrics_path);
     std::printf("metrics written to %s\n", metrics_path.c_str());
