@@ -15,11 +15,13 @@
 //                    the process registry to this path at exit.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/central_batch.hpp"
@@ -150,8 +152,90 @@ inline void header(const char* figure, const char* description,
   std::printf("================================================================\n");
 }
 
+/// Every bench::check result this process, in call order — the `checks`
+/// map of the machine-readable output below.
+inline std::vector<std::pair<std::string, bool>>& check_log() {
+  static std::vector<std::pair<std::string, bool>> log;
+  return log;
+}
+
 inline void check(bool ok, const std::string& what) {
+  check_log().emplace_back(what, ok);
   std::printf("%s  %s\n", ok ? "[PASS]" : "[WARN]", what.c_str());
+}
+
+// ---- machine-readable results (--json-out; BENCH_*.json) -------------
+//
+// Shared schema so every bench's artifact diffs the same way:
+//   {"bench": "<name>", "scale": <number>,
+//    "rows": [{<field>: <value>, ...}, ...],
+//    "checks": {"<bench::check label>": true|false, ...}}
+
+struct JsonField {
+  std::string key;
+  std::string value;  ///< already JSON-encoded
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+inline JsonField jnum(const std::string& key, double v) {
+  char buf[32];
+  // NaN/inf are not JSON; a bench that produced one reports 0 and should
+  // be failing a check anyway.
+  std::snprintf(buf, sizeof buf, "%.6g", std::isfinite(v) ? v : 0.0);
+  return {key, buf};
+}
+
+inline JsonField jint(const std::string& key, long long v) {
+  return {key, std::to_string(v)};
+}
+
+inline JsonField jstr(const std::string& key, const std::string& v) {
+  return {key, "\"" + json_escape(v) + "\""};
+}
+
+/// Write the bench's results (+ every check recorded so far) to `path`.
+/// Returns false (after printing a warning) when the file can't open.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             double scale,
+                             const std::vector<std::vector<JsonField>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("[WARN]  could not write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n  \"scale\": "
+      << jnum("", scale).value << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << (i ? ",\n    {" : "\n    {");
+    for (std::size_t j = 0; j < rows[i].size(); ++j)
+      out << (j ? ", " : "") << '"' << json_escape(rows[i][j].key)
+          << "\": " << rows[i][j].value;
+    out << '}';
+  }
+  out << "\n  ],\n  \"checks\": {";
+  const auto& checks = check_log();
+  for (std::size_t i = 0; i < checks.size(); ++i)
+    out << (i ? ",\n    \"" : "\n    \"") << json_escape(checks[i].first)
+        << "\": " << (checks[i].second ? "true" : "false");
+  out << "\n  }\n}\n";
+  std::printf("(json written: %s)\n", path.c_str());
+  return true;
 }
 
 inline void print_figure(const std::string& x_label,

@@ -17,11 +17,14 @@
 // from the resulting log and report the replay rate.
 //
 // Scale via CROWDML_SCALE (default 0.25 => 5000 checkins per policy).
+// --json-out PATH writes the rows + checks machine-readably
+// (BENCH_durability.json; schema in bench/common.hpp).
 #include <chrono>
 #include <filesystem>
 
 #include "bench/common.hpp"
 #include "store/durable_store.hpp"
+#include "tools/flags.hpp"
 
 namespace {
 
@@ -144,7 +147,8 @@ Run run_policy(const char* label, store::FsyncPolicy policy, long long every,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  crowdml::tools::Flags flags(argc, argv);
   const bench::Options o = bench::options();
   const int n = std::max(200, static_cast<int>(20000 * o.scale));
   bench::header("durability",
@@ -181,5 +185,22 @@ int main() {
     replayed_all = replayed_all && r.replayed == static_cast<std::uint64_t>(n);
   bench::check(replayed_all,
                "every applied checkin is recovered under every policy");
+
+  const std::string json_out = flags.get("json-out", "");
+  if (!json_out.empty()) {
+    std::vector<std::vector<bench::JsonField>> rows;
+    for (const Run& r : runs)
+      rows.push_back({bench::jstr("fsync", r.label),
+                      bench::jint("checkins", n),
+                      bench::jnum("checkins_per_s", r.checkins_per_s),
+                      bench::jnum("append_mean_us", r.append.mean_us()),
+                      bench::jint("fsyncs", r.fsync.count),
+                      bench::jnum("fsync_mean_us", r.fsync.mean_us()),
+                      bench::jnum("recovery_s", r.recover_s),
+                      bench::jint("replayed",
+                                  static_cast<long long>(r.replayed)),
+                      bench::jnum("replayed_per_s", r.replay_per_s)});
+    bench::write_bench_json(json_out, "durability", o.scale, rows);
+  }
   return 0;
 }

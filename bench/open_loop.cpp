@@ -1,0 +1,277 @@
+// Open-loop coordinator bench: does pace steering turn shedding into
+// scheduling at six-figure fleet sizes?
+//
+// Two identical phases run against a fresh in-process epoll engine with
+// a durable (fsync=always) WAL and a configurable extra commit delay
+// modeling quorum-grade commits — the delay pins the applier's service
+// rate far below the fleet's unpaced arrival rate, so the outcome is a
+// property of the steering policy, not of this machine's disk:
+//
+//   unsteered  the pre-coordinator engine: devices arrive per their
+//              think times, the queue overflows, and the only defense is
+//              the reactive retry_after nack — the shed rate IS the
+//              overload;
+//   steered    the same fleet with a coord::Coordinator wired in: every
+//              ack carries a next_checkin_hint_ms, devices come back
+//              when told, arrivals converge to target_utilization x the
+//              measured service rate, and steady-state shedding should
+//              collapse to ~0.
+//
+// The fleet is src/coord/load_gen.cpp's open-loop generator (lognormal
+// think, Pareto sessions, dropout/rejoin, seeded), ≥100k simulated
+// device timelines on a handful of threads. Warmup is excluded from all
+// stats: a steered fleet is only paced after each device has heard one
+// hint, which takes about one think period — warmup must cover it.
+//
+// Flags:
+//   --devices N            fleet size             (default 100000)
+//   --think-mean S         mean think time        (default 20)
+//   --warmup S             excluded transient     (default 25)
+//   --duration S           measured window        (default 10)
+//   --workers N            generator threads      (default 4)
+//   --queue-max N          admission bound        (default 256)
+//   --batch-max N          applier batch          (default 64)
+//   --commit-delay-ms N    extra per-commit delay (default 15)
+//   --classes SPEC         device classes         (default fast:4,slow:1)
+//   --seed N               timeline seed          (default 1)
+//   --json-out PATH        machine-readable results (BENCH_coordinator.json)
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "coord/coordinator.hpp"
+#include "coord/load_gen.hpp"
+#include "engine/epoll_server.hpp"
+#include "store/durable_store.hpp"
+#include "tools/flags.hpp"
+
+namespace {
+
+using namespace crowdml;
+
+constexpr std::size_t kDim = 16;
+constexpr std::size_t kNumClasses = 2;
+
+struct PhaseResult {
+  const char* label;
+  coord::LoadGenStats gen;
+  double offered_per_s = 0.0;
+  double depth_mean = 0.0, depth_std = 0.0;
+  std::size_t depth_max = 0;
+  double service_rate = 0.0, target_rate = 0.0;  // steering introspection
+};
+
+core::Server make_server() {
+  core::ServerConfig cfg;
+  cfg.param_dim = kDim;
+  cfg.num_classes = kNumClasses;
+  return core::Server(cfg,
+                      std::make_unique<opt::SgdUpdater>(
+                          std::make_unique<opt::SqrtDecaySchedule>(50.0), 500.0),
+                      rng::Engine(1));
+}
+
+PhaseResult run_phase(const char* label, bool steered,
+                      const coord::LoadGenConfig& gen_base,
+                      const coord::DeviceClassTable& classes,
+                      std::size_t queue_max, std::size_t batch_max,
+                      int commit_delay_ms) {
+  PhaseResult res;
+  res.label = label;
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "crowdml_openloop_XXXXXX")
+          .string();
+  if (!mkdtemp(dir.data())) throw std::runtime_error("mkdtemp failed");
+
+  core::Server server = make_server();
+  net::AuthRegistry auth(rng::Engine(7));
+
+  store::DurableStoreOptions sopts;
+  sopts.wal.fsync = store::FsyncPolicy::kAlways;
+  store::DurableStore store(dir, sopts);
+  store.recover(server);
+  store.attach(server);
+  store.set_group_commit(true);
+
+  std::optional<coord::Coordinator> coordinator;
+  if (steered) {
+    coord::CoordConfig ccfg;
+    ccfg.steering.queue_max = queue_max;
+    ccfg.steering.batch_max = batch_max;
+    // At 100k devices the equilibrium hint is fleet/target_rate seconds
+    // — tens of seconds — so the clamp ceiling must sit above it or the
+    // clamp, not the policy, sets the arrival rate.
+    ccfg.steering.max_hint_ms = 300'000;
+    coordinator.emplace(ccfg, classes);
+  }
+
+  engine::EngineConfig ecfg;
+  ecfg.checkin_queue_max = queue_max;
+  ecfg.checkin_batch_max = batch_max;
+  ecfg.max_connections = 64;
+  ecfg.group_commit = [&store, commit_delay_ms] {
+    if (commit_delay_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(commit_delay_ms));
+    return store.commit_group();
+  };
+  if (coordinator) ecfg.coordinator = &*coordinator;
+  engine::EpollCrowdServer engine(server, auth, ecfg);
+
+  // Queue-depth stability sampler (10ms cadence).
+  std::atomic<bool> stop_sampler{false};
+  double d_sum = 0.0, d_sq = 0.0;
+  long long d_n = 0;
+  std::size_t d_max = 0;
+  std::thread sampler([&] {
+    while (!stop_sampler.load(std::memory_order_relaxed)) {
+      const std::size_t d = engine.queue().depth();
+      d_sum += static_cast<double>(d);
+      d_sq += static_cast<double>(d) * static_cast<double>(d);
+      ++d_n;
+      d_max = std::max(d_max, d);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  coord::LoadGenConfig gcfg = gen_base;
+  gcfg.port = engine.port();
+  gcfg.param_dim = kDim;
+  gcfg.num_classes = kNumClasses;
+  gcfg.classes = classes;
+  res.gen = coord::run_load_gen(gcfg, auth);
+
+  stop_sampler.store(true);
+  sampler.join();
+  if (d_n > 0) {
+    res.depth_mean = d_sum / static_cast<double>(d_n);
+    res.depth_std = std::sqrt(
+        std::max(0.0, d_sq / static_cast<double>(d_n) -
+                          res.depth_mean * res.depth_mean));
+  }
+  res.depth_max = d_max;
+  if (res.gen.elapsed_s > 0.0)
+    res.offered_per_s = static_cast<double>(res.gen.checkins_sent) /
+                        res.gen.elapsed_s;
+  if (coordinator) {
+    res.service_rate = coordinator->steering().service_rate_per_s();
+    res.target_rate = coordinator->steering().target_rate_per_s();
+  }
+  engine.shutdown();
+  std::filesystem::remove_all(dir);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  const bench::Options o = bench::options();
+  bench::header("open_loop",
+                "pace steering vs reactive shedding, open-loop fleet", o);
+
+  coord::LoadGenConfig gcfg;
+  gcfg.devices = static_cast<std::size_t>(flags.get_int("devices", 100'000));
+  gcfg.think_mean_s = flags.get_double("think-mean", 20.0);
+  gcfg.warmup_s = flags.get_double("warmup", 25.0);
+  gcfg.duration_s = flags.get_double("duration", 10.0);
+  gcfg.workers = static_cast<std::size_t>(flags.get_int("workers", 4));
+  gcfg.session_mean_cycles = 50.0;
+  gcfg.rejoin_mean_s = 5.0;
+  gcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const auto queue_max =
+      static_cast<std::size_t>(flags.get_int("queue-max", 256));
+  const auto batch_max =
+      static_cast<std::size_t>(flags.get_int("batch-max", 64));
+  const int commit_delay_ms =
+      static_cast<int>(flags.get_int("commit-delay-ms", 15));
+
+  std::string cls_err;
+  const auto classes = coord::DeviceClassTable::parse(
+      flags.get("classes", "fast:4,slow:1"), &cls_err);
+  if (!classes) {
+    std::fprintf(stderr, "open_loop: --classes: %s\n", cls_err.c_str());
+    return 1;
+  }
+
+  const double service_est =
+      static_cast<double>(batch_max) /
+      std::max(1e-3, static_cast<double>(commit_delay_ms) / 1e3);
+  std::printf(
+      "%zu devices, think-mean %.1fs (~%.0f arrivals/s unpaced), applier "
+      "~%.0f checkins/s (batch %zu, %dms commit), queue max %zu, classes "
+      "%s\n%.0fs warmup + %.0fs measured per phase\n\n",
+      gcfg.devices, gcfg.think_mean_s,
+      static_cast<double>(gcfg.devices) / std::max(0.1, gcfg.think_mean_s),
+      service_est, batch_max, commit_delay_ms, queue_max,
+      classes->describe().c_str(), gcfg.warmup_s, gcfg.duration_s);
+
+  PhaseResult runs[2];
+  runs[0] = run_phase("unsteered", false, gcfg, *classes, queue_max,
+                      batch_max, commit_delay_ms);
+  runs[1] = run_phase("steered", true, gcfg, *classes, queue_max, batch_max,
+                      commit_delay_ms);
+
+  std::printf("%-10s %10s %10s %9s %9s %9s %9s %9s %9s %8s %8s %8s\n",
+              "phase", "sent/s", "ok/s", "shed%", "ack_p50", "ack_p99",
+              "lag_p50", "lag_p99", "hint_ms", "q_mean", "q_std", "q_max");
+  for (const PhaseResult& r : runs)
+    std::printf(
+        "%-10s %10.0f %10.0f %9.2f %9.1f %9.1f %9.1f %9.1f %8.0f %8.1f "
+        "%8.1f %8zu\n",
+        r.label, r.offered_per_s,
+        r.gen.elapsed_s > 0.0
+            ? static_cast<double>(r.gen.ok_acks) / r.gen.elapsed_s
+            : 0.0,
+        r.gen.shed_rate * 100.0, r.gen.ack_p50_ms, r.gen.ack_p99_ms,
+        r.gen.lag_p50_ms, r.gen.lag_p99_ms, r.gen.mean_hint_ms, r.depth_mean,
+        r.depth_std, r.depth_max);
+  std::printf("steered policy: service_rate=%.0f/s target_rate=%.0f/s\n\n",
+              runs[1].service_rate, runs[1].target_rate);
+
+  bench::check(runs[0].gen.shed_rate > 0.01,
+               "unsteered fleet overloads the queue (shed rate > 1%)");
+  bench::check(runs[1].gen.shed_rate < 0.01,
+               "steered steady-state shed rate < 1%");
+  bench::check(runs[1].gen.shed_rate < runs[0].gen.shed_rate,
+               "steering sheds less than reacting");
+  bench::check(runs[0].gen.hints_seen == 0 && runs[1].gen.hints_seen > 0,
+               "hints ride acks only when steering is on");
+  bench::check(runs[1].depth_mean < static_cast<double>(queue_max) * 0.75,
+               "steered queue depth stays below the throttle knee");
+
+  const std::string json_out = flags.get("json-out", "");
+  if (!json_out.empty()) {
+    std::vector<std::vector<bench::JsonField>> rows;
+    for (const PhaseResult& r : runs)
+      rows.push_back({bench::jstr("phase", r.label),
+                      bench::jint("devices",
+                                  static_cast<long long>(r.gen.devices)),
+                      bench::jnum("offered_per_s", r.offered_per_s),
+                      bench::jint("checkins_sent", r.gen.checkins_sent),
+                      bench::jint("ok_acks", r.gen.ok_acks),
+                      bench::jint("sheds", r.gen.sheds),
+                      bench::jint("failures", r.gen.failures),
+                      bench::jnum("shed_rate", r.gen.shed_rate),
+                      bench::jint("hints_seen", r.gen.hints_seen),
+                      bench::jnum("mean_hint_ms", r.gen.mean_hint_ms),
+                      bench::jnum("ack_p50_ms", r.gen.ack_p50_ms),
+                      bench::jnum("ack_p95_ms", r.gen.ack_p95_ms),
+                      bench::jnum("ack_p99_ms", r.gen.ack_p99_ms),
+                      bench::jnum("lag_p50_ms", r.gen.lag_p50_ms),
+                      bench::jnum("lag_p95_ms", r.gen.lag_p95_ms),
+                      bench::jnum("lag_p99_ms", r.gen.lag_p99_ms),
+                      bench::jnum("queue_depth_mean", r.depth_mean),
+                      bench::jnum("queue_depth_std", r.depth_std),
+                      bench::jint("queue_depth_max",
+                                  static_cast<long long>(r.depth_max)),
+                      bench::jnum("service_rate_per_s", r.service_rate),
+                      bench::jnum("target_rate_per_s", r.target_rate)});
+    bench::write_bench_json(json_out, "coordinator",
+                            static_cast<double>(gcfg.devices), rows);
+  }
+  return 0;
+}

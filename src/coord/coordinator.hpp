@@ -1,0 +1,67 @@
+// Coordinator tier: the pace-steering face the serving engine talks to.
+//
+// One Coordinator sits in front of one EpollCrowdServer (wired through
+// EngineConfig::coordinator; null = steering off and the engine's ack
+// bytes are bit-identical to the pre-coordinator path). It owns the
+// DeviceClassTable and PaceSteering policy and adds the observability
+// instruments (docs/OBSERVABILITY.md "Coordinator"):
+//
+//   - checkout_hint_ms: advisory, non-consuming hint for a checkout
+//     response (the class's current pacing interval);
+//   - checkin_hint_ms: consuming hint for a checkin ack — reserves the
+//     class's next arrival slot;
+//   - shed_retry_after_ms: when the queue still overflows (steering is
+//     proactive, not a hard guarantee), the shed nack's retry hint also
+//     reserves a slot, so even turned-away devices rejoin *paced*
+//     instead of re-colliding after a fixed delay.
+#pragma once
+
+#include <cstdint>
+
+#include "coord/device_class.hpp"
+#include "coord/steering.hpp"
+#include "obs/metrics.hpp"
+
+namespace crowdml::coord {
+
+struct CoordConfig {
+  SteeringConfig steering;
+  /// Registry for coordinator instruments (null = obs::default_registry()).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Coordinator {
+ public:
+  Coordinator(CoordConfig config, DeviceClassTable classes);
+
+  /// Advisory hint for a checkout response (I/O threads). Always > 0.
+  std::uint32_t checkout_hint_ms(std::uint8_t class_id);
+
+  /// Consuming hint for a checkin ack (applier thread). Always > 0.
+  std::uint32_t checkin_hint_ms(std::uint8_t class_id);
+
+  /// Steering-informed retry_after for a shed checkin: at least
+  /// `fallback_ms` (the engine's configured shed hint), stretched to the
+  /// class's next reserved slot so shed devices come back paced.
+  int shed_retry_after_ms(std::uint8_t class_id, int fallback_ms);
+
+  /// Applier feeds (see PaceSteering).
+  void observe_commit(std::size_t records, double apply_seconds,
+                      double commit_seconds);
+  void observe_queue_depth(std::size_t depth);
+
+  const DeviceClassTable& classes() const { return steering_.classes(); }
+  const PaceSteering& steering() const { return steering_; }
+
+ private:
+  PaceSteering steering_;
+  obs::Counter& checkout_hints_;
+  obs::Counter& checkin_hints_;
+  obs::Counter& steered_sheds_;
+  obs::Gauge& target_rate_;
+  obs::Gauge& service_rate_;
+  obs::Gauge& pressure_;
+  obs::Histogram& hint_ms_;
+};
+
+}  // namespace crowdml::coord

@@ -1,0 +1,112 @@
+#include "coord/device_class.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace crowdml::coord {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
+}  // namespace
+
+DeviceClassTable::DeviceClassTable() {
+  classes_.push_back({"default", 1.0});
+}
+
+std::optional<DeviceClassTable> DeviceClassTable::parse(
+    const std::string& spec, std::string* error) {
+  DeviceClassTable t;
+  if (spec.empty()) return t;
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string entry =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+
+    const std::size_t colon = entry.find(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      set_error(error, "bad device-class entry '" + entry +
+                           "' (want name:weight)");
+      return std::nullopt;
+    }
+    DeviceClassSpec cls;
+    cls.name = entry.substr(0, colon);
+    for (char c : cls.name) {
+      if (!valid_name_char(c)) {
+        set_error(error, "bad device-class name '" + cls.name + "'");
+        return std::nullopt;
+      }
+    }
+    if (cls.name == "default") {
+      set_error(error, "'default' is the reserved id-0 class");
+      return std::nullopt;
+    }
+    for (const DeviceClassSpec& seen : t.classes_) {
+      if (seen.name == cls.name) {
+        set_error(error, "duplicate device class '" + cls.name + "'");
+        return std::nullopt;
+      }
+    }
+    try {
+      std::size_t consumed = 0;
+      cls.weight = std::stod(entry.substr(colon + 1), &consumed);
+      if (consumed != entry.size() - colon - 1) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      set_error(error, "bad device-class weight in '" + entry + "'");
+      return std::nullopt;
+    }
+    if (!std::isfinite(cls.weight) || cls.weight <= 0) {
+      set_error(error, "device-class weight must be > 0 in '" + entry + "'");
+      return std::nullopt;
+    }
+    if (t.classes_.size() > kMaxDeviceClasses) {
+      set_error(error, "too many device classes (max " +
+                           std::to_string(kMaxDeviceClasses) + ")");
+      return std::nullopt;
+    }
+    t.classes_.push_back(std::move(cls));
+  }
+
+  t.total_weight_ = 0;
+  for (const DeviceClassSpec& cls : t.classes_) t.total_weight_ += cls.weight;
+  return t;
+}
+
+double DeviceClassTable::share(std::uint8_t id) const {
+  return at(id).weight / total_weight_;
+}
+
+std::size_t DeviceClassTable::rank(std::uint8_t id) const {
+  const std::uint8_t c = clamp(id);
+  // Declared classes rank in listed order (wire id 1 = rank 0); the
+  // default class sorts below all of them.
+  return c == 0 ? classes_.size() - 1 : static_cast<std::size_t>(c) - 1;
+}
+
+std::string DeviceClassTable::describe() const {
+  std::string out;
+  char buf[80];
+  for (std::size_t i = 1; i < classes_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s:%g,", classes_[i].name.c_str(),
+                  classes_[i].weight);
+    out += buf;
+  }
+  out += "default:1";
+  return out;
+}
+
+}  // namespace crowdml::coord

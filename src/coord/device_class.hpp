@@ -1,0 +1,79 @@
+// Device classes for pace steering (src/coord/; docs/SCALING.md).
+//
+// "Towards Federated Learning at Scale" steers different populations at
+// different rates: an interactive `fast` fleet should not be starved by a
+// million `flaky` background devices, and under overload the low-priority
+// classes are the ones pushed back first. A DeviceClassTable is the
+// server-side declaration of those populations:
+//
+//   --coord-classes fast:4,slow:2,flaky:1
+//
+// Each entry is name:weight. Weights set each class's share of the
+// steered arrival rate; the *listed order* is the priority order (first =
+// highest), used by PaceSteering to stretch low-priority intervals extra
+// under overload. Devices declare their class id (1-based position in
+// this list) on checkout/checkin frames; id 0 is the implicit "default"
+// class every undeclared device belongs to — weight 1, lowest priority.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crowdml::coord {
+
+/// Wire ids are a u8; bound declared classes well below that so a table
+/// always fits and per-class state stays cache-friendly.
+inline constexpr std::size_t kMaxDeviceClasses = 32;
+
+struct DeviceClassSpec {
+  std::string name;
+  double weight = 1.0;
+};
+
+class DeviceClassTable {
+ public:
+  /// Just the implicit default class (id 0).
+  DeviceClassTable();
+
+  /// Parse "name:weight,name:weight,...". Names are [A-Za-z0-9_-]+ and
+  /// unique ("default" is reserved for id 0); weights are finite doubles
+  /// > 0; at most kMaxDeviceClasses entries. On failure returns nullopt
+  /// and, when `error` is non-null, a one-line reason.
+  static std::optional<DeviceClassTable> parse(const std::string& spec,
+                                               std::string* error);
+
+  /// Declared classes + the default class. size() - 1 is the highest
+  /// valid wire id.
+  std::size_t size() const { return classes_.size(); }
+
+  /// Unknown ids collapse to the default class rather than faulting — a
+  /// device declaring a class this server never configured is steered,
+  /// just at the default share.
+  std::uint8_t clamp(std::uint8_t id) const {
+    return id < classes_.size() ? id : 0;
+  }
+
+  const DeviceClassSpec& at(std::uint8_t id) const {
+    return classes_[clamp(id)];
+  }
+
+  /// This class's fraction of the steered arrival rate (weights
+  /// normalized over the whole table, default class included).
+  double share(std::uint8_t id) const;
+
+  /// Priority rank: 0 = highest (first listed). The default class ranks
+  /// below every declared class.
+  std::size_t rank(std::uint8_t id) const;
+
+  /// "default:1" or "fast:4,slow:2,flaky:1,default:1" — for the server's
+  /// effective-config line.
+  std::string describe() const;
+
+ private:
+  std::vector<DeviceClassSpec> classes_;  ///< index 0 = default
+  double total_weight_ = 1.0;
+};
+
+}  // namespace crowdml::coord

@@ -1,0 +1,342 @@
+#include "coord/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "net/messages.hpp"
+#include "net/tcp.hpp"
+#include "rng/distributions.hpp"
+
+namespace crowdml::coord {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One simulated device: a pre-signed checkin frame plus timeline state.
+struct SimDevice {
+  net::Bytes checkin_frame;
+  std::uint8_t cls = net::kDefaultDeviceClass;
+  long long cycles_left = 1;
+};
+
+struct Event {
+  double due_s;  ///< fire time, seconds since run start
+  std::uint32_t device;
+  bool operator>(const Event& o) const { return due_s > o.due_s; }
+};
+
+/// A sent checkin awaiting its ack. Admitted checkins are answered in
+/// arrival order (the queue and applier preserve it), but a *shed* nack
+/// leaves the I/O thread immediately and can overtake an earlier
+/// admitted checkin's committed ack, so pairing reply N with send N is
+/// approximate under overload. Acks carry no device id, so exact pairing
+/// is impossible by design; every aggregate this generator reports
+/// (shed rate, ok/shed/hint counts) is pairing-independent, and the
+/// rtt/lag percentiles plus next-fire scheduling only ever swap
+/// *exchangeable* simulated devices of the same worker.
+struct InFlight {
+  std::uint32_t device;
+  double sched_s;  ///< when the open-loop timeline wanted it sent
+  double send_s;   ///< when it actually hit the socket
+  bool measured;   ///< inside the steady-state window
+};
+
+/// Lognormal with the requested *mean* (not median): mu is shifted by
+/// -sigma^2/2 so E[exp(N(mu, sigma))] = mean.
+double lognormal_s(rng::Engine& eng, double mean, double sigma) {
+  const double mu = std::log(std::max(1e-9, mean)) - sigma * sigma / 2.0;
+  return std::exp(rng::normal(eng, mu, sigma));
+}
+
+/// Pareto with the requested mean (alpha > 1): xm = mean(alpha-1)/alpha.
+double pareto(rng::Engine& eng, double mean, double alpha) {
+  const double xm = mean * (alpha - 1.0) / alpha;
+  const double u = std::max(1e-12, rng::uniform(eng));
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+struct Outcome {
+  enum Kind { kOk, kShed, kRejected } kind = kRejected;
+  int hint_ms = 0;  ///< pace hint (ok) or retry_after hint (shed)
+};
+
+Outcome classify(const net::Bytes& reply) {
+  Outcome out;
+  if (reply.size() <= net::kFrameTypeOffset ||
+      reply[net::kFrameTypeOffset] !=
+          static_cast<std::uint8_t>(net::MessageType::kAck))
+    return out;
+  try {
+    const net::Frame f = net::decode_frame(reply);
+    const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+    if (ack.ok) {
+      out.kind = Outcome::kOk;
+      out.hint_ms = static_cast<int>(ack.next_checkin_hint_ms);
+      return out;
+    }
+    if (const auto retry = net::parse_retry_after(ack.reason)) {
+      out.kind = Outcome::kShed;
+      out.hint_ms = *retry;
+      return out;
+    }
+  } catch (const net::CodecError&) {
+  }
+  return out;
+}
+
+struct WorkerStats {
+  long long sent = 0, ok = 0, sheds = 0, rejected = 0, failures = 0;
+  long long hints = 0;
+  double hint_sum_ms = 0.0;
+  std::vector<double> ack_ms;
+  std::vector<double> lag_ms;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// In-flight cap per worker: past this the worker stops sending and
+/// drains acks first (a real device also never has two checkins open).
+constexpr std::size_t kMaxInFlight = 4096;
+
+}  // namespace
+
+LoadGenStats run_load_gen(const LoadGenConfig& cfg, net::AuthRegistry& auth) {
+  const std::size_t workers = std::max<std::size_t>(1, cfg.workers);
+  const std::size_t n_classes = std::max<std::size_t>(1, cfg.classes.size());
+
+  // Class striping by weight share: cumulative thresholds.
+  std::vector<double> cum(n_classes, 0.0);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < n_classes; ++c) {
+    acc += cfg.classes.share(static_cast<std::uint8_t>(c));
+    cum[c] = acc;
+  }
+
+  // Build the fleet: enroll, pre-sign one checkin frame per device. The
+  // frame's content is constant (param_version 0 is merely "maximally
+  // stale" — the server applies it regardless), so a timeline replays the
+  // same bytes every cycle and fleet setup is the only signing cost.
+  std::vector<SimDevice> fleet(cfg.devices);
+  {
+    rng::Engine eng(cfg.seed ^ 0x9E3779B97F4A7C15ULL);
+    for (std::size_t i = 0; i < cfg.devices; ++i) {
+      const net::DeviceCredentials cred = auth.enroll();
+      net::CheckinMessage m;
+      m.device_id = cred.device_id;
+      m.param_version = 0;
+      m.g_hat.assign(cfg.param_dim, 0.0);
+      for (auto& g : m.g_hat) g = rng::uniform(eng, -0.5, 0.5);
+      m.ns = 10;
+      m.ne_hat = 1;
+      m.ny_hat.assign(cfg.num_classes, 1);
+      const double u = rng::uniform(eng, 0.0, acc > 0.0 ? acc : 1.0);
+      std::uint8_t cls = 0;
+      for (std::size_t c = 0; c < n_classes; ++c)
+        if (u < cum[c]) {
+          cls = static_cast<std::uint8_t>(c);
+          break;
+        }
+      m.device_class = cls;
+      m.auth_tag = cred.sign(m.body());
+      fleet[i].checkin_frame =
+          net::encode_frame(net::MessageType::kCheckin, m.serialize());
+      fleet[i].cls = cls;
+    }
+  }
+
+  const double t_end = cfg.warmup_s + cfg.duration_s;
+  const double t_drain = t_end + 1.0;  ///< grace to collect trailing acks
+  const auto t0 = Clock::now();
+  std::vector<WorkerStats> stats(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerStats& st = stats[w];
+      rng::Engine eng(cfg.seed + 1 + w);
+      std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+      // Stagger first arrivals over one mean think time — a real fleet
+      // never fires in phase.
+      for (std::uint32_t i = static_cast<std::uint32_t>(w);
+           i < fleet.size(); i += static_cast<std::uint32_t>(workers)) {
+        fleet[i].cycles_left = std::max<long long>(
+            1, static_cast<long long>(
+                   pareto(eng, cfg.session_mean_cycles, cfg.pareto_alpha)));
+        heap.push({rng::uniform(eng, 0.0, cfg.think_mean_s), i});
+      }
+
+      std::optional<net::TcpConnection> conn;
+      std::deque<InFlight> inflight;
+
+      // Reschedule a device after its exchange concluded at `base_s`.
+      // The shed hint always wins; a pace hint wins only in honor mode.
+      const auto schedule_next = [&](std::uint32_t idx, double base_s,
+                                     const Outcome* out) {
+        const double wave =
+            cfg.diurnal_amplitude > 0.0
+                ? 1.0 + cfg.diurnal_amplitude *
+                            std::sin(2.0 * 3.14159265358979 * base_s /
+                                     cfg.diurnal_period_s)
+                : 1.0;
+        double delay_s =
+            lognormal_s(eng, cfg.think_mean_s, cfg.think_sigma) /
+            std::max(0.1, wave);
+        if (out && out->hint_ms > 0 &&
+            (out->kind == Outcome::kShed || cfg.honor_hints))
+          delay_s = std::max(delay_s, out->hint_ms / 1e3);
+        SimDevice& dev = fleet[idx];
+        if (--dev.cycles_left <= 0) {
+          delay_s += rng::exponential(
+              eng, 1.0 / std::max(1e-9, cfg.rejoin_mean_s));
+          dev.cycles_left = std::max<long long>(
+              1, static_cast<long long>(pareto(
+                     eng, cfg.session_mean_cycles, cfg.pareto_alpha)));
+        }
+        heap.push({base_s + delay_s, idx});
+      };
+
+      // The connection died: every in-flight ack is lost. Reschedule the
+      // devices with fresh think times (their checkins may or may not
+      // have been applied — same ambiguity a real abandoned checkin has).
+      const auto fail_inflight = [&](double now_s) {
+        for (const InFlight& f : inflight) {
+          if (f.measured) {
+            ++st.sent;
+            ++st.failures;
+            st.lag_ms.push_back((f.send_s - f.sched_s) * 1e3);
+          }
+          schedule_next(f.device, now_s, nullptr);
+        }
+        inflight.clear();
+        conn.reset();
+      };
+
+      while (true) {
+        double now_s = seconds_since(t0);
+        if (now_s >= t_drain) break;
+
+        // Send every due event (open loop: the clock decides, not acks),
+        // unless the in-flight window is saturated.
+        while (!heap.empty() && heap.top().due_s <= now_s &&
+               inflight.size() < kMaxInFlight) {
+          const Event ev = heap.top();
+          heap.pop();
+          if (ev.due_s >= t_end) continue;  // past the window: retire
+          if (!conn || !conn->valid()) {
+            net::NetError err;
+            conn = net::TcpConnection::connect(
+                cfg.host, cfg.port, cfg.connect_timeout_ms, &err);
+            if (conn) conn->set_deadline_ms(cfg.io_deadline_ms);
+          }
+          const bool sent =
+              conn && conn->send_frame(fleet[ev.device].checkin_frame);
+          if (!sent) {
+            if (ev.due_s >= cfg.warmup_s) {
+              ++st.sent;
+              ++st.failures;
+            }
+            conn.reset();
+            schedule_next(ev.device, now_s, nullptr);
+            continue;
+          }
+          inflight.push_back(
+              {ev.device, ev.due_s, now_s, ev.due_s >= cfg.warmup_s});
+        }
+
+        now_s = seconds_since(t0);
+        const double next_due_s =
+            heap.empty() ? t_end : std::min(heap.top().due_s, t_end);
+        if (inflight.empty()) {
+          if (heap.empty() || next_due_s >= t_end) break;  // fleet done
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(
+                  std::max(0.0, next_due_s - now_s)));
+          continue;
+        }
+
+        // Drain acks until the next event is due (bounded so a stalled
+        // applier can't wedge the timeline past its next send).
+        const double wait_s = inflight.size() >= kMaxInFlight
+                                  ? 0.1
+                                  : std::max(0.0, next_due_s - now_s);
+        conn->set_deadline_ms(
+            std::max(1, static_cast<int>(std::min(wait_s, 0.1) * 1e3)));
+        const auto reply = conn->recv_frame();
+        const double recv_s = seconds_since(t0);
+        if (reply) {
+          const InFlight f = inflight.front();
+          inflight.pop_front();
+          const Outcome out = classify(*reply);
+          if (f.measured) {
+            ++st.sent;
+            st.lag_ms.push_back((f.send_s - f.sched_s) * 1e3);
+            st.ack_ms.push_back((recv_s - f.send_s) * 1e3);
+            switch (out.kind) {
+              case Outcome::kOk: ++st.ok; break;
+              case Outcome::kShed: ++st.sheds; break;
+              case Outcome::kRejected: ++st.rejected; break;
+            }
+            if (out.kind == Outcome::kOk && out.hint_ms > 0) {
+              ++st.hints;
+              st.hint_sum_ms += out.hint_ms;
+            }
+          }
+          schedule_next(f.device, recv_s, &out);
+        } else if (conn->last_error() != net::NetError::kTimeout) {
+          fail_inflight(recv_s);
+        }
+      }
+      // Acks never collected count as failures so totals reconcile.
+      fail_inflight(seconds_since(t0));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadGenStats agg;
+  agg.devices = cfg.devices;
+  agg.elapsed_s = std::min(seconds_since(t0), t_end) - cfg.warmup_s;
+  std::vector<double> ack, lag;
+  for (auto& st : stats) {
+    agg.checkins_sent += st.sent;
+    agg.ok_acks += st.ok;
+    agg.sheds += st.sheds;
+    agg.rejected += st.rejected;
+    agg.failures += st.failures;
+    agg.hints_seen += st.hints;
+    agg.mean_hint_ms += st.hint_sum_ms;
+    ack.insert(ack.end(), st.ack_ms.begin(), st.ack_ms.end());
+    lag.insert(lag.end(), st.lag_ms.begin(), st.lag_ms.end());
+  }
+  if (agg.checkins_sent > 0)
+    agg.shed_rate = static_cast<double>(agg.sheds) /
+                    static_cast<double>(agg.checkins_sent);
+  if (agg.hints_seen > 0)
+    agg.mean_hint_ms /= static_cast<double>(agg.hints_seen);
+  agg.ack_p50_ms = percentile(ack, 0.50);
+  agg.ack_p95_ms = percentile(ack, 0.95);
+  agg.ack_p99_ms = percentile(ack, 0.99);
+  agg.lag_p50_ms = percentile(lag, 0.50);
+  agg.lag_p95_ms = percentile(lag, 0.95);
+  agg.lag_p99_ms = percentile(lag, 0.99);
+  return agg;
+}
+
+}  // namespace crowdml::coord

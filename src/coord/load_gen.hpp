@@ -1,0 +1,109 @@
+// Open-loop load generator: simulate 100k+ device checkin timelines on a
+// handful of threads.
+//
+// A closed-loop client (send, wait, think, repeat) measures the server's
+// latency *through its own throttling* — when the server slows, a closed
+// loop slows its arrival rate with it and overload never shows. The
+// open-loop generator instead schedules every simulated device's next
+// checkin on a per-worker min-heap keyed by fire time and sends when the
+// clock says so; when the server (or the generator itself) can't keep
+// up, events fire late and the lag is *measured* (the tracking-error
+// percentiles), not hidden.
+//
+// Each worker owns devices round-robin, one real TCP connection, and a
+// private rng::Engine. Device timelines:
+//
+//   - think times are lognormal(mean, sigma) — heavy-tailed, never
+//     negative, the standard human-inter-arrival shape;
+//   - session lengths are Pareto(alpha) cycles — most devices do a few
+//     checkins, a heavy tail does many — after which the device drops
+//     out and rejoins Exp(rejoin_mean) later with a fresh session;
+//   - an optional diurnal wave modulates the arrival rate sinusoidally
+//     (think time is divided by 1 + a·sin(2πt/T));
+//   - with honor_hints, a pace-steering hint on an ok ack pushes the
+//     next fire time to max(think draw, hint) — exactly what
+//     ReconnectingDeviceSession does with its deferred delay; a shed
+//     nack's retry_after hint always wins (both modes honor it, the
+//     pre-coordinator contract).
+//
+// Devices are timelines, not sockets: every device's checkin frame is
+// pre-signed at fleet construction (the server authenticates per frame,
+// not per connection), so a worker multiplexes thousands of identities
+// over one connection and the generator's fd count stays O(workers).
+//
+// Everything is seeded; two runs with the same config draw identical
+// timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coord/device_class.hpp"
+#include "net/auth.hpp"
+
+namespace crowdml::coord {
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t devices = 1000;
+  /// Steady-state measurement window; events before warmup_s are sent
+  /// but not counted (the fleet's first wave and the steering policy's
+  /// first measurements are transients).
+  double duration_s = 5.0;
+  double warmup_s = 1.0;
+  /// Lognormal think time between a device's checkins.
+  double think_mean_s = 1.0;
+  double think_sigma = 0.5;  ///< sigma of the underlying normal
+  /// Pareto session length (cycles per session) and exponential
+  /// dropout/rejoin gap.
+  double session_mean_cycles = 50.0;
+  double pareto_alpha = 1.5;
+  double rejoin_mean_s = 2.0;
+  /// Diurnal wave: arrival rate scaled by 1 + amplitude·sin(2πt/period).
+  /// 0 disables.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 60.0;
+  std::size_t workers = 4;
+  /// Honor pace-steering hints on ok acks (shed retry_after hints are
+  /// honored regardless — that contract predates the coordinator).
+  bool honor_hints = true;
+  std::uint64_t seed = 1;
+  int io_deadline_ms = 5000;
+  int connect_timeout_ms = 2000;
+  /// Shape of the pre-signed checkin payloads; must match the server's
+  /// model or every checkin is rejected.
+  std::size_t param_dim = 16;
+  std::size_t num_classes = 2;
+  /// Device classes; devices are striped across the table's ids
+  /// proportionally to each class's weight share.
+  DeviceClassTable classes;
+};
+
+struct LoadGenStats {
+  std::size_t devices = 0;
+  double elapsed_s = 0.0;  ///< steady-state window actually measured
+  long long checkins_sent = 0;
+  long long ok_acks = 0;
+  long long sheds = 0;     ///< retry_after nacks (queue overflow)
+  long long rejected = 0;  ///< other nacks (should be 0 in a healthy run)
+  long long failures = 0;  ///< transport failures (timeout, refused, drop)
+  long long hints_seen = 0;
+  double shed_rate = 0.0;  ///< sheds / checkins_sent
+  double mean_hint_ms = 0.0;
+  /// Ack round-trip latency percentiles (ms), successful exchanges only.
+  double ack_p50_ms = 0.0, ack_p95_ms = 0.0, ack_p99_ms = 0.0;
+  /// Tracking error (ms): how late events fired vs their scheduled time.
+  /// Small = the generator kept its open-loop promise; growing = the
+  /// generator (or the acks it waits on) saturated and arrivals degraded
+  /// toward closed-loop.
+  double lag_p50_ms = 0.0, lag_p95_ms = 0.0, lag_p99_ms = 0.0;
+};
+
+/// Enrolls `cfg.devices` identities in `auth` (the serving process's
+/// registry), pre-signs their frames, runs the open-loop fleet against
+/// host:port, and returns the steady-state stats. Blocks for roughly
+/// warmup_s + duration_s.
+LoadGenStats run_load_gen(const LoadGenConfig& cfg, net::AuthRegistry& auth);
+
+}  // namespace crowdml::coord

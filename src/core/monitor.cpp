@@ -48,6 +48,11 @@ NetCounters::NetCounters(obs::MetricsRegistry* registry)
       redirects_followed(registry_.counter(
           "crowdml_net_redirects_followed_total",
           "Not-leader nacks followed to the advertised leader",
+          obs::Provenance::kTransportEvent)),
+      pace_hints_honored(registry_.counter(
+          "crowdml_net_pace_hints_honored_total",
+          "Pace-steering hints on successful acks honored as the next-"
+          "exchange delay (no retry budget consumed)",
           obs::Provenance::kTransportEvent)) {}
 
 NetCountersSnapshot NetCounters::snapshot() const {
@@ -62,6 +67,7 @@ NetCountersSnapshot NetCounters::snapshot() const {
   s.reaped_workers = reaped_workers.value();
   s.retry_after_honored = retry_after_honored.value();
   s.redirects_followed = redirects_followed.value();
+  s.pace_hints_honored = pace_hints_honored.value();
   return s;
 }
 
@@ -78,6 +84,7 @@ std::string transport_report(const NetCountersSnapshot& net) {
   out << "workers reaped:         " << net.reaped_workers << "\n";
   out << "retry hints honored:    " << net.retry_after_honored << "\n";
   out << "redirects followed:     " << net.redirects_followed << "\n";
+  out << "pace hints honored:     " << net.pace_hints_honored << "\n";
   return out.str();
 }
 

@@ -35,6 +35,7 @@ struct NetCountersSnapshot {
   long long reaped_workers = 0;
   long long retry_after_honored = 0;
   long long redirects_followed = 0;
+  long long pace_hints_honored = 0;
 };
 
 /// Shared transport-health counters. Device sessions record timeouts,
@@ -74,6 +75,11 @@ class NetCounters {
   /// "not leader" nacks a device session followed to the advertised
   /// leader (failover made visible from the client side).
   obs::Counter& redirects_followed;
+  /// Pace-steering hints (next_checkin_hint_ms on successful acks) a
+  /// device session honored as its next-exchange delay. Unlike
+  /// retry_after_honored these are not failures: no retry budget is
+  /// consumed and no backoff jitter applies (docs/SCALING.md).
+  obs::Counter& pace_hints_honored;
 
   /// The registry the counters live in (for rendering/exporting).
   obs::MetricsRegistry& registry() const { return registry_; }

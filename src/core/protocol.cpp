@@ -2,7 +2,8 @@
 
 namespace crowdml::core {
 
-net::Bytes ProtocolServer::handle(const net::Bytes& request_frame) {
+net::Bytes ProtocolServer::handle(const net::Bytes& request_frame,
+                                  std::uint8_t* device_class) {
   using net::MessageType;
   try {
     const net::Frame frame = net::decode_frame(request_frame);
@@ -35,6 +36,7 @@ net::Bytes ProtocolServer::handle(const net::Bytes& request_frame) {
           const net::AckMessage nack{false, "authentication failed"};
           return net::encode_frame(MessageType::kAck, nack.serialize());
         }
+        if (device_class) *device_class = msg.device_class;
         if (trace_)
           trace_->event("checkin", {{"device", msg.device_id},
                                     {"round", msg.param_version},

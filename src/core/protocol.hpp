@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -34,7 +35,14 @@ class ProtocolServer {
 
   /// Handle one request frame, produce one response frame. Never throws:
   /// malformed input yields an AckMessage{false, reason} frame.
-  net::Bytes handle(const net::Bytes& request_frame);
+  ///
+  /// `device_class`, when non-null, receives the declared device class of
+  /// an *authenticated* checkin (net::CheckinMessage::device_class) and is
+  /// left untouched otherwise — the engine's pace steering reads it off
+  /// the apply path without re-decoding the frame, and an unauthenticated
+  /// frame can never buy itself a better admission class.
+  net::Bytes handle(const net::Bytes& request_frame,
+                    std::uint8_t* device_class = nullptr);
 
   long long auth_failures() const { return auth_failures_; }
   long long malformed_frames() const { return malformed_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 
 #include "rng/distributions.hpp"
@@ -25,6 +26,34 @@ int shed_hint(const net::Bytes& frame) {
     return hint ? *hint : -1;
   } catch (const net::CodecError&) {
     return -1;
+  }
+}
+
+/// Pace-steering hint carried by a *success* frame (docs/SCALING.md,
+/// "Pace steering"): next_checkin_hint_ms from an ok-ack or a params
+/// frame. 0 when absent, malformed, or a nack (shed nacks carry their
+/// hint in the reason string and take the retry_after path instead).
+/// Capped to int range defensively; the steering policy's own clamp is
+/// far below that.
+int pace_hint(const net::Bytes& frame) {
+  if (frame.size() <= net::kFrameTypeOffset) return 0;
+  const std::uint8_t type = frame[net::kFrameTypeOffset];
+  try {
+    std::uint32_t hint = 0;
+    if (type == static_cast<std::uint8_t>(net::MessageType::kAck)) {
+      const net::Frame f = net::decode_frame(frame);
+      const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+      if (!ack.ok) return 0;
+      hint = ack.next_checkin_hint_ms;
+    } else if (type == static_cast<std::uint8_t>(net::MessageType::kParams)) {
+      const net::Frame f = net::decode_frame(frame);
+      const net::ParamsMessage params = net::ParamsMessage::deserialize(f.payload);
+      hint = params.next_checkin_hint_ms;
+    }
+    return static_cast<int>(std::min<std::uint32_t>(
+        hint, static_cast<std::uint32_t>(std::numeric_limits<int>::max())));
+  } catch (const net::CodecError&) {
+    return 0;
   }
 }
 
@@ -325,7 +354,30 @@ std::optional<net::Bytes> ReconnectingDeviceSession::exchange(
         return reply;  // hop cap hit or unparseable: surface the nack
       }
       const int hint = shed_hint(*reply);
-      if (hint < 0) return reply;
+      if (hint < 0) {
+        // Success (or a nack with no shed hint). A pace-steering hint on
+        // a success frame is NOT a failure: it never consumes an attempt
+        // and never triggers backoff jitter — the server is scheduling
+        // our *next* exchange, not rejecting this one. An ok-ack's hint
+        // is the slot the coordinator reserved for us, so honor it as
+        // the pre-exchange delay; a params frame's hint is advisory only
+        // (the same cycle's checkin ack carries the binding one —
+        // sleeping on both would pace one cycle twice).
+        const int pace = pace_hint(*reply);
+        if (pace > 0) {
+          last_pace_hint_ms_ = pace;
+          if ((*reply)[net::kFrameTypeOffset] ==
+              static_cast<std::uint8_t>(net::MessageType::kAck)) {
+            deferred_backoff_ms_ = std::max(deferred_backoff_ms_, pace);
+            ++pace_hints_honored_;
+            if (counters_) ++counters_->pace_hints_honored;
+            if (trace_)
+              trace_->event("pace_hint",
+                            {{"device", device_id_}, {"delay_ms", pace}});
+          }
+        }
+        return reply;
+      }
       // The server shed this request and told us when to come back.
       ++retry_after_honored_;
       if (counters_) ++counters_->retry_after_honored;

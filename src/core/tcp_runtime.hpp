@@ -205,6 +205,16 @@ class ReconnectingDeviceSession {
   long long checkin_frames_sent() const { return checkin_sends_; }
   /// Not-leader redirects followed to the advertised leader.
   long long redirects_followed() const { return redirects_followed_; }
+  /// Pace-steering hints on *successful acks* honored as the delay
+  /// before the next exchange (docs/SCALING.md, "Pace steering").
+  /// Distinct from retry_after_honored: these are not failures — they
+  /// consume no retry budget and trigger no backoff jitter. Params-frame
+  /// hints are recorded in last_pace_hint_ms() but never slept on (the
+  /// same cycle's checkin ack carries the binding hint).
+  long long pace_hints_honored() const { return pace_hints_honored_; }
+  /// Most recent pace hint seen on any success frame (ack or params);
+  /// 0 until one arrives.
+  int last_pace_hint_ms() const { return last_pace_hint_ms_; }
   /// The address currently targeted (the home address until a redirect).
   const std::string& current_host() const { return host_; }
   std::uint16_t current_port() const { return port_; }
@@ -231,8 +241,11 @@ class ReconnectingDeviceSession {
   long long checkin_sends_ = 0;
   long long retry_after_honored_ = 0;
   long long redirects_followed_ = 0;
-  /// Hint from a shed checkin's nack: sleep this long before the next
-  /// exchange begins (the shed request itself is not replayed).
+  long long pace_hints_honored_ = 0;
+  int last_pace_hint_ms_ = 0;
+  /// Delay owed before the next exchange begins: a shed checkin's nack
+  /// hint, or a pace-steering hint from a successful ack (the shed or
+  /// acked request itself is not replayed).
   int deferred_backoff_ms_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/epoll_server.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -172,7 +173,18 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
           config_.trace->event("checkout", {{"device", req.device_id},
                                             {"round", snap->version},
                                             {"accepted", snap->accepted}});
-        loop->send(conn_id, net::Bytes(snap->params_frame));
+        // Pace steering: append the class's advisory hint to the board's
+        // pre-encoded frame (a payload slice + re-CRC, never a
+        // ParamsMessage round trip). Without a coordinator the frame is
+        // passed through byte-identically.
+        if (config_.coordinator) {
+          loop->send(conn_id,
+                     net::frame_with_checkin_hint(
+                         snap->params_frame, config_.coordinator->checkout_hint_ms(
+                                                 req.device_class)));
+        } else {
+          loop->send(conn_id, net::Bytes(snap->params_frame));
+        }
         return;
       }
     } catch (const net::CodecError&) {
@@ -213,36 +225,57 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
                             ? config_.route_checkin(std::move(work))
                             : queue_.try_push(std::move(work));
   if (!admitted) {
+    // Last-resort shed. With a coordinator the retry hint reserves the
+    // (default-class; the frame is not decoded on this path) next paced
+    // slot, so turned-away devices rejoin spread out instead of
+    // re-colliding after a fixed delay.
+    int retry_ms = config_.queue_retry_after_ms;
+    if (config_.coordinator) {
+      config_.coordinator->observe_queue_depth(queue_.depth());
+      retry_ms = config_.coordinator->shed_retry_after_ms(
+          net::kDefaultDeviceClass, retry_ms);
+    }
     if (config_.trace)
       config_.trace->event("shed", {{"reason", "checkin queue full"}});
     const net::AckMessage nack{
-        false, net::retry_after_reason("checkin queue full",
-                                       config_.queue_retry_after_ms)};
+        false, net::retry_after_reason("checkin queue full", retry_ms)};
     loop->send(conn_id,
                net::encode_frame(net::MessageType::kAck, nack.serialize()));
   }
 }
 
 void EpollCrowdServer::applier_loop() {
+  using Clock = std::chrono::steady_clock;
   std::vector<CheckinWork> batch;
   std::vector<net::Bytes> responses;
+  std::vector<std::uint8_t> classes;
   for (;;) {
     batch.clear();
     responses.clear();
+    classes.clear();
     const std::size_t n = queue_.drain(batch, config_.checkin_batch_max, 100);
     board_.refresh_age_gauge();
     if (n == 0) {
       if (queue_.closed()) break;
       continue;
     }
+    // Steering inputs: backlog left behind after this drain, and the
+    // batch's apply/commit wall time (fsync stalls discount capacity).
+    if (config_.coordinator)
+      config_.coordinator->observe_queue_depth(queue_.depth());
+    const Clock::time_point apply_start = Clock::now();
 
     // Apply in arrival order — the server's update sequence is exactly
     // the serialized order the legacy runtime would have produced.
     responses.reserve(n);
+    classes.reserve(n);
     for (const CheckinWork& work : batch) {
       obs::TimedScope timer(handle_seconds_);
-      responses.push_back(protocol_.handle(work.frame));
+      std::uint8_t cls = net::kDefaultDeviceClass;
+      responses.push_back(protocol_.handle(work.frame, &cls));
+      classes.push_back(cls);
     }
+    const Clock::time_point commit_start = Clock::now();
 
     // Group commit: one WAL fsync for the whole batch. On failure every
     // ok-ack in the batch becomes a durability nack — the acks have not
@@ -254,7 +287,12 @@ void EpollCrowdServer::applier_loop() {
       std::lock_guard<std::mutex> lock(gc_mu_);
       commit = group_commit_;
     }
-    if (commit && !commit()) {
+    const bool commit_ok = !commit || commit();
+    if (config_.coordinator)
+      config_.coordinator->observe_commit(
+          n, std::chrono::duration<double>(commit_start - apply_start).count(),
+          std::chrono::duration<double>(Clock::now() - commit_start).count());
+    if (!commit_ok) {
       ++commit_failures_;
       if (config_.trace)
         config_.trace->event("group_commit_failed", {{"batch", n}});
@@ -274,6 +312,21 @@ void EpollCrowdServer::applier_loop() {
         } catch (const net::CodecError&) {
           // responses we encoded ourselves always decode; keep as-is
         }
+      }
+    }
+
+    // Pace steering: every checkin ack (ok, rejection, or the durability
+    // nack above — the device is coming back either way) carries a
+    // consuming hint that reserves its class's next arrival slot. Runs
+    // after the nack rewrite so the hint survives it.
+    if (config_.coordinator) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i].frame.size() <= net::kFrameTypeOffset ||
+            batch[i].frame[net::kFrameTypeOffset] !=
+                static_cast<std::uint8_t>(net::MessageType::kCheckin))
+          continue;
+        responses[i] = net::frame_with_checkin_hint(
+            responses[i], config_.coordinator->checkin_hint_ms(classes[i]));
       }
     }
 

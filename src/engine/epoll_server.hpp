@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "coord/coordinator.hpp"
 #include "core/monitor.hpp"
 #include "core/protocol.hpp"
 #include "engine/checkin_queue.hpp"
@@ -109,6 +110,17 @@ struct EngineConfig {
   /// and before the event loops stop — the pool drains its per-instance
   /// queues here so every admitted request still answers on a live loop.
   std::function<void()> shutdown_drain;
+  /// Pace steering (src/coord/; docs/SCALING.md "Pace steering"). When
+  /// set, every checkout response and checkin ack carries a positive
+  /// next_checkin_hint_ms (advisory on checkouts, slot-consuming on
+  /// checkin acks), the applier feeds the policy its queue depth and
+  /// apply/commit timings, and a shed checkin's retry_after hint is
+  /// stretched to the class's next reserved slot — shedding becomes the
+  /// last resort behind steering. Null (the default) disables steering
+  /// entirely: ack and params frames are bit-identical to the
+  /// pre-coordinator path. Must outlive the engine; not compatible with
+  /// route_checkin pools (the per-instance appliers own those clocks).
+  coord::Coordinator* coordinator = nullptr;
   /// Registry for engine instruments (null = obs::default_registry()).
   obs::MetricsRegistry* metrics = nullptr;
   /// Lifecycle + protocol trace events. Null disables.

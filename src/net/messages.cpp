@@ -40,12 +40,17 @@ Digest get_digest(Reader& r) {
 Bytes CheckoutRequest::body() const {
   Writer w;
   w.put_u64(device_id);
+  // Class 0 is never encoded (see kDefaultDeviceClass): the default-class
+  // body — and therefore its HMAC tag — is byte-identical to the
+  // pre-device-class wire format.
+  if (device_class != kDefaultDeviceClass) w.put_u8(device_class);
   return w.take();
 }
 
 Bytes CheckoutRequest::serialize() const {
   Writer w;
-  w.put_u64(device_id);
+  const Bytes b = body();
+  for (std::uint8_t byte : b) w.put_u8(byte);
   put_digest(w, auth_tag);
   return w.take();
 }
@@ -54,6 +59,14 @@ CheckoutRequest CheckoutRequest::deserialize(const Bytes& payload) {
   Reader r(payload);
   CheckoutRequest m;
   m.device_id = r.get_u64();
+  // The class byte is present iff the payload is one byte longer than
+  // the classic id+tag layout; detecting it by length keeps old-format
+  // requests decoding unchanged.
+  if (payload.size() == sizeof(std::uint64_t) + 1 + sizeof(Digest)) {
+    m.device_class = r.get_u8();
+    if (m.device_class == kDefaultDeviceClass)
+      throw CodecError("explicit default device class in CheckoutRequest");
+  }
   m.auth_tag = get_digest(r);
   if (!r.exhausted()) throw CodecError("trailing bytes in CheckoutRequest");
   return m;
@@ -64,6 +77,9 @@ Bytes ParamsMessage::serialize() const {
   w.put_u64(version);
   w.put_u8(accepted ? 1 : 0);
   w.put_vector(this->w);
+  // Optional trailing field: omitted when 0 so a hint-free message stays
+  // byte-identical to the pre-coordinator encoding.
+  if (next_checkin_hint_ms != 0) w.put_u32(next_checkin_hint_ms);
   return w.take();
 }
 
@@ -73,6 +89,7 @@ ParamsMessage ParamsMessage::deserialize(const Bytes& payload) {
   m.version = r.get_u64();
   m.accepted = r.get_u8() != 0;
   m.w = r.get_vector();
+  if (!r.exhausted()) m.next_checkin_hint_ms = r.get_u32();
   if (!r.exhausted()) throw CodecError("trailing bytes in ParamsMessage");
   return m;
 }
@@ -85,6 +102,10 @@ Bytes CheckinMessage::body() const {
   w.put_i64(ns);
   w.put_i64(ne_hat);
   w.put_i64_vector(ny_hat);
+  // Optional trailing field inside the signed body; class 0 is never
+  // encoded (see kDefaultDeviceClass), keeping default-class bodies —
+  // and their tags — byte-identical to the pre-device-class format.
+  if (device_class != kDefaultDeviceClass) w.put_u8(device_class);
   return w.take();
 }
 
@@ -110,6 +131,11 @@ CheckinMessage CheckinMessage::deserialize(const Bytes& payload) {
   m.ns = r.get_i64();
   m.ne_hat = r.get_i64();
   m.ny_hat = r.get_i64_vector();
+  if (!r.exhausted()) {
+    m.device_class = r.get_u8();
+    if (m.device_class == kDefaultDeviceClass)
+      throw CodecError("explicit default device class in CheckinMessage");
+  }
   if (!r.exhausted()) throw CodecError("trailing bytes in CheckinMessage body");
   m.auth_tag = tag;
   return m;
@@ -119,6 +145,9 @@ Bytes AckMessage::serialize() const {
   Writer w;
   w.put_u8(ok ? 1 : 0);
   w.put_string(reason);
+  // Optional trailing field: omitted when 0 so a hint-free ack stays
+  // byte-identical to the pre-coordinator encoding.
+  if (next_checkin_hint_ms != 0) w.put_u32(next_checkin_hint_ms);
   return w.take();
 }
 
@@ -127,6 +156,7 @@ AckMessage AckMessage::deserialize(const Bytes& payload) {
   AckMessage m;
   m.ok = r.get_u8() != 0;
   m.reason = r.get_string();
+  if (!r.exhausted()) m.next_checkin_hint_ms = r.get_u32();
   if (!r.exhausted()) throw CodecError("trailing bytes in AckMessage");
   return m;
 }
@@ -334,6 +364,24 @@ std::optional<int> parse_retry_after(const std::string& reason) {
     if (v > 3600'000) return std::nullopt;
   }
   return static_cast<int>(v);
+}
+
+Bytes frame_with_checkin_hint(const Bytes& frame, std::uint32_t hint_ms) {
+  if (hint_ms == 0) return frame;
+  if (frame.size() < kFrameHeaderSize + kFrameTrailerSize)
+    throw CodecError("frame too short to carry a hint");
+  const std::uint8_t type = frame[kFrameTypeOffset];
+  if (type != static_cast<std::uint8_t>(MessageType::kParams) &&
+      type != static_cast<std::uint8_t>(MessageType::kAck))
+    throw CodecError("hints ride Params and Ack frames only");
+  // Slice the payload out of the old frame, append the four little-endian
+  // hint bytes (the optional trailing field both serializers write), and
+  // re-frame: header length and CRC are recomputed by encode_frame.
+  Bytes payload(frame.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderSize),
+                frame.end() - static_cast<std::ptrdiff_t>(kFrameTrailerSize));
+  for (int i = 0; i < 4; ++i)
+    payload.push_back(static_cast<std::uint8_t>(hint_ms >> (8 * i)));
+  return encode_frame(static_cast<MessageType>(type), payload);
 }
 
 Bytes encode_frame(MessageType type, const Bytes& payload) {

@@ -44,8 +44,20 @@ enum class MessageType : std::uint8_t {
 
 inline constexpr std::uint8_t kMaxMessageType = 10;
 
+/// Device-class id carried by checkout/checkin frames (pace steering;
+/// src/coord/). 0 = "default" / undeclared — and, critically, class 0 is
+/// *never encoded on the wire*: both serializers omit the field entirely,
+/// so a device that predates device classes and a device that declares
+/// class 0 produce byte-identical frames (and identical auth bodies).
+/// Deserializers accept both forms; an explicit 0 byte is rejected as
+/// malformed so the body a tag was computed over is never ambiguous.
+inline constexpr std::uint8_t kDefaultDeviceClass = 0;
+
 struct CheckoutRequest {
   std::uint64_t device_id = 0;
+  /// Declared device class (the checkout doubles as the device's hello;
+  /// see docs/SCALING.md "Pace steering"). Signed — part of body().
+  std::uint8_t device_class = kDefaultDeviceClass;
   Digest auth_tag{};
 
   Bytes body() const;  // the authenticated portion
@@ -57,6 +69,13 @@ struct ParamsMessage {
   std::uint64_t version = 0;  // server iteration t at checkout time
   bool accepted = true;       // false: checkout refused (e.g. auth failure)
   linalg::Vector w;
+  /// Pace-steering hint: "your next checkin should arrive no sooner than
+  /// this many ms from now" (advisory on the checkout path; the checkin
+  /// ack's hint is the authoritative one). 0 = no hint, and the field is
+  /// then omitted on the wire — a hint-free ParamsMessage is
+  /// byte-identical to the pre-coordinator encoding, and decoders accept
+  /// old-format payloads (the field is read only when bytes remain).
+  std::uint32_t next_checkin_hint_ms = 0;
 
   Bytes serialize() const;
   static ParamsMessage deserialize(const Bytes& payload);
@@ -69,6 +88,10 @@ struct CheckinMessage {
   std::int64_t ns = 0;              // samples in the minibatch (public)
   std::int64_t ne_hat = 0;          // sanitized error count (Eq. 11)
   std::vector<std::int64_t> ny_hat; // sanitized label counts (Eq. 12)
+  /// Declared device class (see CheckoutRequest::device_class). Rides in
+  /// the signed body so an unauthenticated party cannot re-class a
+  /// checkin; omitted on the wire when kDefaultDeviceClass.
+  std::uint8_t device_class = kDefaultDeviceClass;
   Digest auth_tag{};
 
   Bytes body() const;
@@ -79,6 +102,15 @@ struct CheckinMessage {
 struct AckMessage {
   bool ok = true;
   std::string reason;
+  /// Pace-steering hint on the checkin ack: "come back for your next
+  /// checkin in this many ms" (src/coord/; docs/PROTOCOL.md). Unlike the
+  /// retry_after_ms suffix in `reason` — a shed nack's reactive hint —
+  /// this field rides *successful* acks too, and
+  /// ReconnectingDeviceSession honors it without consuming retry budget.
+  /// 0 = no hint; the field is then omitted, so a hint-free AckMessage is
+  /// byte-identical to the pre-coordinator encoding, and old-format
+  /// payloads decode (the field is read only when bytes remain).
+  std::uint32_t next_checkin_hint_ms = 0;
 
   Bytes serialize() const;
   static AckMessage deserialize(const Bytes& payload);
@@ -243,6 +275,18 @@ std::string retry_after_reason(const std::string& what, int retry_after_ms);
 /// hour (3'600'000 ms) all yield nullopt rather than a wrapped or
 /// truncated delay a hostile server could choose.
 std::optional<int> parse_retry_after(const std::string& reason);
+
+/// Append a pace-steering hint to an already-encoded Params or Ack frame
+/// without decoding the payload: both messages place next_checkin_hint_ms
+/// as their optional final field, so re-framing with four extra trailing
+/// payload bytes is exactly equivalent to re-serializing the decoded
+/// message with the hint set. This is what lets the engine serve steered
+/// checkouts from the snapshot board's pre-encoded frame (one slice +
+/// CRC, no ParamsMessage round trip). hint_ms == 0 returns the frame
+/// unchanged (the absent-field encoding). Must not be applied twice to
+/// the same frame, and must only be applied to frames this process
+/// encoded (the input's CRC is not re-verified).
+Bytes frame_with_checkin_hint(const Bytes& frame, std::uint32_t hint_ms);
 
 /// Framing.
 Bytes encode_frame(MessageType type, const Bytes& payload);

@@ -213,3 +213,93 @@ TEST(ReplicaFlags, UnknownRoleAndAckModeRejected) {
                         "--wal-dir=wal", "--engine=epoll"})
                    .error.empty());
 }
+
+// ------------------------------------------------------------ CoordFlags
+
+namespace {
+
+crowdml::tools::CoordFlags coordf(std::vector<std::string> args) {
+  return crowdml::tools::parse_coord_flags(parse(std::move(args)));
+}
+
+}  // namespace
+
+TEST(CoordFlags, DisabledByDefault) {
+  const auto c = coordf({});
+  EXPECT_TRUE(c.error.empty()) << c.error;
+  EXPECT_FALSE(c.enabled);
+  // Off means the default class table only.
+  EXPECT_EQ(c.classes.size(), 1u);
+}
+
+TEST(CoordFlags, FullParse) {
+  const auto c = coordf({"--coord-steering", "--engine=epoll",
+                         "--coord-classes=fast:4,slow:2,flaky:1",
+                         "--coord-target-utilization=0.8",
+                         "--coord-min-hint-ms=10", "--coord-max-hint-ms=60000",
+                         "--coord-init-rate=500"});
+  ASSERT_TRUE(c.error.empty()) << c.error;
+  EXPECT_TRUE(c.enabled);
+  EXPECT_EQ(c.classes.size(), 4u);  // three declared + default
+  EXPECT_DOUBLE_EQ(c.target_utilization, 0.8);
+  EXPECT_EQ(c.min_hint_ms, 10);
+  EXPECT_EQ(c.max_hint_ms, 60000);
+  EXPECT_DOUBLE_EQ(c.init_rate, 500.0);
+}
+
+TEST(CoordFlags, CoordFlagsWithoutSteeringRejected) {
+  EXPECT_FALSE(coordf({"--coord-classes=fast:1"}).error.empty());
+  EXPECT_FALSE(coordf({"--coord-init-rate=100"}).error.empty());
+  EXPECT_FALSE(coordf({"--coord-max-hint-ms=1000"}).error.empty());
+}
+
+TEST(CoordFlags, SteeringRequiresEpollLeaderSingleModel) {
+  // Default engine is the thread-per-connection runtime: rejected.
+  EXPECT_FALSE(coordf({"--coord-steering"}).error.empty());
+  EXPECT_FALSE(
+      coordf({"--coord-steering", "--engine=threads"}).error.empty());
+  EXPECT_FALSE(coordf({"--coord-steering", "--engine=epoll",
+                       "--role=follower"})
+                   .error.empty());
+  EXPECT_FALSE(coordf({"--coord-steering", "--engine=epoll",
+                       "--model-instances=4"})
+                   .error.empty());
+  EXPECT_TRUE(
+      coordf({"--coord-steering", "--engine=epoll"}).error.empty());
+}
+
+TEST(CoordFlags, MalformedClassSpecsRejected) {
+  for (const char* spec :
+       {"fast", "fast:0", "fast:-1", "fast:abc", "default:2", "a:1,a:2",
+        "a:1,", "fa st:1"}) {
+    const auto c = coordf({"--coord-steering", "--engine=epoll",
+                           std::string("--coord-classes=") + spec});
+    EXPECT_FALSE(c.error.empty()) << "accepted: " << spec;
+    EXPECT_EQ(c.error.rfind("--coord-classes:", 0), 0u) << c.error;
+  }
+}
+
+TEST(CoordFlags, NumericBoundsEnforced) {
+  const std::vector<std::string> base = {"--coord-steering", "--engine=epoll"};
+  auto with = [&](const std::string& extra) {
+    auto args = base;
+    args.push_back(extra);
+    return coordf(args);
+  };
+  // Utilization is a fraction of measured capacity.
+  EXPECT_FALSE(with("--coord-target-utilization=0").error.empty());
+  EXPECT_FALSE(with("--coord-target-utilization=-0.5").error.empty());
+  EXPECT_FALSE(with("--coord-target-utilization=1.5").error.empty());
+  EXPECT_TRUE(with("--coord-target-utilization=1.0").error.empty());
+  // Hints: >= 1ms, min <= max, max below the hour ceiling.
+  EXPECT_FALSE(with("--coord-min-hint-ms=0").error.empty());
+  EXPECT_FALSE(with("--coord-min-hint-ms=-5").error.empty());
+  EXPECT_FALSE(with("--coord-max-hint-ms=1").error.empty());  // < min (5)
+  EXPECT_FALSE(with("--coord-max-hint-ms=3600000").error.empty());
+  // Rates must be positive.
+  EXPECT_FALSE(with("--coord-init-rate=0").error.empty());
+  EXPECT_FALSE(with("--coord-init-rate=-100").error.empty());
+  // Malformed numerics are an error, not a silent default.
+  EXPECT_FALSE(with("--coord-init-rate=fast").error.empty());
+  EXPECT_FALSE(with("--coord-min-hint-ms=ten").error.empty());
+}

@@ -101,9 +101,11 @@ int main(int argc, char** argv) {
                 device.accountant().per_sample_epsilon(),
                 device.accountant().checkins());
     std::printf("transport: %lld reconnects, %lld retries, %lld timeouts, "
-                "%lld checkins abandoned, %lld redirects followed\n",
+                "%lld checkins abandoned, %lld redirects followed, "
+                "%lld pace hints honored\n",
                 session.reconnects(), session.retries(), session.timeouts(),
-                session.checkins_abandoned(), session.redirects_followed());
+                session.checkins_abandoned(), session.redirects_followed(),
+                session.pace_hints_honored());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "crowdml-device: %s\n", e.what());

@@ -25,6 +25,18 @@
 //       [--checkin-queue-max N]               # epoll engine: admission bound
 //                                             # (full queue sheds with a
 //                                             # retry_after nack)
+//       [--coord-steering]                    # coordinator tier: every
+//                                             # checkout/ack carries a pace
+//                                             # hint (epoll leader only;
+//                                             # docs/SCALING.md)
+//       [--coord-classes fast:4,slow:2]       # device classes name:weight,
+//                                             # listed order = priority
+//       [--coord-target-utilization F]        # steer toward this fraction
+//                                             # of measured capacity (0.7)
+//       [--coord-min-hint-ms N]               # hint clamp floor (5)
+//       [--coord-max-hint-ms N]               # hint clamp ceiling (30000)
+//       [--coord-init-rate N]                 # assumed checkins/s before
+//                                             # the first measured commit
 //       [--role leader|follower]              # replication role (default
 //                                             # leader; docs/REPLICATION.md)
 //       [--leader-addr host:port]             # follower: the leader's
@@ -80,6 +92,7 @@
 #include <optional>
 #include <thread>
 
+#include "coord/coordinator.hpp"
 #include "core/checkpoint.hpp"
 #include "core/monitor.hpp"
 #include "core/tcp_runtime.hpp"
@@ -132,6 +145,11 @@ int main(int argc, char** argv) {
   const tools::ReplicaFlags repl = tools::parse_replica_flags(flags);
   if (!repl.error.empty()) {
     std::fprintf(stderr, "crowdml-server: %s\n", repl.error.c_str());
+    return 1;
+  }
+  const tools::CoordFlags coordf = tools::parse_coord_flags(flags);
+  if (!coordf.error.empty()) {
+    std::fprintf(stderr, "crowdml-server: %s\n", coordf.error.c_str());
     return 1;
   }
   const bool is_follower = repl.role == "follower";
@@ -327,6 +345,9 @@ int main(int argc, char** argv) {
   // durably loads/bumps its fencing epoch and ships its WAL on a
   // dedicated port. The engine handles are declared here because the
   // follower's on_applied republishes the epoll snapshot board.
+  // Declared before the engines: the coordinator must outlive the epoll
+  // server that steers through it (reverse destruction order).
+  std::optional<coord::Coordinator> coordinator;
   std::unique_ptr<core::TcpCrowdServer> tcp;
   std::unique_ptr<engine::EpollCrowdServer> epoll;
   std::unique_ptr<replica::Follower> follower;
@@ -522,6 +543,20 @@ int main(int argc, char** argv) {
     ecfg.checkin_queue_max = queue_max;
     ecfg.metrics = &obs::default_registry();
     ecfg.trace = trace.get();
+    if (coordf.enabled) {
+      coord::CoordConfig ccfg;
+      ccfg.steering.target_utilization = coordf.target_utilization;
+      ccfg.steering.init_rate_per_s = coordf.init_rate;
+      ccfg.steering.min_hint_ms =
+          static_cast<std::uint32_t>(coordf.min_hint_ms);
+      ccfg.steering.max_hint_ms =
+          static_cast<std::uint32_t>(coordf.max_hint_ms);
+      ccfg.steering.queue_max = queue_max;
+      ccfg.steering.batch_max = ecfg.checkin_batch_max;
+      ccfg.metrics = &obs::default_registry();
+      coordinator.emplace(ccfg, coordf.classes);
+      ecfg.coordinator = &*coordinator;
+    }
     if (pool) multimodel::wire_engine(*pool, ecfg);
     if (is_follower) {
       ecfg.checkin_redirect = repl.leader_addr;
@@ -600,6 +635,12 @@ int main(int argc, char** argv) {
       wal_dir.empty() ? "-" : flags.get("fsync", "every-64").c_str(),
       io_threads, queue_max, model_instances,
       flags.get_double("report-every", 10.0));
+  if (coordinator)
+    std::printf(
+        "config: coord-steering=on classes=%s target-utilization=%g "
+        "min-hint-ms=%lld max-hint-ms=%lld init-rate=%g\n",
+        coordinator->classes().describe().c_str(), coordf.target_utilization,
+        coordf.min_hint_ms, coordf.max_hint_ms, coordf.init_rate);
   std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
               bound_port, dim, classes);
 

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "coord/device_class.hpp"
+
 namespace crowdml::tools {
 
 class Flags {
@@ -236,6 +238,110 @@ inline ReplicaFlags parse_replica_flags(const Flags& flags) {
     return r;
   }
   return r;
+}
+
+/// Coordinator / pace-steering flags for crowdml-server, validated as a
+/// unit (docs/SCALING.md, "Pace steering"):
+///   --coord-steering                  (enable the coordinator tier)
+///   --coord-classes name:w,name:w     (device classes, listed order =
+///                                      priority; e.g. fast:4,slow:2,flaky:1)
+///   --coord-target-utilization F      (fraction of measured service rate
+///                                      to steer toward; (0,1], default 0.7)
+///   --coord-min-hint-ms N             (hint clamp floor, default 5)
+///   --coord-max-hint-ms N             (hint clamp ceiling, default 30000;
+///                                      must stay parseable as a retry
+///                                      hint, i.e. < 1 hour)
+///   --coord-init-rate N               (assumed service rate before the
+///                                      first measured commit, checkins/s,
+///                                      default 2000)
+/// Every --coord-* flag other than --coord-steering requires steering to
+/// be enabled; steering requires --engine epoll, a leader role, and
+/// --model-instances 1 (per-instance appliers would need per-instance
+/// clocks). `error` is non-empty when the combination is invalid.
+struct CoordFlags {
+  bool enabled = false;
+  std::string classes_spec;
+  coord::DeviceClassTable classes;  ///< parsed table (default when empty)
+  double target_utilization = 0.7;
+  long long min_hint_ms = 5;
+  long long max_hint_ms = 30'000;
+  double init_rate = 2000.0;
+  std::string error;
+};
+
+inline CoordFlags parse_coord_flags(const Flags& flags) {
+  CoordFlags c;
+  c.enabled = flags.get_bool("coord-steering");
+  c.classes_spec = flags.get("coord-classes", "");
+  try {
+    c.target_utilization =
+        flags.get_double("coord-target-utilization", c.target_utilization);
+    c.min_hint_ms = flags.get_int("coord-min-hint-ms", c.min_hint_ms);
+    c.max_hint_ms = flags.get_int("coord-max-hint-ms", c.max_hint_ms);
+    c.init_rate = flags.get_double("coord-init-rate", c.init_rate);
+  } catch (const std::exception&) {
+    c.error = "malformed numeric value in a --coord-* flag";
+    return c;
+  }
+
+  if (!c.enabled) {
+    if (flags.has("coord-classes") || flags.has("coord-target-utilization") ||
+        flags.has("coord-min-hint-ms") || flags.has("coord-max-hint-ms") ||
+        flags.has("coord-init-rate")) {
+      c.error = "--coord-classes/--coord-target-utilization/"
+                "--coord-min-hint-ms/--coord-max-hint-ms/--coord-init-rate "
+                "require --coord-steering";
+      return c;
+    }
+    return c;
+  }
+
+  if (flags.get("engine", "threads") != "epoll") {
+    c.error = "--coord-steering requires --engine epoll (hints ride the "
+              "snapshot board and the applier's ack path)";
+    return c;
+  }
+  if (flags.get("role", "leader") == "follower") {
+    c.error = "--coord-steering is a leader feature (a follower refuses "
+              "checkins, so it has no applier to steer toward)";
+    return c;
+  }
+  if (flags.get_int("model-instances", 1) != 1) {
+    c.error = "--coord-steering requires --model-instances 1 (per-instance "
+              "appliers own their own pacing clocks; see ROADMAP.md)";
+    return c;
+  }
+  if (!(c.target_utilization > 0.0 && c.target_utilization <= 1.0)) {
+    c.error = "--coord-target-utilization must be in (0, 1]";
+    return c;
+  }
+  if (c.min_hint_ms < 1) {
+    c.error = "--coord-min-hint-ms must be >= 1";
+    return c;
+  }
+  if (c.max_hint_ms < c.min_hint_ms) {
+    c.error = "--coord-max-hint-ms must be >= --coord-min-hint-ms";
+    return c;
+  }
+  if (c.max_hint_ms >= 3'600'000) {
+    c.error = "--coord-max-hint-ms must be < 3600000 (one hour; the "
+              "parseable retry-hint ceiling)";
+    return c;
+  }
+  if (!(c.init_rate > 0.0)) {
+    c.error = "--coord-init-rate must be > 0";
+    return c;
+  }
+  if (!c.classes_spec.empty()) {
+    std::string perr;
+    const auto table = coord::DeviceClassTable::parse(c.classes_spec, &perr);
+    if (!table) {
+      c.error = "--coord-classes: " + perr;
+      return c;
+    }
+    c.classes = *table;
+  }
+  return c;
 }
 
 }  // namespace crowdml::tools
