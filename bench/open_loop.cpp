@@ -35,6 +35,19 @@
 //   --classes SPEC         device classes         (default fast:4,slow:1)
 //   --seed N               timeline seed          (default 1)
 //   --json-out PATH        machine-readable results (BENCH_coordinator.json)
+//
+// Secure-aggregation mode (--secagg-cohort c > 0 replaces the phases
+// above): a small TCP fleet runs classic LDP checkins, then cohort-mode
+// masked checkins without and with mid-round deaths, and the phase table
+// lands in BENCH_secagg.json — masked vs classic throughput plus round
+// completion/recovery/abort counts vs the dropout rate:
+//   --secagg-cohort c              cohort size (enables the mode)
+//   --secagg-min-survivors N       abort threshold       (default 2)
+//   --secagg-round-timeout-ms N    collect/reveal window (default 300)
+//   --secagg-devices N             fleet size            (default 3c)
+//   --secagg-duration S            per-phase window      (default 3)
+//   --secagg-dropout P             death probability     (default 0.25)
+//   --json-out PATH                results (default BENCH_secagg.json)
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -43,7 +56,12 @@
 #include "bench/common.hpp"
 #include "coord/coordinator.hpp"
 #include "coord/load_gen.hpp"
+#include "core/protocol.hpp"
+#include "core/tcp_runtime.hpp"
 #include "engine/epoll_server.hpp"
+#include "models/logistic_regression.hpp"
+#include "rng/distributions.hpp"
+#include "secagg/cohort.hpp"
 #include "store/durable_store.hpp"
 #include "tools/flags.hpp"
 
@@ -164,11 +182,260 @@ PhaseResult run_phase(const char* label, bool steered,
   return res;
 }
 
+// --------------------------------------------------------------------------
+// Secure-aggregation mode: masked cohort checkins vs classic LDP over
+// the same TCP engine, with probabilistic mid-round deaths.
+// --------------------------------------------------------------------------
+
+net::SecretKey bench_fleet_key() {
+  net::SecretKey key(32);
+  for (std::size_t i = 0; i < key.size(); ++i)
+    key[i] = static_cast<std::uint8_t>(0x5A ^ i);
+  return key;
+}
+
+models::Sample secagg_sample(rng::Engine& eng) {
+  linalg::Vector x(kDim / kNumClasses);
+  for (double& v : x) v = rng::normal(eng);
+  linalg::l1_normalize(x);
+  return models::Sample(
+      std::move(x),
+      static_cast<double>(rng::uniform_index(eng, kNumClasses)));
+}
+
+struct SecAggPhaseResult {
+  std::string label;
+  double dropout = 0.0;
+  double elapsed_s = 0.0;
+  long long cycles_ok = 0, failures = 0, fallbacks = 0;
+  long long sealed = 0, completed = 0, recovered = 0, aborted = 0, masked = 0;
+  std::uint64_t applied_updates = 0;  // server version at shutdown
+};
+
+SecAggPhaseResult run_secagg_phase(const char* label, bool classic,
+                                   double dropout, std::size_t devices,
+                                   std::size_t cohort,
+                                   std::size_t min_survivors, int timeout_ms,
+                                   double duration_s, std::uint64_t seed) {
+  SecAggPhaseResult res;
+  res.label = label;
+  res.dropout = classic ? 0.0 : dropout;
+
+  core::Server server = make_server();
+  net::AuthRegistry auth(rng::Engine(7));
+  models::MulticlassLogisticRegression model(kNumClasses, kDim / kNumClasses,
+                                             0.0);
+
+  // Local registry: phase counters must not bleed into each other (or
+  // into the profile report) through the process-default registry.
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<secagg::CohortManager> mgr;
+  if (!classic) {
+    secagg::CohortConfig scfg;
+    scfg.cohort_size = cohort;
+    scfg.min_survivors = min_survivors;
+    scfg.round_timeout_ms = timeout_ms;
+    scfg.poll_retry_ms = 10;
+    scfg.param_dim = kDim;
+    scfg.num_classes = kNumClasses;
+    scfg.metrics = &metrics;
+    mgr = std::make_unique<secagg::CohortManager>(
+        scfg, [&server](const net::CheckinMessage& m) {
+          return server.handle_checkin(m);
+        });
+  }
+
+  engine::EngineConfig ecfg;
+  ecfg.max_connections = devices + 8;
+  ecfg.secagg = mgr.get();
+  ecfg.metrics = &metrics;
+  engine::EpollCrowdServer engine(server, auth, ecfg);
+
+  std::vector<net::DeviceCredentials> creds;
+  creds.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) creds.push_back(auth.enroll());
+
+  std::atomic<long long> ok{0}, failed{0}, fallbacks{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::milliseconds(static_cast<long long>(duration_s * 1e3));
+
+  std::vector<std::thread> fleet;
+  fleet.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    fleet.emplace_back([&, i] {
+      rng::Engine eng(seed * 7919 + i);
+      core::DeviceConfig dc;
+      dc.device_id = creds[i].device_id;
+      dc.minibatch_size = 1;
+      dc.budget = privacy::PrivacyBudget::gradient_dominated(1.0);
+      core::Device dev(dc, model, rng::Engine(seed * 104729 + i));
+      dev.set_credentials(creds[i]);
+      core::ReconnectingDeviceSession session("127.0.0.1", engine.port(),
+                                              core::ReconnectPolicy{},
+                                              rng::Engine(seed * 31 + i));
+      if (classic) {
+        core::DeviceClient client(dev, session.as_exchange());
+        while (std::chrono::steady_clock::now() < deadline)
+          client.offer_sample(secagg_sample(eng));
+        ok += client.cycles_completed();
+        failed += client.cycles_failed();
+        return;
+      }
+      // Cohort mode. A cycle marked dead drops its masked frame on the
+      // floor (the round sees an assigned-but-never-submitted device and
+      // must recover or abort); everything else flows normally.
+      auto base = session.as_exchange();
+      bool die = false;
+      auto exchange = [&](const net::Bytes& req) -> std::optional<net::Bytes> {
+        if (die) {
+          const net::Frame f = net::decode_frame(req);
+          if (f.type == net::MessageType::kSecAggMasked) return std::nullopt;
+        }
+        return base(req);
+      };
+      core::SecAggDeviceClient::Options sopts;
+      sopts.fleet_key = bench_fleet_key();
+      sopts.min_survivors = min_survivors;
+      sopts.max_polls = 150;
+      sopts.sleep_ms = [](std::uint32_t ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      };
+      core::SecAggDeviceClient client(dev, exchange, sopts);
+      while (std::chrono::steady_clock::now() < deadline) {
+        die = rng::uniform(eng) < dropout;
+        client.offer_sample(secagg_sample(eng));
+        // A real death keeps the device away past the round deadline;
+        // without the silence it would just re-poll, be handed its
+        // still-live assignment back, and submit a fresh blob — no
+        // recovery would ever be needed.
+        if (die)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(timeout_ms + 50));
+      }
+      ok += client.cycles_completed();
+      failed += client.cycles_failed();
+      fallbacks += client.fallbacks_sent();
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+
+  res.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.cycles_ok = ok.load();
+  res.failures = failed.load();
+  res.fallbacks = fallbacks.load();
+  if (mgr) {
+    res.sealed = mgr->rounds_sealed();
+    res.completed = mgr->rounds_completed();
+    res.recovered = mgr->rounds_recovered();
+    res.aborted = mgr->rounds_aborted();
+    res.masked = mgr->masked_checkins();
+  }
+  engine.shutdown();
+  res.applied_updates = server.version();
+  return res;
+}
+
+int run_secagg_mode(const tools::Flags& flags, const bench::Options& o,
+                    std::size_t cohort) {
+  bench::header("open_loop[secagg]",
+                "masked cohort checkins vs classic LDP over TCP", o);
+
+  const auto min_survivors = static_cast<std::size_t>(
+      flags.get_int("secagg-min-survivors", 2));
+  const int timeout_ms =
+      static_cast<int>(flags.get_int("secagg-round-timeout-ms", 300));
+  const auto devices = static_cast<std::size_t>(flags.get_int(
+      "secagg-devices", static_cast<long long>(3 * cohort)));
+  const double duration_s = flags.get_double("secagg-duration", 3.0);
+  const double dropout = flags.get_double("secagg-dropout", 0.25);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::printf(
+      "%zu devices, cohort %zu (min survivors %zu), round timeout %dms, "
+      "%.1fs per phase, dropout %.0f%%\n\n",
+      devices, cohort, min_survivors, timeout_ms, duration_s, dropout * 100.0);
+
+  const SecAggPhaseResult runs[3] = {
+      run_secagg_phase("classic", true, 0.0, devices, cohort, min_survivors,
+                       timeout_ms, duration_s, seed),
+      run_secagg_phase("secagg", false, 0.0, devices, cohort, min_survivors,
+                       timeout_ms, duration_s, seed + 1),
+      run_secagg_phase("secagg-dropout", false, dropout, devices, cohort,
+                       min_survivors, timeout_ms, duration_s, seed + 2),
+  };
+
+  std::printf("%-15s %8s %9s %8s %8s %9s %9s %8s %8s %8s\n", "phase",
+              "dropout", "cycles/s", "cycles", "fallbk", "sealed", "complete",
+              "recover", "abort", "applied");
+  for (const SecAggPhaseResult& r : runs)
+    std::printf(
+        "%-15s %8.2f %9.1f %8lld %8lld %9lld %9lld %8lld %8lld %8llu\n",
+        r.label.c_str(), r.dropout,
+        r.elapsed_s > 0.0 ? static_cast<double>(r.cycles_ok) / r.elapsed_s
+                          : 0.0,
+        r.cycles_ok, r.fallbacks, r.sealed, r.completed, r.recovered,
+        r.aborted,
+        static_cast<unsigned long long>(r.applied_updates));
+  std::printf("\n");
+
+  bench::check(runs[0].cycles_ok > 0 && runs[0].applied_updates > 0,
+               "classic LDP fleet makes progress over TCP");
+  bench::check(runs[1].completed > 0 && runs[1].applied_updates > 0,
+               "secagg cohorts seal, complete, and apply without dropouts");
+  bench::check(runs[1].masked >= runs[1].completed *
+                                     static_cast<long long>(min_survivors),
+               "every completed round carries at least min-survivors blobs");
+  bench::check(runs[2].completed > 0,
+               "rounds still complete at the configured dropout rate");
+  bench::check(runs[2].recovered + runs[2].aborted + runs[2].fallbacks > 0,
+               "deaths exercise the recovery/abort+fallback paths");
+
+  const std::string json_out = flags.get("json-out", "BENCH_secagg.json");
+  if (!json_out.empty()) {
+    std::vector<std::vector<bench::JsonField>> rows;
+    for (const SecAggPhaseResult& r : runs)
+      rows.push_back(
+          {bench::jstr("phase", r.label),
+           bench::jint("devices", static_cast<long long>(devices)),
+           bench::jint("cohort", static_cast<long long>(cohort)),
+           bench::jint("min_survivors",
+                       static_cast<long long>(min_survivors)),
+           bench::jnum("dropout", r.dropout),
+           bench::jnum("elapsed_s", r.elapsed_s),
+           bench::jint("cycles_ok", r.cycles_ok),
+           bench::jnum("cycles_per_s",
+                       r.elapsed_s > 0.0
+                           ? static_cast<double>(r.cycles_ok) / r.elapsed_s
+                           : 0.0),
+           bench::jint("cycle_failures", r.failures),
+           bench::jint("fallbacks", r.fallbacks),
+           bench::jint("rounds_sealed", r.sealed),
+           bench::jint("rounds_completed", r.completed),
+           bench::jint("rounds_recovered", r.recovered),
+           bench::jint("rounds_aborted", r.aborted),
+           bench::jint("masked_checkins", r.masked),
+           bench::jint("applied_updates",
+                       static_cast<long long>(r.applied_updates))});
+    bench::write_bench_json(json_out, "secagg", static_cast<double>(cohort),
+                            rows);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   tools::Flags flags(argc, argv);
   const bench::Options o = bench::options();
+
+  const long long secagg_cohort = flags.get_int("secagg-cohort", 0);
+  if (secagg_cohort > 0)
+    return run_secagg_mode(flags, o,
+                           static_cast<std::size_t>(secagg_cohort));
+
   bench::header("open_loop",
                 "pace steering vs reactive shedding, open-loop fleet", o);
 

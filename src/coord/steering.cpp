@@ -105,9 +105,14 @@ double PaceSteering::interval_us(std::uint8_t class_id) const {
 
 std::uint32_t PaceSteering::clamp_hint(double ms) const {
   if (std::isnan(ms)) return cfg_.min_hint_ms;
-  return static_cast<std::uint32_t>(std::clamp(
-      ms, static_cast<double>(cfg_.min_hint_ms),
-      static_cast<double>(cfg_.max_hint_ms)));
+  double max_ms = static_cast<double>(cfg_.max_hint_ms);
+  // Secure-aggregation round-deadline awareness: never steer a device
+  // past the cohort round deadline (it would force a recovery or abort).
+  if (cfg_.deadline_ceiling_ms > 0)
+    max_ms = std::min(max_ms, static_cast<double>(cfg_.deadline_ceiling_ms));
+  return static_cast<std::uint32_t>(
+      std::clamp(ms, std::min(static_cast<double>(cfg_.min_hint_ms), max_ms),
+                 max_ms));
 }
 
 std::uint32_t PaceSteering::next_hint_ms(std::uint8_t class_id) {

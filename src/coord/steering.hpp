@@ -78,6 +78,12 @@ struct SteeringConfig {
   double throttle_floor = 0.5;
   /// Per-priority-rank interval stretch under overload.
   double overload_spread = 0.5;
+  /// Hard ceiling on every hint, in ms (0 = off). Set when secure
+  /// aggregation is on: a steered device told to come back later than
+  /// the cohort round deadline would miss its round and drag the whole
+  /// cohort into recovery, so the server caps hints at a fraction of
+  /// --secagg-round-timeout-ms (crowdml_server wires round_timeout / 2).
+  std::uint32_t deadline_ceiling_ms = 0;
 };
 
 class PaceSteering {

@@ -26,6 +26,7 @@
 #include "privacy/accountant.hpp"
 #include "privacy/mechanisms.hpp"
 #include "rng/engine.hpp"
+#include "secagg/client.hpp"
 
 namespace crowdml::core {
 
@@ -58,6 +59,20 @@ struct CheckinResult {
   std::vector<bool> misclassified;
 };
 
+/// Result of one *masked* checkin computation (secure-aggregation cohort
+/// mode): the quantized cohort-scaled-noise contribution for the
+/// RoundClient, plus a pre-signed classic full-noise CheckinMessage to
+/// transmit if the round aborts. The fallback carries independent noise
+/// draws over the same batch; charge_fallback() must be called if (and
+/// only if) it is actually sent.
+struct MaskedCheckinResult {
+  secagg::MaskedContribution contribution;
+  net::CheckinMessage fallback;
+  std::size_t batch_size = 0;
+  std::size_t true_errors = 0;
+  std::vector<bool> misclassified;
+};
+
 class Device {
  public:
   Device(DeviceConfig config, const models::Model& model, rng::Engine eng);
@@ -81,6 +96,20 @@ class Device {
   CheckinResult compute_checkin(const linalg::Vector& w,
                                 std::uint64_t param_version);
 
+  /// Cohort-mode variant of compute_checkin: sanitizes the same batch
+  /// with the cohort-scaled epsilon (docs/PRIVACY.md — the masked blob
+  /// is only observable inside a >= min_survivors sum), quantizes it for
+  /// exact mask cancellation, and additionally prepares the full-noise
+  /// classic fallback message. Consumes the buffer either way; the
+  /// accountant records one cohort release immediately.
+  MaskedCheckinResult compute_checkin_masked(const linalg::Vector& w,
+                                             std::uint64_t param_version,
+                                             std::size_t min_survivors);
+
+  /// Charge the accountant for transmitting the masked result's fallback
+  /// message (round aborted). Call at most once per fallback sent.
+  void charge_fallback(std::size_t batch_samples);
+
   /// Attach credentials; subsequent checkins carry an HMAC tag.
   void set_credentials(net::DeviceCredentials creds);
 
@@ -100,6 +129,27 @@ class Device {
   long long dropped_samples() const { return dropped_samples_; }
 
  private:
+  /// Device Routine 2 over the current buffer: predictions, counts,
+  /// averaged + regularized gradient. Does not consume the buffer.
+  struct BatchStats {
+    linalg::Vector g;  // g~ = (1/n) sum grad + lambda w
+    std::size_t gradient_samples = 0;
+    long long ne = 0;
+    std::vector<std::int64_t> ny;
+    std::size_t ns = 0;
+    std::size_t true_errors = 0;
+    std::vector<bool> misclassified;
+  };
+  BatchStats compute_batch(const linalg::Vector& w);
+
+  /// Device Routine 3: sanitize the batch into a CheckinMessage with the
+  /// budget's epsilons scaled by sqrt(noise_cohort) (1 = classic LDP).
+  net::CheckinMessage sanitize_batch(const BatchStats& stats,
+                                     std::uint64_t param_version,
+                                     std::size_t noise_cohort);
+
+  void consume_buffer(const BatchStats& stats);
+
   DeviceConfig config_;
   const models::Model& model_;
   rng::Engine eng_;

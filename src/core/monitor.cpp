@@ -53,6 +53,11 @@ NetCounters::NetCounters(obs::MetricsRegistry* registry)
           "crowdml_net_pace_hints_honored_total",
           "Pace-steering hints on successful acks honored as the next-"
           "exchange delay (no retry budget consumed)",
+          obs::Provenance::kTransportEvent)),
+      secagg_fallbacks(registry_.counter(
+          "crowdml_net_secagg_fallbacks_total",
+          "Secure-aggregation rounds abandoned for the classic per-device "
+          "LDP checkin (aborted round or no cohort)",
           obs::Provenance::kTransportEvent)) {}
 
 NetCountersSnapshot NetCounters::snapshot() const {
@@ -68,6 +73,7 @@ NetCountersSnapshot NetCounters::snapshot() const {
   s.retry_after_honored = retry_after_honored.value();
   s.redirects_followed = redirects_followed.value();
   s.pace_hints_honored = pace_hints_honored.value();
+  s.secagg_fallbacks = secagg_fallbacks.value();
   return s;
 }
 
@@ -85,6 +91,7 @@ std::string transport_report(const NetCountersSnapshot& net) {
   out << "retry hints honored:    " << net.retry_after_honored << "\n";
   out << "redirects followed:     " << net.redirects_followed << "\n";
   out << "pace hints honored:     " << net.pace_hints_honored << "\n";
+  out << "secagg fallbacks:       " << net.secagg_fallbacks << "\n";
   return out.str();
 }
 

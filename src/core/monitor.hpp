@@ -36,6 +36,7 @@ struct NetCountersSnapshot {
   long long retry_after_honored = 0;
   long long redirects_followed = 0;
   long long pace_hints_honored = 0;
+  long long secagg_fallbacks = 0;
 };
 
 /// Shared transport-health counters. Device sessions record timeouts,
@@ -80,6 +81,11 @@ class NetCounters {
   /// retry_after_honored these are not failures: no retry budget is
   /// consumed and no backoff jitter applies (docs/SCALING.md).
   obs::Counter& pace_hints_honored;
+  /// Secure-aggregation rounds a device session abandoned for the
+  /// classic per-device LDP checkin (round aborted or no cohort formed
+  /// — docs/PRIVACY.md "Secure aggregation"). Distinct from retries:
+  /// the batch was still delivered, just without cohort masking.
+  obs::Counter& secagg_fallbacks;
 
   /// The registry the counters live in (for rendering/exporting).
   obs::MetricsRegistry& registry() const { return registry_; }

@@ -62,6 +62,57 @@ net::Bytes ProtocolServer::handle(const net::Bytes& request_frame,
         }
         return net::encode_frame(MessageType::kAck, ack.serialize());
       }
+      case MessageType::kSecAggAssign: {
+        const auto req = net::SecAggAssignMessage::deserialize(frame.payload);
+        if (!auth_.verify(req.device_id, req.body(), req.auth_tag)) {
+          ++auth_failures_;
+          if (trace_)
+            trace_->event("auth_failed", {{"device", req.device_id},
+                                          {"message", "secagg_assign"}});
+          const net::AckMessage nack{false, "authentication failed"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        if (!secagg_) {
+          const net::AckMessage nack{false, "secure aggregation disabled"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        const net::SecAggAssignMessage resp = secagg_->handle_assign(req);
+        return net::encode_frame(MessageType::kSecAggAssign, resp.serialize());
+      }
+      case MessageType::kSecAggMasked: {
+        const auto msg = net::SecAggMaskedMessage::deserialize(frame.payload);
+        if (!auth_.verify(msg.device_id, msg.body(), msg.auth_tag)) {
+          ++auth_failures_;
+          if (trace_)
+            trace_->event("auth_failed", {{"device", msg.device_id},
+                                          {"message", "secagg_masked"}});
+          const net::AckMessage nack{false, "authentication failed"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        if (!secagg_) {
+          const net::AckMessage nack{false, "secure aggregation disabled"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        const net::AckMessage ack = secagg_->handle_masked(msg);
+        return net::encode_frame(MessageType::kAck, ack.serialize());
+      }
+      case MessageType::kSecAggReveal: {
+        const auto req = net::SecAggRevealMessage::deserialize(frame.payload);
+        if (!auth_.verify(req.device_id, req.body(), req.auth_tag)) {
+          ++auth_failures_;
+          if (trace_)
+            trace_->event("auth_failed", {{"device", req.device_id},
+                                          {"message", "secagg_reveal"}});
+          const net::AckMessage nack{false, "authentication failed"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        if (!secagg_) {
+          const net::AckMessage nack{false, "secure aggregation disabled"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        const net::SecAggRevealMessage resp = secagg_->handle_reveal(req);
+        return net::encode_frame(MessageType::kSecAggReveal, resp.serialize());
+      }
       default: {
         ++malformed_;
         if (trace_) trace_->event("malformed_frame");
@@ -139,6 +190,107 @@ std::optional<CheckinResult> DeviceClient::run_cycle() {
   }
 
   ++cycles_;
+  return result;
+}
+
+SecAggDeviceClient::SecAggDeviceClient(Device& device,
+                                       DeviceClient::Exchange exchange,
+                                       Options options)
+    : device_(device),
+      exchange_(std::move(exchange)),
+      options_(std::move(options)) {}
+
+std::optional<SecAggDeviceClient::CycleResult> SecAggDeviceClient::offer_sample(
+    models::Sample s) {
+  device_.on_sample(std::move(s));
+  if (!device_.wants_checkout()) return std::nullopt;
+  return run_cycle();
+}
+
+bool SecAggDeviceClient::send_fallback(const net::CheckinMessage& msg) {
+  using net::MessageType;
+  const auto ack_frame =
+      exchange_(net::encode_frame(MessageType::kCheckin, msg.serialize()));
+  if (!ack_frame) return false;
+  try {
+    const net::Frame f = net::decode_frame(*ack_frame);
+    return f.type == MessageType::kAck &&
+           net::AckMessage::deserialize(f.payload).ok;
+  } catch (const net::CodecError&) {
+    return false;
+  }
+}
+
+std::optional<SecAggDeviceClient::CycleResult> SecAggDeviceClient::run_cycle() {
+  using net::MessageType;
+  if (!device_.wants_checkout()) return std::nullopt;
+  if (!device_.credentials()) return std::nullopt;  // must enroll first
+  device_.begin_checkout();
+
+  const auto fail = [&]() -> std::optional<CycleResult> {
+    ++failures_;
+    device_.on_checkout_failed();  // Remark 1: retry later
+    return std::nullopt;
+  };
+
+  // Checkout, exactly as the classic client.
+  net::CheckoutRequest req;
+  req.device_id = device_.id();
+  req.auth_tag = device_.credentials()->sign(req.body());
+  const auto params_frame = exchange_(
+      net::encode_frame(MessageType::kCheckoutRequest, req.serialize()));
+  if (!params_frame) return fail();
+  net::ParamsMessage params;
+  try {
+    const net::Frame f = net::decode_frame(*params_frame);
+    if (f.type != MessageType::kParams) return fail();
+    params = net::ParamsMessage::deserialize(f.payload);
+  } catch (const net::CodecError&) {
+    return fail();
+  }
+  if (!params.accepted) return fail();
+
+  // Masked contribution + pre-signed fallback; the buffer is consumed.
+  MaskedCheckinResult masked = device_.compute_checkin_masked(
+      params.w, params.version, options_.min_survivors);
+
+  CycleResult result;
+  result.batch_size = masked.batch_size;
+
+  secagg::RoundClientConfig rcfg;
+  rcfg.fleet_key = options_.fleet_key;
+  rcfg.max_polls = options_.max_polls;
+  rcfg.sleep_ms = options_.sleep_ms;
+  secagg::RoundClient round(rcfg, *device_.credentials(), exchange_);
+  const secagg::RoundResult rr = round.run(masked.contribution);
+  result.outcome = rr.outcome;
+  result.recovered = rr.recovered;
+  if (rr.recovered) ++recovered_;
+
+  switch (rr.outcome) {
+    case secagg::RoundOutcome::kApplied:
+      ++cycles_;
+      return result;
+    case secagg::RoundOutcome::kAborted:
+    case secagg::RoundOutcome::kNoCohort:
+      // The masked blob provably will not be applied (the round is dead,
+      // or it never left the device): re-release classically.
+      if (send_fallback(masked.fallback)) {
+        device_.charge_fallback(masked.batch_size);
+        ++fallbacks_;
+        result.fallback_sent = true;
+        if (options_.on_fallback) options_.on_fallback();
+        ++cycles_;
+      } else {
+        ++failures_;
+      }
+      return result;
+    case secagg::RoundOutcome::kFailed:
+      // The blob may be inside a live round; never double-send.
+      ++failures_;
+      return result;
+  }
+  ++failures_;
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "net/auth.hpp"
 #include "net/messages.hpp"
 #include "obs/trace.hpp"
+#include "secagg/cohort.hpp"
 
 namespace crowdml::core {
 
@@ -44,6 +45,14 @@ class ProtocolServer {
   net::Bytes handle(const net::Bytes& request_frame,
                     std::uint8_t* device_class = nullptr);
 
+  /// Attach the secure-aggregation cohort manager; frame types 11-13
+  /// (SecAggAssign/Masked/Reveal) dispatch to it after authentication.
+  /// Null (the default) nacks those frames with "secure aggregation
+  /// disabled" — no classic frame's bytes change either way (pinned by
+  /// tests/secagg_test.cpp's passthrough regression). Must outlive the
+  /// server.
+  void set_secagg(secagg::CohortManager* secagg) { secagg_ = secagg; }
+
   long long auth_failures() const { return auth_failures_; }
   long long malformed_frames() const { return malformed_; }
 
@@ -51,6 +60,7 @@ class ProtocolServer {
   Server& server_;
   net::AuthRegistry& auth_;
   obs::TraceSink* trace_;
+  secagg::CohortManager* secagg_ = nullptr;
   std::atomic<long long> auth_failures_{0};
   std::atomic<long long> malformed_{0};
 };
@@ -82,6 +92,63 @@ class DeviceClient {
   Exchange exchange_;
   long long cycles_ = 0;
   long long failures_ = 0;
+};
+
+/// Device-side secure-aggregation protocol driver (docs/PRIVACY.md
+/// "Secure aggregation"): the cohort-mode counterpart of DeviceClient.
+/// Each cycle checks out, computes a masked (cohort-scaled noise)
+/// contribution plus a pre-signed classic fallback, runs the
+/// secagg::RoundClient arc, and — when the round aborts or no cohort
+/// forms — transmits the fallback so the batch is never lost and the
+/// accountant charges the extra release honestly. A transport failure
+/// mid-round abandons the batch instead (the masked blob may still be
+/// inside a live round that completes; a fallback would double-count
+/// the minibatch in the model).
+class SecAggDeviceClient {
+ public:
+  struct Options {
+    /// Shared fleet masking key (devices only; see RoundClientConfig).
+    net::SecretKey fleet_key;
+    /// Must match the server's --secagg-min-survivors: it is the noise
+    /// divisor the cohort-scaled mechanism is allowed to assume.
+    std::size_t min_survivors = 2;
+    std::size_t max_polls = 200;
+    std::function<void(std::uint32_t)> sleep_ms;
+    /// Invoked once per fallback actually transmitted — wire
+    /// ReconnectingDeviceSession::note_secagg_fallback here so the
+    /// crowdml_net_secagg_fallbacks_total counter moves.
+    std::function<void()> on_fallback;
+  };
+
+  struct CycleResult {
+    secagg::RoundOutcome outcome = secagg::RoundOutcome::kFailed;
+    bool fallback_sent = false;
+    bool recovered = false;  ///< this device revealed recovery seeds
+    std::size_t batch_size = 0;
+  };
+
+  SecAggDeviceClient(Device& device, DeviceClient::Exchange exchange,
+                     Options options);
+
+  /// Feed one sample; when the minibatch is full, run a cohort cycle.
+  std::optional<CycleResult> offer_sample(models::Sample s);
+  std::optional<CycleResult> run_cycle();
+
+  long long cycles_completed() const { return cycles_; }
+  long long cycles_failed() const { return failures_; }
+  long long fallbacks_sent() const { return fallbacks_; }
+  long long rounds_recovered() const { return recovered_; }
+
+ private:
+  bool send_fallback(const net::CheckinMessage& msg);
+
+  Device& device_;
+  DeviceClient::Exchange exchange_;
+  Options options_;
+  long long cycles_ = 0;
+  long long failures_ = 0;
+  long long fallbacks_ = 0;
+  long long recovered_ = 0;
 };
 
 }  // namespace crowdml::core

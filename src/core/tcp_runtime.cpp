@@ -91,6 +91,7 @@ TcpCrowdServer::TcpCrowdServer(Server& server, net::AuthRegistry& auth,
                          "Whole request dispatch: decode, authenticate, "
                          "apply, encode",
                          obs::Provenance::kTiming)) {
+  protocol_.set_secagg(config_.secagg);
   auto listener = net::TcpListener::bind(config_.bind_address, config_.port);
   if (!listener) throw std::runtime_error("TcpCrowdServer: bind failed");
   listener_ = std::move(*listener);
@@ -266,6 +267,12 @@ bool ReconnectingDeviceSession::try_connect() {
   }
   ever_connected_ = true;
   return true;
+}
+
+void ReconnectingDeviceSession::note_secagg_fallback() {
+  ++secagg_fallbacks_;
+  if (counters_) ++counters_->secagg_fallbacks;
+  if (trace_) trace_->event("secagg_fallback", {{"device", device_id_}});
 }
 
 void ReconnectingDeviceSession::backoff(int attempt) {

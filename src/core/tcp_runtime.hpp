@@ -64,6 +64,10 @@ struct TcpServerConfig {
   /// update_applied, staleness, rejections). Null disables tracing. Must
   /// outlive the server.
   obs::TraceSink* trace = nullptr;
+  /// Secure-aggregation cohort manager (docs/PRIVACY.md); frame types
+  /// 11-13 dispatch to it after authentication. Null disables. Must
+  /// outlive the server.
+  secagg::CohortManager* secagg = nullptr;
 };
 
 class TcpCrowdServer {
@@ -215,6 +219,13 @@ class ReconnectingDeviceSession {
   /// Most recent pace hint seen on any success frame (ack or params);
   /// 0 until one arrives.
   int last_pace_hint_ms() const { return last_pace_hint_ms_; }
+  /// Record that this device abandoned a secure-aggregation round for
+  /// the classic LDP checkin (round aborted / no cohort). Called by the
+  /// device driver, not exchange() — the fallback decision lives above
+  /// the transport, but its count belongs with the session's transport
+  /// health (crowdml_net_secagg_fallbacks_total).
+  void note_secagg_fallback();
+  long long secagg_fallbacks() const { return secagg_fallbacks_; }
   /// The address currently targeted (the home address until a redirect).
   const std::string& current_host() const { return host_; }
   std::uint16_t current_port() const { return port_; }
@@ -242,6 +253,7 @@ class ReconnectingDeviceSession {
   long long retry_after_honored_ = 0;
   long long redirects_followed_ = 0;
   long long pace_hints_honored_ = 0;
+  long long secagg_fallbacks_ = 0;
   int last_pace_hint_ms_ = 0;
   /// Delay owed before the next exchange begins: a shed checkin's nack
   /// hint, or a pace-steering hint from a successful ack (the shed or

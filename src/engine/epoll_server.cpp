@@ -70,6 +70,7 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
   if (config_.checkin_batch_max == 0) config_.checkin_batch_max = 1;
   group_commit_ = std::move(config_.group_commit);
   set_checkin_redirect(config_.checkin_redirect);
+  protocol_.set_secagg(config_.secagg);
 
   // The board must hold a snapshot before any I/O thread can serve a
   // checkout from it.

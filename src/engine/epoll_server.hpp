@@ -121,6 +121,13 @@ struct EngineConfig {
   /// pre-coordinator path. Must outlive the engine; not compatible with
   /// route_checkin pools (the per-instance appliers own those clocks).
   coord::Coordinator* coordinator = nullptr;
+  /// Secure-aggregation cohort manager (docs/PRIVACY.md). Frame types
+  /// 11-13 (SecAggAssign/Masked/Reveal) dispatch to it after
+  /// authentication; completed cohorts are applied through the ordinary
+  /// checkin path (WAL'd as one synthetic cohort record). Null (the
+  /// default) disables secure aggregation: those frames are nacked and
+  /// every classic frame's bytes are unchanged. Must outlive the engine.
+  secagg::CohortManager* secagg = nullptr;
   /// Registry for engine instruments (null = obs::default_registry()).
   obs::MetricsRegistry* metrics = nullptr;
   /// Lifecycle + protocol trace events. Null disables.

@@ -46,6 +46,12 @@ void Writer::put_i64_vector(const std::vector<std::int64_t>& v) {
   for (std::int64_t d : v) put_i64(d);
 }
 
+void Writer::put_u64_vector(const std::vector<std::uint64_t>& v) {
+  if (v.size() > kMaxFieldLength) throw CodecError("u64 vector field too long");
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t d : v) put_u64(d);
+}
+
 void Reader::need(std::size_t n) const {
   if (remaining() < n) throw CodecError("truncated message");
 }
@@ -108,6 +114,15 @@ std::vector<std::int64_t> Reader::get_i64_vector() {
   need(static_cast<std::size_t>(n) * 8);
   std::vector<std::int64_t> out(n);
   for (std::uint32_t i = 0; i < n; ++i) out[i] = get_i64();
+  return out;
+}
+
+std::vector<std::uint64_t> Reader::get_u64_vector() {
+  const std::uint32_t n = get_u32();
+  if (n > kMaxFieldLength) throw CodecError("u64 vector length out of range");
+  need(static_cast<std::size_t>(n) * 8);
+  std::vector<std::uint64_t> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = get_u64();
   return out;
 }
 

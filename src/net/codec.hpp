@@ -33,6 +33,7 @@ class Writer {
   void put_string(const std::string& s);     // length-prefixed (u32)
   void put_vector(const linalg::Vector& v);  // length-prefixed (u32) f64s
   void put_i64_vector(const std::vector<std::int64_t>& v);
+  void put_u64_vector(const std::vector<std::uint64_t>& v);
 
   const Bytes& bytes() const { return buf_; }
   Bytes take() { return std::move(buf_); }
@@ -54,6 +55,7 @@ class Reader {
   std::string get_string();
   linalg::Vector get_vector();
   std::vector<std::int64_t> get_i64_vector();
+  std::vector<std::uint64_t> get_u64_vector();
 
   std::size_t remaining() const { return buf_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }

@@ -308,6 +308,174 @@ ReplVoteMessage ReplVoteMessage::deserialize(const Bytes& payload) {
   return m;
 }
 
+Bytes SecAggAssignMessage::body() const {
+  Writer w;
+  w.put_u8(1);  // request direction is part of what the tag covers
+  w.put_u64(device_id);
+  return w.take();
+}
+
+Bytes SecAggAssignMessage::serialize() const {
+  Writer w;
+  if (request) {
+    const Bytes b = body();
+    for (std::uint8_t byte : b) w.put_u8(byte);
+    put_digest(w, auth_tag);
+    return w.take();
+  }
+  w.put_u8(0);
+  w.put_u8(status);
+  w.put_u64(round_id);
+  w.put_u64_vector(roster);
+  w.put_u32(deadline_ms);
+  w.put_u32(min_survivors);
+  w.put_u32(retry_after_ms);
+  return w.take();
+}
+
+SecAggAssignMessage SecAggAssignMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  SecAggAssignMessage m;
+  m.request = r.get_u8() != 0;
+  if (m.request) {
+    m.device_id = r.get_u64();
+    m.auth_tag = get_digest(r);
+  } else {
+    m.status = r.get_u8();
+    if (m.status > kSecAggAssignFallback)
+      throw CodecError("unknown SecAggAssign status");
+    m.round_id = r.get_u64();
+    m.roster = r.get_u64_vector();
+    m.deadline_ms = r.get_u32();
+    m.min_survivors = r.get_u32();
+    m.retry_after_ms = r.get_u32();
+  }
+  if (!r.exhausted()) throw CodecError("trailing bytes in SecAggAssignMessage");
+  return m;
+}
+
+Bytes SecAggMaskedMessage::body() const {
+  Writer w;
+  w.put_u64(device_id);
+  w.put_u64(round_id);
+  w.put_u64(param_version);
+  w.put_i64(ns);
+  w.put_u64_vector(masked_g);
+  w.put_u64(masked_ne);
+  w.put_u64_vector(masked_ny);
+  return w.take();
+}
+
+Bytes SecAggMaskedMessage::serialize() const {
+  Writer w;
+  w.put_bytes(body());
+  put_digest(w, auth_tag);
+  return w.take();
+}
+
+SecAggMaskedMessage SecAggMaskedMessage::deserialize(const Bytes& payload) {
+  Reader outer(payload);
+  const Bytes b = outer.get_bytes();
+  const Digest tag = get_digest(outer);
+  if (!outer.exhausted())
+    throw CodecError("trailing bytes in SecAggMaskedMessage");
+
+  Reader r(b);
+  SecAggMaskedMessage m;
+  m.device_id = r.get_u64();
+  m.round_id = r.get_u64();
+  m.param_version = r.get_u64();
+  m.ns = r.get_i64();
+  m.masked_g = r.get_u64_vector();
+  m.masked_ne = r.get_u64();
+  m.masked_ny = r.get_u64_vector();
+  if (!r.exhausted())
+    throw CodecError("trailing bytes in SecAggMaskedMessage body");
+  m.auth_tag = tag;
+  return m;
+}
+
+Bytes SecAggRevealMessage::body() const {
+  Writer w;
+  w.put_u8(1);
+  w.put_u64(device_id);
+  w.put_u64(round_id);
+  w.put_u32(static_cast<std::uint32_t>(seeds.size()));
+  for (const SecAggSeedShare& s : seeds) {
+    w.put_u64(s.a);
+    w.put_u64(s.b);
+    put_digest(w, s.seed);
+  }
+  return w.take();
+}
+
+Bytes SecAggRevealMessage::serialize() const {
+  Writer w;
+  if (request) {
+    const Bytes b = body();
+    for (std::uint8_t byte : b) w.put_u8(byte);
+    put_digest(w, auth_tag);
+    return w.take();
+  }
+  w.put_u8(0);
+  w.put_u64(round_id);
+  w.put_u8(status);
+  w.put_u64_vector(dead);
+  w.put_u64_vector(survivors);
+  w.put_u32(retry_after_ms);
+  return w.take();
+}
+
+SecAggRevealMessage SecAggRevealMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  SecAggRevealMessage m;
+  m.request = r.get_u8() != 0;
+  if (m.request) {
+    m.device_id = r.get_u64();
+    m.round_id = r.get_u64();
+    const std::uint32_t n = r.get_u32();
+    if (n > kMaxFieldLength) throw CodecError("absurd SecAggReveal seed count");
+    m.seeds.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      SecAggSeedShare s;
+      s.a = r.get_u64();
+      s.b = r.get_u64();
+      s.seed = get_digest(r);
+      m.seeds.push_back(s);
+    }
+    m.auth_tag = get_digest(r);
+  } else {
+    m.round_id = r.get_u64();
+    m.status = r.get_u8();
+    if (m.status > kSecAggRoundAborted)
+      throw CodecError("unknown SecAggReveal status");
+    m.dead = r.get_u64_vector();
+    m.survivors = r.get_u64_vector();
+    m.retry_after_ms = r.get_u32();
+  }
+  if (!r.exhausted()) throw CodecError("trailing bytes in SecAggRevealMessage");
+  return m;
+}
+
+const char* message_type_name(std::uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kCheckoutRequest: return "CheckoutRequest";
+    case MessageType::kParams: return "Params";
+    case MessageType::kCheckin: return "Checkin";
+    case MessageType::kAck: return "Ack";
+    case MessageType::kReplHello: return "ReplHello";
+    case MessageType::kReplSnapshot: return "ReplSnapshot";
+    case MessageType::kReplAppend: return "ReplAppend";
+    case MessageType::kReplAck: return "ReplAck";
+    case MessageType::kReplHeartbeat: return "ReplHeartbeat";
+    case MessageType::kReplVote: return "ReplVote";
+    case MessageType::kSecAggAssign: return "SecAggAssign";
+    case MessageType::kSecAggMasked: return "SecAggMasked";
+    case MessageType::kSecAggReveal: return "SecAggReveal";
+  }
+  return nullptr;
+}
+
 namespace {
 constexpr const char kNotLeaderPrefix[] = "not leader; leader=";
 }

@@ -40,9 +40,22 @@ enum class MessageType : std::uint8_t {
   // docs/REPLICATION.md "Automatic failover semantics").
   kReplHeartbeat = 9,
   kReplVote = 10,
+  // Secure-aggregation cohort mode (src/secagg/; docs/PRIVACY.md
+  // "Secure aggregation"): devices submit pairwise-masked checkins the
+  // server can only read as a cohort sum.
+  kSecAggAssign = 11,
+  kSecAggMasked = 12,
+  kSecAggReveal = 13,
 };
 
-inline constexpr std::uint8_t kMaxMessageType = 10;
+inline constexpr std::uint8_t kMaxMessageType = 13;
+
+/// Human-readable name of a frame-type constant, or nullptr for a value
+/// outside [1, kMaxMessageType]. This is the registry the protocol_test
+/// frame-table guard walks: every type must have a name here AND a
+/// matching `N=Name` row in docs/PROTOCOL.md's framing table, so a new
+/// frame type cannot land without its documentation.
+const char* message_type_name(std::uint8_t type);
 
 /// Device-class id carried by checkout/checkin frames (pace steering;
 /// src/coord/). 0 = "default" / undeclared — and, critically, class 0 is
@@ -244,6 +257,105 @@ struct ReplVoteMessage {
 
   Bytes serialize() const;
   static ReplVoteMessage deserialize(const Bytes& payload);
+};
+
+// ---------------------------------------------------------------------
+// Secure-aggregation cohort mode (types 11-13; src/secagg/,
+// docs/PRIVACY.md "Secure aggregation"). All three ride the device port
+// and follow the classic request/response shape: the device sends an
+// authenticated request, the server answers with the same frame type
+// (Assign/Reveal, direction flagged like ReplVote) or a plain Ack
+// (Masked).
+
+/// Round status answered on a SecAggAssign response.
+enum : std::uint8_t {
+  kSecAggAssignPending = 0,   ///< cohort still forming; retry after hint
+  kSecAggAssignAssigned = 1,  ///< roster + round id attached
+  kSecAggAssignFallback = 2,  ///< no cohort will form; use a classic checkin
+};
+
+/// Round status answered on a SecAggReveal response.
+enum : std::uint8_t {
+  kSecAggRoundCollecting = 0,  ///< masked checkins still arriving; retry
+  kSecAggRoundComplete = 1,    ///< cohort sum applied; the device is done
+  kSecAggRoundRecovering = 2,  ///< dropouts declared; seed reveals wanted
+  kSecAggRoundAborted = 3,     ///< below min survivors; fall back to LDP
+};
+
+/// Cohort assignment (device <-> server, type 11). As a request:
+/// "assign me to a round" (authenticated — an unenrolled party cannot
+/// probe rosters). As a response: pending (come back in retry_after_ms),
+/// assigned (round id + sorted roster + ms until the round's deadline),
+/// or fallback (no cohort will form; do a classic LDP checkin).
+struct SecAggAssignMessage {
+  bool request = true;
+  std::uint64_t device_id = 0;  ///< request only (signed)
+  Digest auth_tag{};            ///< request only
+  std::uint8_t status = kSecAggAssignPending;   ///< response only
+  std::uint64_t round_id = 0;                   ///< response (assigned)
+  std::vector<std::uint64_t> roster;            ///< response: sorted ids
+  std::uint32_t deadline_ms = 0;    ///< response: ms until the round closes
+  std::uint32_t min_survivors = 0;  ///< response: the abort threshold
+  std::uint32_t retry_after_ms = 0; ///< response (pending)
+
+  Bytes body() const;  // the authenticated portion (request form)
+  Bytes serialize() const;
+  static SecAggAssignMessage deserialize(const Bytes& payload);
+};
+
+/// Masked checkin (device -> server, type 12; answered with an Ack).
+/// Gradient and counts are quantized to fixed point (secagg::quantize)
+/// and carried mod 2^64 with every pairwise mask added in, so the
+/// server can only recover the *cohort sum* once all masks cancel. `ns`
+/// stays public plaintext, exactly as in a classic Checkin (it carries
+/// no per-sample information). An ok Ack means "accepted into the
+/// round", NOT "applied" — application happens when the round's sum is
+/// unmaskable (docs/PRIVACY.md).
+struct SecAggMaskedMessage {
+  std::uint64_t device_id = 0;
+  std::uint64_t round_id = 0;
+  std::uint64_t param_version = 0;
+  std::int64_t ns = 0;  ///< minibatch size (public metadata)
+  std::vector<std::uint64_t> masked_g;   ///< fixed-point g^ + masks
+  std::uint64_t masked_ne = 0;           ///< two's-complement ne^ + masks
+  std::vector<std::uint64_t> masked_ny;  ///< two's-complement ny^ + masks
+  Digest auth_tag{};
+
+  Bytes body() const;
+  Bytes serialize() const;
+  static SecAggMaskedMessage deserialize(const Bytes& payload);
+};
+
+/// One revealed pairwise seed: the HMAC-derived PRG seed for the
+/// (a, b) mask pair of a round (a < b; see secagg::pairwise_seed).
+struct SecAggSeedShare {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  Digest seed{};
+};
+
+/// Round-status poll and seed recovery (device <-> server, type 13).
+/// As a request with empty `seeds`: "how did round_id end?". As a
+/// request with seeds: a surviving device reveals the pairwise seeds of
+/// declared-dead peers so the server can subtract their unmatched mask
+/// contributions. As a response: collecting (retry), complete,
+/// recovering (dead + survivor lists attached — compute and submit the
+/// (survivor, dead) seeds), or aborted (fall back to a classic LDP
+/// checkin).
+struct SecAggRevealMessage {
+  bool request = true;
+  std::uint64_t device_id = 0;  ///< request only (signed)
+  std::uint64_t round_id = 0;   ///< both directions
+  std::vector<SecAggSeedShare> seeds;  ///< request: revealed seeds
+  Digest auth_tag{};                   ///< request only
+  std::uint8_t status = kSecAggRoundCollecting;  ///< response only
+  std::vector<std::uint64_t> dead;       ///< response (recovering)
+  std::vector<std::uint64_t> survivors;  ///< response (recovering)
+  std::uint32_t retry_after_ms = 0;      ///< response (collecting)
+
+  Bytes body() const;  // the authenticated portion (request form)
+  Bytes serialize() const;
+  static SecAggRevealMessage deserialize(const Bytes& payload);
 };
 
 /// Checkin refusal from a read replica: "not leader; leader=<addr>".

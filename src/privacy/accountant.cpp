@@ -15,8 +15,34 @@ void PrivacyAccountant::record_checkin(std::size_t batch_samples) {
   samples_released_ += static_cast<long long>(batch_samples);
 }
 
+void PrivacyAccountant::record_cohort_checkin(std::size_t batch_samples,
+                                              double mask_noise_divisor) {
+  assert(batch_samples > 0);
+  assert(mask_noise_divisor >= 1.0);
+  ++checkins_;
+  ++cohort_checkins_;
+  samples_released_ += static_cast<long long>(batch_samples);
+  if (mask_noise_divisor > max_mask_divisor_)
+    max_mask_divisor_ = mask_noise_divisor;
+}
+
+void PrivacyAccountant::record_fallback_checkin(std::size_t batch_samples) {
+  assert(batch_samples > 0);
+  (void)batch_samples;  // already counted by record_cohort_checkin
+  ++checkins_;
+  ++fallback_checkins_;
+}
+
 double PrivacyAccountant::per_sample_epsilon() const {
   return budget_.per_sample_epsilon(num_classes_);
+}
+
+double PrivacyAccountant::per_sample_epsilon_if_unmasked() const {
+  double factor = 1.0;
+  if (cohort_checkins_ > 0 && max_mask_divisor_ > factor)
+    factor = max_mask_divisor_;
+  if (fallback_checkins_ > 0) factor += 1.0;
+  return per_sample_epsilon() * factor;
 }
 
 double PrivacyAccountant::sequential_epsilon() const {

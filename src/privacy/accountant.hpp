@@ -23,15 +23,44 @@ class PrivacyAccountant {
   /// computed from `batch_samples` fresh samples.
   void record_checkin(std::size_t batch_samples);
 
+  /// Record one *masked* checkin (secure-aggregation cohort mode,
+  /// docs/PRIVACY.md): the release carries cohort-scaled noise — its
+  /// mechanism epsilon was inflated by `mask_noise_divisor` (sqrt of the
+  /// round's min survivors) — but is only ever observable inside an
+  /// unmaskable cohort sum, so the honest-server per-sample epsilon is
+  /// unchanged. The divisor is retained for the if-unmasked bound.
+  void record_cohort_checkin(std::size_t batch_samples,
+                             double mask_noise_divisor);
+
+  /// Record the classic full-noise re-release of a batch whose masked
+  /// blob already left the device (an aborted round's fallback). The
+  /// samples were already counted by record_cohort_checkin; this charges
+  /// the additional release so sequential_epsilon() and the if-unmasked
+  /// bound stay honest.
+  void record_fallback_checkin(std::size_t batch_samples);
+
   /// Worst-case epsilon for any single sample (parallel composition across
-  /// disjoint minibatches): eps_g + eps_e + C * eps_y.
+  /// disjoint minibatches): eps_g + eps_e + C * eps_y. Cohort-mode
+  /// releases deliver the same bound against an honest-but-curious
+  /// server (the masked blob is never individually observable), so this
+  /// is identical in both modes — the accountant's lifetime budget is
+  /// never exceeded by switching modes.
   double per_sample_epsilon() const;
+
+  /// Worst-case per-sample epsilon if every masked blob this device ever
+  /// sent were unmasked (fleet-key compromise / full-cohort collusion):
+  /// a cohort batch degrades to eps * divisor, and a fallback batch to
+  /// eps * (divisor + 1) — the masked release plus the classic one.
+  /// Equals per_sample_epsilon() when no cohort release happened.
+  double per_sample_epsilon_if_unmasked() const;
 
   /// Sequential-composition bound over the device lifetime — meaningful
   /// only if minibatches could overlap; reported for auditability.
   double sequential_epsilon() const;
 
   long long checkins() const { return checkins_; }
+  long long cohort_checkins() const { return cohort_checkins_; }
+  long long fallback_checkins() const { return fallback_checkins_; }
   long long samples_released() const { return samples_released_; }
   const PrivacyBudget& budget() const { return budget_; }
 
@@ -39,7 +68,10 @@ class PrivacyAccountant {
   PrivacyBudget budget_;
   std::size_t num_classes_;
   long long checkins_ = 0;
+  long long cohort_checkins_ = 0;
+  long long fallback_checkins_ = 0;
   long long samples_released_ = 0;
+  double max_mask_divisor_ = 0.0;
 };
 
 }  // namespace crowdml::privacy

@@ -61,4 +61,10 @@ double laplace_noise_variance(double l1_sensitivity, double epsilon) {
   return 2.0 * scale * scale;
 }
 
+double cohort_scaled_epsilon(double epsilon, std::size_t min_survivors) {
+  if (std::isinf(epsilon)) return epsilon;
+  if (min_survivors < 1) min_survivors = 1;
+  return epsilon * std::sqrt(static_cast<double>(min_survivors));
+}
+
 }  // namespace crowdml::privacy

@@ -49,4 +49,15 @@ linalg::Vector sanitize_vector_gaussian(rng::Engine& eng, const linalg::Vector& 
 /// trade-off  E||g^||^2 = (1/b) E||g||^2 + 32 D / (b eps)^2  for S = 4/b.
 double laplace_noise_variance(double l1_sensitivity, double epsilon);
 
+/// Cohort-scaled mechanism epsilon for secure aggregation
+/// (docs/PRIVACY.md "Secure aggregation"): when at least `min_survivors`
+/// masked contributions are summed before anything becomes observable,
+/// each device may inflate its mechanism epsilon by sqrt(min_survivors)
+/// — m independent Laplace(S / (eps sqrt(m))) draws sum to variance
+/// m * 2 (S / (eps sqrt(m)))^2 = 2 (S/eps)^2, so the observable cohort
+/// sum still carries at least the noise of one full-epsilon release
+/// while each device contributes 1/m of the variance. Infinite epsilon
+/// passes through unchanged.
+double cohort_scaled_epsilon(double epsilon, std::size_t min_survivors);
+
 }  // namespace crowdml::privacy

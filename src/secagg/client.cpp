@@ -1,0 +1,198 @@
+#include "secagg/client.hpp"
+
+#include <utility>
+
+namespace crowdml::secagg {
+
+const char* round_outcome_name(RoundOutcome o) {
+  switch (o) {
+    case RoundOutcome::kApplied: return "applied";
+    case RoundOutcome::kAborted: return "aborted";
+    case RoundOutcome::kNoCohort: return "no_cohort";
+    case RoundOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+RoundClient::RoundClient(RoundClientConfig config, net::DeviceCredentials creds,
+                         Exchange exchange)
+    : config_(std::move(config)),
+      creds_(std::move(creds)),
+      exchange_(std::move(exchange)) {}
+
+std::optional<net::SecAggAssignMessage> RoundClient::poll_assign(
+    RoundResult& result) {
+  net::SecAggAssignMessage req;
+  req.request = true;
+  req.device_id = creds_.device_id;
+  req.auth_tag = creds_.sign(req.body());
+  const net::Bytes frame =
+      net::encode_frame(net::MessageType::kSecAggAssign, req.serialize());
+
+  for (std::size_t poll = 0; poll < config_.max_polls; ++poll) {
+    const auto reply = exchange_(frame);
+    if (!reply) {
+      result.error = "assign exchange failed";
+      return std::nullopt;
+    }
+    net::SecAggAssignMessage resp;
+    try {
+      const net::Frame f = net::decode_frame(*reply);
+      if (f.type != net::MessageType::kSecAggAssign) {
+        result.error = "unexpected assign response type";
+        return std::nullopt;
+      }
+      resp = net::SecAggAssignMessage::deserialize(f.payload);
+    } catch (const net::CodecError& e) {
+      result.error = std::string("malformed assign response: ") + e.what();
+      return std::nullopt;
+    }
+    switch (resp.status) {
+      case net::kSecAggAssignAssigned:
+        return resp;
+      case net::kSecAggAssignFallback:
+        result.outcome = RoundOutcome::kNoCohort;
+        return std::nullopt;
+      default:  // pending — honor the server's retry hint
+        if (config_.sleep_ms) config_.sleep_ms(resp.retry_after_ms);
+        break;
+    }
+  }
+  result.error = "assign poll budget exhausted";
+  return std::nullopt;
+}
+
+net::SecAggMaskedMessage RoundClient::build_masked(
+    const MaskedContribution& c, const net::SecAggAssignMessage& assign) {
+  // Words layout must match CohortManager::complete_locked: [g | ne | ny].
+  std::vector<std::uint64_t> words;
+  words.reserve(c.g.size() + 1 + c.ny.size());
+  words.insert(words.end(), c.g.begin(), c.g.end());
+  words.push_back(c.ne);
+  words.insert(words.end(), c.ny.begin(), c.ny.end());
+  mask_against_roster(words, config_.fleet_key, creds_.device_id,
+                      assign.roster, assign.round_id);
+
+  net::SecAggMaskedMessage msg;
+  msg.device_id = creds_.device_id;
+  msg.round_id = assign.round_id;
+  msg.param_version = c.param_version;
+  msg.ns = c.ns;
+  msg.masked_g.assign(words.begin(),
+                      words.begin() + static_cast<std::ptrdiff_t>(c.g.size()));
+  msg.masked_ne = words[c.g.size()];
+  msg.masked_ny.assign(words.begin() +
+                           static_cast<std::ptrdiff_t>(c.g.size() + 1),
+                       words.end());
+  msg.auth_tag = creds_.sign(msg.body());
+  return msg;
+}
+
+std::optional<net::SecAggRevealMessage> RoundClient::exchange_reveal(
+    const net::SecAggRevealMessage& req) {
+  const auto reply = exchange_(
+      net::encode_frame(net::MessageType::kSecAggReveal, req.serialize()));
+  if (!reply) return std::nullopt;
+  try {
+    const net::Frame f = net::decode_frame(*reply);
+    if (f.type != net::MessageType::kSecAggReveal) return std::nullopt;
+    return net::SecAggRevealMessage::deserialize(f.payload);
+  } catch (const net::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+RoundResult RoundClient::run(const MaskedContribution& contribution) {
+  RoundResult result;
+
+  const auto assign = poll_assign(result);
+  if (!assign) return result;  // outcome/error already set
+  result.round_id = assign->round_id;
+
+  // Submit the masked blob. An ok ack means "accepted into the round".
+  const net::SecAggMaskedMessage masked = build_masked(contribution, *assign);
+  const auto ack_reply = exchange_(
+      net::encode_frame(net::MessageType::kSecAggMasked, masked.serialize()));
+  if (!ack_reply) {
+    result.error = "masked exchange failed";
+    return result;
+  }
+  try {
+    const net::Frame f = net::decode_frame(*ack_reply);
+    if (f.type != net::MessageType::kAck) {
+      result.error = "unexpected masked response type";
+      return result;
+    }
+    const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+    if (!ack.ok) {
+      result.error = "masked checkin refused: " + ack.reason;
+      return result;
+    }
+  } catch (const net::CodecError& e) {
+    result.error = std::string("malformed masked response: ") + e.what();
+    return result;
+  }
+
+  // Poll the round status until it resolves, revealing seeds if asked.
+  for (std::size_t poll = 0; poll < config_.max_polls; ++poll) {
+    net::SecAggRevealMessage req;
+    req.request = true;
+    req.device_id = creds_.device_id;
+    req.round_id = assign->round_id;
+    req.auth_tag = creds_.sign(req.body());
+    const auto resp = exchange_reveal(req);
+    if (!resp) {
+      result.error = "reveal exchange failed";
+      return result;
+    }
+    switch (resp->status) {
+      case net::kSecAggRoundComplete:
+        result.outcome = RoundOutcome::kApplied;
+        return result;
+      case net::kSecAggRoundAborted:
+        result.outcome = RoundOutcome::kAborted;
+        return result;
+      case net::kSecAggRoundRecovering: {
+        // Any fleet-key holder can derive any pairwise seed, so one
+        // revealer suffices: submit every (survivor, dead) seed at once.
+        net::SecAggRevealMessage reveal;
+        reveal.request = true;
+        reveal.device_id = creds_.device_id;
+        reveal.round_id = assign->round_id;
+        for (const std::uint64_t s : resp->survivors) {
+          for (const std::uint64_t d : resp->dead) {
+            net::SecAggSeedShare share;
+            share.a = s;
+            share.b = d;
+            share.seed =
+                pairwise_seed(config_.fleet_key, s, d, assign->round_id);
+            reveal.seeds.push_back(share);
+          }
+        }
+        reveal.auth_tag = creds_.sign(reveal.body());
+        result.recovered = true;
+        const auto after = exchange_reveal(reveal);
+        if (!after) {
+          result.error = "seed reveal exchange failed";
+          return result;
+        }
+        if (after->status == net::kSecAggRoundComplete) {
+          result.outcome = RoundOutcome::kApplied;
+          return result;
+        }
+        if (after->status == net::kSecAggRoundAborted) {
+          result.outcome = RoundOutcome::kAborted;
+          return result;
+        }
+        break;  // still recovering/collecting — keep polling
+      }
+      default:  // collecting — wait for peers
+        if (config_.sleep_ms) config_.sleep_ms(resp->retry_after_ms);
+        break;
+    }
+  }
+  result.error = "status poll budget exhausted";
+  return result;
+}
+
+}  // namespace crowdml::secagg

@@ -1,0 +1,90 @@
+// Device-side secure-aggregation round arc (docs/PRIVACY.md
+// "Secure aggregation").
+//
+// RoundClient drives one cohort round over any exchange function
+// (in-process call, channel pump, or TCP connection): poll for a cohort
+// assignment, mask the device's quantized contribution against the
+// sealed roster, submit it, then poll the round status — revealing
+// (survivor, dead) pairwise seeds if the server declares the round
+// recovering. The client never touches core::Device; it operates on a
+// plain MaskedContribution so the secagg module depends only on net/rng
+// and core can depend on secagg without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/auth.hpp"
+#include "net/messages.hpp"
+#include "secagg/mask.hpp"
+
+namespace crowdml::secagg {
+
+/// A device's sanitized (cohort-scaled noise), fixed-point-quantized
+/// contribution *before* pairwise masking. Produced by
+/// core::Device::compute_checkin_masked; consumed by RoundClient.
+struct MaskedContribution {
+  std::uint64_t param_version = 0;
+  std::int64_t ns = 0;                ///< plaintext batch size (public)
+  std::vector<std::uint64_t> g;       ///< quantized noisy gradient
+  std::uint64_t ne = 0;               ///< encoded noisy error count
+  std::vector<std::uint64_t> ny;      ///< encoded noisy label counts
+};
+
+enum class RoundOutcome : std::uint8_t {
+  kApplied,   ///< round completed; the cohort sum was applied
+  kAborted,   ///< round aborted below min survivors — fall back to LDP
+  kNoCohort,  ///< server told us to fall back before a cohort formed
+  kFailed,    ///< transport failure / poll budget exhausted / nack
+};
+
+const char* round_outcome_name(RoundOutcome o);
+
+struct RoundResult {
+  RoundOutcome outcome = RoundOutcome::kFailed;
+  bool recovered = false;  ///< we submitted seed reveals for dropouts
+  std::uint64_t round_id = 0;
+  std::string error;  ///< diagnostic for kFailed
+};
+
+struct RoundClientConfig {
+  /// Shared fleet masking key — distributed to devices out of band; the
+  /// server never holds it (docs/PRIVACY.md threat model).
+  net::SecretKey fleet_key;
+  /// Bound on assign + status polls before giving up (each poll honors
+  /// the server's retry_after_ms hint via `sleep_ms`).
+  std::size_t max_polls = 200;
+  /// Injectable sleep between polls; null = busy poll (tests).
+  std::function<void(std::uint32_t)> sleep_ms;
+};
+
+class RoundClient {
+ public:
+  /// Sends a request frame, returns the response frame (nullopt =
+  /// network failure). Same contract as core::DeviceClient::Exchange.
+  using Exchange = std::function<std::optional<net::Bytes>(const net::Bytes&)>;
+
+  RoundClient(RoundClientConfig config, net::DeviceCredentials creds,
+              Exchange exchange);
+
+  /// Run one full round arc with this contribution. The contribution is
+  /// consumed (its words are masked in place in a local copy; the masked
+  /// blob leaves the device exactly once).
+  RoundResult run(const MaskedContribution& contribution);
+
+ private:
+  std::optional<net::SecAggAssignMessage> poll_assign(RoundResult& result);
+  net::SecAggMaskedMessage build_masked(const MaskedContribution& c,
+                                        const net::SecAggAssignMessage& assign);
+  std::optional<net::SecAggRevealMessage> exchange_reveal(
+      const net::SecAggRevealMessage& req);
+
+  RoundClientConfig config_;
+  net::DeviceCredentials creds_;
+  Exchange exchange_;
+};
+
+}  // namespace crowdml::secagg

@@ -1,0 +1,80 @@
+#include "secagg/mask.hpp"
+
+#include <cmath>
+
+namespace crowdml::secagg {
+
+std::uint64_t quantize(double v) {
+  if (std::isnan(v)) v = kFixedPointMax;
+  if (v > kFixedPointMax) v = kFixedPointMax;
+  if (v < -kFixedPointMax) v = -kFixedPointMax;
+  const double scaled = v * kFixedPointScale;
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+double dequantize(std::uint64_t sum) {
+  return static_cast<double>(static_cast<std::int64_t>(sum)) / kFixedPointScale;
+}
+
+net::Digest pairwise_seed(const std::vector<std::uint8_t>& fleet_key,
+                          std::uint64_t a, std::uint64_t b,
+                          std::uint64_t round_id) {
+  if (a > b) std::swap(a, b);
+  net::Writer w;
+  w.put_u64(a);
+  w.put_u64(b);
+  w.put_u64(round_id);
+  return net::hmac_sha256(fleet_key, w.bytes());
+}
+
+namespace {
+
+// Seed a deterministic engine from the digest: fold the 32 digest bytes
+// into one splitmix state (every byte influences the stream).
+rng::Engine engine_from_digest(const net::Digest& seed) {
+  std::uint64_t s = 0x6a09e667f3bcc908ULL;
+  for (std::size_t i = 0; i < seed.size(); i += 8) {
+    std::uint64_t word = 0;
+    for (std::size_t j = 0; j < 8; ++j)
+      word |= static_cast<std::uint64_t>(seed[i + j]) << (8 * j);
+    s ^= word;
+    rng::splitmix64(s);
+  }
+  return rng::Engine(s);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> mask_stream(const net::Digest& seed,
+                                       std::size_t n) {
+  rng::Engine eng = engine_from_digest(seed);
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = eng();
+  return out;
+}
+
+void apply_pair_mask(std::vector<std::uint64_t>& words,
+                     const net::Digest& seed, bool add) {
+  rng::Engine eng = engine_from_digest(seed);
+  for (std::uint64_t& w : words) {
+    const std::uint64_t m = eng();
+    w = add ? w + m : w - m;  // mod 2^64 by construction
+  }
+}
+
+void mask_against_roster(std::vector<std::uint64_t>& words,
+                         const std::vector<std::uint8_t>& fleet_key,
+                         std::uint64_t device_id,
+                         const std::vector<std::uint64_t>& roster,
+                         std::uint64_t round_id) {
+  for (std::uint64_t peer : roster) {
+    if (peer == device_id) continue;
+    const net::Digest seed =
+        pairwise_seed(fleet_key, device_id, peer, round_id);
+    // Sign convention: the lower id adds, the higher id subtracts, so
+    // each pair's stream cancels exactly once in the cohort sum.
+    apply_pair_mask(words, seed, /*add=*/device_id < peer);
+  }
+}
+
+}  // namespace crowdml::secagg

@@ -1,0 +1,90 @@
+// Pairwise-cancelling masks and fixed-point encoding for secure
+// aggregation (docs/PRIVACY.md "Secure aggregation").
+//
+// Every value a device contributes to a cohort sum is quantized to a
+// fixed-point int64 and carried mod 2^64, because mask cancellation must
+// be *exact*: floating-point addition is not associative, but unsigned
+// wrap-around addition is, so
+//
+//   sum_i (x_i + sum_{j != i} sign(i,j) * stream(s_ij))  ==  sum_i x_i
+//
+// holds bit-for-bit whenever every pair's stream appears once with each
+// sign. The pair (i, j) shares the seed
+//
+//   s_ij = HMAC-SHA256(fleet_key, min(i,j) || max(i,j) || round_id)
+//
+// derived from a fleet masking key distributed to devices out-of-band
+// and never held by the (honest-but-curious) server; the lower-id
+// member adds the stream, the higher-id member subtracts it. Because
+// the seed is derivable by *any* fleet-key holder, dropout recovery
+// needs only one surviving revealer per round — and, symmetrically, a
+// server that obtains the fleet key (or colludes with a cohort member)
+// can unmask everything; the threat model is documented in
+// docs/PRIVACY.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/sha256.hpp"
+#include "rng/engine.hpp"
+
+namespace crowdml::secagg {
+
+/// Fixed-point scale: values are rounded to multiples of 2^-20
+/// (~1e-6 resolution — far below the Laplace noise floor at any finite
+/// epsilon), leaving 2^43 whole units of headroom before an int64 sum
+/// of a 2^20-member cohort could wrap.
+inline constexpr double kFixedPointScale = 1048576.0;  // 2^20
+
+/// Magnitudes above this saturate instead of wrapping (a hostile or
+/// non-finite input must not silently alias to a small value).
+inline constexpr double kFixedPointMax = 8.0e12;
+
+/// Quantize to fixed point; the int64 result is carried as its
+/// two's-complement u64 so modular masking applies. Non-finite input
+/// saturates to the clamp bound.
+std::uint64_t quantize(double v);
+
+/// Invert quantize on an (unmasked) modular sum.
+double dequantize(std::uint64_t sum);
+
+/// Counts are masked at unit scale (no fixed-point factor).
+inline std::uint64_t encode_count(std::int64_t n) {
+  return static_cast<std::uint64_t>(n);
+}
+inline std::int64_t decode_count(std::uint64_t sum) {
+  return static_cast<std::int64_t>(sum);
+}
+
+/// The pairwise PRG seed for cohort members a and b in `round_id`.
+/// Symmetric (argument order is normalized internally), so both ends of
+/// a pair — and any fleet-key-holding revealer — derive the same seed.
+net::Digest pairwise_seed(const std::vector<std::uint8_t>& fleet_key,
+                          std::uint64_t a, std::uint64_t b,
+                          std::uint64_t round_id);
+
+/// Deterministic PRG expansion of a pairwise seed into `n` mask words
+/// (xoshiro256++ seeded from the digest; identical on every caller).
+std::vector<std::uint64_t> mask_stream(const net::Digest& seed,
+                                       std::size_t n);
+
+/// Add (add = true) or subtract the pair's mask stream into `words`,
+/// mod 2^64. The lower-id member of a pair adds, the higher-id member
+/// subtracts — see apply_pair_mask's call sites and docs/PRIVACY.md.
+void apply_pair_mask(std::vector<std::uint64_t>& words,
+                     const net::Digest& seed, bool add);
+
+/// Mask one device's contribution in place: for every roster peer
+/// j != device_id, derive the (device_id, j) seed and apply the stream
+/// with the sign convention above. `words` is the concatenation the
+/// cohort sums element-wise (the caller fixes the layout; see
+/// secagg::pack_masked / CohortManager).
+void mask_against_roster(std::vector<std::uint64_t>& words,
+                         const std::vector<std::uint8_t>& fleet_key,
+                         std::uint64_t device_id,
+                         const std::vector<std::uint64_t>& roster,
+                         std::uint64_t round_id);
+
+}  // namespace crowdml::secagg

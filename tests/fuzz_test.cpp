@@ -115,6 +115,99 @@ TEST(Fuzz, ProtocolServerAlwaysAnswersGarbage) {
   EXPECT_EQ(server.version(), 0u);  // nothing got through
 }
 
+TEST(Fuzz, SecAggDeserializersNeverCrash) {
+  rng::Engine eng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const net::Bytes b = random_bytes(eng, 160);
+    EXPECT_NO_FATAL_FAILURE({
+      try {
+        (void)net::SecAggAssignMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::SecAggMaskedMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::SecAggRevealMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+    });
+  }
+}
+
+TEST(Fuzz, MutatedSecAggPayloadsHandledGracefully) {
+  // Start from valid payloads of all three secagg codecs and mutate
+  // them three ways — truncate, corrupt a byte, duplicate trailing
+  // bytes. The deserializer must either throw CodecError or parse;
+  // never crash, hang, or over-read.
+  rng::Engine eng(10);
+
+  net::SecAggAssignMessage assign;
+  assign.request = false;
+  assign.status = net::kSecAggAssignAssigned;
+  assign.round_id = 7;
+  assign.roster = {1, 2, 3, 4};
+  assign.deadline_ms = 900;
+  assign.min_survivors = 2;
+
+  net::SecAggMaskedMessage masked;
+  masked.device_id = 2;
+  masked.round_id = 7;
+  masked.param_version = 5;
+  masked.ns = 4;
+  masked.masked_g = {11, 22, 33};
+  masked.masked_ne = 44;
+  masked.masked_ny = {55, 66};
+
+  net::SecAggRevealMessage reveal;
+  reveal.request = true;
+  reveal.device_id = 2;
+  reveal.round_id = 7;
+  reveal.seeds.push_back({1, 4, net::Digest{}});
+
+  const net::Bytes payloads[] = {assign.serialize(), masked.serialize(),
+                                 reveal.serialize()};
+  for (const net::Bytes& valid : payloads) {
+    for (int i = 0; i < 3000; ++i) {
+      net::Bytes mutated = valid;
+      switch (rng::uniform_index(eng, 3)) {
+        case 0:  // truncate at a random point
+          mutated.resize(rng::uniform_index(eng, mutated.size() + 1));
+          break;
+        case 1: {  // corrupt one byte
+          const std::size_t pos = rng::uniform_index(eng, mutated.size());
+          mutated[pos] ^=
+              static_cast<std::uint8_t>(1 + rng::uniform_index(eng, 255));
+          break;
+        }
+        default: {  // duplicate a trailing slice
+          const std::size_t n =
+              rng::uniform_index(eng, std::min<std::size_t>(16, mutated.size())) + 1;
+          const net::Bytes tail(mutated.end() - static_cast<std::ptrdiff_t>(n),
+                                mutated.end());
+          mutated.insert(mutated.end(), tail.begin(), tail.end());
+          break;
+        }
+      }
+      EXPECT_NO_FATAL_FAILURE({
+        try {
+          (void)net::SecAggAssignMessage::deserialize(mutated);
+        } catch (const net::CodecError&) {
+        }
+        try {
+          (void)net::SecAggMaskedMessage::deserialize(mutated);
+        } catch (const net::CodecError&) {
+        }
+        try {
+          (void)net::SecAggRevealMessage::deserialize(mutated);
+        } catch (const net::CodecError&) {
+        }
+      });
+    }
+  }
+}
+
 TEST(Fuzz, CsvReaderNeverCrashesOnRandomText) {
   rng::Engine eng(5);
   const std::string charset = "0123456789.,-+eE\nabcxyz ";

@@ -1,6 +1,11 @@
-// Tests for the protocol boundary: framed dispatch, authentication, and
-// the DeviceClient cycle (in-process, no sockets).
+// Tests for the protocol boundary: framed dispatch, authentication, the
+// DeviceClient cycle (in-process, no sockets), and the frame-type
+// registry guard that keeps code and docs/PROTOCOL.md in lockstep.
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
 
 #include "core/protocol.hpp"
 #include "models/logistic_regression.hpp"
@@ -51,6 +56,35 @@ struct Harness {
 };
 
 }  // namespace
+
+// Frame-type registry guard: every constant in [1, kMaxMessageType] must
+// have a unique human-readable name, values outside the range must have
+// none, and docs/PROTOCOL.md's framing table must carry a matching
+// `N=Name` row — a new frame type cannot land without its documentation.
+TEST(Protocol, FrameTypeRegistryIsCompleteUniqueAndDocumented) {
+  std::set<std::string> names;
+  for (std::uint8_t t = 1; t <= net::kMaxMessageType; ++t) {
+    const char* name = net::message_type_name(t);
+    ASSERT_NE(name, nullptr) << "type " << int(t) << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate frame-type name " << name;
+  }
+  EXPECT_EQ(net::message_type_name(0), nullptr);
+  EXPECT_EQ(net::message_type_name(net::kMaxMessageType + 1), nullptr);
+  EXPECT_EQ(net::message_type_name(0xFF), nullptr);
+
+  std::ifstream doc(std::string(CROWDML_SOURCE_DIR) + "/docs/PROTOCOL.md");
+  ASSERT_TRUE(doc.is_open()) << "docs/PROTOCOL.md missing";
+  std::stringstream buf;
+  buf << doc.rdbuf();
+  const std::string text = buf.str();
+  for (std::uint8_t t = 1; t <= net::kMaxMessageType; ++t) {
+    const std::string row =
+        std::to_string(int(t)) + "=" + net::message_type_name(t);
+    EXPECT_NE(text.find(row), std::string::npos)
+        << "docs/PROTOCOL.md framing table is missing a `" << row << "` row";
+  }
+}
 
 TEST(Protocol, FullCycleAdvancesServer) {
   Harness h;

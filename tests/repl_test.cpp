@@ -240,8 +240,8 @@ TEST(ReplMessages, FrameTypeBoundsEnforced) {
       net::encode_frame(net::MessageType::kReplAck,
                         net::ReplAckMessage{}.serialize());
   EXPECT_EQ(net::decode_frame(ok).type, net::MessageType::kReplAck);
-  const net::Bytes bad =
-      net::encode_frame(static_cast<net::MessageType>(11), {});
+  const net::Bytes bad = net::encode_frame(
+      static_cast<net::MessageType>(net::kMaxMessageType + 1), {});
   EXPECT_THROW(net::decode_frame(bad), net::CodecError);
 }
 

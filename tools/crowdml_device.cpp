@@ -8,6 +8,12 @@
 //       [--minibatch 10] [--epsilon 10] [--passes 1] [--classes 10]
 //       [--io-deadline-ms 5000] [--connect-timeout-ms 2000]
 //       [--max-attempts 8] [--backoff-max-ms 2000]
+//       [--secagg-cohort N --secagg-key-file fleet.key]  # cohort mode:
+//                                  # pairwise-masked checkins with
+//                                  # cohort-scaled noise; falls back to
+//                                  # classic LDP when a round aborts
+//                                  # (docs/PRIVACY.md)
+//       [--secagg-min-survivors N] # must match the server's value
 //
 // Features are L1-normalized on ingest (the privacy precondition).
 //
@@ -15,8 +21,11 @@
 // restarting server is retried with capped exponential backoff (checkouts
 // replayed freely, checkins abandoned — never replayed), so the device
 // survives a server crash-and-recover window without operator help.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "core/tcp_runtime.hpp"
 #include "data/dataset.hpp"
@@ -41,6 +50,21 @@ net::DeviceCredentials parse_key(const std::string& spec) {
     cred.key.push_back(
         static_cast<std::uint8_t>(std::stoul(hex.substr(i, 2), nullptr, 16)));
   return cred;
+}
+
+net::SecretKey parse_hex_key_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read --secagg-key-file " + path);
+  std::string hex;
+  in >> hex;
+  if (hex.empty() || hex.size() % 2 != 0)
+    throw std::runtime_error("--secagg-key-file must hold an even-length "
+                             "hex key");
+  net::SecretKey key;
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    key.push_back(
+        static_cast<std::uint8_t>(std::stoul(hex.substr(i, 2), nullptr, 16)));
+  return key;
 }
 
 }  // namespace
@@ -85,27 +109,62 @@ int main(int argc, char** argv) {
     core::ReconnectingDeviceSession session(
         host, port, rp, rng::Engine(static_cast<std::uint64_t>(seed) ^ 0xD1CE),
         /*counters=*/nullptr, /*trace=*/nullptr, device.id());
-    core::DeviceClient client(device, session.as_exchange());
+
+    const tools::SecAggFlags secf = tools::parse_secagg_flags(flags);
+    if (!secf.error.empty()) throw std::runtime_error(secf.error);
+    if (secf.enabled && secf.key_file.empty())
+      throw std::runtime_error(
+          "--secagg-cohort requires --secagg-key-file (the fleet masking "
+          "key; ask your fleet operator, never the server)");
 
     const auto passes = flags.get_int("passes", 1);
     long long cycles = 0;
-    for (long long p = 0; p < passes; ++p)
-      for (const auto& s : samples)
-        if (client.offer_sample(s)) ++cycles;
 
-    std::printf("device %llu: streamed %zu samples x %lld passes, "
-                "%lld checkins (%lld failed)\n",
-                static_cast<unsigned long long>(device.id()), samples.size(),
-                passes, cycles, client.cycles_failed());
-    std::printf("per-sample epsilon: %.3f over %lld checkins\n",
-                device.accountant().per_sample_epsilon(),
-                device.accountant().checkins());
+    if (secf.enabled) {
+      core::SecAggDeviceClient::Options sopts;
+      sopts.fleet_key = parse_hex_key_file(secf.key_file);
+      sopts.min_survivors = static_cast<std::size_t>(secf.min_survivors);
+      sopts.sleep_ms = [](std::uint32_t ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      };
+      sopts.on_fallback = [&session] { session.note_secagg_fallback(); };
+      core::SecAggDeviceClient client(device, session.as_exchange(), sopts);
+      for (long long p = 0; p < passes; ++p)
+        for (const auto& s : samples)
+          if (client.offer_sample(s)) ++cycles;
+      std::printf("device %llu: streamed %zu samples x %lld passes, "
+                  "%lld cohort checkins (%lld failed, %lld fallbacks, "
+                  "%lld rounds recovered)\n",
+                  static_cast<unsigned long long>(device.id()), samples.size(),
+                  passes, cycles, client.cycles_failed(),
+                  client.fallbacks_sent(), client.rounds_recovered());
+      std::printf("per-sample epsilon: %.3f honest-server / %.3f if every "
+                  "mask were stripped, over %lld checkins (%lld cohort, "
+                  "%lld fallback)\n",
+                  device.accountant().per_sample_epsilon(),
+                  device.accountant().per_sample_epsilon_if_unmasked(),
+                  device.accountant().checkins(),
+                  device.accountant().cohort_checkins(),
+                  device.accountant().fallback_checkins());
+    } else {
+      core::DeviceClient client(device, session.as_exchange());
+      for (long long p = 0; p < passes; ++p)
+        for (const auto& s : samples)
+          if (client.offer_sample(s)) ++cycles;
+      std::printf("device %llu: streamed %zu samples x %lld passes, "
+                  "%lld checkins (%lld failed)\n",
+                  static_cast<unsigned long long>(device.id()), samples.size(),
+                  passes, cycles, client.cycles_failed());
+      std::printf("per-sample epsilon: %.3f over %lld checkins\n",
+                  device.accountant().per_sample_epsilon(),
+                  device.accountant().checkins());
+    }
     std::printf("transport: %lld reconnects, %lld retries, %lld timeouts, "
                 "%lld checkins abandoned, %lld redirects followed, "
-                "%lld pace hints honored\n",
+                "%lld pace hints honored, %lld secagg fallbacks\n",
                 session.reconnects(), session.retries(), session.timeouts(),
                 session.checkins_abandoned(), session.redirects_followed(),
-                session.pace_hints_honored());
+                session.pace_hints_honored(), session.secagg_fallbacks());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "crowdml-device: %s\n", e.what());

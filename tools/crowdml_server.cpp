@@ -37,6 +37,12 @@
 //       [--coord-max-hint-ms N]               # hint clamp ceiling (30000)
 //       [--coord-init-rate N]                 # assumed checkins/s before
 //                                             # the first measured commit
+//       [--secagg-cohort N]                   # secure-aggregation cohort
+//                                             # size (0/absent = off;
+//                                             # docs/PRIVACY.md)
+//       [--secagg-min-survivors N]            # abort threshold (default 2)
+//       [--secagg-round-timeout-ms N]         # collect/reveal deadline
+//                                             # (default 2000)
 //       [--role leader|follower]              # replication role (default
 //                                             # leader; docs/REPLICATION.md)
 //       [--leader-addr host:port]             # follower: the leader's
@@ -106,6 +112,7 @@
 #include "replica/epoch.hpp"
 #include "replica/follower.hpp"
 #include "replica/log_shipper.hpp"
+#include "secagg/cohort.hpp"
 #include "store/durable_store.hpp"
 #include "tools/flags.hpp"
 
@@ -151,6 +158,35 @@ int main(int argc, char** argv) {
   if (!coordf.error.empty()) {
     std::fprintf(stderr, "crowdml-server: %s\n", coordf.error.c_str());
     return 1;
+  }
+  const tools::SecAggFlags secf = tools::parse_secagg_flags(flags);
+  if (!secf.error.empty()) {
+    std::fprintf(stderr, "crowdml-server: %s\n", secf.error.c_str());
+    return 1;
+  }
+  if (secf.enabled) {
+    if (!secf.key_file.empty()) {
+      // The whole threat model rests on the server never holding the
+      // fleet masking key (docs/PRIVACY.md) — refuse loudly rather than
+      // let an operator paste the device command line onto the server.
+      std::fprintf(stderr,
+                   "crowdml-server: --secagg-key-file is a device flag; the "
+                   "server must never hold the fleet masking key\n");
+      return 1;
+    }
+    if (flags.get("role", "leader") == "follower") {
+      std::fprintf(stderr,
+                   "crowdml-server: --secagg-cohort is a leader feature (a "
+                   "follower refuses checkins, so it cannot apply cohort "
+                   "sums)\n");
+      return 1;
+    }
+    if (flags.get_int("model-instances", 1) != 1) {
+      std::fprintf(stderr,
+                   "crowdml-server: --secagg-cohort requires "
+                   "--model-instances 1 (cohort sums apply to one model)\n");
+      return 1;
+    }
   }
   const bool is_follower = repl.role == "follower";
   const auto model_instances = static_cast<std::size_t>(
@@ -347,6 +383,26 @@ int main(int argc, char** argv) {
   // follower's on_applied republishes the epoll snapshot board.
   // Declared before the engines: the coordinator must outlive the epoll
   // server that steers through it (reverse destruction order).
+  // Secure-aggregation cohort manager (docs/PRIVACY.md): completed
+  // cohorts apply through the ordinary checkin path, so the WAL records
+  // one synthetic cohort checkin per round and recovery is unchanged.
+  // Declared before the engines (it must outlive them).
+  std::unique_ptr<secagg::CohortManager> cohort;
+  if (secf.enabled) {
+    secagg::CohortConfig scfg;
+    scfg.cohort_size = static_cast<std::size_t>(secf.cohort);
+    scfg.min_survivors = static_cast<std::size_t>(secf.min_survivors);
+    scfg.round_timeout_ms = secf.round_timeout_ms;
+    scfg.param_dim = cfg.param_dim;
+    scfg.num_classes = cfg.num_classes;
+    scfg.metrics = &obs::default_registry();
+    scfg.trace = trace.get();
+    cohort = std::make_unique<secagg::CohortManager>(
+        scfg, [&server](const net::CheckinMessage& m) {
+          return server.handle_checkin(m);
+        });
+  }
+
   std::optional<coord::Coordinator> coordinator;
   std::unique_ptr<core::TcpCrowdServer> tcp;
   std::unique_ptr<engine::EpollCrowdServer> epoll;
@@ -553,10 +609,17 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(coordf.max_hint_ms);
       ccfg.steering.queue_max = queue_max;
       ccfg.steering.batch_max = ecfg.checkin_batch_max;
+      // Round-deadline awareness: never steer a device past half the
+      // secagg round timeout, or paced devices would miss their cohort
+      // deadlines and drag every round into recovery.
+      if (secf.enabled)
+        ccfg.steering.deadline_ceiling_ms = static_cast<std::uint32_t>(
+            std::max<long long>(1, secf.round_timeout_ms / 2));
       ccfg.metrics = &obs::default_registry();
       coordinator.emplace(ccfg, coordf.classes);
       ecfg.coordinator = &*coordinator;
     }
+    ecfg.secagg = cohort.get();
     if (pool) multimodel::wire_engine(*pool, ecfg);
     if (is_follower) {
       ecfg.checkin_redirect = repl.leader_addr;
@@ -612,6 +675,7 @@ int main(int argc, char** argv) {
     tcp_cfg.port = port;
     tcp_cfg.metrics = &obs::default_registry();
     tcp_cfg.trace = trace.get();
+    tcp_cfg.secagg = cohort.get();
     tcp = std::make_unique<core::TcpCrowdServer>(server, registry, tcp_cfg);
     bound_port = tcp->port();
   } else {
@@ -641,6 +705,11 @@ int main(int argc, char** argv) {
         "min-hint-ms=%lld max-hint-ms=%lld init-rate=%g\n",
         coordinator->classes().describe().c_str(), coordf.target_utilization,
         coordf.min_hint_ms, coordf.max_hint_ms, coordf.init_rate);
+  if (cohort)
+    std::printf(
+        "config: secagg=on cohort=%lld min-survivors=%lld "
+        "round-timeout-ms=%lld\n",
+        secf.cohort, secf.min_survivors, secf.round_timeout_ms);
   std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
               bound_port, dim, classes);
 
@@ -737,6 +806,15 @@ int main(int argc, char** argv) {
           std::fputs(core::portal_report(pool->server(i)).c_str(), stdout);
       } else {
         std::fputs(core::portal_report(server).c_str(), stdout);
+      }
+      if (cohort) {
+        cohort->tick();  // advance round deadlines even through a lull
+        std::printf(
+            "secagg: rounds sealed %lld, completed %lld (recovered %lld), "
+            "aborted %lld, masked checkins %lld\n",
+            cohort->rounds_sealed(), cohort->rounds_completed(),
+            cohort->rounds_recovered(), cohort->rounds_aborted(),
+            cohort->masked_checkins());
       }
       if (follower)
         std::printf(

@@ -344,4 +344,62 @@ inline CoordFlags parse_coord_flags(const Flags& flags) {
   return c;
 }
 
+/// Secure-aggregation flags, validated as a unit (docs/PRIVACY.md,
+/// "Secure aggregation") — shared by crowdml-server and crowdml-device:
+///   --secagg-cohort N            (cohort size c >= 2; 0/absent = off)
+///   --secagg-min-survivors N     (abort threshold, default 2; in
+///                                 [2, cohort])
+///   --secagg-round-timeout-ms N  (collect + reveal deadline, default 2000)
+///   --secagg-key-file PATH       (hex fleet masking key; devices only —
+///                                 the server must NOT be given it)
+/// Every other --secagg-* flag requires --secagg-cohort. `error` is
+/// non-empty when the combination is invalid.
+struct SecAggFlags {
+  bool enabled = false;
+  long long cohort = 0;
+  long long min_survivors = 2;
+  long long round_timeout_ms = 2000;
+  std::string key_file;
+  std::string error;
+};
+
+inline SecAggFlags parse_secagg_flags(const Flags& flags) {
+  SecAggFlags s;
+  try {
+    s.cohort = flags.get_int("secagg-cohort", 0);
+    s.min_survivors = flags.get_int("secagg-min-survivors", 2);
+    s.round_timeout_ms = flags.get_int("secagg-round-timeout-ms", 2000);
+  } catch (const std::exception&) {
+    s.error = "malformed numeric value in a --secagg-* flag";
+    return s;
+  }
+  s.key_file = flags.get("secagg-key-file", "");
+  s.enabled = s.cohort > 0;
+
+  if (!s.enabled) {
+    if (flags.has("secagg-min-survivors") ||
+        flags.has("secagg-round-timeout-ms") || flags.has("secagg-key-file")) {
+      s.error = "--secagg-min-survivors/--secagg-round-timeout-ms/"
+                "--secagg-key-file require --secagg-cohort";
+      return s;
+    }
+    return s;
+  }
+
+  if (s.cohort < 2) {
+    s.error = "--secagg-cohort must be >= 2 (a cohort of one is just LDP)";
+    return s;
+  }
+  if (s.min_survivors < 2 || s.min_survivors > s.cohort) {
+    s.error = "--secagg-min-survivors must be in [2, --secagg-cohort] "
+              "(below 2 a lone survivor's blob would be unmaskable alone)";
+    return s;
+  }
+  if (s.round_timeout_ms < 1) {
+    s.error = "--secagg-round-timeout-ms must be >= 1";
+    return s;
+  }
+  return s;
+}
+
 }  // namespace crowdml::tools
