@@ -48,9 +48,28 @@
 //   --secagg-duration S            per-phase window      (default 3)
 //   --secagg-dropout P             death probability     (default 0.25)
 //   --json-out PATH                results (default BENCH_secagg.json)
+//
+// Sharding mode (--shards "1,2,4" replaces the phases above): the same
+// open-loop fleet at the SAME total arrival rate, split across k shard
+// leaders (one epoll engine + fsync-always WAL + commit delay each, the
+// merge director reconciling models every --shard-merge-ms). Reports
+// aggregate acked-checkin throughput, shed rate, and merge staleness
+// p50/p99 per shard count into BENCH_sharding.json. Single-process,
+// single-machine: see EXPERIMENTS.md for the single-core caveat.
+//   --shards LIST                  shard counts (enables the mode)
+//   --shard-devices N              total fleet size      (default 3000)
+//   --shard-think-mean S           mean think time       (default 0.5)
+//   --shard-warmup S               excluded transient    (default 2)
+//   --shard-duration S             measured window       (default 4)
+//   --shard-merge-ms N             merge cadence         (default 150)
+//   --queue-max / --batch-max / --commit-delay-ms as above (batch
+//   default 32 here so one shard saturates below the offered rate)
+//   --json-out PATH                results (default BENCH_sharding.json)
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <optional>
+#include <sstream>
 #include <thread>
 
 #include "bench/common.hpp"
@@ -62,6 +81,10 @@
 #include "models/logistic_regression.hpp"
 #include "rng/distributions.hpp"
 #include "secagg/cohort.hpp"
+#include "shard/director.hpp"
+#include "shard/merge.hpp"
+#include "shard/service.hpp"
+#include "shard/shard_map.hpp"
 #include "store/durable_store.hpp"
 #include "tools/flags.hpp"
 
@@ -425,11 +448,318 @@ int run_secagg_mode(const tools::Flags& flags, const bench::Options& o,
   return 0;
 }
 
+// --------------------------------------------------------------------------
+// Sharding mode: aggregate throughput of k shard leaders at the same
+// total arrival rate, plus the merge staleness the cadence buys it.
+// --------------------------------------------------------------------------
+
+struct ShardPhaseResult {
+  std::size_t shards = 0;
+  double elapsed_s = 0.0;
+  long long checkins_sent = 0, ok_acks = 0, sheds = 0, failures = 0;
+  double offered_per_s = 0.0, ok_per_s = 0.0, shed_rate = 0.0;
+  std::uint64_t merge_rounds = 0, merges_applied = 0;
+  long long stale_samples = 0;
+  double stale_updates_p50 = 0.0, stale_updates_p99 = 0.0;
+  double stale_ms_p50 = 0.0, stale_ms_p99 = 0.0;
+};
+
+/// Quantile from a fixed-bucket snapshot: the upper bound of the bucket
+/// the q-th observation falls in (the +Inf tail reports the last finite
+/// bound). Bucket-resolution, which is all a bench table needs.
+double bucket_quantile(const obs::Histogram::Snapshot& s, double q) {
+  if (s.count <= 0 || s.bounds.empty()) return 0.0;
+  const double target = q * static_cast<double>(s.count);
+  long long seen = 0;
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    seen += s.buckets[i];
+    if (static_cast<double>(seen) >= target)
+      return s.bounds[std::min(i, s.bounds.size() - 1)];
+  }
+  return s.bounds.back();
+}
+
+ShardPhaseResult run_shard_phase(std::size_t shards,
+                                 const coord::LoadGenConfig& gen_base,
+                                 std::size_t queue_max, std::size_t batch_max,
+                                 int commit_delay_ms,
+                                 std::uint32_t merge_ms) {
+  ShardPhaseResult res;
+  res.shards = shards;
+
+  // One shared registry: the shard services' staleness histograms (and
+  // pull/merge counters) aggregate across the fleet by name.
+  obs::MetricsRegistry metrics;
+
+  struct ShardNode {
+    std::string dir;
+    std::unique_ptr<core::Server> server;
+    std::unique_ptr<net::AuthRegistry> auth;
+    std::unique_ptr<store::DurableStore> store;
+    std::unique_ptr<shard::ShardService> service;
+    std::unique_ptr<engine::EpollCrowdServer> engine;
+  };
+  const replica::ReplKey key = {0x42, 0x17, 0xA9, 0x03, 0x5C, 0xEE};
+
+  std::vector<ShardNode> nodes(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardNode& n = nodes[i];
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "crowdml_shardbench_XXXXXX")
+            .string();
+    if (!mkdtemp(dir.data())) throw std::runtime_error("mkdtemp failed");
+    n.dir = dir;
+
+    core::ServerConfig cfg;
+    cfg.param_dim = kDim;
+    cfg.num_classes = kNumClasses;
+    n.server = std::make_unique<core::Server>(
+        cfg,
+        std::make_unique<opt::SgdUpdater>(
+            std::make_unique<opt::SqrtDecaySchedule>(50.0), 500.0),
+        rng::Engine(1));
+    n.auth = std::make_unique<net::AuthRegistry>(rng::Engine(7 + i));
+
+    store::DurableStoreOptions sopts;
+    sopts.wal.fsync = store::FsyncPolicy::kAlways;
+    shard::install_merge_replay(sopts);
+    n.store = std::make_unique<store::DurableStore>(n.dir, sopts);
+    n.store->recover(*n.server);
+    n.store->attach(*n.server);
+    n.store->set_group_commit(true);
+
+    shard::ShardServiceConfig scfg;
+    scfg.shard_id = i;
+    scfg.key = key;
+    scfg.store = n.store.get();
+    scfg.metrics = &metrics;
+    n.service = std::make_unique<shard::ShardService>(scfg, *n.server);
+
+    engine::EngineConfig ecfg;
+    ecfg.checkin_queue_max = queue_max;
+    ecfg.checkin_batch_max = batch_max;
+    ecfg.max_connections = 64;
+    ecfg.shard = n.service.get();
+    store::DurableStore* store = n.store.get();
+    ecfg.group_commit = [store, commit_delay_ms] {
+      if (commit_delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(commit_delay_ms));
+      return store->commit_group();
+    };
+    n.engine = std::make_unique<engine::EpollCrowdServer>(*n.server, *n.auth,
+                                                          ecfg);
+  }
+
+  std::vector<std::string> addrs;
+  for (const ShardNode& n : nodes)
+    addrs.push_back("127.0.0.1:" + std::to_string(n.engine->port()));
+
+  std::optional<shard::MergeDirector> director;
+  if (shards > 1 && merge_ms > 0) {
+    shard::MergeDirectorConfig dcfg;
+    dcfg.map = shard::ShardMap(addrs);
+    dcfg.key = key;
+    dcfg.interval_ms = merge_ms;
+    dcfg.metrics = &metrics;
+    director.emplace(std::move(dcfg));
+    director->start();
+  }
+
+  // Split the fleet evenly; each slice is an independent open-loop
+  // generator aimed at its own shard, so the total arrival rate is the
+  // same at every k (devices and think times do not change).
+  std::vector<coord::LoadGenStats> stats(shards);
+  std::vector<std::thread> gens;
+  gens.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    coord::LoadGenConfig gcfg = gen_base;
+    gcfg.port = nodes[i].engine->port();
+    gcfg.devices = gen_base.devices / shards +
+                   (i < gen_base.devices % shards ? 1 : 0);
+    gcfg.workers = std::max<std::size_t>(
+        1, (gen_base.workers + shards - 1) / shards);
+    gcfg.seed = gen_base.seed + 1000 * i;
+    gens.emplace_back([&stats, &nodes, gcfg, i] {
+      stats[i] = coord::run_load_gen(gcfg, *nodes[i].auth);
+    });
+  }
+  for (std::thread& t : gens) t.join();
+
+  if (director) {
+    director->shutdown();
+    res.merge_rounds = director->rounds_completed();
+  }
+  for (ShardNode& n : nodes) {
+    res.merges_applied += n.service->merges_applied();
+    n.engine->shutdown();
+    std::filesystem::remove_all(n.dir);
+  }
+
+  for (const coord::LoadGenStats& s : stats) {
+    res.elapsed_s = std::max(res.elapsed_s, s.elapsed_s);
+    res.checkins_sent += s.checkins_sent;
+    res.ok_acks += s.ok_acks;
+    res.sheds += s.sheds;
+    res.failures += s.failures;
+  }
+  if (res.elapsed_s > 0.0) {
+    res.offered_per_s =
+        static_cast<double>(res.checkins_sent) / res.elapsed_s;
+    res.ok_per_s = static_cast<double>(res.ok_acks) / res.elapsed_s;
+  }
+  if (res.checkins_sent > 0)
+    res.shed_rate = static_cast<double>(res.sheds) /
+                    static_cast<double>(res.checkins_sent);
+
+  const auto snap = metrics.snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name == "crowdml_shard_merge_staleness_updates") {
+      res.stale_samples = h.data.count;
+      res.stale_updates_p50 = bucket_quantile(h.data, 0.50);
+      res.stale_updates_p99 = bucket_quantile(h.data, 0.99);
+    } else if (h.name == "crowdml_shard_merge_staleness_seconds") {
+      res.stale_ms_p50 = bucket_quantile(h.data, 0.50) * 1e3;
+      res.stale_ms_p99 = bucket_quantile(h.data, 0.99) * 1e3;
+    }
+  }
+  return res;
+}
+
+int run_shard_mode(const tools::Flags& flags, const bench::Options& o,
+                   const std::string& shards_csv) {
+  bench::header("open_loop[sharding]",
+                "aggregate checkin throughput vs shard count, fixed "
+                "arrival rate", o);
+
+  std::vector<std::size_t> counts;
+  {
+    std::string tok;
+    std::stringstream ss(shards_csv);
+    while (std::getline(ss, tok, ',')) {
+      const long long v = tok.empty() ? 0 : std::atoll(tok.c_str());
+      if (v <= 0) {
+        std::fprintf(stderr,
+                     "open_loop: --shards must be positive counts, got "
+                     "'%s'\n", shards_csv.c_str());
+        return 1;
+      }
+      counts.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4};
+
+  coord::LoadGenConfig gcfg;
+  gcfg.devices =
+      static_cast<std::size_t>(flags.get_int("shard-devices", 3000));
+  gcfg.think_mean_s = flags.get_double("shard-think-mean", 0.5);
+  gcfg.warmup_s = flags.get_double("shard-warmup", 2.0);
+  gcfg.duration_s = flags.get_double("shard-duration", 4.0);
+  gcfg.workers = static_cast<std::size_t>(flags.get_int("workers", 4));
+  gcfg.session_mean_cycles = 50.0;
+  gcfg.rejoin_mean_s = 5.0;
+  gcfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  const auto queue_max =
+      static_cast<std::size_t>(flags.get_int("queue-max", 256));
+  const auto batch_max =
+      static_cast<std::size_t>(flags.get_int("batch-max", 32));
+  const int commit_delay_ms =
+      static_cast<int>(flags.get_int("commit-delay-ms", 15));
+  const auto merge_ms =
+      static_cast<std::uint32_t>(flags.get_int("shard-merge-ms", 150));
+
+  const double service_est =
+      static_cast<double>(batch_max) /
+      std::max(1e-3, static_cast<double>(commit_delay_ms) / 1e3);
+  std::printf(
+      "%zu devices, think-mean %.1fs (~%.0f arrivals/s total), per-shard "
+      "applier ~%.0f checkins/s (batch %zu, %dms commit), merge every "
+      "%ums\n%.0fs warmup + %.0fs measured per shard count\n\n",
+      gcfg.devices, gcfg.think_mean_s,
+      static_cast<double>(gcfg.devices) / std::max(0.01, gcfg.think_mean_s),
+      service_est, batch_max, commit_delay_ms, merge_ms, gcfg.warmup_s,
+      gcfg.duration_s);
+
+  std::vector<ShardPhaseResult> runs;
+  for (const std::size_t k : counts)
+    runs.push_back(run_shard_phase(k, gcfg, queue_max, batch_max,
+                                   commit_delay_ms, merge_ms));
+
+  std::printf("%-7s %10s %10s %8s %8s %8s %9s %9s %10s %10s\n", "shards",
+              "sent/s", "ok/s", "shed%", "merges", "applied", "tau_p50",
+              "tau_p99", "age_p50ms", "age_p99ms");
+  for (const ShardPhaseResult& r : runs)
+    std::printf(
+        "%-7zu %10.0f %10.0f %8.2f %8llu %8llu %9.0f %9.0f %10.1f %10.1f\n",
+        r.shards, r.offered_per_s, r.ok_per_s, r.shed_rate * 100.0,
+        static_cast<unsigned long long>(r.merge_rounds),
+        static_cast<unsigned long long>(r.merges_applied),
+        r.stale_updates_p50, r.stale_updates_p99, r.stale_ms_p50,
+        r.stale_ms_p99);
+  std::printf("\n");
+
+  const ShardPhaseResult* one = nullptr;
+  const ShardPhaseResult* best_multi = nullptr;
+  for (const ShardPhaseResult& r : runs) {
+    if (r.shards == 1) one = &r;
+    if (r.shards > 1 && (!best_multi || r.ok_per_s > best_multi->ok_per_s))
+      best_multi = &r;
+  }
+  if (one && best_multi) {
+    bench::check(best_multi->ok_per_s > one->ok_per_s,
+                 "sharding raises aggregate acked-checkin throughput at "
+                 "the same arrival rate");
+    bench::check(best_multi->shed_rate < one->shed_rate,
+                 "sharding relieves the single-applier shed rate");
+  }
+  for (const ShardPhaseResult& r : runs)
+    if (r.shards > 1) {
+      bench::check(r.merge_rounds >= 1,
+                   "merge director completes rounds at " +
+                       std::to_string(r.shards) + " shards");
+      bench::check(r.stale_samples > 0,
+                   "merge staleness is observed at " +
+                       std::to_string(r.shards) + " shards");
+    }
+
+  const std::string json_out = flags.get("json-out", "BENCH_sharding.json");
+  if (!json_out.empty()) {
+    std::vector<std::vector<bench::JsonField>> rows;
+    for (const ShardPhaseResult& r : runs)
+      rows.push_back(
+          {bench::jint("shards", static_cast<long long>(r.shards)),
+           bench::jint("devices", static_cast<long long>(gcfg.devices)),
+           bench::jnum("offered_per_s", r.offered_per_s),
+           bench::jint("checkins_sent", r.checkins_sent),
+           bench::jint("ok_acks", r.ok_acks),
+           bench::jnum("ok_per_s", r.ok_per_s),
+           bench::jint("sheds", r.sheds),
+           bench::jnum("shed_rate", r.shed_rate),
+           bench::jint("failures", r.failures),
+           bench::jint("merge_rounds",
+                       static_cast<long long>(r.merge_rounds)),
+           bench::jint("merges_applied",
+                       static_cast<long long>(r.merges_applied)),
+           bench::jint("staleness_samples", r.stale_samples),
+           bench::jnum("staleness_updates_p50", r.stale_updates_p50),
+           bench::jnum("staleness_updates_p99", r.stale_updates_p99),
+           bench::jnum("staleness_age_p50_ms", r.stale_ms_p50),
+           bench::jnum("staleness_age_p99_ms", r.stale_ms_p99)});
+    bench::write_bench_json(json_out, "sharding",
+                            static_cast<double>(gcfg.devices), rows);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   tools::Flags flags(argc, argv);
   const bench::Options o = bench::options();
+
+  const std::string shards_csv = flags.get("shards", "");
+  if (!shards_csv.empty()) return run_shard_mode(flags, o, shards_csv);
 
   const long long secagg_cohort = flags.get_int("secagg-cohort", 0);
   if (secagg_cohort > 0)

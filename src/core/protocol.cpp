@@ -113,6 +113,23 @@ net::Bytes ProtocolServer::handle(const net::Bytes& request_frame,
         const net::SecAggRevealMessage resp = secagg_->handle_reveal(req);
         return net::encode_frame(MessageType::kSecAggReveal, resp.serialize());
       }
+      case MessageType::kShardPull: {
+        // Sealed with the replication key, not device-HMAC'd: the shard
+        // handler verifies the seal itself (replica::open_repl_payload)
+        // so core stays independent of the replica module.
+        if (!shard_) {
+          const net::AckMessage nack{false, "sharding disabled"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        return shard_->handle_shard_pull(frame.payload);
+      }
+      case MessageType::kShardMergePush: {
+        if (!shard_) {
+          const net::AckMessage nack{false, "sharding disabled"};
+          return net::encode_frame(MessageType::kAck, nack.serialize());
+        }
+        return shard_->handle_shard_merge_push(frame.payload);
+      }
       default: {
         ++malformed_;
         if (trace_) trace_->event("malformed_frame");
@@ -259,6 +276,7 @@ std::optional<SecAggDeviceClient::CycleResult> SecAggDeviceClient::run_cycle() {
 
   secagg::RoundClientConfig rcfg;
   rcfg.fleet_key = options_.fleet_key;
+  rcfg.device_class = options_.device_class;
   rcfg.max_polls = options_.max_polls;
   rcfg.sleep_ms = options_.sleep_ms;
   secagg::RoundClient round(rcfg, *device_.credentials(), exchange_);

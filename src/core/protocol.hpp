@@ -23,6 +23,20 @@
 
 namespace crowdml::core {
 
+/// Server-side handler for the sharded-leader merge plane (frame types
+/// 14-16; src/shard/, docs/SHARDING.md). Implemented by
+/// shard::ShardService; core sees only this interface so the protocol
+/// layer does not depend on the shard (and, through it, replica)
+/// module. Both handlers receive the raw frame payload — still sealed
+/// with the replication key — and return a complete response frame;
+/// they must never throw (auth/codec failures yield a nack frame).
+class ShardHandler {
+ public:
+  virtual ~ShardHandler() = default;
+  virtual net::Bytes handle_shard_pull(const net::Bytes& payload) = 0;
+  virtual net::Bytes handle_shard_merge_push(const net::Bytes& payload) = 0;
+};
+
 class ProtocolServer {
  public:
   /// `trace`, when non-null, receives one structured event per protocol
@@ -53,6 +67,13 @@ class ProtocolServer {
   /// server.
   void set_secagg(secagg::CohortManager* secagg) { secagg_ = secagg; }
 
+  /// Attach the shard merge-plane handler; frame types 14 and 16
+  /// (ShardPull/ShardMergePush) dispatch to it. Null (the default) nacks
+  /// them with "sharding disabled" — an unsharded server's classic
+  /// frames are untouched (pinned by tests/shard_test.cpp's
+  /// passthrough regression). Must outlive the server.
+  void set_shard(ShardHandler* shard) { shard_ = shard; }
+
   long long auth_failures() const { return auth_failures_; }
   long long malformed_frames() const { return malformed_; }
 
@@ -61,6 +82,7 @@ class ProtocolServer {
   net::AuthRegistry& auth_;
   obs::TraceSink* trace_;
   secagg::CohortManager* secagg_ = nullptr;
+  ShardHandler* shard_ = nullptr;
   std::atomic<long long> auth_failures_{0};
   std::atomic<long long> malformed_{0};
 };
@@ -112,6 +134,9 @@ class SecAggDeviceClient {
     /// Must match the server's --secagg-min-survivors: it is the noise
     /// divisor the cohort-scaled mechanism is allowed to assume.
     std::size_t min_survivors = 2;
+    /// Declared device class for cohort formation (see
+    /// secagg::RoundClientConfig::device_class).
+    std::uint8_t device_class = 0;
     std::size_t max_polls = 200;
     std::function<void(std::uint32_t)> sleep_ms;
     /// Invoked once per fallback actually transmitted — wire

@@ -57,8 +57,10 @@ int pace_hint(const net::Bytes& frame) {
   }
 }
 
-/// Leader address carried by a "not leader" nack frame; nullopt when the
-/// frame is anything else.
+/// Redirect address carried by a "not leader" or "wrong shard" nack
+/// frame; nullopt when the frame is anything else. Both reasons make
+/// the same guarantee — the nack was issued before application — so the
+/// session follows both through the one hop-capped path.
 std::optional<std::string> redirect_target(const net::Bytes& frame) {
   if (frame.size() <= net::kFrameTypeOffset ||
       frame[net::kFrameTypeOffset] !=
@@ -68,7 +70,8 @@ std::optional<std::string> redirect_target(const net::Bytes& frame) {
     const net::Frame f = net::decode_frame(frame);
     const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
     if (ack.ok) return std::nullopt;
-    return net::parse_leader_redirect(ack.reason);
+    if (auto leader = net::parse_leader_redirect(ack.reason)) return leader;
+    return net::parse_shard_redirect(ack.reason);
   } catch (const net::CodecError&) {
     return std::nullopt;
   }

@@ -52,6 +52,11 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
           "crowdml_engine_checkins_redirected_total",
           "Checkins refused with a not-leader redirect (follower mode)",
           obs::Provenance::kTransportEvent)),
+      checkins_wrong_shard_(registry_of(config_).counter(
+          "crowdml_engine_checkins_wrong_shard_total",
+          "Checkins refused with a wrong-shard redirect (the device's "
+          "hash range belongs to another shard leader)",
+          obs::Provenance::kTransportEvent)),
       stale_checkouts_refused_(registry_of(config_).counter(
           "crowdml_engine_stale_checkouts_refused_total",
           "Checkouts nacked because the replica's applied position lagged "
@@ -71,6 +76,7 @@ EpollCrowdServer::EpollCrowdServer(core::Server& server,
   group_commit_ = std::move(config_.group_commit);
   set_checkin_redirect(config_.checkin_redirect);
   protocol_.set_secagg(config_.secagg);
+  protocol_.set_shard(config_.shard);
 
   // The board must hold a snapshot before any I/O thread can serve a
   // checkout from it.
@@ -215,6 +221,27 @@ void EpollCrowdServer::on_frame(EventLoop* loop, std::uint64_t conn_id,
       if (config_.trace) config_.trace->event("redirect", {{"leader", leader}});
       loop->send(conn_id, std::move(redirect));
       return;
+    }
+  }
+
+  // Sharded mode: a checkin whose device id hashes to another shard is
+  // refused here on the I/O thread — before any application, same
+  // replay-safety argument as the follower redirect above — with a
+  // parseable "wrong shard; shard=<addr>" nack the device follows.
+  if (config_.shard_route && frame.size() > net::kFrameTypeOffset &&
+      frame[net::kFrameTypeOffset] ==
+          static_cast<std::uint8_t>(net::MessageType::kCheckin)) {
+    if (const auto id = net::peek_checkin_device_id(frame)) {
+      if (const auto target = config_.shard_route(*id)) {
+        ++checkins_wrong_shard_;
+        if (config_.trace)
+          config_.trace->event("wrong_shard", {{"device", *id},
+                                               {"shard", *target}});
+        const net::AckMessage nack{false, net::wrong_shard_reason(*target)};
+        loop->send(conn_id, net::encode_frame(net::MessageType::kAck,
+                                              nack.serialize()));
+        return;
+      }
     }
   }
 

@@ -93,6 +93,23 @@ struct EngineConfig {
   std::function<std::uint64_t()> read_lag;
   std::uint64_t max_read_lag = 0;
   int stale_retry_after_ms = 100;
+  /// Sharded deployments (src/shard/; docs/SHARDING.md): maps a
+  /// checkin's device id to the owning shard's device address when that
+  /// shard is NOT this server, nullopt when the device is ours. Called
+  /// on the I/O thread before the checkin is enqueued, so — exactly
+  /// like the follower redirect below — the "wrong shard;
+  /// shard=<addr>" nack is issued before any application and the
+  /// device can safely replay the same checkin at the target.
+  /// Checkouts are still served locally (a mis-routed read is harmless
+  /// and the roster may be mid-rollout; the checkin is what must land
+  /// on the owner). Null = unsharded: no device-facing frame changes.
+  std::function<std::optional<std::string>(std::uint64_t)> shard_route;
+  /// Merge-plane handler (shard::ShardService): frame types 14 and 16
+  /// (ShardPull/ShardMergePush) dispatch to it on the applier thread, so
+  /// a merge overwrite serializes with checkins and rides the same
+  /// group-commit barrier. Null (the default) nacks those frames with
+  /// "sharding disabled". Must outlive the engine.
+  core::ShardHandler* shard = nullptr;
   /// Multimodel serving (draw-and-discard; src/multimodel/). When set,
   /// an authenticated checkout is answered from the snapshot this hook
   /// returns — a uniformly drawn instance's board — instead of the
@@ -223,6 +240,7 @@ class EpollCrowdServer {
   obs::Counter& checkouts_served_;
   obs::Counter& commit_failures_;
   obs::Counter& checkins_redirected_;
+  obs::Counter& checkins_wrong_shard_;
   obs::Counter& stale_checkouts_refused_;
   obs::Histogram& batch_size_;
   obs::Histogram& handle_seconds_;

@@ -1,5 +1,6 @@
 #include "multimodel/instance_pool.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -105,6 +106,8 @@ ModelInstancePool::ModelInstancePool(net::AuthRegistry& auth,
   slots_.reserve(opts_.instances);
   for (std::size_t i = 0; i < opts_.instances; ++i) {
     auto slot = std::make_unique<Slot>(i, factory(i), auth, opts_);
+    if (opts_.coordinator_factory)
+      slot->coordinator = opts_.coordinator_factory(i);
     if (!opts_.wal_dir.empty()) {
       store::DurableStoreOptions sopts = opts_.store;
       install_overwrite_replay(sopts);
@@ -194,15 +197,18 @@ std::vector<long long> ModelInstancePool::discard_counts() const {
 }
 
 void ModelInstancePool::applier_loop(Slot& slot) {
+  using Clock = std::chrono::steady_clock;
   const std::size_t k = slots_.size();
   std::vector<engine::CheckinWork> batch;
   std::vector<net::Bytes> responses;
+  std::vector<std::uint8_t> classes;
   // Distinct discard victims drawn this batch (coalesced: one overwrite
   // per victim carrying the batch-final parameters).
   std::vector<bool> victim(k, false);
   for (;;) {
     batch.clear();
     responses.clear();
+    classes.clear();
     const std::size_t n =
         slot.queue.drain(batch, opts_.checkin_batch_max, 100);
     slot.board.refresh_age_gauge();
@@ -228,7 +234,15 @@ void ModelInstancePool::applier_loop(Slot& slot) {
     // through the victim's own queue is what serializes *every* mutation
     // of this instance onto this thread — and into this WAL, in apply
     // order, which per-instance recovery replays bit-for-bit.
+    // Steering inputs for this instance's own clock: backlog left after
+    // the drain, then the batch's apply/commit wall time below. Each
+    // applier feeds only its own Coordinator — k clocks, k appliers.
+    if (slot.coordinator)
+      slot.coordinator->observe_queue_depth(slot.queue.depth());
+    const Clock::time_point apply_start = Clock::now();
+
     responses.reserve(n);
+    classes.reserve(n);
     std::size_t applied_checkins = 0;
     std::size_t client_frames = 0;
     for (const engine::CheckinWork& work : batch) {
@@ -253,11 +267,14 @@ void ModelInstancePool::applier_loop(Slot& slot) {
           ++overwrites_dropped_;
         }
         responses.emplace_back();
+        classes.push_back(net::kDefaultDeviceClass);
         continue;
       }
       ++client_frames;
       obs::TimedScope timer(handle_seconds_);
-      responses.push_back(slot.protocol->handle(work.frame));
+      std::uint8_t cls = net::kDefaultDeviceClass;
+      responses.push_back(slot.protocol->handle(work.frame, &cls));
+      classes.push_back(cls);
       // An applied checkin (ok-ack) triggers one discard draw —
       // per-update uniform over the k instances, from this instance's
       // deterministic stream.
@@ -286,6 +303,7 @@ void ModelInstancePool::applier_loop(Slot& slot) {
     // records, so the log stays contiguous).
     const bool must_commit =
         client_frames > 0 || slot.lazy_records >= kLazyOverwriteFlush;
+    const Clock::time_point commit_start = Clock::now();
     bool committed = true;
     if (must_commit) {
       if (slot.store) committed = slot.store->commit_group();
@@ -293,6 +311,11 @@ void ModelInstancePool::applier_loop(Slot& slot) {
       if (committed && opts_.on_commit)
         committed = opts_.on_commit(slot.index);
     }
+    if (slot.coordinator)
+      slot.coordinator->observe_commit(
+          client_frames,
+          std::chrono::duration<double>(commit_start - apply_start).count(),
+          std::chrono::duration<double>(Clock::now() - commit_start).count());
     if (!committed) {
       const net::AckMessage nack{false, "durability failure"};
       const net::Bytes nack_frame =
@@ -300,6 +323,22 @@ void ModelInstancePool::applier_loop(Slot& slot) {
       for (std::size_t i = 0; i < n; ++i)
         if (is_ok_checkin(batch[i].frame, responses[i]))
           responses[i] = nack_frame;
+    }
+
+    // Pace steering: every checkin ack this instance produced (ok,
+    // rejection, or the durability nack above) carries a consuming hint
+    // from this instance's own clock. Runs after the nack rewrite so the
+    // hint survives it; overwrite records carry no response and are
+    // skipped by the frame-type check.
+    if (slot.coordinator) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i].frame.size() <= net::kFrameTypeOffset ||
+            batch[i].frame[net::kFrameTypeOffset] !=
+                static_cast<std::uint8_t>(net::MessageType::kCheckin))
+          continue;
+        responses[i] = net::frame_with_checkin_hint(
+            responses[i], slot.coordinator->checkin_hint_ms(classes[i]));
+      }
     }
 
     // Discard step: ship this instance's batch-final parameters to each

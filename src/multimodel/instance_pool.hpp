@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "coord/coordinator.hpp"
 #include "core/protocol.hpp"
 #include "core/server.hpp"
 #include "engine/checkin_queue.hpp"
@@ -103,6 +104,17 @@ struct PoolOptions {
   /// replication shipper's notify/await chain hooks here. Returning
   /// false nacks the batch (same contract as EngineConfig::group_commit).
   std::function<bool(std::size_t instance)> on_commit;
+  /// Pace steering with k > 1 (docs/SCALING.md "Pace steering"): builds
+  /// instance `i`'s own Coordinator — k independent per-class clocks,
+  /// each fed only by its own applier's commits and queue depth, each
+  /// stamping consuming hints only on the checkin acks its instance
+  /// applied. The clock lives where the commits it measures happen; a
+  /// shared clock would meter k appliers' capacity through one bucket.
+  /// Null = steering off (ack bytes unchanged). With a factory set,
+  /// leave EngineConfig::coordinator null — checkout hints stay advisory
+  /// and classless shed hints fall back to the engine's fixed retry.
+  std::function<std::unique_ptr<coord::Coordinator>(std::size_t instance)>
+      coordinator_factory;
   obs::MetricsRegistry* metrics = nullptr;  ///< null = default_registry()
   obs::TraceSink* trace = nullptr;          ///< null disables
 };
@@ -161,6 +173,10 @@ class ModelInstancePool {
   store::DurableStore* store(std::size_t i) {
     return slots_[i]->store.get();
   }
+  /// Instance i's pacing clock; null when no coordinator_factory was set.
+  coord::Coordinator* coordinator(std::size_t i) {
+    return slots_[i]->coordinator.get();
+  }
 
   /// Sum of instance versions (total updates applied pool-wide,
   /// overwrites included).
@@ -187,6 +203,8 @@ class ModelInstancePool {
     engine::ModelSnapshotBoard board;
     engine::CheckinQueue queue;
     std::unique_ptr<store::DurableStore> store;
+    /// This instance's own pacing clock (null = steering off).
+    std::unique_ptr<coord::Coordinator> coordinator;
     std::thread applier;
     /// Discard stream: deterministic per instance (seed split by index).
     std::uint64_t discard_state = 0;

@@ -312,6 +312,9 @@ Bytes SecAggAssignMessage::body() const {
   Writer w;
   w.put_u8(1);  // request direction is part of what the tag covers
   w.put_u64(device_id);
+  // Class 0 is never encoded (see kDefaultDeviceClass): the default-class
+  // body — and its HMAC tag — stays byte-identical to the pre-class form.
+  if (device_class != kDefaultDeviceClass) w.put_u8(device_class);
   return w.take();
 }
 
@@ -339,6 +342,16 @@ SecAggAssignMessage SecAggAssignMessage::deserialize(const Bytes& payload) {
   m.request = r.get_u8() != 0;
   if (m.request) {
     m.device_id = r.get_u64();
+    // The class byte is present iff the payload is one byte longer than
+    // the classic direction+id+tag layout (same length detection as
+    // CheckoutRequest).
+    if (payload.size() ==
+        1 + sizeof(std::uint64_t) + 1 + sizeof(Digest)) {
+      m.device_class = r.get_u8();
+      if (m.device_class == kDefaultDeviceClass)
+        throw CodecError(
+            "explicit default device class in SecAggAssignMessage");
+    }
     m.auth_tag = get_digest(r);
   } else {
     m.status = r.get_u8();
@@ -457,6 +470,61 @@ SecAggRevealMessage SecAggRevealMessage::deserialize(const Bytes& payload) {
   return m;
 }
 
+Bytes ShardPullMessage::serialize() const {
+  Writer w;
+  w.put_u64(merge_round);
+  return w.take();
+}
+
+ShardPullMessage ShardPullMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ShardPullMessage m;
+  m.merge_round = r.get_u64();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ShardPullMessage");
+  return m;
+}
+
+Bytes ShardModelMessage::serialize() const {
+  Writer w;
+  w.put_u64(shard_id);
+  w.put_u64(merge_round);
+  w.put_u64(version);
+  w.put_u64(checkins);
+  w.put_u64_vector(q);
+  return w.take();
+}
+
+ShardModelMessage ShardModelMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ShardModelMessage m;
+  m.shard_id = r.get_u64();
+  m.merge_round = r.get_u64();
+  m.version = r.get_u64();
+  m.checkins = r.get_u64();
+  m.q = r.get_u64_vector();
+  if (!r.exhausted()) throw CodecError("trailing bytes in ShardModelMessage");
+  return m;
+}
+
+Bytes ShardMergePushMessage::serialize() const {
+  Writer w;
+  w.put_u64(merge_round);
+  w.put_u64(total_checkins);
+  w.put_u64_vector(q);
+  return w.take();
+}
+
+ShardMergePushMessage ShardMergePushMessage::deserialize(const Bytes& payload) {
+  Reader r(payload);
+  ShardMergePushMessage m;
+  m.merge_round = r.get_u64();
+  m.total_checkins = r.get_u64();
+  m.q = r.get_u64_vector();
+  if (!r.exhausted())
+    throw CodecError("trailing bytes in ShardMergePushMessage");
+  return m;
+}
+
 const char* message_type_name(std::uint8_t type) {
   switch (static_cast<MessageType>(type)) {
     case MessageType::kCheckoutRequest: return "CheckoutRequest";
@@ -472,12 +540,16 @@ const char* message_type_name(std::uint8_t type) {
     case MessageType::kSecAggAssign: return "SecAggAssign";
     case MessageType::kSecAggMasked: return "SecAggMasked";
     case MessageType::kSecAggReveal: return "SecAggReveal";
+    case MessageType::kShardPull: return "ShardPull";
+    case MessageType::kShardModel: return "ShardModel";
+    case MessageType::kShardMergePush: return "ShardMergePush";
   }
   return nullptr;
 }
 
 namespace {
 constexpr const char kNotLeaderPrefix[] = "not leader; leader=";
+constexpr const char kWrongShardPrefix[] = "wrong shard; shard=";
 }
 
 std::string not_leader_reason(const std::string& leader_addr) {
@@ -487,6 +559,17 @@ std::string not_leader_reason(const std::string& leader_addr) {
 std::optional<std::string> parse_leader_redirect(const std::string& reason) {
   const std::size_t prefix_len = sizeof(kNotLeaderPrefix) - 1;
   if (reason.rfind(kNotLeaderPrefix, 0) != 0 || reason.size() <= prefix_len)
+    return std::nullopt;
+  return reason.substr(prefix_len);
+}
+
+std::string wrong_shard_reason(const std::string& shard_addr) {
+  return kWrongShardPrefix + shard_addr;
+}
+
+std::optional<std::string> parse_shard_redirect(const std::string& reason) {
+  const std::size_t prefix_len = sizeof(kWrongShardPrefix) - 1;
+  if (reason.rfind(kWrongShardPrefix, 0) != 0 || reason.size() <= prefix_len)
     return std::nullopt;
   return reason.substr(prefix_len);
 }
@@ -532,6 +615,22 @@ std::optional<int> parse_retry_after(const std::string& reason) {
     if (v > 3600'000) return std::nullopt;
   }
   return static_cast<int>(v);
+}
+
+std::optional<std::uint64_t> peek_checkin_device_id(const Bytes& frame) {
+  // Checkin payload layout: [u32 body_len][body: u64 device_id ...][tag].
+  // The id therefore sits at a fixed offset past the frame header and
+  // the body's length prefix.
+  constexpr std::size_t kIdOffset = kFrameHeaderSize + sizeof(std::uint32_t);
+  if (frame.size() <= kFrameTypeOffset ||
+      frame[kFrameTypeOffset] != static_cast<std::uint8_t>(MessageType::kCheckin))
+    return std::nullopt;
+  if (frame.size() < kIdOffset + sizeof(std::uint64_t) + kFrameTrailerSize)
+    return std::nullopt;
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < sizeof(std::uint64_t); ++i)
+    id |= static_cast<std::uint64_t>(frame[kIdOffset + i]) << (8 * i);
+  return id;
 }
 
 Bytes frame_with_checkin_hint(const Bytes& frame, std::uint32_t hint_ms) {

@@ -46,9 +46,17 @@ enum class MessageType : std::uint8_t {
   kSecAggAssign = 11,
   kSecAggMasked = 12,
   kSecAggReveal = 13,
+  // Sharded-leader merge plane (src/shard/; docs/SHARDING.md): the
+  // MergeDirector pulls per-shard models + checkin counts, pushes a
+  // count-weighted merge back. All three are HMAC-sealed with the
+  // replication key (same construction as Repl* frames) and ride the
+  // device-facing port, but devices never send or receive them.
+  kShardPull = 14,
+  kShardModel = 15,
+  kShardMergePush = 16,
 };
 
-inline constexpr std::uint8_t kMaxMessageType = 13;
+inline constexpr std::uint8_t kMaxMessageType = 16;
 
 /// Human-readable name of a frame-type constant, or nullptr for a value
 /// outside [1, kMaxMessageType]. This is the registry the protocol_test
@@ -290,6 +298,12 @@ enum : std::uint8_t {
 struct SecAggAssignMessage {
   bool request = true;
   std::uint64_t device_id = 0;  ///< request only (signed)
+  /// Declared device class (request only, signed; see
+  /// CheckoutRequest::device_class). Cohorts form per class so one
+  /// flaky-class straggler cannot stall a fast-class round; omitted on
+  /// the wire when kDefaultDeviceClass, keeping pre-class assign
+  /// requests (and their tags) byte-identical.
+  std::uint8_t device_class = kDefaultDeviceClass;
   Digest auth_tag{};            ///< request only
   std::uint8_t status = kSecAggAssignPending;   ///< response only
   std::uint64_t round_id = 0;                   ///< response (assigned)
@@ -358,6 +372,58 @@ struct SecAggRevealMessage {
   static SecAggRevealMessage deserialize(const Bytes& payload);
 };
 
+// ---------------------------------------------------------------------
+// Sharded-leader merge plane (types 14-16; src/shard/,
+// docs/SHARDING.md). Director <-> shard-leader only. None of these
+// carry an in-body auth tag: like the Repl* frames they are sealed at
+// the session layer with the replication key
+// (replica::seal_repl_payload — payload || HMAC-SHA256(key,
+// type || payload)), so an unkeyed party can neither pull a model nor
+// push a merge.
+
+/// Director -> shard leader (type 14): "send me your current model and
+/// the checkin count it absorbed since the last merge". Answered with a
+/// sealed ShardModel. merge_round is the director's cycle counter; the
+/// leader remembers (round, version-at-pull) so the matching push can
+/// report merge staleness in update counts.
+struct ShardPullMessage {
+  std::uint64_t merge_round = 0;
+
+  Bytes serialize() const;
+  static ShardPullMessage deserialize(const Bytes& payload);
+};
+
+/// Shard leader -> director (type 15): the shard's model in fixed point
+/// (secagg::quantize two's-complement encoding — the merge average is
+/// computed entirely in integer arithmetic so every replica of the
+/// merge computes identical bytes), its version, and the number of
+/// checkins applied since the last merge (the weight in the
+/// count-weighted average).
+struct ShardModelMessage {
+  std::uint64_t shard_id = 0;
+  std::uint64_t merge_round = 0;  ///< echoed from the pull
+  std::uint64_t version = 0;      ///< model version at pull time
+  std::uint64_t checkins = 0;     ///< updates absorbed since last merge
+  std::vector<std::uint64_t> q;   ///< fixed-point parameters
+
+  Bytes serialize() const;
+  static ShardModelMessage deserialize(const Bytes& payload);
+};
+
+/// Director -> every shard leader (type 16): the count-weighted merged
+/// model. Answered with a plain Ack. The leader dequantizes, applies it
+/// through the normal applier path (core::Server::overwrite_parameters)
+/// and logs a shard::MergeRecord in its WAL, so recovery and
+/// replication replay the merge exactly like any checkin.
+struct ShardMergePushMessage {
+  std::uint64_t merge_round = 0;
+  std::uint64_t total_checkins = 0;  ///< sum of shard weights (audit)
+  std::vector<std::uint64_t> q;      ///< fixed-point merged parameters
+
+  Bytes serialize() const;
+  static ShardMergePushMessage deserialize(const Bytes& payload);
+};
+
 /// Checkin refusal from a read replica: "not leader; leader=<addr>".
 /// Devices (or operators reading logs) can re-point at the leader; the
 /// reason rides the normal AckMessage, so old devices just see a failed
@@ -367,6 +433,17 @@ std::string not_leader_reason(const std::string& leader_addr);
 /// Extract the leader address from a not_leader_reason; nullopt when the
 /// reason is anything else.
 std::optional<std::string> parse_leader_redirect(const std::string& reason);
+
+/// Checkin refusal from a shard leader that does not own the device's
+/// hash range: "wrong shard; shard=<addr>". Same shape and same
+/// pre-application safety argument as not_leader_reason — the nack is
+/// produced on the I/O thread before the checkin reaches the applier,
+/// so re-sending to <addr> can never double-apply (docs/SHARDING.md).
+std::string wrong_shard_reason(const std::string& shard_addr);
+
+/// Extract the owning shard's address from a wrong_shard_reason;
+/// nullopt when the reason is anything else.
+std::optional<std::string> parse_shard_redirect(const std::string& reason);
 
 /// Split "host:port" at the last colon. nullopt when there is no colon,
 /// the host part is empty, or the port is not a number in [1, 65535].
@@ -387,6 +464,15 @@ std::string retry_after_reason(const std::string& what, int retry_after_ms);
 /// hour (3'600'000 ms) all yield nullopt rather than a wrapped or
 /// truncated delay a hostile server could choose.
 std::optional<int> parse_retry_after(const std::string& reason);
+
+/// Cheap peek at the device id of an encoded Checkin frame (the u64
+/// opening its length-prefixed body) without decoding, CRC-checking, or
+/// copying the frame. nullopt when the buffer is not a Checkin frame or
+/// is too short to hold an id. The engine's I/O-thread shard gate uses
+/// this to route before application; a corrupt frame that peeks a bogus
+/// id is at worst redirected, and full decoding rejects it wherever it
+/// lands.
+std::optional<std::uint64_t> peek_checkin_device_id(const Bytes& frame);
 
 /// Append a pace-steering hint to an already-encoded Params or Ack frame
 /// without decoding the payload: both messages place next_checkin_hint_ms

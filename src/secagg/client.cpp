@@ -25,6 +25,7 @@ std::optional<net::SecAggAssignMessage> RoundClient::poll_assign(
   net::SecAggAssignMessage req;
   req.request = true;
   req.device_id = creds_.device_id;
+  req.device_class = config_.device_class;
   req.auth_tag = creds_.sign(req.body());
   const net::Bytes frame =
       net::encode_frame(net::MessageType::kSecAggAssign, req.serialize());

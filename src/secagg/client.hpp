@@ -54,6 +54,10 @@ struct RoundClientConfig {
   /// Shared fleet masking key — distributed to devices out of band; the
   /// server never holds it (docs/PRIVACY.md threat model).
   net::SecretKey fleet_key;
+  /// Declared device class, carried (signed) on assign requests so the
+  /// server forms the cohort among same-class peers
+  /// (net::SecAggAssignMessage::device_class). 0 = default class.
+  std::uint8_t device_class = 0;
   /// Bound on assign + status polls before giving up (each poll honors
   /// the server's retry_after_ms hint via `sleep_ms`).
   std::size_t max_polls = 200;

@@ -96,33 +96,41 @@ void CohortManager::tick_locked() {
       resolve_locked(round, Round::kAborted);
     }
   }
-  // Seal a partial cohort when the oldest waiter has outlived a full
-  // round timeout and enough devices wait to survive one dropout short
-  // of the threshold.
-  if (!forming_.empty() &&
-      now - forming_.front().since_ms >= config_.round_timeout_ms &&
-      forming_.size() >= config_.min_survivors) {
-    seal_locked(forming_.size());
+  // Seal a partial cohort when a class's oldest waiter has outlived a
+  // full round timeout and enough same-class devices wait to survive one
+  // dropout short of the threshold. Classes age independently: a stalled
+  // class never delays another class's seal.
+  for (auto& [cls, waiters] : forming_) {
+    if (!waiters.empty() &&
+        now - waiters.front().since_ms >= config_.round_timeout_ms &&
+        waiters.size() >= config_.min_survivors) {
+      seal_locked(cls, waiters.size());
+    }
   }
   prune_locked();
 }
 
-void CohortManager::seal_locked(std::size_t take) {
+void CohortManager::seal_locked(std::uint8_t device_class,
+                                std::size_t take) {
+  std::vector<Waiter>& waiters = forming_[device_class];
   Round round;
   round.id = next_round_id_++;
+  round.device_class = device_class;
   round.deadline_ms = now_ms() + config_.round_timeout_ms;
   round.roster.reserve(take);
   for (std::size_t i = 0; i < take; ++i)
-    round.roster.push_back(forming_[i].device_id);
-  forming_.erase(forming_.begin(),
-                 forming_.begin() + static_cast<std::ptrdiff_t>(take));
+    round.roster.push_back(waiters[i].device_id);
+  waiters.erase(waiters.begin(),
+                waiters.begin() + static_cast<std::ptrdiff_t>(take));
   std::sort(round.roster.begin(), round.roster.end());
   for (std::uint64_t id : round.roster) assignment_[id] = round.id;
   ++sealed_;
   ++rounds_sealed_c_;
   if (config_.trace)
     config_.trace->event("secagg_round_sealed",
-                         {{"round", round.id}, {"cohort", round.roster.size()}});
+                         {{"round", round.id},
+                          {"cohort", round.roster.size()},
+                          {"class", round.device_class}});
   rounds_.emplace(round.id, std::move(round));
 }
 
@@ -155,28 +163,40 @@ net::SecAggAssignMessage CohortManager::handle_assign(
     assignment_.erase(it);
   }
 
-  // Join (or re-find ourselves in) the forming cohort.
+  // Join (or re-find ourselves in) our class's forming cohort. A device
+  // that changes its declared class between polls just moves queues: it
+  // can wait in at most one (the per-class lookup below only sees the
+  // queue it is polling into, and seals clear assignment_ entries).
+  std::vector<Waiter>& waiters = forming_[req.device_class];
   auto waiter = std::find_if(
-      forming_.begin(), forming_.end(),
+      waiters.begin(), waiters.end(),
       [&](const Waiter& w) { return w.device_id == req.device_id; });
-  if (waiter == forming_.end()) {
-    forming_.push_back({req.device_id, now});
-    waiter = forming_.end() - 1;
+  if (waiter == waiters.end()) {
+    for (auto& [cls, others] : forming_) {
+      if (cls == req.device_class) continue;
+      others.erase(std::remove_if(others.begin(), others.end(),
+                                  [&](const Waiter& w) {
+                                    return w.device_id == req.device_id;
+                                  }),
+                   others.end());
+    }
+    waiters.push_back({req.device_id, now});
+    waiter = waiters.end() - 1;
   }
-  if (forming_.size() >= config_.cohort_size) {
-    seal_locked(config_.cohort_size);
+  if (waiters.size() >= config_.cohort_size) {
+    seal_locked(req.device_class, config_.cohort_size);
     const auto ait = assignment_.find(req.device_id);
     if (ait != assignment_.end()) {
       answer_round(rounds_.at(ait->second));
       return resp;
     }
   }
-  // A device that has waited a full timeout with no cohort in sight is
-  // told to fall back rather than starve (pending answers below still
-  // count toward a future partial seal).
+  // A device that has waited a full timeout with no same-class cohort in
+  // sight is told to fall back rather than starve (pending answers below
+  // still count toward a future partial seal).
   if (now - waiter->since_ms >= config_.round_timeout_ms &&
-      forming_.size() < config_.min_survivors) {
-    forming_.erase(waiter);
+      waiters.size() < config_.min_survivors) {
+    waiters.erase(waiter);
     resp.status = net::kSecAggAssignFallback;
     return resp;
   }
@@ -322,6 +342,11 @@ void CohortManager::complete_locked(Round& round) {
 
   net::CheckinMessage record;
   record.device_id = kCohortDeviceIdBase | round.id;
+  // The cohort record inherits the roster's (single, never mixed) class
+  // so per-class pacing clocks account the applied round to the right
+  // bucket. Class 0 keeps the record bytes identical to the pre-class
+  // format.
+  record.device_class = round.device_class;
   record.param_version = param_version == ~0ULL ? 0 : param_version;
   record.ns = ns_total;
   record.g_hat.resize(dim);

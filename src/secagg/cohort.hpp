@@ -2,7 +2,13 @@
 // "Secure aggregation").
 //
 // The CohortManager assigns checked-out devices into cohorts of
-// `cohort_size` per round, collects their pairwise-masked checkins
+// `cohort_size` per round — formed per declared device class
+// (net::SecAggAssignMessage::device_class), so a fast-class cohort
+// seals on fast-class arrivals alone and one flaky-class straggler
+// cannot hold the round open into dropout recovery for everyone else.
+// Cohorts also never span shards, structurally: each shard leader runs
+// its own CohortManager over only the devices its shard owns
+// (docs/SHARDING.md). The manager collects the pairwise-masked checkins
 // (net::SecAggMaskedMessage), and applies a round only once its sum is
 // unmaskable: either every roster member submitted (all masks cancel by
 // construction) or the dropouts' unmatched mask streams were subtracted
@@ -100,6 +106,8 @@ class CohortManager {
     enum State { kCollecting, kRecovering, kComplete, kAborted };
     std::uint64_t id = 0;
     State state = kCollecting;
+    /// The class every roster member declared (cohorts never mix).
+    std::uint8_t device_class = 0;
     std::vector<std::uint64_t> roster;  // sorted ascending
     std::int64_t deadline_ms = 0;       // collect, then reveal deadline
     std::unordered_map<std::uint64_t, net::SecAggMaskedMessage> submitted;
@@ -110,7 +118,7 @@ class CohortManager {
   };
 
   void tick_locked();
-  void seal_locked(std::size_t take);
+  void seal_locked(std::uint8_t device_class, std::size_t take);
   void complete_locked(Round& round);
   void resolve_locked(Round& round, Round::State terminal);
   void prune_locked();
@@ -126,7 +134,8 @@ class CohortManager {
     std::uint64_t device_id = 0;
     std::int64_t since_ms = 0;
   };
-  std::vector<Waiter> forming_;
+  /// One forming queue per declared device class (FIFO within a class).
+  std::map<std::uint8_t, std::vector<Waiter>> forming_;
   std::map<std::uint64_t, Round> rounds_;  // ordered: oldest first
   std::unordered_map<std::uint64_t, std::uint64_t> assignment_;
   std::uint64_t next_round_id_ = 1;

@@ -1,0 +1,227 @@
+#include "shard/director.hpp"
+
+#include <chrono>
+
+#include "net/tcp.hpp"
+#include "shard/merge.hpp"
+
+namespace crowdml::shard {
+
+namespace {
+
+/// One sealed request/response exchange with a shard leader. Returns
+/// the decoded response frame, or nullopt with `error` set.
+std::optional<net::Frame> exchange(const std::string& addr,
+                                   const MergeDirectorConfig& cfg,
+                                   net::MessageType type,
+                                   const net::Bytes& payload,
+                                   std::string* error) {
+  const auto hp = net::split_host_port(addr);
+  if (!hp) {
+    if (error) *error = "bad shard address " + addr;
+    return std::nullopt;
+  }
+  auto conn =
+      net::TcpConnection::connect(hp->first, hp->second, cfg.connect_timeout_ms);
+  if (!conn) {
+    if (error) *error = "connect to " + addr + " failed";
+    return std::nullopt;
+  }
+  conn->set_deadline_ms(cfg.io_timeout_ms);
+  const net::Bytes sealed = replica::seal_repl_payload(cfg.key, type, payload);
+  if (!conn->send_frame(net::encode_frame(type, sealed))) {
+    if (error) *error = "send to " + addr + " failed";
+    return std::nullopt;
+  }
+  const auto raw = conn->recv_frame();
+  if (!raw) {
+    if (error) *error = "no response from " + addr;
+    return std::nullopt;
+  }
+  try {
+    return net::decode_frame(*raw);
+  } catch (const net::CodecError& e) {
+    if (error) *error = std::string("bad response from ") + addr + ": " + e.what();
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+MergeDirector::MergeDirector(MergeDirectorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.metrics) {
+    cycles_merged_ = &cfg_.metrics->counter(
+        "crowdml_shard_merge_cycles_total",
+        "Merge cycles that pulled, merged, and pushed a fleet model",
+        obs::Provenance::kTransportEvent);
+    cycles_skipped_ = &cfg_.metrics->counter(
+        "crowdml_shard_merge_cycles_skipped_total",
+        "Merge cycles skipped (under two reachable shards, or no new "
+        "checkins anywhere)",
+        obs::Provenance::kTransportEvent);
+    pull_failures_ = &cfg_.metrics->counter(
+        "crowdml_shard_pull_failures_total",
+        "ShardPull exchanges that failed (unreachable or refused shard)",
+        obs::Provenance::kTransportEvent);
+    cycle_seconds_ = &cfg_.metrics->histogram(
+        "crowdml_shard_merge_cycle_seconds",
+        "Wall-clock duration of one pull-merge-push cycle",
+        obs::Provenance::kTiming);
+  }
+}
+
+MergeDirector::~MergeDirector() { shutdown(); }
+
+std::optional<net::ShardModelMessage> MergeDirector::pull_shard(
+    std::size_t shard, std::uint64_t round, std::string* error) {
+  net::ShardPullMessage pull;
+  pull.merge_round = round;
+  const auto resp = exchange(cfg_.map.addr(shard), cfg_,
+                             net::MessageType::kShardPull, pull.serialize(),
+                             error);
+  if (!resp) return std::nullopt;
+  if (resp->type != net::MessageType::kShardModel) {
+    // A nack (auth failure, sharding disabled) comes back as an Ack.
+    if (error) *error = "shard " + cfg_.map.addr(shard) + " refused pull";
+    return std::nullopt;
+  }
+  const auto opened = replica::open_repl_payload(
+      cfg_.key, net::MessageType::kShardModel, resp->payload);
+  if (!opened) {
+    if (error)
+      *error = "unsealed ShardModel from " + cfg_.map.addr(shard);
+    return std::nullopt;
+  }
+  try {
+    auto model = net::ShardModelMessage::deserialize(*opened);
+    if (model.merge_round != round) {
+      if (error) *error = "stale merge round from " + cfg_.map.addr(shard);
+      return std::nullopt;
+    }
+    return model;
+  } catch (const net::CodecError& e) {
+    if (error) *error = std::string("malformed ShardModel: ") + e.what();
+    return std::nullopt;
+  }
+}
+
+bool MergeDirector::push_shard(std::size_t shard,
+                               const net::ShardMergePushMessage& push,
+                               std::string* error) {
+  const auto resp =
+      exchange(cfg_.map.addr(shard), cfg_, net::MessageType::kShardMergePush,
+               push.serialize(), error);
+  if (!resp) return false;
+  if (resp->type != net::MessageType::kAck) {
+    if (error) *error = "unexpected push response type";
+    return false;
+  }
+  try {
+    const auto ack = net::AckMessage::deserialize(resp->payload);
+    if (!ack.ok && error)
+      *error = "shard " + cfg_.map.addr(shard) + " refused merge: " + ack.reason;
+    return ack.ok;
+  } catch (const net::CodecError& e) {
+    if (error) *error = std::string("malformed push ack: ") + e.what();
+    return false;
+  }
+}
+
+MergeCycleResult MergeDirector::run_once() {
+  const auto t0 = std::chrono::steady_clock::now();
+  MergeCycleResult result;
+  result.merge_round = ++next_round_;
+
+  std::vector<net::ShardModelMessage> models;
+  std::vector<std::size_t> pulled;
+  for (std::size_t i = 0; i < cfg_.map.size(); ++i) {
+    std::string err;
+    if (auto model = pull_shard(i, result.merge_round, &err)) {
+      models.push_back(std::move(*model));
+      pulled.push_back(i);
+    } else {
+      if (pull_failures_) pull_failures_->inc();
+      if (result.error.empty()) result.error = err;
+    }
+  }
+  result.shards_pulled = pulled.size();
+
+  const auto finish = [&](bool merged) {
+    if (cycle_seconds_)
+      cycle_seconds_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    if (merged) {
+      rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (cycles_merged_) cycles_merged_->inc();
+    } else {
+      rounds_skipped_.fetch_add(1, std::memory_order_relaxed);
+      if (cycles_skipped_) cycles_skipped_->inc();
+    }
+    result.merged = merged;
+    return result;
+  };
+
+  // One reachable shard has nothing to reconcile with; pushing would
+  // just burn a version on an identity overwrite.
+  if (pulled.size() < 2) return finish(false);
+
+  const auto merged = merge_models(models);
+  if (!merged) {
+    if (result.error.empty()) result.error = "nothing to merge";
+    return finish(false);
+  }
+
+  net::ShardMergePushMessage push;
+  push.merge_round = result.merge_round;
+  push.total_checkins = total_checkins(models);
+  push.q = *merged;
+  result.total_checkins = push.total_checkins;
+
+  for (std::size_t i : pulled) {
+    std::string err;
+    if (push_shard(i, push, &err)) {
+      ++result.shards_pushed;
+    } else if (result.error.empty()) {
+      result.error = err;
+    }
+  }
+  if (cfg_.trace)
+    cfg_.trace->event("shard_merge_cycle",
+                      {{"round", result.merge_round},
+                       {"pulled", static_cast<std::uint64_t>(result.shards_pulled)},
+                       {"pushed", static_cast<std::uint64_t>(result.shards_pushed)},
+                       {"total_checkins", result.total_checkins}});
+  return finish(result.shards_pushed > 0);
+}
+
+void MergeDirector::start() {
+  if (started_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = false;
+  }
+  loop_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    while (!stopping_) {
+      if (stop_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.interval_ms),
+                            [this] { return stopping_; }))
+        break;
+      lock.unlock();
+      run_once();
+      lock.lock();
+    }
+  });
+}
+
+void MergeDirector::shutdown() {
+  if (!started_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (loop_.joinable()) loop_.join();
+}
+
+}  // namespace crowdml::shard

@@ -1,0 +1,102 @@
+// The merge director: the coordinator-tier loop that periodically
+// reconciles shard models (docs/SHARDING.md).
+//
+// Every cycle it pulls each shard's model + checkin weight over a
+// sealed ShardPull/ShardModel exchange, computes the count-weighted
+// fixed-point average (shard::merge_models), and pushes the merged
+// model back with ShardMergePush — which each leader applies through
+// its normal applier/WAL path. Shards that fail to answer a pull are
+// simply left out of the cycle: their weight keeps accumulating against
+// their last-merged baseline, so the next cycle they join weighs their
+// whole backlog correctly. A cycle with fewer than two reachable shards
+// (or zero total weight) is skipped — there is nothing to reconcile.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/messages.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "replica/repl_session.hpp"
+#include "shard/shard_map.hpp"
+
+namespace crowdml::shard {
+
+struct MergeDirectorConfig {
+  /// Shard roster to reconcile (device-facing addresses — Shard* frames
+  /// ride the device port, gated by the replication-key seal).
+  ShardMap map;
+  replica::ReplKey key;
+  /// Merge cadence for the background loop (start()). The paper's
+  /// staleness analysis prices this directly: a longer cadence is a
+  /// larger delay tau on every merged update.
+  std::uint32_t interval_ms = 1000;
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 5000;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+};
+
+struct MergeCycleResult {
+  bool merged = false;
+  std::uint64_t merge_round = 0;
+  std::uint64_t total_checkins = 0;
+  std::size_t shards_pulled = 0;
+  std::size_t shards_pushed = 0;
+  std::string error;  ///< first failure this cycle ("" when clean)
+};
+
+class MergeDirector {
+ public:
+  explicit MergeDirector(MergeDirectorConfig cfg);
+  ~MergeDirector();
+
+  /// One synchronous merge cycle (also what the background loop runs).
+  /// Safe to call without start() — tests and benches drive cycles
+  /// explicitly for determinism.
+  MergeCycleResult run_once();
+
+  /// Background loop: run_once every interval_ms until shutdown().
+  void start();
+  void shutdown();
+
+  std::uint64_t rounds_completed() const {
+    return rounds_completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rounds_skipped() const {
+    return rounds_skipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::optional<net::ShardModelMessage> pull_shard(std::size_t shard,
+                                                   std::uint64_t round,
+                                                   std::string* error);
+  bool push_shard(std::size_t shard, const net::ShardMergePushMessage& push,
+                  std::string* error);
+
+  MergeDirectorConfig cfg_;
+  std::uint64_t next_round_ = 0;  ///< loop/run_once caller-serialized
+
+  std::atomic<std::uint64_t> rounds_completed_{0};
+  std::atomic<std::uint64_t> rounds_skipped_{0};
+
+  std::thread loop_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::atomic<bool> started_{false};
+
+  obs::Counter* cycles_merged_ = nullptr;
+  obs::Counter* cycles_skipped_ = nullptr;
+  obs::Counter* pull_failures_ = nullptr;
+  obs::Histogram* cycle_seconds_ = nullptr;
+};
+
+}  // namespace crowdml::shard

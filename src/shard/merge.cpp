@@ -1,0 +1,106 @@
+#include "shard/merge.hpp"
+
+#include <string>
+
+#include "secagg/mask.hpp"
+
+namespace crowdml::shard {
+
+net::Bytes MergeRecord::serialize() const {
+  net::Writer wr;
+  wr.put_u32(store::kOpaqueRecordMagic);
+  wr.put_u32(kMergeRecordKind);
+  wr.put_u64(merge_round);
+  wr.put_u64(total_checkins);
+  wr.put_vector(w);
+  return wr.take();
+}
+
+MergeRecord MergeRecord::deserialize(const net::Bytes& payload) {
+  net::Reader r(payload);
+  if (r.get_u32() != store::kOpaqueRecordMagic)
+    throw net::CodecError("not an opaque record");
+  if (r.get_u32() != kMergeRecordKind)
+    throw net::CodecError("unknown opaque record kind");
+  MergeRecord rec;
+  rec.merge_round = r.get_u64();
+  rec.total_checkins = r.get_u64();
+  rec.w = r.get_vector();
+  if (!r.exhausted())
+    throw net::CodecError("trailing bytes after merge record");
+  return rec;
+}
+
+void install_merge_replay(store::DurableStoreOptions& opts) {
+  opts.opaque_replay = [](core::Server& server, std::uint64_t seq,
+                          const net::Bytes& payload) {
+    const auto rec = MergeRecord::deserialize(payload);
+    const std::uint64_t v = server.overwrite_parameters(rec.w);
+    if (v != seq)
+      throw store::WalError("merge replay produced version " +
+                            std::to_string(v) + ", record says " +
+                            std::to_string(seq));
+  };
+}
+
+std::vector<std::uint64_t> quantize_params(const linalg::Vector& w) {
+  std::vector<std::uint64_t> q;
+  q.reserve(w.size());
+  for (double v : w) q.push_back(secagg::quantize(v));
+  return q;
+}
+
+linalg::Vector dequantize_params(const std::vector<std::uint64_t>& q) {
+  linalg::Vector w;
+  w.reserve(q.size());
+  for (std::uint64_t v : q) w.push_back(secagg::dequantize(v));
+  return w;
+}
+
+std::optional<std::vector<std::uint64_t>> merge_models(
+    const std::vector<net::ShardModelMessage>& models) {
+  if (models.empty()) return std::nullopt;
+  const std::size_t dim = models.front().q.size();
+  // Weights are capped at 2^32: |q| < 2^63 (kFixedPointMax * 2^20), so
+  // a capped product stays under 2^95 per model and the __int128
+  // accumulator cannot wrap even if a corrupted shard reports an absurd
+  // count. The cap is unreachable by an honest shard (it would need
+  // 4 billion checkins in one merge window).
+  constexpr std::uint64_t kMaxWeight = 1ULL << 32;
+  const auto weight = [](const net::ShardModelMessage& m) {
+    return m.checkins < kMaxWeight ? m.checkins : kMaxWeight;
+  };
+  std::uint64_t total = 0;
+  for (const auto& m : models) {
+    if (m.q.size() != dim) return std::nullopt;
+    total += weight(m);
+  }
+  if (total == 0 || dim == 0) return std::nullopt;
+
+  std::vector<std::uint64_t> merged(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    __int128 acc = 0;
+    for (const auto& m : models)
+      acc += static_cast<__int128>(weight(m)) *
+             static_cast<__int128>(static_cast<std::int64_t>(m.q[d]));
+    // C++ integer division truncates toward zero — deterministic, and
+    // the bias (< one 2^-20 grid step) is far below the noise floor.
+    const __int128 avg = acc / static_cast<__int128>(total);
+    merged[d] =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(avg));
+  }
+  return merged;
+}
+
+std::uint64_t total_checkins(
+    const std::vector<net::ShardModelMessage>& models) {
+  // Same per-model cap as merge_models, so the audit field in the push
+  // matches the divisor the average actually used.
+  constexpr std::uint64_t kMaxWeight = 1ULL << 32;
+  std::uint64_t total = 0;
+  for (const auto& m : models)
+    total += m.checkins < kMaxWeight ? m.checkins : kMaxWeight;
+  return total;
+}
+
+}  // namespace crowdml::shard

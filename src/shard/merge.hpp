@@ -1,0 +1,76 @@
+// Cross-shard model merging: fixed-point count-weighted averaging and
+// the WAL record a merge leaves behind (docs/SHARDING.md).
+//
+// The merge is the paper's staleness story applied horizontally: each
+// shard trains on its own slice of the fleet, and every merge cadence
+// the director replaces all shard models with the checkin-count-
+// weighted average — a delayed (stale) update whose convergence cost
+// PAPER.md §IV already prices. The average is computed entirely in
+// fixed-point integer arithmetic (secagg::quantize's 2^-20 grid,
+// __int128 accumulators) so it is exactly deterministic: every replica
+// of the computation — live, WAL replay, a replication follower —
+// produces the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+#include "net/messages.hpp"
+#include "store/durable_store.hpp"
+
+namespace crowdml::shard {
+
+/// Opaque-record kind for a merge (multimodel overwrites are kind 1).
+inline constexpr std::uint32_t kMergeRecordKind = 2;
+
+/// The merge on disk: a full parameter image inside the
+/// store::kOpaqueRecordMagic envelope —
+///
+///   [u32 0xFFFFFFFF][u32 kind=2][u64 merge_round][u64 total_checkins][vector w]
+///
+/// — logged at the version the apply produced, so recovery replays it
+/// through Server::overwrite_parameters exactly like the live path and
+/// the WAL shipper replicates it to followers like any checkin.
+struct MergeRecord {
+  std::uint64_t merge_round = 0;
+  std::uint64_t total_checkins = 0;
+  linalg::Vector w;
+
+  net::Bytes serialize() const;
+  /// Throws net::CodecError on a malformed or non-merge payload.
+  static MergeRecord deserialize(const net::Bytes& payload);
+};
+
+/// Install the merge-record replay handler on a store's options: opaque
+/// WAL records deserialize as MergeRecords and apply via
+/// Server::overwrite_parameters, leaving version == seq. Shared by a
+/// shard leader's own store and its replication followers
+/// (replica::FollowerOptions::store), so recovery and live apply agree.
+void install_merge_replay(store::DurableStoreOptions& opts);
+
+/// Quantize a parameter vector to the secagg fixed-point grid (element-
+/// wise secagg::quantize; two's-complement u64s on the wire).
+std::vector<std::uint64_t> quantize_params(const linalg::Vector& w);
+
+/// Invert quantize_params.
+linalg::Vector dequantize_params(const std::vector<std::uint64_t>& q);
+
+/// Count-weighted average of shard models, in fixed point:
+///
+///   merged[d] = (sum_i checkins_i * q_i[d]) / (sum_i checkins_i)
+///
+/// with __int128 accumulators and C++ truncating division — exactly
+/// reproducible on every caller. Shards reporting zero checkins
+/// contribute no weight (their model is about to be replaced by the
+/// push anyway). Returns nullopt when the models disagree on dimension
+/// or every shard reports zero checkins (nothing to merge; the
+/// director skips the cycle).
+std::optional<std::vector<std::uint64_t>> merge_models(
+    const std::vector<net::ShardModelMessage>& models);
+
+/// Sum of the models' checkin weights (the push's total_checkins).
+std::uint64_t total_checkins(const std::vector<net::ShardModelMessage>& models);
+
+}  // namespace crowdml::shard

@@ -1,0 +1,77 @@
+// Shard-leader side of the merge plane: answers ShardPull with the
+// local model + checkin weight, applies ShardMergePush through the
+// normal applier/WAL path (docs/SHARDING.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "core/protocol.hpp"
+#include "core/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "replica/repl_session.hpp"
+#include "store/durable_store.hpp"
+
+namespace crowdml::shard {
+
+struct ShardServiceConfig {
+  /// This server's shard id (echoed on every ShardModel).
+  std::uint64_t shard_id = 0;
+  /// Replication key sealing all Shard* frames (replica::seal_repl_payload).
+  /// Empty = unsealed (single-operator deployments on a trusted network);
+  /// both ends must agree.
+  replica::ReplKey key;
+  /// When non-null, every applied merge is logged here as a MergeRecord
+  /// at the version the apply produced (same durability contract as a
+  /// checkin: in group-commit mode the engine's commit barrier covers
+  /// it, and the ack is nack-rewritten if the commit fails). Null for
+  /// in-memory servers (tests).
+  store::DurableStore* store = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+};
+
+/// Attached to a ProtocolServer via set_shard(); both handlers run on
+/// whatever thread drives protocol dispatch (the engine's applier), so
+/// merge application is serialized with checkin application exactly
+/// like any other update. Internal bookkeeping (pull/merge round state)
+/// has its own lock so stats readers on other threads stay safe.
+class ShardService : public core::ShardHandler {
+ public:
+  ShardService(ShardServiceConfig cfg, core::Server& server);
+
+  net::Bytes handle_shard_pull(const net::Bytes& payload) override;
+  net::Bytes handle_shard_merge_push(const net::Bytes& payload) override;
+
+  std::uint64_t merges_applied() const;
+  std::uint64_t last_merge_round() const;
+  /// Checkins applied since the last merge (the weight the next pull
+  /// will report).
+  std::uint64_t checkins_since_merge() const;
+
+ private:
+  ShardServiceConfig cfg_;
+  core::Server& server_;
+
+  mutable std::mutex mu_;
+  /// Version baseline the checkin weight is measured from: the version
+  /// right after the last applied merge (or at construction, i.e. after
+  /// recovery — a restarted shard under-reports the weight of its
+  /// pre-crash window by design; see docs/SHARDING.md).
+  std::uint64_t baseline_version_ = 0;
+  std::uint64_t last_pull_round_ = 0;
+  std::uint64_t last_pull_version_ = 0;
+  std::chrono::steady_clock::time_point last_pull_at_{};
+  std::uint64_t last_merge_round_ = 0;
+  std::uint64_t merges_applied_ = 0;
+
+  obs::Counter* pulls_ = nullptr;
+  obs::Counter* merges_ = nullptr;
+  obs::Counter* auth_failures_ = nullptr;
+  obs::Histogram* staleness_updates_ = nullptr;
+  obs::Histogram* staleness_ms_ = nullptr;
+};
+
+}  // namespace crowdml::shard

@@ -1,0 +1,51 @@
+#include "shard/shard_map.hpp"
+
+#include <cstdio>
+
+#include "net/messages.hpp"
+
+namespace crowdml::shard {
+
+std::uint64_t stable_device_hash(std::uint64_t device_id) {
+  // splitmix64 finalizer. Devices declare sequential ids in every test
+  // and tool, so routing on the raw id would put contiguous ranges on
+  // one shard; the mix spreads them uniformly while staying a pure
+  // function of the id.
+  std::uint64_t z = device_id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ShardMap::ShardMap(std::vector<std::string> addrs)
+    : addrs_(std::move(addrs)) {}
+
+std::optional<ShardMap> ShardMap::parse(const std::string& csv) {
+  std::vector<std::string> addrs;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string entry = csv.substr(start, comma - start);
+    if (!net::split_host_port(entry)) return std::nullopt;
+    addrs.push_back(entry);
+    start = comma + 1;
+  }
+  if (addrs.empty()) return std::nullopt;
+  return ShardMap(std::move(addrs));
+}
+
+std::size_t ShardMap::shard_of(std::uint64_t device_id) const {
+  return static_cast<std::size_t>(stable_device_hash(device_id) %
+                                  addrs_.size());
+}
+
+std::string shard_wal_dir(const std::string& base, std::size_t shard_id,
+                          std::size_t shards) {
+  if (shards <= 1) return base;
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "/shard-%03zu", shard_id);
+  return base + suffix;
+}
+
+}  // namespace crowdml::shard

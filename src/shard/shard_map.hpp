@@ -1,0 +1,61 @@
+// Static device partitioning for sharded leaders (docs/SHARDING.md).
+//
+// A ShardMap is the published list of shard-leader addresses, indexed
+// by shard id. Devices (and servers) route a device id to its owning
+// shard with a *stable* hash — the same mix on every process, pinned by
+// tests — so the fleet partitions identically everywhere without any
+// coordination traffic: the map itself is the only shared state, and a
+// server that receives a checkin for a device it does not own answers
+// a pre-application "wrong shard; shard=<addr>" nack instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crowdml::shard {
+
+/// Stable 64-bit mix of a device id (splitmix64 finalizer). This is a
+/// wire-adjacent contract: every device and every server must agree on
+/// it forever, or the fleet's partitioning tears. Changing it is a
+/// flag-day event, which is why it is pinned byte-for-byte by
+/// tests/shard_test.cpp.
+std::uint64_t stable_device_hash(std::uint64_t device_id);
+
+/// The published shard roster: addr(i) is shard i's device-facing
+/// host:port. size() == 1 means sharding is structurally off — every
+/// device maps to shard 0 and no redirect can ever fire, which is what
+/// keeps `--shards 1` byte-identical to the unsharded path.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  explicit ShardMap(std::vector<std::string> addrs);
+
+  /// Parse "host:port,host:port,..." (the --shard-map flag). nullopt on
+  /// an empty list or any entry split_host_port rejects.
+  static std::optional<ShardMap> parse(const std::string& csv);
+
+  std::size_t size() const { return addrs_.size(); }
+  bool empty() const { return addrs_.empty(); }
+
+  /// The owning shard of a device: stable_device_hash(id) mod size().
+  /// Must not be called on an empty map.
+  std::size_t shard_of(std::uint64_t device_id) const;
+
+  const std::string& addr(std::size_t shard) const { return addrs_[shard]; }
+  const std::vector<std::string>& addrs() const { return addrs_; }
+
+ private:
+  std::vector<std::string> addrs_;
+};
+
+/// WAL namespace of shard `shard_id` in a fleet of `shards` under one
+/// `base` dir: shards <= 1 is `base` itself (byte-identical to the
+/// unsharded layout), otherwise base/shard-<id, 3 digits>. Mirrors
+/// store::DurableStore::instance_dir, and nests outside it — a pooled
+/// shard would put its instance dirs inside its shard dir.
+std::string shard_wal_dir(const std::string& base, std::size_t shard_id,
+                          std::size_t shards);
+
+}  // namespace crowdml::shard

@@ -253,7 +253,7 @@ TEST(CoordFlags, CoordFlagsWithoutSteeringRejected) {
   EXPECT_FALSE(coordf({"--coord-max-hint-ms=1000"}).error.empty());
 }
 
-TEST(CoordFlags, SteeringRequiresEpollLeaderSingleModel) {
+TEST(CoordFlags, SteeringRequiresEpollLeader) {
   // Default engine is the thread-per-connection runtime: rejected.
   EXPECT_FALSE(coordf({"--coord-steering"}).error.empty());
   EXPECT_FALSE(
@@ -261,11 +261,12 @@ TEST(CoordFlags, SteeringRequiresEpollLeaderSingleModel) {
   EXPECT_FALSE(coordf({"--coord-steering", "--engine=epoll",
                        "--role=follower"})
                    .error.empty());
-  EXPECT_FALSE(coordf({"--coord-steering", "--engine=epoll",
-                       "--model-instances=4"})
-                   .error.empty());
   EXPECT_TRUE(
       coordf({"--coord-steering", "--engine=epoll"}).error.empty());
+  // Pooled serving steers too: one coordinator per instance applier.
+  EXPECT_TRUE(coordf({"--coord-steering", "--engine=epoll",
+                      "--model-instances=4"})
+                  .error.empty());
 }
 
 TEST(CoordFlags, MalformedClassSpecsRejected) {

@@ -208,6 +208,90 @@ TEST(Fuzz, MutatedSecAggPayloadsHandledGracefully) {
   }
 }
 
+TEST(Fuzz, ShardDeserializersNeverCrash) {
+  rng::Engine eng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const net::Bytes b = random_bytes(eng, 160);
+    EXPECT_NO_FATAL_FAILURE({
+      try {
+        (void)net::ShardPullMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::ShardModelMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+      try {
+        (void)net::ShardMergePushMessage::deserialize(b);
+      } catch (const net::CodecError&) {
+      }
+    });
+  }
+}
+
+TEST(Fuzz, MutatedShardPayloadsHandledGracefully) {
+  // Same three-way mutation drill as the secagg codecs: the merge-plane
+  // deserializers face the open device port, so truncated, corrupted,
+  // and extended payloads must throw CodecError or parse — never crash.
+  rng::Engine eng(12);
+
+  net::ShardPullMessage pull;
+  pull.merge_round = 9;
+
+  net::ShardModelMessage model;
+  model.shard_id = 1;
+  model.merge_round = 9;
+  model.version = 120;
+  model.checkins = 40;
+  model.q = {1, static_cast<std::uint64_t>(-5), 1u << 20};
+
+  net::ShardMergePushMessage push;
+  push.merge_round = 9;
+  push.total_checkins = 64;
+  push.q = {7, 8, 9};
+
+  const net::Bytes payloads[] = {pull.serialize(), model.serialize(),
+                                 push.serialize()};
+  for (const net::Bytes& valid : payloads) {
+    for (int i = 0; i < 3000; ++i) {
+      net::Bytes mutated = valid;
+      switch (rng::uniform_index(eng, 3)) {
+        case 0:  // truncate at a random point
+          mutated.resize(rng::uniform_index(eng, mutated.size() + 1));
+          break;
+        case 1: {  // corrupt one byte
+          const std::size_t pos = rng::uniform_index(eng, mutated.size());
+          mutated[pos] ^=
+              static_cast<std::uint8_t>(1 + rng::uniform_index(eng, 255));
+          break;
+        }
+        default: {  // duplicate a trailing slice
+          const std::size_t n =
+              rng::uniform_index(eng, std::min<std::size_t>(16, mutated.size())) + 1;
+          const net::Bytes tail(mutated.end() - static_cast<std::ptrdiff_t>(n),
+                                mutated.end());
+          mutated.insert(mutated.end(), tail.begin(), tail.end());
+          break;
+        }
+      }
+      EXPECT_NO_FATAL_FAILURE({
+        try {
+          (void)net::ShardPullMessage::deserialize(mutated);
+        } catch (const net::CodecError&) {
+        }
+        try {
+          (void)net::ShardModelMessage::deserialize(mutated);
+        } catch (const net::CodecError&) {
+        }
+        try {
+          (void)net::ShardMergePushMessage::deserialize(mutated);
+        } catch (const net::CodecError&) {
+        }
+      });
+    }
+  }
+}
+
 TEST(Fuzz, CsvReaderNeverCrashesOnRandomText) {
   rng::Engine eng(5);
   const std::string charset = "0123456789.,-+eE\nabcxyz ";

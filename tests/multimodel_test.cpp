@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "coord/coordinator.hpp"
 #include "core/protocol.hpp"
 #include "core/server.hpp"
 #include "multimodel/instance_pool.hpp"
@@ -313,6 +314,87 @@ TEST(InstancePool, DrawStreamDeterministicGivenSeed) {
       first = pool.draw_counts();
     else
       EXPECT_EQ(pool.draw_counts(), first);
+  }
+}
+
+// ---------------------------------------- per-instance pace steering
+
+TEST(InstancePool, PerInstanceCoordinatorsStampCheckinHints) {
+  net::AuthRegistry auth(rng::Engine(2));
+  multimodel::PoolOptions popts;
+  popts.instances = 3;
+  popts.seed = 9;
+  popts.coordinator_factory = [](std::size_t) {
+    return std::make_unique<coord::Coordinator>(coord::CoordConfig{},
+                                                coord::DeviceClassTable{});
+  };
+  multimodel::ModelInstancePool pool(auth, factory(), popts);
+  for (std::size_t i = 0; i < pool.instances(); ++i)
+    ASSERT_NE(pool.coordinator(i), nullptr);
+  pool.start();
+
+  // Each applier stamps its own clock's consuming hint on the acks it
+  // produced — every ok ack must carry next_checkin_hint_ms > 0.
+  constexpr int kFrames = 30;
+  std::vector<net::Bytes> responses(kFrames);
+  std::atomic<int> answered{0};
+  rng::Engine eng(91);
+  for (int i = 0; i < kFrames; ++i) {
+    engine::CheckinWork work;
+    work.frame = make_checkin(auth.enroll(), eng);
+    work.complete = [&responses, &answered, i](net::Bytes&& response) {
+      responses[static_cast<std::size_t>(i)] = std::move(response);
+      answered.fetch_add(1);
+    };
+    ASSERT_TRUE(pool.route_checkin(std::move(work)));
+  }
+  ASSERT_TRUE(wait_until([&] { return answered.load() == kFrames; }));
+  pool.shutdown();
+
+  for (const net::Bytes& response : responses) {
+    const net::Frame f = net::decode_frame(response);
+    ASSERT_EQ(f.type, net::MessageType::kAck);
+    const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+    EXPECT_TRUE(ack.ok) << ack.reason;
+    EXPECT_GT(ack.next_checkin_hint_ms, 0u);
+  }
+}
+
+TEST(InstancePool, NoCoordinatorFactoryLeavesAckBytesHintFree) {
+  net::AuthRegistry auth(rng::Engine(2));
+  multimodel::PoolOptions popts;
+  popts.instances = 3;
+  popts.seed = 9;
+  multimodel::ModelInstancePool pool(auth, factory(), popts);
+  for (std::size_t i = 0; i < pool.instances(); ++i)
+    EXPECT_EQ(pool.coordinator(i), nullptr);
+  pool.start();
+
+  std::vector<net::Bytes> responses(10);
+  std::atomic<int> answered{0};
+  rng::Engine eng(91);
+  for (int i = 0; i < 10; ++i) {
+    engine::CheckinWork work;
+    work.frame = make_checkin(auth.enroll(), eng);
+    work.complete = [&responses, &answered, i](net::Bytes&& response) {
+      responses[static_cast<std::size_t>(i)] = std::move(response);
+      answered.fetch_add(1);
+    };
+    ASSERT_TRUE(pool.route_checkin(std::move(work)));
+  }
+  ASSERT_TRUE(wait_until([&] { return answered.load() == 10; }));
+  pool.shutdown();
+
+  // Steering off must not perturb the wire: the ack payload ends at the
+  // error string and the optional hint field decodes as absent.
+  for (const net::Bytes& response : responses) {
+    const net::Frame f = net::decode_frame(response);
+    ASSERT_EQ(f.type, net::MessageType::kAck);
+    const net::AckMessage ack = net::AckMessage::deserialize(f.payload);
+    EXPECT_TRUE(ack.ok) << ack.reason;
+    EXPECT_EQ(ack.next_checkin_hint_ms, 0u);
+    EXPECT_EQ(response,
+              net::encode_frame(net::MessageType::kAck, ack.serialize()));
   }
 }
 

@@ -276,9 +276,11 @@ struct ManagerRig {
     mgr->set_clock([this] { return clock; });
   }
 
-  net::SecAggAssignMessage assign(std::uint64_t device) {
+  net::SecAggAssignMessage assign(std::uint64_t device,
+                                  std::uint8_t device_class = 0) {
     net::SecAggAssignMessage req;
     req.device_id = device;
+    req.device_class = device_class;
     return mgr->handle_assign(req);
   }
 
@@ -553,6 +555,104 @@ TEST(SecAggCohort, LoneDeviceIsToldToFallBack) {
 TEST(SecAggCohort, PrunedRoundPollsReadAborted) {
   ManagerRig rig(/*cohort=*/2);
   EXPECT_EQ(rig.poll(1, /*round=*/999).status, net::kSecAggRoundAborted);
+}
+
+TEST(SecAggCohort, CohortsFormPerDeviceClass) {
+  // Classes never share a cohort: a fast-class device waiting next to a
+  // slow-class device must not be sealed into its round, or the
+  // coordinator's per-class pacing attribution (and the round deadline
+  // math) would mix populations.
+  ManagerRig rig(/*cohort=*/2);
+  EXPECT_EQ(rig.assign(1, /*class=*/0).status, net::kSecAggAssignPending);
+  EXPECT_EQ(rig.assign(2, /*class=*/1).status, net::kSecAggAssignPending);
+  // A second class-0 device seals the class-0 cohort; device 2 stays out.
+  const auto sealed = rig.assign(3, /*class=*/0);
+  ASSERT_EQ(sealed.status, net::kSecAggAssignAssigned);
+  EXPECT_EQ(sealed.roster, (std::vector<std::uint64_t>{1, 3}));
+  // Device 2 is still waiting for a classmate, and gets one.
+  EXPECT_EQ(rig.assign(2, /*class=*/1).status, net::kSecAggAssignPending);
+  const auto sealed1 = rig.assign(4, /*class=*/1);
+  ASSERT_EQ(sealed1.status, net::kSecAggAssignAssigned);
+  EXPECT_EQ(sealed1.roster, (std::vector<std::uint64_t>{2, 4}));
+  EXPECT_NE(sealed1.round_id, sealed.round_id);
+}
+
+TEST(SecAggCohort, SyntheticCohortRecordInheritsRosterClass) {
+  ManagerRig rig(/*cohort=*/2);
+  rig.assign(1, /*class=*/3);
+  const auto sealed = rig.assign(2, /*class=*/3);
+  ASSERT_EQ(sealed.status, net::kSecAggAssignAssigned);
+  const std::uint64_t r = sealed.round_id;
+  ASSERT_TRUE(rig.mgr
+                  ->handle_masked(rig.masked(1, r, sealed.roster,
+                                             {1.0, 0.0, 0.0}, 0, {1, 0}, 2))
+                  .ok);
+  ASSERT_TRUE(rig.mgr
+                  ->handle_masked(rig.masked(2, r, sealed.roster,
+                                             {0.0, 1.0, 0.0}, 0, {0, 1}, 2))
+                  .ok);
+  ASSERT_EQ(rig.applied.size(), 1u);
+  // The one WAL'd checkin carries the roster's class, so the
+  // coordinator's per-class commit accounting sees the cohort where its
+  // devices actually live.
+  EXPECT_EQ(rig.applied.front().device_class, 3);
+}
+
+TEST(SecAggCohort, ClassChangeMovesTheWaiterNotDuplicatesIt) {
+  ManagerRig rig(/*cohort=*/2);
+  EXPECT_EQ(rig.assign(1, /*class=*/0).status, net::kSecAggAssignPending);
+  // Device 1 re-polls declaring class 1: it must leave the class-0 queue.
+  EXPECT_EQ(rig.assign(1, /*class=*/1).status, net::kSecAggAssignPending);
+  // A class-0 arrival now waits alone — device 1 is no longer there.
+  EXPECT_EQ(rig.assign(2, /*class=*/0).status, net::kSecAggAssignPending);
+  // And device 1 seals in class 1.
+  const auto sealed = rig.assign(3, /*class=*/1);
+  ASSERT_EQ(sealed.status, net::kSecAggAssignAssigned);
+  EXPECT_EQ(sealed.roster, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(SecAggCohort, PerClassPartialSealAfterTimeout) {
+  ManagerRig rig(/*cohort=*/8, /*min_survivors=*/2);
+  rig.assign(1, /*class=*/0);
+  rig.assign(2, /*class=*/0);
+  rig.assign(3, /*class=*/1);
+  rig.assign(4, /*class=*/1);
+  rig.clock += rig.cfg.round_timeout_ms;
+  // Each class seals its own partial cohort — never a mixed roster.
+  const auto sealed0 = rig.assign(1, /*class=*/0);
+  ASSERT_EQ(sealed0.status, net::kSecAggAssignAssigned);
+  EXPECT_EQ(sealed0.roster, (std::vector<std::uint64_t>{1, 2}));
+  const auto sealed1 = rig.assign(3, /*class=*/1);
+  ASSERT_EQ(sealed1.status, net::kSecAggAssignAssigned);
+  EXPECT_EQ(sealed1.roster, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_NE(sealed0.round_id, sealed1.round_id);
+}
+
+TEST(SecAggCodec, AssignRequestClassZeroIsByteIdenticalToPreClassWire) {
+  // The class byte is length-detected and the default class is NEVER
+  // encoded: a class-0 request's bytes (and HMAC body) are identical to
+  // the pre-class wire format, so old devices and new servers agree.
+  net::SecAggAssignMessage req;
+  req.request = true;
+  req.device_id = 42;
+  const net::Bytes base = req.serialize();
+
+  net::SecAggAssignMessage classy = req;
+  classy.device_class = 5;
+  const net::Bytes tagged = classy.serialize();
+  ASSERT_EQ(tagged.size(), base.size() + 1);
+
+  const auto back = net::SecAggAssignMessage::deserialize(tagged);
+  EXPECT_EQ(back.device_class, 5);
+  EXPECT_EQ(net::SecAggAssignMessage::deserialize(base).device_class, 0);
+
+  // An explicit class-0 byte (after the u8 direction + u64 device id)
+  // is rejected — there is exactly one encoding of every message, or
+  // the auth tag would be ambiguous.
+  net::Bytes explicit_zero = base;
+  explicit_zero.insert(explicit_zero.begin() + 9, 0);
+  EXPECT_THROW(net::SecAggAssignMessage::deserialize(explicit_zero),
+               net::CodecError);
 }
 
 // ----------------------------------------------- protocol-layer harness

@@ -14,6 +14,14 @@
 //                                  # classic LDP when a round aborts
 //                                  # (docs/PRIVACY.md)
 //       [--secagg-min-survivors N] # must match the server's value
+//       [--device-class N]         # declared device class for cohort
+//                                  # formation (0 = default; per-class
+//                                  # cohorts, docs/PRIVACY.md)
+//       [--shard-map h1:p1,h2:p2]  # sharded cluster: hash-route to this
+//                                  # device's home shard instead of
+//                                  # --host/--port (docs/SHARDING.md);
+//                                  # a stale map still converges via the
+//                                  # server's "wrong shard" redirects
 //
 // Features are L1-normalized on ingest (the privacy precondition).
 //
@@ -32,6 +40,7 @@
 #include "data/io.hpp"
 #include "models/logistic_regression.hpp"
 #include "models/ridge_regression.hpp"
+#include "shard/shard_map.hpp"
 #include "tools/flags.hpp"
 
 using namespace crowdml;
@@ -72,8 +81,27 @@ net::SecretKey parse_hex_key_file(const std::string& path) {
 int main(int argc, char** argv) {
   try {
     tools::Flags flags(argc, argv);
-    const std::string host = flags.get("host", "127.0.0.1");
-    const auto port = static_cast<std::uint16_t>(flags.get_int("port", 9000));
+    const net::DeviceCredentials cred = parse_key(flags.get("key", ""));
+    std::string host = flags.get("host", "127.0.0.1");
+    auto port = static_cast<std::uint16_t>(flags.get_int("port", 9000));
+    const std::string shard_map_csv = flags.get("shard-map", "");
+    if (!shard_map_csv.empty()) {
+      // Hash-route to the home shard so the first checkin lands where it
+      // will be accepted; a stale map costs one "wrong shard" redirect
+      // hop, never a lost checkin.
+      const auto map = shard::ShardMap::parse(shard_map_csv);
+      if (!map)
+        throw std::runtime_error(
+            "--shard-map must be a comma-separated host:port list");
+      const std::string addr = map->addr(map->shard_of(cred.device_id));
+      const auto hp = net::split_host_port(addr);
+      if (!hp) throw std::runtime_error("--shard-map: bad address " + addr);
+      host = hp->first;
+      port = hp->second;
+      std::printf("shard-map: device %llu homed to shard %zu (%s)\n",
+                  static_cast<unsigned long long>(cred.device_id),
+                  map->shard_of(cred.device_id), addr.c_str());
+    }
     const std::string data_path = flags.get("data", "");
     if (data_path.empty()) throw std::runtime_error("--data is required");
 
@@ -98,7 +126,7 @@ int main(int argc, char** argv) {
 
     const long long seed = flags.get_int("seed", 99);
     core::Device device(dc, *model, rng::Engine(seed));
-    device.set_credentials(parse_key(flags.get("key", "")));
+    device.set_credentials(cred);
 
     core::ReconnectPolicy rp;
     rp.io_deadline_ms = static_cast<int>(flags.get_int("io-deadline-ms", 5000));
@@ -124,6 +152,8 @@ int main(int argc, char** argv) {
       core::SecAggDeviceClient::Options sopts;
       sopts.fleet_key = parse_hex_key_file(secf.key_file);
       sopts.min_survivors = static_cast<std::size_t>(secf.min_survivors);
+      sopts.device_class =
+          static_cast<std::uint8_t>(flags.get_int("device-class", 0));
       sopts.sleep_ms = [](std::uint32_t ms) {
         std::this_thread::sleep_for(std::chrono::milliseconds(ms));
       };

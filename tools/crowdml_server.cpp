@@ -43,6 +43,18 @@
 //       [--secagg-min-survivors N]            # abort threshold (default 2)
 //       [--secagg-round-timeout-ms N]         # collect/reveal deadline
 //                                             # (default 2000)
+//       [--shard-map h1:p1,h2:p2]             # sharded cluster: every
+//                                             # shard's device address, in
+//                                             # shard-id order (epoll
+//                                             # leader only; docs/SHARDING.md)
+//       [--shard-id N]                        # this process's index into
+//                                             # --shard-map
+//       [--shards N]                          # optional cross-check: must
+//                                             # equal the map size
+//       [--shard-merge-ms N]                  # drive cross-shard merges
+//                                             # every N ms (exactly one
+//                                             # process per cluster, by
+//                                             # convention shard 0; 0 = off)
 //       [--role leader|follower]              # replication role (default
 //                                             # leader; docs/REPLICATION.md)
 //       [--leader-addr host:port]             # follower: the leader's
@@ -113,6 +125,10 @@
 #include "replica/follower.hpp"
 #include "replica/log_shipper.hpp"
 #include "secagg/cohort.hpp"
+#include "shard/director.hpp"
+#include "shard/merge.hpp"
+#include "shard/service.hpp"
+#include "shard/shard_map.hpp"
 #include "store/durable_store.hpp"
 #include "tools/flags.hpp"
 
@@ -162,6 +178,11 @@ int main(int argc, char** argv) {
   const tools::SecAggFlags secf = tools::parse_secagg_flags(flags);
   if (!secf.error.empty()) {
     std::fprintf(stderr, "crowdml-server: %s\n", secf.error.c_str());
+    return 1;
+  }
+  const tools::ShardFlags shardf = tools::parse_shard_flags(flags);
+  if (!shardf.error.empty()) {
+    std::fprintf(stderr, "crowdml-server: %s\n", shardf.error.c_str());
     return 1;
   }
   if (secf.enabled) {
@@ -295,7 +316,14 @@ int main(int argc, char** argv) {
   // before the TCP listener exists, so no device ever talks to a server
   // that has not finished recovering.
   std::unique_ptr<store::DurableStore> durable;
-  const std::string wal_dir = flags.get("wal-dir", "");
+  // Sharded deployments namespace each shard's durability under one
+  // --wal-dir (docs/SHARDING.md): shard i of k recovers from and appends
+  // to <wal-dir>/shard-NNN, so co-located shards never share a log.
+  const std::string base_wal_dir = flags.get("wal-dir", "");
+  const std::string wal_dir =
+      shardf.enabled ? shard::shard_wal_dir(base_wal_dir, shardf.shard_id,
+                                            shardf.map.size())
+                     : base_wal_dir;
   store::DurableStoreOptions sopts;
   try {
     sopts.wal.fsync = store::parse_fsync_policy(
@@ -308,6 +336,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("segment-max-bytes", 4 << 20));
   sopts.wal.metrics = &obs::default_registry();
   sopts.trace = trace.get();
+  // Cross-shard merges are logged as opaque MergeRecords; recovery (and a
+  // follower replaying this shard's WAL) must re-apply them as overwrites.
+  // Harmless when unsharded: no MergeRecord ever appears in the log. The
+  // pool path below overwrites this with its own overwrite replay.
+  shard::install_merge_replay(sopts);
   // A follower's store is owned by replica::Follower below (it recovers,
   // applies, and compacts through it); the leader path owns it here. A
   // pool owns k per-instance stores inside ModelInstancePool instead.
@@ -410,6 +443,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<replica::LogShipper> shipper;
   std::unique_ptr<multimodel::ModelInstancePool> pool;
   std::unique_ptr<multimodel::PoolShipperSet> shipper_set;
+  // Sharding (docs/SHARDING.md): the merge-plane handler answers
+  // ShardPull/ShardMergePush on this shard's applier thread; the
+  // director (one process per cluster, by convention shard 0 with
+  // --shard-merge-ms > 0) drives periodic cross-shard merges. Declared
+  // before the engine so they outlive it.
+  std::unique_ptr<shard::ShardService> shard_service;
+  std::unique_ptr<shard::MergeDirector> merge_director;
   std::uint64_t repl_epoch = 0;
 
   // Shared replication-plane HMAC key (empty = unauthenticated).
@@ -542,6 +582,29 @@ int main(int argc, char** argv) {
       popts.store = sopts;
       popts.metrics = &obs::default_registry();
       popts.trace = trace.get();
+      if (coordf.enabled) {
+        // Pooled steering: one Coordinator per instance, owned by the
+        // applier whose commits it measures. The engine-level coordinator
+        // hook stays null (checkout hints are advisory; the consuming
+        // checkin-ack hints are the load-bearing pacing mechanism).
+        coord::CoordConfig ccfg;
+        ccfg.steering.target_utilization = coordf.target_utilization;
+        ccfg.steering.init_rate_per_s = coordf.init_rate;
+        ccfg.steering.min_hint_ms =
+            static_cast<std::uint32_t>(coordf.min_hint_ms);
+        ccfg.steering.max_hint_ms =
+            static_cast<std::uint32_t>(coordf.max_hint_ms);
+        ccfg.steering.queue_max = queue_max;
+        ccfg.steering.batch_max = engine::EngineConfig{}.checkin_batch_max;
+        if (secf.enabled)
+          ccfg.steering.deadline_ceiling_ms = static_cast<std::uint32_t>(
+              std::max<long long>(1, secf.round_timeout_ms / 2));
+        ccfg.metrics = &obs::default_registry();
+        const coord::DeviceClassTable coord_classes = coordf.classes;
+        popts.coordinator_factory = [ccfg, coord_classes](std::size_t) {
+          return std::make_unique<coord::Coordinator>(ccfg, coord_classes);
+        };
+      }
       try {
         pool = std::make_unique<multimodel::ModelInstancePool>(
             registry, factory, popts);
@@ -599,7 +662,7 @@ int main(int argc, char** argv) {
     ecfg.checkin_queue_max = queue_max;
     ecfg.metrics = &obs::default_registry();
     ecfg.trace = trace.get();
-    if (coordf.enabled) {
+    if (coordf.enabled && !pool) {
       coord::CoordConfig ccfg;
       ccfg.steering.target_utilization = coordf.target_utilization;
       ccfg.steering.init_rate_per_s = coordf.init_rate;
@@ -620,6 +683,34 @@ int main(int argc, char** argv) {
       ecfg.coordinator = &*coordinator;
     }
     ecfg.secagg = cohort.get();
+    if (shardf.enabled) {
+      // Merge plane: this shard answers ShardPull/ShardMergePush (sealed
+      // with the replication key) on its applier thread; a merge
+      // overwrite is WAL'd as a MergeRecord and group-committed exactly
+      // like a checkin batch.
+      shard::ShardServiceConfig scfg;
+      scfg.shard_id = shardf.shard_id;
+      scfg.key = repl_key;
+      scfg.store = durable.get();
+      scfg.metrics = &obs::default_registry();
+      scfg.trace = trace.get();
+      shard_service = std::make_unique<shard::ShardService>(scfg, server);
+      ecfg.shard = shard_service.get();
+      if (shardf.map.size() > 1) {
+        // Device partitioning: checkins for a device this shard does not
+        // own are nacked pre-application with "wrong shard; shard=<addr>"
+        // so the session replays at the owner. With one shard the hook
+        // stays null and every frame is byte-identical to unsharded.
+        const shard::ShardMap map = shardf.map;
+        const std::size_t self = shardf.shard_id;
+        ecfg.shard_route =
+            [map, self](std::uint64_t device_id) -> std::optional<std::string> {
+          const std::size_t owner = map.shard_of(device_id);
+          if (owner == self) return std::nullopt;
+          return map.addr(owner);
+        };
+      }
+    }
     if (pool) multimodel::wire_engine(*pool, ecfg);
     if (is_follower) {
       ecfg.checkin_redirect = repl.leader_addr;
@@ -670,6 +761,21 @@ int main(int argc, char** argv) {
             "127.0.0.1:%u, %zu peer(s)\n",
             repl.election_timeout_ms, follower->vote_port(), peers.size());
     }
+    if (shardf.enabled && shardf.merge_ms > 0) {
+      // Cross-shard merge driver. Exactly one process per cluster should
+      // set --shard-merge-ms > 0 (by convention shard 0); every other
+      // shard leaves it at 0 and only answers the merge plane.
+      shard::MergeDirectorConfig dcfg;
+      dcfg.map = shardf.map;
+      dcfg.key = repl_key;
+      dcfg.interval_ms = static_cast<std::uint32_t>(shardf.merge_ms);
+      dcfg.metrics = &obs::default_registry();
+      dcfg.trace = trace.get();
+      merge_director = std::make_unique<shard::MergeDirector>(dcfg);
+      merge_director->start();
+      std::printf("shard merge director: %zu shard(s), every %lldms\n",
+                  shardf.map.size(), shardf.merge_ms);
+    }
   } else if (engine_kind == "threads") {
     core::TcpServerConfig tcp_cfg;
     tcp_cfg.port = port;
@@ -710,6 +816,9 @@ int main(int argc, char** argv) {
         "config: secagg=on cohort=%lld min-survivors=%lld "
         "round-timeout-ms=%lld\n",
         secf.cohort, secf.min_survivors, secf.round_timeout_ms);
+  if (shardf.enabled)
+    std::printf("config: shard-id=%zu shards=%zu shard-merge-ms=%lld\n",
+                shardf.shard_id, shardf.map.size(), shardf.merge_ms);
   std::printf("crowdml-server listening on 127.0.0.1:%u (dim=%zu classes=%zu)\n",
               bound_port, dim, classes);
 
@@ -868,6 +977,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(follower->epoch()));
   }
   if (!pool) std::fputs(core::portal_report(server).c_str(), stdout);
+  // Stop driving merges before the engine goes away: a mid-flight round
+  // finishes or times out against still-live applier threads.
+  if (merge_director) {
+    merge_director->shutdown();
+    std::printf("merge director: %llu round(s) completed, %llu skipped\n",
+                static_cast<unsigned long long>(
+                    merge_director->rounds_completed()),
+                static_cast<unsigned long long>(
+                    merge_director->rounds_skipped()));
+  }
   if (tcp) tcp->shutdown();
   // For a pool the engine's shutdown_drain drains every instance queue
   // while the event loops are still alive, then pool appliers join.

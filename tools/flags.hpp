@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "coord/device_class.hpp"
+#include "shard/shard_map.hpp"
 
 namespace crowdml::tools {
 
@@ -255,9 +256,11 @@ inline ReplicaFlags parse_replica_flags(const Flags& flags) {
 ///                                      first measured commit, checkins/s,
 ///                                      default 2000)
 /// Every --coord-* flag other than --coord-steering requires steering to
-/// be enabled; steering requires --engine epoll, a leader role, and
-/// --model-instances 1 (per-instance appliers would need per-instance
-/// clocks). `error` is non-empty when the combination is invalid.
+/// be enabled; steering requires --engine epoll and a leader role. With
+/// --model-instances k > 1 each instance's applier owns its own
+/// Coordinator (k independent per-class pacing clocks — the clock must
+/// live where the commits it measures happen; see docs/SCALING.md).
+/// `error` is non-empty when the combination is invalid.
 struct CoordFlags {
   bool enabled = false;
   std::string classes_spec;
@@ -304,11 +307,6 @@ inline CoordFlags parse_coord_flags(const Flags& flags) {
   if (flags.get("role", "leader") == "follower") {
     c.error = "--coord-steering is a leader feature (a follower refuses "
               "checkins, so it has no applier to steer toward)";
-    return c;
-  }
-  if (flags.get_int("model-instances", 1) != 1) {
-    c.error = "--coord-steering requires --model-instances 1 (per-instance "
-              "appliers own their own pacing clocks; see ROADMAP.md)";
     return c;
   }
   if (!(c.target_utilization > 0.0 && c.target_utilization <= 1.0)) {
@@ -397,6 +395,108 @@ inline SecAggFlags parse_secagg_flags(const Flags& flags) {
   }
   if (s.round_timeout_ms < 1) {
     s.error = "--secagg-round-timeout-ms must be >= 1";
+    return s;
+  }
+  return s;
+}
+
+/// Sharded-leader flags for crowdml-server, validated as a unit
+/// (docs/SHARDING.md):
+///   --shard-map h1:p1,h2:p2,...  (every shard leader's *device* address,
+///                                 in shard-id order; the roster every
+///                                 node and device must agree on)
+///   --shard-id N                 (this server's index into the map)
+///   --shards N                   (optional cross-check: must equal the
+///                                 map's size — catches a truncated map
+///                                 pasted across a fleet)
+///   --shard-merge-ms N           (run the MergeDirector in THIS process
+///                                 every N ms; 0/absent = no director
+///                                 here. Exactly one process per cluster
+///                                 should set it — by convention shard 0)
+/// Sharding requires --engine epoll, a leader role, --model-instances 1
+/// (a shard leader is the plain single-applier stack), and --wal-dir
+/// (the merge plane's "acked => durable" rides the WAL). `error` is
+/// non-empty when the combination is invalid.
+struct ShardFlags {
+  bool enabled = false;
+  std::size_t shard_id = 0;
+  shard::ShardMap map;
+  long long merge_ms = 0;
+  std::string error;
+};
+
+inline ShardFlags parse_shard_flags(const Flags& flags) {
+  ShardFlags s;
+  const std::string map_spec = flags.get("shard-map", "");
+  s.enabled = !map_spec.empty();
+  long long merge_ms = 0;
+  long long shard_id = 0;
+  long long shards = -1;
+  try {
+    shard_id = flags.get_int("shard-id", 0);
+    shards = flags.get_int("shards", -1);
+    merge_ms = flags.get_int("shard-merge-ms", 0);
+  } catch (const std::exception&) {
+    s.error = "malformed numeric value in a --shard-* flag";
+    return s;
+  }
+
+  if (!s.enabled) {
+    if (flags.has("shard-id") || flags.has("shards") ||
+        flags.has("shard-merge-ms")) {
+      s.error = "--shard-id/--shards/--shard-merge-ms require --shard-map";
+    }
+    return s;
+  }
+
+  const auto map = shard::ShardMap::parse(map_spec);
+  if (!map) {
+    s.error = "--shard-map must be a comma-separated host:port list, got '" +
+              map_spec + "'";
+    return s;
+  }
+  s.map = *map;
+  if (shards >= 0 && static_cast<std::size_t>(shards) != s.map.size()) {
+    s.error = "--shards disagrees with the --shard-map size (" +
+              std::to_string(shards) + " vs " +
+              std::to_string(s.map.size()) + "); fix the roster";
+    return s;
+  }
+  if (!flags.has("shard-id")) {
+    s.error = "--shard-map requires --shard-id (which entry is this "
+              "server?)";
+    return s;
+  }
+  if (shard_id < 0 || static_cast<std::size_t>(shard_id) >= s.map.size()) {
+    s.error = "--shard-id " + std::to_string(shard_id) +
+              " is out of range for a " + std::to_string(s.map.size()) +
+              "-entry --shard-map";
+    return s;
+  }
+  s.shard_id = static_cast<std::size_t>(shard_id);
+  if (merge_ms < 0) {
+    s.error = "--shard-merge-ms must be >= 0";
+    return s;
+  }
+  s.merge_ms = merge_ms;
+  if (flags.get("engine", "threads") != "epoll") {
+    s.error = "--shard-map requires --engine epoll (the wrong-shard gate "
+              "and merge plane live on its I/O and applier threads)";
+    return s;
+  }
+  if (flags.get("role", "leader") != "leader") {
+    s.error = "--shard-map is a leader flag (a shard's followers are "
+              "plain followers of that shard's leader and need no map)";
+    return s;
+  }
+  if (flags.get_int("model-instances", 1) != 1) {
+    s.error = "--shard-map requires --model-instances 1 (a shard leader "
+              "is the single-applier stack; scale out with more shards)";
+    return s;
+  }
+  if (flags.get("wal-dir", "").empty()) {
+    s.error = "--shard-map requires --wal-dir (merges are WAL records; "
+              "acked => durable must hold across a shard leader crash)";
     return s;
   }
   return s;
